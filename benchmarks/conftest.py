@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark regenerates one paper figure on a reduced sweep (so the
+suite completes in minutes) and asserts the figure's qualitative shape —
+the reproduction contract is the *shape*, not the authors' absolute
+numbers (their substrate was a testbed; ours is a simulator).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sweeps import run_similarity_sweep, run_size_sweep
+
+BENCH_SIZES = (25, 50, 100, 200)
+BENCH_SEEDS = range(3)
+BENCH_SIMILARITIES = (0.1, 0.5, 0.9)
+
+
+@pytest.fixture(scope="session")
+def size_points():
+    """The Fig. 5a/5b/5c sweep, computed once per session."""
+    return run_size_sweep(sizes=BENCH_SIZES, seeds=BENCH_SEEDS)
+
+
+@pytest.fixture(scope="session")
+def similarity_points():
+    """The Fig. 5d/5f sweep (strict vs 80% flexible)."""
+    return run_similarity_sweep(
+        similarities=BENCH_SIMILARITIES, seeds=BENCH_SEEDS
+    )

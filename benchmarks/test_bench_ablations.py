@@ -1,0 +1,22 @@
+"""Ablation bench: mini-auctions, randomization, cluster breadth."""
+
+from __future__ import annotations
+
+from repro.experiments import ablations
+
+
+def test_bench_ablations(benchmark):
+    result = benchmark.pedantic(
+        ablations.run,
+        kwargs={"sizes": (50, 100), "seeds": range(2)},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = {row["variant"]: row for row in result.rows}
+    assert "full mechanism" in rows and "no mini-auctions" in rows
+    # Every variant stays a functioning market: positive satisfaction and
+    # a sane welfare ratio.
+    for row in result.rows:
+        assert row["mean_satisfaction"] > 0.0
+        assert row["mean_welfare_ratio"] > 0.5

@@ -1,0 +1,27 @@
+"""Throughput benchmarks for the auction core itself.
+
+Unlike the figure benches (one-shot harness wrappers), these measure the
+hot path — clearing a block — with real pytest-benchmark statistics.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.auction import DecloudAuction
+from repro.experiments.sweeps import eval_config
+from repro.workloads.generators import MarketScenario
+
+
+@pytest.mark.parametrize("n_requests", [50, 200])
+def test_bench_clear_block(benchmark, n_requests):
+    scenario = MarketScenario(n_requests=n_requests, seed=7)
+    requests, offers = scenario.generate()
+    auction = DecloudAuction(eval_config())
+
+    outcome = benchmark(auction.run, requests, offers, b"bench-evidence")
+    assert outcome.num_trades > 0
+    # Strong budget balance on every cleared block.
+    assert abs(
+        outcome.total_payments - sum(outcome.revenues().values())
+    ) < 1e-9

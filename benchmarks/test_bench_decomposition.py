@@ -1,0 +1,22 @@
+"""Loss-decomposition bench: the DSIC cost splits across stages."""
+
+from __future__ import annotations
+
+from repro.experiments import loss_decomposition
+
+
+def test_bench_loss_decomposition(benchmark):
+    result = benchmark.pedantic(
+        loss_decomposition.run,
+        kwargs={"n_requests": 80, "seeds": range(3)},
+        rounds=1,
+        iterations=1,
+    )
+    shares = [row["share_of_benchmark"] for row in result.rows]
+    # Stage welfare is monotonically non-increasing as switches stack
+    # (tiny tolerance: greedy variants can flip marginal trades).
+    for earlier, later in zip(shares, shares[1:]):
+        assert later <= earlier + 0.05
+    # The full mechanism keeps the majority of benchmark welfare.
+    assert shares[-1] > 0.5
+    assert result.rows[0]["stage"].startswith("benchmark")

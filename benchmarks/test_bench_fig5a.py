@@ -1,0 +1,31 @@
+"""Fig. 5a bench: welfare of DeCloud vs the non-truthful benchmark."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig5a
+from benchmarks.conftest import BENCH_SEEDS, BENCH_SIZES
+
+
+def test_bench_fig5a(benchmark, size_points):
+    result = benchmark.pedantic(
+        fig5a.run,
+        kwargs={"sizes": BENCH_SIZES, "seeds": BENCH_SEEDS,
+                "points": size_points},
+        rounds=1,
+        iterations=1,
+    )
+
+    # Shape: DeCloud tracks the benchmark from below.  Both are greedy
+    # heuristics, so individual blocks may flip by a few percent; the
+    # aggregate must favor the unconstrained benchmark.
+    decloud = np.array(result.column("decloud_welfare"))
+    bench = np.array(result.column("benchmark_welfare"))
+    assert decloud.sum() <= bench.sum() + 1e-6
+    assert np.all(decloud <= bench * 1.10 + 1e-6)
+
+    sizes = np.array(result.column("n_requests"))
+    small = decloud[sizes == min(BENCH_SIZES)].mean()
+    large = decloud[sizes == max(BENCH_SIZES)].mean()
+    assert large > small, "welfare must grow with market size"

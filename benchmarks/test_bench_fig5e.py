@@ -1,0 +1,27 @@
+"""Fig. 5e bench: satisfaction across flexibility levels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig5e
+from benchmarks.conftest import BENCH_SEEDS, BENCH_SIMILARITIES
+
+
+def test_bench_fig5e(benchmark):
+    result = benchmark.pedantic(
+        fig5e.run,
+        kwargs={"similarities": BENCH_SIMILARITIES, "seeds": BENCH_SEEDS},
+        rounds=1,
+        iterations=1,
+    )
+
+    # More flexibility -> weakly higher mean satisfaction overall.
+    flex = np.array(result.column("flexibility"))
+    sats = np.array(result.column("mean_satisfaction"))
+    by_flex = {
+        level: sats[flex == level].mean() for level in sorted(set(flex))
+    }
+    levels = sorted(by_flex)  # ascending flexibility = less flexible last
+    # satisfaction at the most flexible setting beats strict matching
+    assert by_flex[levels[0]] > by_flex[levels[-1]]

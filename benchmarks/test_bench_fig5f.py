@@ -1,0 +1,28 @@
+"""Fig. 5f bench: welfare, flexible vs inflexible matching."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import fig5f
+from benchmarks.conftest import BENCH_SEEDS, BENCH_SIMILARITIES
+
+
+def test_bench_fig5f(benchmark, similarity_points):
+    result = benchmark.pedantic(
+        fig5f.run,
+        kwargs={
+            "similarities": BENCH_SIMILARITIES,
+            "seeds": BENCH_SEEDS,
+            "points": similarity_points,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    welfare = np.array(result.column("welfare"))
+    flex = np.array(result.column("flexibility"))
+    strict_mean = welfare[flex == 1.0].mean()
+    flexible_mean = welfare[flex == 0.8].mean()
+    # Paper: flexibility has a positive effect on welfare.
+    assert flexible_mean > strict_mean

@@ -1,0 +1,50 @@
+"""Ledger-layer benchmarks: PoW solving and a full protocol round."""
+
+from __future__ import annotations
+
+from repro.common.timewindow import TimeWindow
+from repro.ledger import pow as pow_mod
+from repro.market.bids import Offer, Request
+from repro.protocol.exposure import Participant, build_miner_network
+
+
+def test_bench_pow_solve(benchmark):
+    nonce = benchmark(pow_mod.solve, b"decloud-block-payload", 12)
+    assert pow_mod.check(b"decloud-block-payload", nonce, 12)
+
+
+def test_bench_protocol_round(benchmark):
+    def full_round():
+        protocol = build_miner_network(num_miners=3, difficulty_bits=8)
+        clients = [Participant(participant_id=f"cli-{i}") for i in range(8)]
+        providers = [Participant(participant_id=f"prov-{i}") for i in range(4)]
+        for i, client in enumerate(clients):
+            protocol.submit(
+                client,
+                Request(
+                    request_id=f"req-{i}",
+                    client_id=client.participant_id,
+                    submit_time=0.1 * i,
+                    resources={"cpu": 2, "ram": 8, "disk": 50},
+                    window=TimeWindow(0, 10),
+                    duration=4,
+                    bid=1.0 + 0.2 * i,
+                ),
+            )
+        for i, provider in enumerate(providers):
+            protocol.submit(
+                provider,
+                Offer(
+                    offer_id=f"off-{i}",
+                    provider_id=provider.participant_id,
+                    submit_time=0.05 * i,
+                    resources={"cpu": 8, "ram": 32, "disk": 500},
+                    window=TimeWindow(0, 24),
+                    bid=0.3 + 0.1 * i,
+                ),
+            )
+        return protocol.run_round(clients + providers)
+
+    result = benchmark.pedantic(full_round, rounds=3, iterations=1)
+    assert len(result.accepted_by) == 3
+    assert result.outcome.num_trades > 0

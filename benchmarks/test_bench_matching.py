@@ -1,0 +1,23 @@
+"""Matching-heuristic ablation bench (gravity vs dot product)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import matching_ablation
+
+
+def test_bench_matching_ablation(benchmark):
+    result = benchmark.pedantic(
+        matching_ablation.run,
+        kwargs={"n_requests": 60, "seeds": range(3)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = result.rows
+    ec2 = [r for r in rows if r["regime"] == "ec2-correlated"]
+    hetero = [r for r in rows if r["regime"] == "heterogeneous"]
+    # Correlated supply: the heuristics coincide.
+    assert np.mean([r["disagreement_rate"] for r in ec2]) < 0.05
+    # Heterogeneous supply: they measurably diverge.
+    assert np.mean([r["disagreement_rate"] for r in hetero]) > 0.02

@@ -1,0 +1,25 @@
+"""Micro-bench: classic McAfee and SBBA substrates."""
+
+from __future__ import annotations
+
+from repro.experiments import mechanism_micro
+
+
+def test_bench_mechanisms(benchmark):
+    result = benchmark.pedantic(
+        mechanism_micro.run,
+        kwargs={"market_sizes": (4, 16, 64), "seeds": range(10)},
+        rounds=1,
+        iterations=1,
+    )
+
+    sbba = [row for row in result.rows if row["mechanism"] == "sbba"]
+    mcafee = [row for row in result.rows if row["mechanism"] == "mcafee"]
+    # Strong budget balance: SBBA never leaves surplus with the auctioneer.
+    assert all(abs(r["mean_budget_surplus"]) < 1e-9 for r in sbba)
+    # McAfee's surplus is non-negative (weak budget balance).
+    assert all(r["mean_budget_surplus"] >= -1e-9 for r in mcafee)
+    # Both converge toward efficiency as markets grow.
+    for rows in (sbba, mcafee):
+        ordered = sorted(rows, key=lambda r: r["n_per_side"])
+        assert ordered[-1]["mean_welfare_ratio"] >= ordered[0]["mean_welfare_ratio"]

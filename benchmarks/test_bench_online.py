@@ -1,0 +1,43 @@
+"""Online-simulation bench: block-interval sensitivity (§VI)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sweeps import eval_config
+from repro.sim import ArrivalProcess, OnlineSimulator
+
+HORIZON = 12.0
+
+
+@pytest.fixture(scope="module")
+def arrival_stream():
+    return ArrivalProcess(
+        request_rate=8.0, offer_rate=4.0, horizon=HORIZON, seed=5
+    ).generate()
+
+
+@pytest.mark.parametrize("interval", [1.0, 4.0])
+def test_bench_online_rounds(benchmark, arrival_stream, interval):
+    requests, offers = arrival_stream
+    simulator = OnlineSimulator(
+        config=eval_config(), block_interval=interval, seed=5
+    )
+
+    result = benchmark.pedantic(
+        simulator.run,
+        kwargs={
+            "requests": requests,
+            "offers": offers,
+            "horizon": HORIZON,
+        },
+        rounds=2,
+        iterations=1,
+    )
+    assert result.total_trades > 0
+    assert 0.0 < result.served_fraction <= 1.0
+    # Every round cleared by the online engine is budget balanced.
+    for record in result.rounds:
+        payments = record.outcome.total_payments
+        revenues = sum(record.outcome.revenues().values())
+        assert abs(payments - revenues) < 1e-9

@@ -1,0 +1,35 @@
+"""Optimality-gap bench: both mechanisms against the MILP optimum."""
+
+from __future__ import annotations
+
+from repro.experiments import optimality_gap
+
+
+def test_bench_optimality_gap(benchmark):
+    result = benchmark.pedantic(
+        optimality_gap.run,
+        kwargs={
+            "sizes": (40, 80),
+            "breadths": (8, 32),
+            "seeds": range(2),
+            "time_limit": 10.0,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    for row in result.rows:
+        # The optimum is an upper bound on both heuristics.
+        assert row["greedy_share"] <= 1.0 + 1e-6
+        assert row["decloud_share"] <= 1.0 + 1e-6
+        # DeCloud stays close to its greedy sibling (the DSIC cost is a
+        # small fraction of the clustering cost).
+        assert row["decloud_share"] >= row["greedy_share"] - 0.15
+
+    # Wider breadth closes the gap to optimal at every size.
+    by_size: dict = {}
+    for row in result.rows:
+        by_size.setdefault(row["n_requests"], {})[row["breadth"]] = row[
+            "greedy_share"
+        ]
+    for shares in by_size.values():
+        assert shares[32] >= shares[8] - 0.05

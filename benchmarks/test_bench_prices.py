@@ -1,0 +1,31 @@
+"""Price-dynamics bench: clearing prices respond to a demand surge."""
+
+from __future__ import annotations
+
+from repro.experiments import price_dynamics
+
+
+def test_bench_price_dynamics(benchmark):
+    result = benchmark.pedantic(
+        price_dynamics.run,
+        kwargs={"horizon": 18.0, "block_interval": 2.0},
+        rounds=1,
+        iterations=1,
+    )
+    rows = result.rows
+    assert rows, "no rounds simulated"
+    third = 18.0 / 3
+    before = [
+        r["mean_price"] for r in rows if r["time"] <= third and r["mean_price"] > 0
+    ]
+    during_after = [
+        r["mean_price"] for r in rows if r["time"] > third and r["mean_price"] > 0
+    ]
+    if before and during_after:
+        mean_before = sum(before) / len(before)
+        mean_later = sum(during_after) / len(during_after)
+        # The surge raises prices relative to the calm opening.
+        assert mean_later >= mean_before * 0.9
+    # Demand/supply ratio peaks after the surge begins.
+    peak_time = max(rows, key=lambda r: r["demand_supply_ratio"])["time"]
+    assert peak_time > third

@@ -1,0 +1,33 @@
+"""Supply-tightness sensitivity bench.
+
+Demonstrates with data why our Fig. 5b band is milder than the paper's:
+the welfare ratio degrades toward (and into) the 0.70-0.85 band exactly
+when supply binds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import sensitivity
+
+
+def test_bench_sensitivity(benchmark):
+    result = benchmark.pedantic(
+        sensitivity.run,
+        kwargs={
+            "n_requests": 120,
+            "supply_levels": (1.0, 0.25),
+            "duration_scales": (1.8,),
+            "seeds": range(2),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    by_supply = {
+        row["offers_per_request"]: row["mean_welfare_ratio"]
+        for row in result.rows
+    }
+    # Scarce supply costs more welfare than abundant supply.
+    assert by_supply[0.25] <= by_supply[1.0] + 0.02
+    assert all(np.isfinite(v) for v in by_supply.values())

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Flexibility trade-offs: what a client gains by relaxing requirements.
+
+Reproduces the Fig. 5d-5f story at example scale: as the supply and
+demand distributions diverge (similarity = 1 - KLD drops), strict
+clients increasingly fail to match, while clients accepting 80% of their
+requested resources keep finding hosts — at higher welfare.
+
+Run:  python examples/flexibility_tradeoffs.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.sweeps import eval_config
+from repro.sim import MarketSimulator
+from repro.workloads import DivergenceScenario, tilt_for_similarity
+
+
+def main() -> None:
+    print("=== satisfaction / welfare vs similarity and flexibility ===")
+    print(
+        f"{'similarity':>10} {'flexibility':>12} {'satisfaction':>13} "
+        f"{'welfare':>9} {'trades':>7}"
+    )
+    for target in (0.9, 0.7, 0.5, 0.3, 0.1):
+        tilt = tilt_for_similarity(target)
+        for flexibility in (1.0, 0.8, 0.6):
+            sat_sum = welfare_sum = trades_sum = 0.0
+            seeds = range(3)
+            for seed in seeds:
+                scenario = DivergenceScenario(
+                    tilt=tilt,
+                    n_requests=120,
+                    n_offers=60,
+                    flexibility=flexibility,
+                    seed=seed,
+                )
+                requests, offers = scenario.generate()
+                simulator = MarketSimulator(config=eval_config(), seed=seed)
+                metrics, _, _ = simulator.run_block(requests, offers)
+                sat_sum += metrics.decloud_satisfaction
+                welfare_sum += metrics.decloud_welfare
+                trades_sum += metrics.decloud_trades
+            n = len(list(seeds))
+            print(
+                f"{target:>10.1f} {flexibility:>12.1f} "
+                f"{sat_sum / n:>13.3f} {welfare_sum / n:>9.1f} "
+                f"{trades_sum / n:>7.1f}"
+            )
+        print()
+
+    print(
+        "Reading: at every similarity level the 80%-flexible clients match\n"
+        "more often and generate more welfare than strict ones; the gap is\n"
+        "what a client buys by tolerating a slightly smaller machine."
+    )
+
+
+if __name__ == "__main__":
+    main()

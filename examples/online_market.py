@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Online market: continuous arrivals cleared in block rounds (§VI).
+
+Participants arrive as Poisson streams; the chain clears whatever is
+pending every block interval; unallocated bids resubmit automatically
+until their windows expire.  The script reports how the block interval
+(the chain's throughput) trades off against client-perceived delay,
+served fraction, and welfare — the "online appearance ... with some
+observed delay" the paper describes, quantified.
+
+Run:  python examples/online_market.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import clearing_report
+from repro.experiments.sweeps import eval_config
+from repro.sim import ArrivalProcess, OnlineSimulator
+
+HORIZON = 24.0  # hours
+
+
+def main() -> None:
+    process = ArrivalProcess(
+        request_rate=12.0,  # clients per hour
+        offer_rate=5.0,  # machines per hour
+        horizon=HORIZON,
+        request_patience=10.0,
+        offer_span=24.0,
+        seed=11,
+    )
+    requests, offers = process.generate()
+    print(
+        f"=== arrival stream: {len(requests)} requests, "
+        f"{len(offers)} offers over {HORIZON:.0f} h ==="
+    )
+
+    print(
+        f"\n{'interval (h)':>12} {'rounds':>7} {'trades':>7} "
+        f"{'welfare':>9} {'served':>8} {'delay (h)':>10}"
+    )
+    for interval in (0.5, 1.0, 2.0, 4.0, 8.0):
+        simulator = OnlineSimulator(
+            config=eval_config(), block_interval=interval, seed=11
+        )
+        result = simulator.run(requests, offers, horizon=HORIZON)
+        delay_hours = result.mean_delay_blocks * interval
+        print(
+            f"{interval:>12.1f} {len(result.rounds):>7} "
+            f"{result.total_trades:>7} {result.total_welfare:>9.1f} "
+            f"{result.served_fraction:>8.2%} {delay_hours:>10.2f}"
+        )
+
+    # Zoom into one configuration round by round.
+    print("\n=== per-round view (interval 2 h) ===")
+    simulator = OnlineSimulator(
+        config=eval_config(), block_interval=2.0, seed=11
+    )
+    result = simulator.run(requests, offers, horizon=HORIZON)
+    for record in result.rounds:
+        report = clearing_report(record.outcome)
+        print(
+            f"  t={record.time:>5.1f}h pending={record.n_requests:>3}/"
+            f"{record.n_offers:<3} {report}"
+        )
+    print(
+        f"\nexpired without service: {len(result.expired_requests)} "
+        f"({1 - result.served_fraction:.1%})"
+    )
+    print(
+        "Reading: shorter block intervals cut waiting time; the trade and\n"
+        "welfare totals stay roughly level because unallocated bids simply\n"
+        "resubmit — the mechanism is robust to the chain's block rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

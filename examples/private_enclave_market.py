@@ -1,0 +1,122 @@
+#!/usr/bin/env python
+"""Privacy-sensitive workloads: SGX demands plus remote attestation.
+
+A hospital wants its analytics container inside a hardware enclave
+(§II-D).  The demand is expressed as a strict ``sgx`` resource, so the
+mechanism only matches SGX-capable machines; before entering the
+agreement, the client additionally checks the provider's *attestation
+quote* — a vendor-signed proof that the machine really runs the expected
+enclave runtime — and denies the match when the proof is missing or
+stale.
+
+Run:  python examples/private_enclave_market.py
+"""
+
+from __future__ import annotations
+
+from repro.common import TimeWindow
+from repro.core import AuctionConfig, DecloudAuction
+from repro.market import Offer, Request
+from repro.protocol import (
+    AttestationRegistry,
+    AttestationService,
+    enforce_attestation,
+)
+
+MEASUREMENT = "sha256:decloud-enclave-runtime-v1"
+
+
+def main() -> None:
+    offers = [
+        Offer(
+            offer_id="off-attested",
+            provider_id="telco-edge",
+            submit_time=0.0,
+            resources={"cpu": 8, "ram": 32, "sgx": 1.0},
+            window=TimeWindow(0, 24),
+            bid=3.0,
+        ),
+        Offer(
+            offer_id="off-claims-sgx",  # claims SGX, never proves it
+            provider_id="shady-host",
+            submit_time=0.1,
+            resources={"cpu": 8, "ram": 32, "sgx": 1.0},
+            window=TimeWindow(0, 24),
+            bid=1.5,
+        ),
+        Offer(
+            offer_id="off-plain",
+            provider_id="campus-lab",
+            submit_time=0.2,
+            resources={"cpu": 8, "ram": 32},
+            window=TimeWindow(0, 24),
+            bid=1.0,
+        ),
+    ]
+    requests = [
+        Request(
+            request_id="req-health-analytics",
+            client_id="hospital",
+            submit_time=1.0,
+            resources={"cpu": 4, "ram": 8, "sgx": 1.0},  # sgx strict
+            window=TimeWindow(0, 24),
+            duration=6.0,
+            bid=4.0,
+        ),
+        Request(
+            request_id="req-web-cache",
+            client_id="cdn",
+            submit_time=1.1,
+            resources={"cpu": 2, "ram": 4},
+            window=TimeWindow(0, 24),
+            duration=8.0,
+            bid=2.0,
+        ),
+    ]
+
+    outcome = DecloudAuction(AuctionConfig(cluster_breadth=2)).run(
+        requests, offers, evidence=b"enclave-market"
+    )
+    print("=== allocation ===")
+    for match in outcome.matches:
+        print(
+            f"  {match.request.request_id:<24} -> {match.offer.offer_id:<16}"
+            f" (provider {match.offer.provider_id})"
+        )
+
+    # Attestation: only the telco edge completed remote attestation.
+    service = AttestationService()
+    registry = AttestationRegistry(service=service)
+    registry.present(service.issue_quote("telco-edge", MEASUREMENT, now=0.5))
+
+    violations = enforce_attestation(
+        outcome.matches,
+        registry,
+        expected_measurement=MEASUREMENT,
+        now=1.0,
+    )
+    print("\n=== attestation screening ===")
+    if violations:
+        for match in violations:
+            print(
+                f"  DENY {match.request.request_id}: provider "
+                f"{match.offer.provider_id} has no valid quote"
+            )
+    else:
+        print("  every SGX match is backed by a valid quote")
+
+    # The hospital's container must never be flagged when it landed on
+    # the attested machine; the CDN's never needs a quote at all.
+    for match in outcome.matches:
+        if match.request.request_id == "req-health-analytics":
+            if match.offer.provider_id == "telco-edge":
+                assert match not in violations
+            else:
+                assert match in violations
+        if match.request.request_id == "req-web-cache":
+            assert match not in violations
+    print("\nSGX policy enforced end to end  OK")
+
+
+if __name__ == "__main__":
+    main()

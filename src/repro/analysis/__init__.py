@@ -1,0 +1,28 @@
+"""Analysis utilities: Loess smoothing, KL divergence, statistics."""
+
+from repro.analysis.kld import empirical_distribution, kl_divergence, similarity
+from repro.analysis.loess import loess, tricube
+from repro.analysis.markets import (
+    ClearingReport,
+    clearing_report,
+    crossing_point,
+    demand_curve,
+    supply_curve,
+)
+from repro.analysis.stats import Summary, ratio_of_sums, summarize
+
+__all__ = [
+    "kl_divergence",
+    "similarity",
+    "empirical_distribution",
+    "loess",
+    "tricube",
+    "ClearingReport",
+    "clearing_report",
+    "crossing_point",
+    "demand_curve",
+    "supply_curve",
+    "Summary",
+    "summarize",
+    "ratio_of_sums",
+]

@@ -1,0 +1,75 @@
+"""Kullback-Leibler divergence and the paper's similarity measure.
+
+The flexibility experiments (Fig. 5d-5f) place market scenarios on a
+*similarity* axis computed as ``1 - KLD(R, O)``: the divergence between
+the request-side and offer-side distributions over machine configurations.
+We compute KLD in base ``len(support)`` so that the divergence of a point
+mass against the uniform distribution is exactly 1, putting similarity on
+a natural [0, 1] scale.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+def kl_divergence(
+    q: Sequence[float], p: Sequence[float], base: float | None = None
+) -> float:
+    """``KLD(q || p)`` for discrete distributions on a shared support.
+
+    ``base`` defaults to the support size (see module docstring).  Raises
+    when ``q`` puts mass where ``p`` has none (divergence is infinite).
+    """
+    q_arr = np.asarray(q, dtype=float)
+    p_arr = np.asarray(p, dtype=float)
+    if q_arr.shape != p_arr.shape or q_arr.ndim != 1:
+        raise ValidationError("q and p must be 1-D with the same support")
+    if np.any(q_arr < 0) or np.any(p_arr < 0):
+        raise ValidationError("probabilities must be non-negative")
+    q_sum, p_sum = q_arr.sum(), p_arr.sum()
+    if q_sum <= 0 or p_sum <= 0:
+        raise ValidationError("distributions must have positive mass")
+    q_arr = q_arr / q_sum
+    p_arr = p_arr / p_sum
+    if base is None:
+        base = float(len(q_arr))
+    if base <= 1:
+        raise ValidationError("base must exceed 1")
+
+    divergence = 0.0
+    for q_i, p_i in zip(q_arr, p_arr):
+        if q_i == 0:
+            continue
+        if p_i == 0:
+            return math.inf
+        divergence += q_i * math.log(q_i / p_i, base)
+    return divergence
+
+
+def similarity(q: Sequence[float], p: Sequence[float]) -> float:
+    """The paper's similarity axis: ``1 - KLD(q || p)``, clipped to >= 0."""
+    return max(0.0, 1.0 - kl_divergence(q, p))
+
+
+def empirical_distribution(
+    samples: Sequence[int], support_size: int
+) -> np.ndarray:
+    """Histogram ``samples`` (class indices) into a probability vector."""
+    if support_size < 1:
+        raise ValidationError("support_size must be >= 1")
+    counts = np.zeros(support_size, dtype=float)
+    for sample in samples:
+        if not 0 <= sample < support_size:
+            raise ValidationError(
+                f"sample {sample} outside support [0, {support_size})"
+            )
+        counts[sample] += 1.0
+    if counts.sum() == 0:
+        raise ValidationError("no samples given")
+    return counts / counts.sum()

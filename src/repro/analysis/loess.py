@@ -1,0 +1,79 @@
+"""Loess (locally weighted linear regression) smoothing.
+
+The paper plots Loess trend curves over the welfare scatter (Fig. 5a-5b).
+This is the classic tricube-weighted local *linear* fit: for each
+evaluation point, the nearest ``frac`` of the data is regressed with
+weights ``(1 - (d / d_max)^3)^3`` and the fit is evaluated at the point.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+
+
+def tricube(distances: np.ndarray) -> np.ndarray:
+    """Tricube kernel on distances normalized to [0, 1]."""
+    clipped = np.clip(distances, 0.0, 1.0)
+    return (1.0 - clipped**3) ** 3
+
+
+def loess(
+    x: Sequence[float],
+    y: Sequence[float],
+    frac: float = 0.5,
+    eval_x: Sequence[float] | None = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Smooth ``y`` over ``x``; returns ``(eval_x, fitted)``.
+
+    ``frac`` is the span: the fraction of points in each local window.
+    Degenerate windows (zero x-spread) fall back to the weighted mean.
+    """
+    x_arr = np.asarray(x, dtype=float)
+    y_arr = np.asarray(y, dtype=float)
+    if x_arr.ndim != 1 or x_arr.shape != y_arr.shape:
+        raise ValidationError("x and y must be 1-D and the same length")
+    if len(x_arr) < 2:
+        raise ValidationError("loess needs at least two points")
+    if not 0.0 < frac <= 1.0:
+        raise ValidationError("frac must be in (0, 1]")
+
+    order = np.argsort(x_arr)
+    x_sorted = x_arr[order]
+    y_sorted = y_arr[order]
+    n = len(x_sorted)
+    window = max(2, int(np.ceil(frac * n)))
+
+    targets = (
+        np.asarray(eval_x, dtype=float) if eval_x is not None else x_sorted
+    )
+    fitted = np.empty(len(targets))
+    for i, x0 in enumerate(targets):
+        distances = np.abs(x_sorted - x0)
+        idx = np.argsort(distances)[:window]
+        local_x = x_sorted[idx]
+        local_y = y_sorted[idx]
+        d_max = distances[idx].max()
+        if d_max <= 0:
+            fitted[i] = local_y.mean()
+            continue
+        weights = tricube(distances[idx] / d_max)
+        w_sum = weights.sum()
+        if w_sum <= 0:
+            fitted[i] = local_y.mean()
+            continue
+        x_mean = np.average(local_x, weights=weights)
+        y_mean = np.average(local_y, weights=weights)
+        var = np.average((local_x - x_mean) ** 2, weights=weights)
+        if var <= 1e-12:
+            fitted[i] = y_mean
+            continue
+        cov = np.average(
+            (local_x - x_mean) * (local_y - y_mean), weights=weights
+        )
+        slope = cov / var
+        fitted[i] = y_mean + slope * (x0 - x_mean)
+    return targets, fitted

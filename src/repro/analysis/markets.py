@@ -1,0 +1,128 @@
+"""Market diagnostics: supply/demand curves and clearing statistics.
+
+Utilities the experiments and examples use to *explain* auction results:
+aggregate normalized supply and demand curves, the theoretical crossing
+point, price dispersion across mini-auctions, and a per-block clearing
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.outcome import AuctionOutcome
+from repro.core.welfare import resource_fraction
+from repro.market.bids import Offer, Request
+
+
+def demand_curve(requests: Sequence[Request]) -> List[Tuple[float, float]]:
+    """(unit value, cumulative demanded duration) sorted by value desc.
+
+    Unit value here is the simple bid-per-duration-hour; it is a
+    diagnostic, not the mechanism's cluster-normalized v_hat.
+    """
+    points = sorted(
+        ((r.bid / r.duration, r.duration) for r in requests if r.duration > 0),
+        key=lambda p: -p[0],
+    )
+    out: List[Tuple[float, float]] = []
+    cumulative = 0.0
+    for value, duration in points:
+        cumulative += duration
+        out.append((value, cumulative))
+    return out
+
+
+def supply_curve(offers: Sequence[Offer]) -> List[Tuple[float, float]]:
+    """(unit cost, cumulative offered machine-hours) sorted by cost asc."""
+    points = sorted(
+        ((o.bid / o.span, o.span) for o in offers if o.span > 0),
+        key=lambda p: p[0],
+    )
+    out: List[Tuple[float, float]] = []
+    cumulative = 0.0
+    for cost, span in points:
+        cumulative += span
+        out.append((cost, cumulative))
+    return out
+
+
+def crossing_point(
+    demand: Sequence[Tuple[float, float]],
+    supply: Sequence[Tuple[float, float]],
+) -> Tuple[float, float] | None:
+    """Where marginal demand value drops below marginal supply cost.
+
+    Returns (approximate price, cumulative quantity) or ``None`` when the
+    curves never cross (no profitable trade exists).
+    """
+    if not demand or not supply:
+        return None
+    supply_index = 0
+    for value, quantity in demand:
+        while (
+            supply_index < len(supply)
+            and supply[supply_index][1] < quantity
+        ):
+            supply_index += 1
+        marginal_cost = (
+            supply[min(supply_index, len(supply) - 1)][0]
+            if supply
+            else float("inf")
+        )
+        if value < marginal_cost:
+            return (0.5 * (value + marginal_cost), quantity)
+    # Demand exhausted while still profitable: cross at last demand point.
+    last_value, last_quantity = demand[-1]
+    return (last_value, last_quantity)
+
+
+@dataclass(frozen=True)
+class ClearingReport:
+    """Summary of one cleared block."""
+
+    trades: int
+    welfare: float
+    total_payments: float
+    mean_price: float
+    price_dispersion: float
+    mean_utilization: float
+    satisfaction: float
+
+    def __str__(self) -> str:
+        return (
+            f"trades={self.trades} welfare={self.welfare:.3f} "
+            f"payments={self.total_payments:.3f} "
+            f"price={self.mean_price:.4f}+/-{self.price_dispersion:.4f} "
+            f"utilization={self.mean_utilization:.2%} "
+            f"satisfaction={self.satisfaction:.2%}"
+        )
+
+
+def clearing_report(outcome: AuctionOutcome) -> ClearingReport:
+    """Diagnostics for a cleared block."""
+    prices = outcome.prices or [m.unit_price for m in outcome.matches]
+    price_arr = np.asarray(prices, dtype=float) if prices else np.array([0.0])
+    # Utilization: fraction of each matched offer actually consumed.
+    utilizations = []
+    by_offer = {}
+    for match in outcome.matches:
+        by_offer.setdefault(match.offer.offer_id, []).append(match)
+    for matches in by_offer.values():
+        offer = matches[0].offer
+        used = sum(resource_fraction(m.request, offer) for m in matches)
+        utilizations.append(min(1.0, used))
+    return ClearingReport(
+        trades=outcome.num_trades,
+        welfare=outcome.welfare,
+        total_payments=outcome.total_payments,
+        mean_price=float(price_arr.mean()),
+        price_dispersion=float(price_arr.std()),
+        mean_utilization=(
+            float(np.mean(utilizations)) if utilizations else 0.0
+        ),
+        satisfaction=outcome.satisfaction,
+    )

@@ -1,0 +1,23 @@
+"""Reference implementations: greedy non-truthful benchmark, exact
+optimum, and the dot-product matcher the paper rejects."""
+
+from repro.baselines.dot_product import (
+    best_match_fit_error,
+    dot_product_quality,
+    rank_offers_dot,
+)
+from repro.baselines.greedy import GreedyBenchmark, benchmark_welfare
+from repro.baselines.ilp import optimal_allocation_ilp, optimal_welfare_ilp
+from repro.baselines.optimal import optimal_allocation, optimal_welfare
+
+__all__ = [
+    "GreedyBenchmark",
+    "benchmark_welfare",
+    "optimal_allocation",
+    "optimal_welfare",
+    "optimal_allocation_ilp",
+    "optimal_welfare_ilp",
+    "dot_product_quality",
+    "rank_offers_dot",
+    "best_match_fit_error",
+]

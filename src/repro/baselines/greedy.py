@@ -1,0 +1,48 @@
+"""The paper's non-truthful greedy benchmark (§V).
+
+"Our benchmark is a double auction using a similar algorithm, but without
+trade reduction and pseudorandomization, thus producing the best possible
+welfare under greedy allocation while being non-truthful."
+
+Implemented by running :class:`~repro.core.auction.DecloudAuction` with
+``AuctionConfig.benchmark()`` — identical clustering, matching heuristic,
+and greedy fit; no exclusions.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from repro.core.outcome import AuctionOutcome
+from repro.market.bids import Offer, Request
+
+
+class GreedyBenchmark:
+    """Non-truthful welfare-reference auction."""
+
+    def __init__(self, config: Optional[AuctionConfig] = None) -> None:
+        if config is None:
+            config = AuctionConfig.benchmark()
+        else:
+            # Inherit structural knobs; force the benchmark switches.
+            config = AuctionConfig.benchmark(
+                cluster_breadth=config.cluster_breadth,
+                critical_resources=config.critical_resources,
+                enable_mini_auctions=config.enable_mini_auctions,
+                price_epsilon=config.price_epsilon,
+            )
+        self._auction = DecloudAuction(config)
+
+    def run(
+        self, requests: Sequence[Request], offers: Sequence[Offer]
+    ) -> AuctionOutcome:
+        return self._auction.run(requests, offers)
+
+
+def benchmark_welfare(
+    requests: Sequence[Request], offers: Sequence[Offer]
+) -> float:
+    """Convenience: the benchmark's welfare for one block."""
+    return GreedyBenchmark().run(requests, offers).welfare

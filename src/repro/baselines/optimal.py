@@ -1,0 +1,128 @@
+"""Exact welfare maximization (Eq. 4–14) for small markets.
+
+The paper uses welfare-optimal allocation only as the yardstick its DSIC
+mechanism is measured against (Eq. 16–17 — "Since maximization of (17)
+will not render a DSIC mechanism, we use it for the evaluation").  This
+module solves the block welfare program exactly by depth-first search with
+branch-and-bound over request→offer assignments, honoring:
+
+* Const. (5): each request matched at most once;
+* Const. (7): time-weighted capacity per offer/resource;
+* Const. (8)/(10)/(11): market feasibility;
+* Const. (9): value covers the allocated fraction's cost.
+
+Exponential in the worst case — intended for markets of up to roughly a
+dozen requests, where it validates both DeCloud and the greedy benchmark
+in tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.common.errors import AuctionError
+from repro.core.cluster_allocation import OfferCapacity
+from repro.core.welfare import pair_welfare, resource_fraction
+from repro.market.bids import Offer, Request
+from repro.market.feasibility import is_feasible
+
+DEFAULT_MAX_REQUESTS = 14
+
+
+def _candidate_pairs(
+    requests: Sequence[Request], offers: Sequence[Offer]
+) -> Dict[str, List[Tuple[float, Offer]]]:
+    """Welfare-positive feasible (offer, welfare) lists per request."""
+    table: Dict[str, List[Tuple[float, Offer]]] = {}
+    for request in requests:
+        entries: List[Tuple[float, Offer]] = []
+        for offer in offers:
+            if not is_feasible(request, offer):
+                continue
+            if request.bid < resource_fraction(request, offer) * offer.bid:
+                continue  # Const. (9)
+            welfare = pair_welfare(request, offer)
+            if welfare > 0:
+                entries.append((welfare, offer))
+        entries.sort(key=lambda item: -item[0])
+        table[request.request_id] = entries
+    return table
+
+
+def optimal_allocation(
+    requests: Sequence[Request],
+    offers: Sequence[Offer],
+    max_requests: int = DEFAULT_MAX_REQUESTS,
+) -> Tuple[float, List[Tuple[Request, Offer]]]:
+    """Exact maximum-welfare allocation for one block.
+
+    Returns ``(welfare, matches)``.  Raises :class:`AuctionError` when the
+    instance exceeds ``max_requests`` — use the greedy benchmark as the
+    reference for large markets, exactly as the paper does.
+    """
+    if len(requests) > max_requests:
+        raise AuctionError(
+            f"exact solver limited to {max_requests} requests, "
+            f"got {len(requests)}"
+        )
+    candidates = _candidate_pairs(requests, offers)
+    # Order requests by their best standalone welfare so bounding kicks in
+    # early.
+    ordered = sorted(
+        requests,
+        key=lambda r: -(
+            candidates[r.request_id][0][0] if candidates[r.request_id] else 0.0
+        ),
+    )
+    # Upper bound helper: suffix sums of best standalone welfare.
+    best_alone = [
+        candidates[r.request_id][0][0] if candidates[r.request_id] else 0.0
+        for r in ordered
+    ]
+    suffix = [0.0] * (len(ordered) + 1)
+    for i in range(len(ordered) - 1, -1, -1):
+        suffix[i] = suffix[i + 1] + best_alone[i]
+
+    best_value = 0.0
+    best_matches: List[Tuple[Request, Offer]] = []
+
+    def search(
+        index: int,
+        value: float,
+        capacity: OfferCapacity,
+        matches: List[Tuple[Request, Offer]],
+    ) -> None:
+        nonlocal best_value, best_matches
+        if value + suffix[index] <= best_value + 1e-15:
+            return  # bound: even taking every best pair cannot win
+        if index == len(ordered):
+            if value > best_value:
+                best_value = value
+                best_matches = list(matches)
+            return
+        request = ordered[index]
+        for welfare, offer in candidates[request.request_id]:
+            if not capacity.can_host(request, offer):
+                continue
+            capacity.consume(request, offer)
+            matches.append((request, offer))
+            search(index + 1, value + welfare, capacity, matches)
+            matches.pop()
+            # OfferCapacity has no undo; rebuild is costly, so consume on
+            # a snapshot instead.
+            capacity.restore(offer, request)
+        # Option: leave the request unallocated.
+        search(index + 1, value, capacity, matches)
+
+    search(0, 0.0, OfferCapacity(list(offers)), [])
+    return best_value, best_matches
+
+
+def optimal_welfare(
+    requests: Sequence[Request],
+    offers: Sequence[Offer],
+    max_requests: int = DEFAULT_MAX_REQUESTS,
+) -> float:
+    """Exact maximum block welfare (Eq. 16 objective value)."""
+    value, _ = optimal_allocation(requests, offers, max_requests=max_requests)
+    return value

@@ -1,0 +1,39 @@
+"""Shared primitives: errors, ids, time model, seeded randomness."""
+
+from repro.common.errors import (
+    AuctionError,
+    ContractError,
+    CryptoError,
+    DecryptionError,
+    InfeasibleMatchError,
+    InvalidBlockError,
+    LedgerError,
+    ProtocolError,
+    ReproError,
+    SignatureError,
+    ValidationError,
+)
+from repro.common.ids import DEFAULT_FACTORY, IdFactory, next_id
+from repro.common.rng import block_evidence_rng, make_generator, spawn_child
+from repro.common.timewindow import TimeWindow
+
+__all__ = [
+    "AuctionError",
+    "ContractError",
+    "CryptoError",
+    "DecryptionError",
+    "InfeasibleMatchError",
+    "InvalidBlockError",
+    "LedgerError",
+    "ProtocolError",
+    "ReproError",
+    "SignatureError",
+    "ValidationError",
+    "IdFactory",
+    "DEFAULT_FACTORY",
+    "next_id",
+    "TimeWindow",
+    "make_generator",
+    "block_evidence_rng",
+    "spawn_child",
+]

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the DeCloud reproduction.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without accidentally swallowing
+programming errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ValidationError(ReproError):
+    """A request, offer, or configuration value failed validation."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key, tampered ciphertext...)."""
+
+
+class SignatureError(CryptoError):
+    """A signature failed to verify."""
+
+
+class DecryptionError(CryptoError):
+    """Authenticated decryption failed (wrong key or tampered data)."""
+
+
+class LedgerError(ReproError):
+    """Blockchain-level failure (invalid block, broken chain linkage...)."""
+
+
+class InvalidBlockError(LedgerError):
+    """A block failed validation (bad proof-of-work, bad parent hash...)."""
+
+
+class ProtocolError(ReproError):
+    """Two-phase bid exposure protocol violation."""
+
+
+class ContractError(ReproError):
+    """Smart-contract method invoked in an invalid state or with bad args."""
+
+
+class AuctionError(ReproError):
+    """The auction mechanism was driven with inconsistent inputs."""
+
+
+class InfeasibleMatchError(AuctionError):
+    """An allocation pairing violates feasibility constraints."""

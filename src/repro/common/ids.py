@@ -1,0 +1,58 @@
+"""Deterministic, human-readable identifiers for market entities.
+
+Experiments must be reproducible bit-for-bit, so identifiers are generated
+from monotonic per-prefix counters instead of ``uuid4``.  A fresh
+:class:`IdFactory` is created per simulation run; two runs with the same
+inputs produce the same identifier streams.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from typing import Dict, Iterator
+
+
+class IdFactory:
+    """Generates identifiers like ``req-000042`` deterministically.
+
+    The factory is thread-safe so that miner threads in the ledger
+    simulation may share it, although the reference simulator is
+    single-threaded.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Iterator[int]] = {}
+        self._lock = threading.Lock()
+
+    def next(self, prefix: str) -> str:
+        """Return the next identifier for ``prefix``.
+
+        >>> factory = IdFactory()
+        >>> factory.next("req")
+        'req-000000'
+        >>> factory.next("req")
+        'req-000001'
+        >>> factory.next("off")
+        'off-000000'
+        """
+        with self._lock:
+            counter = self._counters.get(prefix)
+            if counter is None:
+                counter = itertools.count()
+                self._counters[prefix] = counter
+            return f"{prefix}-{next(counter):06d}"
+
+    def reset(self) -> None:
+        """Forget all counters; subsequent ids restart from zero."""
+        with self._lock:
+            self._counters.clear()
+
+
+#: Module-level factory for callers that do not manage their own.
+DEFAULT_FACTORY = IdFactory()
+
+
+def next_id(prefix: str) -> str:
+    """Draw an identifier from the module-level :data:`DEFAULT_FACTORY`."""
+    return DEFAULT_FACTORY.next(prefix)

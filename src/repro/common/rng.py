@@ -1,0 +1,58 @@
+"""Seeded randomness helpers.
+
+Two distinct needs exist in the reproduction:
+
+* **Workload generation** wants independent, explicitly-seeded
+  ``numpy.random.Generator`` streams so parameter sweeps are reproducible.
+* **Verifiable pseudorandomization** (paper §IV-F): the random exclusion
+  applied during trade reduction must be *recomputable by every miner*, so
+  it is seeded from the evidence (hash) of the block being built.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, str, bytes, None]
+
+
+def _to_int_seed(seed: SeedLike) -> Optional[int]:
+    """Normalize any seed-like value to an integer seed (or ``None``)."""
+    if seed is None or isinstance(seed, int):
+        return seed
+    if isinstance(seed, str):
+        seed = seed.encode("utf-8")
+    digest = hashlib.sha256(seed).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def make_generator(seed: SeedLike = None) -> np.random.Generator:
+    """A numpy ``Generator`` seeded from an int, string, or bytes value."""
+    return np.random.default_rng(_to_int_seed(seed))
+
+
+def block_evidence_rng(evidence: bytes) -> random.Random:
+    """The verifiable PRNG used for random exclusion in trade reduction.
+
+    Every miner holds the same block evidence (the preamble hash), so every
+    miner derives the identical exclusion decisions — randomization is
+    "random" to participants but deterministic and checkable network-wide.
+    """
+    if not isinstance(evidence, (bytes, bytearray)):
+        raise TypeError("block evidence must be bytes")
+    seed = int.from_bytes(hashlib.sha256(bytes(evidence)).digest()[:8], "big")
+    return random.Random(seed)
+
+
+def spawn_child(rng: np.random.Generator, label: str) -> np.random.Generator:
+    """Derive an independent child stream tagged by ``label``.
+
+    Used by the workload generators so that, e.g., request shapes and
+    valuations come from independent streams regardless of draw order.
+    """
+    salt = int.from_bytes(hashlib.sha256(label.encode()).digest()[:4], "big")
+    return np.random.default_rng(rng.integers(0, 2**63 - 1) ^ salt)

@@ -1,0 +1,56 @@
+"""Time model shared by requests, offers, and the ledger.
+
+Time is a dimensionless non-negative float; experiments interpret one unit
+as one hour (matching EC2 hourly pricing).  A :class:`TimeWindow` is a
+closed interval ``[start, end]`` used for offer availability and request
+execution windows (the paper's ``t^-`` / ``t^+``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True, order=True)
+class TimeWindow:
+    """Closed time interval ``[start, end]`` with ``end >= start``."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValidationError(f"window start must be >= 0, got {self.start}")
+        if self.end < self.start:
+            raise ValidationError(
+                f"window end {self.end} precedes start {self.start}"
+            )
+
+    @property
+    def span(self) -> float:
+        """Length of the interval (the paper's ``t^+ - t^-``)."""
+        return self.end - self.start
+
+    def contains(self, other: "TimeWindow") -> bool:
+        """True when ``other`` fits entirely inside this window.
+
+        This is the temporal feasibility check of constraints (10)-(11):
+        an offer window must contain the request window.
+        """
+        return self.start <= other.start and self.end >= other.end
+
+    def overlaps(self, other: "TimeWindow") -> bool:
+        """True when the two intervals share at least a point."""
+        return self.start <= other.end and other.start <= self.end
+
+    def intersection(self, other: "TimeWindow") -> "TimeWindow | None":
+        """The overlapping sub-interval, or ``None`` when disjoint."""
+        if not self.overlaps(other):
+            return None
+        return TimeWindow(max(self.start, other.start), min(self.end, other.end))
+
+    def can_host(self, duration: float) -> bool:
+        """True when a task of ``duration`` fits inside the window."""
+        return 0 <= duration <= self.span

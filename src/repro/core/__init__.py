@@ -1,0 +1,79 @@
+"""DeCloud's core contribution: the truthful clustered double auction."""
+
+from repro.core.audit import AuditReport, audit_outcome
+from repro.core.auction import DecloudAuction
+from repro.core.explain import Explanation, explain_block, explain_request
+from repro.core.cluster_allocation import (
+    ClusterAllocation,
+    OfferCapacity,
+    allocate_cluster,
+)
+from repro.core.clustering import Cluster, build_clusters, update_clusters
+from repro.core.config import AuctionConfig
+from repro.core.matching import (
+    best_offer_set,
+    block_maxima,
+    quality_of_match,
+    rank_offers,
+)
+from repro.core.miniauctions import (
+    MiniAuction,
+    build_mini_auctions,
+    price_compatible,
+    select_roots,
+)
+from repro.core.normalization import (
+    ClusterEconomics,
+    compute_economics,
+    payment_for,
+)
+from repro.core.outcome import (
+    AuctionOutcome,
+    Match,
+    utility_of_client,
+    utility_of_provider,
+)
+from repro.core.trade_reduction import clear_mini_auction, pooled_price
+from repro.core.welfare import (
+    pair_welfare,
+    resource_fraction,
+    satisfaction,
+    total_welfare,
+)
+
+__all__ = [
+    "AuditReport",
+    "audit_outcome",
+    "Explanation",
+    "explain_block",
+    "explain_request",
+    "DecloudAuction",
+    "AuctionConfig",
+    "AuctionOutcome",
+    "Match",
+    "utility_of_client",
+    "utility_of_provider",
+    "Cluster",
+    "build_clusters",
+    "update_clusters",
+    "ClusterAllocation",
+    "OfferCapacity",
+    "allocate_cluster",
+    "quality_of_match",
+    "rank_offers",
+    "best_offer_set",
+    "block_maxima",
+    "MiniAuction",
+    "build_mini_auctions",
+    "price_compatible",
+    "select_roots",
+    "ClusterEconomics",
+    "compute_economics",
+    "payment_for",
+    "clear_mini_auction",
+    "pooled_price",
+    "pair_welfare",
+    "resource_fraction",
+    "total_welfare",
+    "satisfaction",
+]

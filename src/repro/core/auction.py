@@ -1,0 +1,176 @@
+"""The DeCloud double auction — Alg. 1 end to end.
+
+:class:`DecloudAuction` glues the pipeline together:
+
+1. cluster requests and offers by quality of match (Alg. 2);
+2. greedy-fit each cluster and derive its break-even indices (§IV-C);
+3. pool price-compatible clusters into mini-auctions (Alg. 3);
+4. clear mini-auctions in descending welfare order, applying the SBBA
+   price rule, trade reduction, and verifiable randomization (Alg. 4);
+5. assemble the :class:`~repro.core.outcome.AuctionOutcome` recorded in
+   the block.
+
+The same class also runs the paper's *non-truthful greedy benchmark*:
+``AuctionConfig.benchmark()`` disables trade reduction and randomization,
+yielding the best welfare greedy allocation can reach.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.common.errors import AuctionError
+from repro.common.rng import block_evidence_rng
+from repro.core.cluster_allocation import ClusterAllocation, allocate_cluster
+from repro.core.clustering import build_clusters
+from repro.core.config import AuctionConfig
+from repro.core.miniauctions import build_mini_auctions
+from repro.core.outcome import AuctionOutcome
+from repro.core.trade_reduction import clear_mini_auction
+from repro.market.bids import Offer, Request
+
+
+class DecloudAuction:
+    """The truthful decentralized double auction of the paper."""
+
+    def __init__(self, config: Optional[AuctionConfig] = None) -> None:
+        self.config = config or AuctionConfig()
+
+    def run(
+        self,
+        requests: Sequence[Request],
+        offers: Sequence[Offer],
+        evidence: bytes = b"decloud-default-evidence",
+    ) -> AuctionOutcome:
+        """Clear one block of requests and offers.
+
+        ``evidence`` is the block's preamble hash in the ledger-backed
+        deployment: it seeds the verifiable randomization so that every
+        miner recomputes the identical outcome.
+        """
+        request_by_id = _index_requests(requests)
+        offer_by_id = _index_offers(offers)
+
+        clusters, orphans = build_clusters(
+            list(request_by_id.values()), list(offer_by_id.values()), self.config
+        )
+        allocations: List[ClusterAllocation] = []
+        for cluster in clusters:
+            cluster_requests = [
+                request_by_id[rid] for rid in sorted(cluster.request_ids)
+            ]
+            cluster_offers = [
+                offer_by_id[oid] for oid in sorted(cluster.offer_ids)
+            ]
+            if not cluster_requests or not cluster_offers:
+                continue
+            allocations.append(
+                allocate_cluster(
+                    cluster, cluster_requests, cluster_offers, self.config
+                )
+            )
+
+        auctions = build_mini_auctions(allocations, self.config)
+
+        outcome = AuctionOutcome()
+        rng = block_evidence_rng(evidence)
+        consumed_requests: Set[str] = set()
+        consumed_offers: Set[str] = set()
+        for auction in auctions:
+            result = clear_mini_auction(
+                auction,
+                request_by_id,
+                offer_by_id,
+                consumed_requests,
+                consumed_offers,
+                self.config,
+                rng,
+            )
+            outcome.matches.extend(result.matches)
+            outcome.reduced_requests.extend(result.reduced_requests)
+            outcome.reduced_offers.extend(result.reduced_offers)
+            if result.price is not None:
+                outcome.prices.append(result.price)
+            consumed_requests |= result.participant_requests
+            consumed_offers |= result.participant_offers
+
+        matched_requests = {m.request.request_id for m in outcome.matches}
+        # A participant reduced in one mini-auction may still have traded
+        # in a later one — only participants that never traded anywhere
+        # in the block count as reduction casualties.
+        outcome.reduced_requests = _dedupe_requests(
+            r
+            for r in outcome.reduced_requests
+            if r.request_id not in matched_requests
+        )
+        matched_offer_ids = {m.offer.offer_id for m in outcome.matches}
+        outcome.reduced_offers = _dedupe_offers(
+            o
+            for o in outcome.reduced_offers
+            if o.offer_id not in matched_offer_ids
+        )
+        reduced_requests = {r.request_id for r in outcome.reduced_requests}
+        outcome.unmatched_requests = [
+            request
+            for rid, request in request_by_id.items()
+            if rid not in matched_requests and rid not in reduced_requests
+        ]
+        outcome.unmatched_requests.extend(
+            o for o in orphans if o.request_id not in matched_requests
+        )
+        # Orphans were never indexed into clusters but are real requests:
+        # dedupe in case an orphan id also appeared via the main loop.
+        seen: Set[str] = set()
+        deduped: List[Request] = []
+        for request in outcome.unmatched_requests:
+            if request.request_id not in seen:
+                seen.add(request.request_id)
+                deduped.append(request)
+        outcome.unmatched_requests = deduped
+
+        matched_offers = {m.offer.offer_id for m in outcome.matches}
+        reduced_offers = {o.offer_id for o in outcome.reduced_offers}
+        outcome.unmatched_offers = [
+            offer
+            for oid, offer in offer_by_id.items()
+            if oid not in matched_offers and oid not in reduced_offers
+        ]
+        return outcome
+
+
+def _dedupe_requests(requests) -> List[Request]:
+    seen: Set[str] = set()
+    out: List[Request] = []
+    for request in requests:
+        if request.request_id not in seen:
+            seen.add(request.request_id)
+            out.append(request)
+    return out
+
+
+def _dedupe_offers(offers) -> List[Offer]:
+    seen: Set[str] = set()
+    out: List[Offer] = []
+    for offer in offers:
+        if offer.offer_id not in seen:
+            seen.add(offer.offer_id)
+            out.append(offer)
+    return out
+
+
+def _index_requests(requests: Sequence[Request]) -> Dict[str, Request]:
+    index: Dict[str, Request] = {}
+    for request in requests:
+        if request.request_id in index:
+            raise AuctionError(f"duplicate request id {request.request_id!r}")
+        index[request.request_id] = request
+    return index
+
+
+def _index_offers(offers: Sequence[Offer]) -> Dict[str, Offer]:
+    index: Dict[str, Offer] = {}
+    for offer in offers:
+        if offer.offer_id in index:
+            raise AuctionError(f"duplicate offer id {offer.offer_id!r}")
+        index[offer.offer_id] = offer
+    return index

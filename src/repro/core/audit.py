@@ -1,0 +1,151 @@
+"""Independent auditing of auction outcomes.
+
+Miners verify blocks by re-executing the allocation function and
+comparing payloads (§III-B).  Re-execution proves the leader ran *the
+same code*; it does not, by itself, state what a correct outcome looks
+like.  This module provides that statement: :func:`audit_outcome` checks
+every mechanism invariant directly against the bids —
+
+* matches are feasible (Const. 8, 10, 11) and welfare-positive (9);
+* no request is allocated twice (Const. 5) and no bucket overlaps;
+* per-offer capacity holds (Const. 7);
+* clients are charged at most their bids (IR) and payments equal
+  revenues exactly (strong budget balance);
+* all participants in the outcome actually bid in the block.
+
+Challengers and researchers can audit any historical block with nothing
+but the revealed bids and the recorded allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.core.outcome import AuctionOutcome
+from repro.core.welfare import resource_fraction
+from repro.market.bids import Offer, Request
+from repro.market.feasibility import is_feasible
+
+
+@dataclass
+class AuditReport:
+    """Outcome of an audit: a list of violations (empty = clean)."""
+
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def add(self, message: str) -> None:
+        self.violations.append(message)
+
+    def __str__(self) -> str:
+        if self.ok:
+            return "audit: OK"
+        return "audit: " + "; ".join(self.violations)
+
+
+def audit_outcome(
+    requests: Sequence[Request],
+    offers: Sequence[Offer],
+    outcome: AuctionOutcome,
+    tolerance: float = 1e-6,
+) -> AuditReport:
+    """Check every mechanism invariant of ``outcome`` against the bids."""
+    report = AuditReport()
+    request_by_id: Dict[str, Request] = {
+        r.request_id: r for r in requests
+    }
+    offer_by_id: Dict[str, Offer] = {o.offer_id: o for o in offers}
+
+    # --- membership and uniqueness (Const. 5) -------------------------
+    seen: Dict[str, int] = {}
+    for match in outcome.matches:
+        rid = match.request.request_id
+        oid = match.offer.offer_id
+        if rid not in request_by_id:
+            report.add(f"match references unknown request {rid}")
+        elif request_by_id[rid] != match.request:
+            report.add(f"match alters the bid of request {rid}")
+        if oid not in offer_by_id:
+            report.add(f"match references unknown offer {oid}")
+        elif offer_by_id[oid] != match.offer:
+            report.add(f"match alters the bid of offer {oid}")
+        seen[rid] = seen.get(rid, 0) + 1
+    for rid, count in seen.items():
+        if count > 1:
+            report.add(f"request {rid} allocated {count} times (Const. 5)")
+
+    buckets = [
+        {m.request.request_id for m in outcome.matches},
+        {r.request_id for r in outcome.reduced_requests},
+        {r.request_id for r in outcome.unmatched_requests},
+    ]
+    for i in range(len(buckets)):
+        for j in range(i + 1, len(buckets)):
+            overlap = buckets[i] & buckets[j]
+            if overlap:
+                report.add(
+                    f"requests in two buckets: {sorted(overlap)[:3]}..."
+                )
+    union = set().union(*buckets)
+    missing = set(request_by_id) - union
+    if missing:
+        report.add(f"requests unaccounted for: {sorted(missing)[:3]}...")
+
+    # --- feasibility and welfare (Const. 8-11, 9) ----------------------
+    for match in outcome.matches:
+        if not is_feasible(match.request, match.offer):
+            report.add(
+                f"infeasible match {match.request.request_id} -> "
+                f"{match.offer.offer_id}"
+            )
+            continue
+        fraction = resource_fraction(match.request, match.offer)
+        if match.request.bid < fraction * match.offer.bid - tolerance:
+            report.add(
+                f"value below fraction cost for "
+                f"{match.request.request_id} (Const. 9)"
+            )
+
+    # --- capacity (Const. 7) -------------------------------------------
+    loads: Dict[str, Dict[str, float]] = {}
+    for match in outcome.matches:
+        offer = match.offer
+        per_type = loads.setdefault(offer.offer_id, {})
+        share = match.request.duration / offer.span
+        for key, amount in match.request.resources.items():
+            if key in offer.resources:
+                per_type[key] = per_type.get(key, 0.0) + share * min(
+                    amount, offer.resources[key]
+                )
+    for oid, per_type in loads.items():
+        offer = offer_by_id.get(oid)
+        if offer is None:
+            continue
+        for key, load in per_type.items():
+            if load > offer.resources[key] + tolerance:
+                report.add(
+                    f"offer {oid} oversubscribed on {key}: "
+                    f"{load:.4f} > {offer.resources[key]:.4f} (Const. 7)"
+                )
+
+    # --- economics: IR and strong budget balance -----------------------
+    for match in outcome.matches:
+        if match.payment > match.request.bid + tolerance:
+            report.add(
+                f"client {match.request.client_id} charged above bid (IR)"
+            )
+        if match.payment < -tolerance:
+            report.add(
+                f"negative payment for {match.request.request_id}"
+            )
+    revenues = sum(outcome.revenues().values())
+    if abs(outcome.total_payments - revenues) > tolerance:
+        report.add(
+            f"budget imbalance: payments {outcome.total_payments:.6f} != "
+            f"revenues {revenues:.6f}"
+        )
+    return report

@@ -1,0 +1,269 @@
+"""Greedy in-cluster allocation and break-even indices (paper §IV-C).
+
+Within a cluster, requests are ranked by normalized valuation ``v_hat``
+(descending) and offers by normalized cost ``c_hat`` (ascending); the
+greedy fit pairs the highest-value requests with the cheapest capacity,
+subject to:
+
+* Const. (7): per offer and resource type, the time-weighted fractions of
+  allocated requests sum to at most 1 — tracked by :class:`OfferCapacity`;
+* Const. (8): instantaneous amounts fit the device (checked by market
+  feasibility);
+* Const. (9): the request's value covers the cost of the fraction it uses;
+* normalized profitability ``v_hat_r >= c_hat_o`` (a McAfee-style trade
+  must not destroy welfare in virtual-maximum units).
+
+The resulting indices ``z`` (last winning request), ``z'`` (last used
+offer) and ``z'+1`` (cheapest unused offer) feed pricing and trade
+reduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.clustering import Cluster
+from repro.core.config import AuctionConfig
+from repro.core.normalization import ClusterEconomics, compute_economics
+from repro.core.welfare import pair_welfare, resource_fraction
+from repro.market.bids import Offer, Request
+from repro.market.feasibility import is_feasible, required_amount
+
+
+class OfferCapacity:
+    """Tracks remaining time-weighted capacity per offer (Const. 7)."""
+
+    def __init__(self, offers: Sequence[Offer]) -> None:
+        self._remaining: Dict[str, Dict[str, float]] = {}
+        self._offers: Dict[str, Offer] = {}
+        for offer in offers:
+            self.add_offer(offer)
+
+    def add_offer(self, offer: Offer) -> None:
+        if offer.offer_id not in self._remaining:
+            self._remaining[offer.offer_id] = dict(offer.resources)
+            self._offers[offer.offer_id] = offer
+
+    def remaining(self, offer_id: str) -> Dict[str, float]:
+        return dict(self._remaining[offer_id])
+
+    def _demand(self, request: Request, offer: Offer) -> Dict[str, float]:
+        """Time-weighted consumption of each shared resource type."""
+        time_share = request.duration / offer.span
+        demand: Dict[str, float] = {}
+        for key in request.resources:
+            if key not in offer.resources:
+                continue
+            amount = min(
+                request.resources[key], offer.resources[key]
+            )  # flexible requests consume what exists
+            demand[key] = time_share * amount
+        return demand
+
+    def can_host(self, request: Request, offer: Offer) -> bool:
+        """True when remaining capacity covers the request's demand."""
+        remaining = self._remaining.get(offer.offer_id)
+        if remaining is None:
+            return False
+        time_share = request.duration / offer.span
+        for key in request.resources:
+            if key not in offer.resources:
+                continue
+            needed = time_share * required_amount(request, key)
+            if remaining[key] + 1e-12 < needed:
+                return False
+        return True
+
+    def consume(self, request: Request, offer: Offer) -> None:
+        remaining = self._remaining[offer.offer_id]
+        for key, amount in self._demand(request, offer).items():
+            remaining[key] = max(0.0, remaining[key] - amount)
+
+    def restore(self, offer: Offer, request: Request) -> None:
+        """Undo a prior :meth:`consume` (used by the exact solver)."""
+        remaining = self._remaining[offer.offer_id]
+        ceiling = offer.resources
+        for key, amount in self._demand(request, offer).items():
+            remaining[key] = min(ceiling[key], remaining[key] + amount)
+
+
+@dataclass
+class ClusterAllocation:
+    """Tentative greedy allocation of one cluster with McAfee indices."""
+
+    cluster: Cluster
+    requests: List[Request]
+    offers: List[Offer]
+    economics: ClusterEconomics
+    matches: List[Tuple[Request, Offer]] = field(default_factory=list)
+    #: v_hat of the last (lowest-value) winning request — the paper's z.
+    v_z: float = math.nan
+    #: c_hat of the most expensive used offer — the paper's z'.
+    c_z: float = math.nan
+    #: c_hat of the cheapest unused offer — the paper's z'+1 (inf if none).
+    c_z_plus_1: float = math.inf
+    z_request: Optional[Request] = None
+    z_plus_1_offer: Optional[Offer] = None
+
+    @property
+    def has_trades(self) -> bool:
+        return bool(self.matches)
+
+    @property
+    def tentative_welfare(self) -> float:
+        return sum(pair_welfare(r, o) for r, o in self.matches)
+
+    @property
+    def price_range(self) -> Tuple[float, float]:
+        """``[c_hat_z', v_hat_z]`` — the cluster's viable price interval."""
+        return (self.c_z, self.v_z)
+
+
+def sorted_requests(
+    requests: Sequence[Request], economics: ClusterEconomics
+) -> List[Request]:
+    """Descending v_hat; ties by earlier submission then id (§IV-D)."""
+    return sorted(
+        requests,
+        key=lambda r: (
+            -economics.v_hat(r.request_id),
+            r.submit_time,
+            r.request_id,
+        ),
+    )
+
+
+def sorted_offers(
+    offers: Sequence[Offer], economics: ClusterEconomics
+) -> List[Offer]:
+    """Ascending c_hat; ties by earlier submission then id."""
+    return sorted(
+        offers,
+        key=lambda o: (economics.c_hat(o.offer_id), o.submit_time, o.offer_id),
+    )
+
+
+def greedy_fit(
+    requests: Sequence[Request],
+    offers: Sequence[Offer],
+    economics: ClusterEconomics,
+    capacity: OfferCapacity,
+    taken_requests: Set[str],
+    min_value: Optional[float] = None,
+    max_cost: Optional[float] = None,
+    epsilon: float = 1e-9,
+    uniform_price: bool = False,
+) -> List[Tuple[Request, Offer]]:
+    """Assign requests (given order) to offers (given order).
+
+    ``taken_requests`` is shared across the clusters of a mini-auction so
+    a request matched in one cluster is skipped in the next; capacity is
+    likewise shared.  ``min_value``/``max_cost`` restrict admission to
+    participants compatible with an already-determined clearing price.
+
+    With ``uniform_price`` the fill maintains the invariant that every
+    winner's value covers every used offer's cost (``min v_hat`` of
+    winners >= ``max c_hat`` of used offers), so a single clearing price
+    in ``[c_hat_z', v_hat_z]`` supports all trades — the assumption of
+    the paper's IR proof (§IV-E).
+    """
+    matches: List[Tuple[Request, Offer]] = []
+    max_used_cost = -math.inf
+    for request in requests:
+        if request.request_id in taken_requests:
+            continue
+        v_hat = economics.v_hat(request.request_id)
+        if min_value is not None and v_hat < min_value - epsilon:
+            continue
+        if uniform_price and v_hat < max_used_cost - epsilon:
+            # Admitting this winner would push the price band below an
+            # offer already in use; no common price could support both.
+            continue
+        for offer in offers:
+            c_hat = economics.c_hat(offer.offer_id)
+            if not math.isfinite(c_hat):
+                continue
+            if max_cost is not None and c_hat > max_cost + epsilon:
+                continue
+            if v_hat < c_hat - epsilon:
+                # Offers are cost-ascending: no later offer can be
+                # profitable either.
+                break
+            if not is_feasible(request, offer):
+                continue
+            if not capacity.can_host(request, offer):
+                continue
+            # Const. (9): value covers the cost of the consumed fraction.
+            if request.bid < resource_fraction(request, offer) * offer.bid - epsilon:
+                continue
+            capacity.consume(request, offer)
+            taken_requests.add(request.request_id)
+            matches.append((request, offer))
+            if uniform_price:
+                max_used_cost = max(max_used_cost, c_hat)
+            break
+    return matches
+
+
+def allocate_cluster(
+    cluster: Cluster,
+    requests: Sequence[Request],
+    offers: Sequence[Offer],
+    config: AuctionConfig,
+    capacity: Optional[OfferCapacity] = None,
+    taken_requests: Optional[Set[str]] = None,
+) -> ClusterAllocation:
+    """Greedy-fit one cluster and derive its z / z' / z'+1 indices."""
+    economics = compute_economics(list(requests), list(offers), config)
+    request_order = sorted_requests(requests, economics)
+    offer_order = sorted_offers(offers, economics)
+    if capacity is None:
+        capacity = OfferCapacity(offers)
+    if taken_requests is None:
+        taken_requests = set()
+
+    matches = greedy_fit(
+        request_order,
+        offer_order,
+        economics,
+        capacity,
+        taken_requests,
+        epsilon=config.price_epsilon,
+        uniform_price=config.enforce_price_consistency,
+    )
+
+    allocation = ClusterAllocation(
+        cluster=cluster,
+        requests=request_order,
+        offers=offer_order,
+        economics=economics,
+        matches=matches,
+    )
+    if matches:
+        allocation.v_z = min(
+            economics.v_hat(r.request_id) for r, _ in matches
+        )
+        z_candidates = [
+            r
+            for r, _ in matches
+            if economics.v_hat(r.request_id) == allocation.v_z
+        ]
+        allocation.z_request = sorted(
+            z_candidates, key=lambda r: (r.submit_time, r.request_id)
+        )[-1]
+        used_ids = {o.offer_id for _, o in matches}
+        allocation.c_z = max(
+            economics.c_hat(offer_id) for offer_id in used_ids
+        )
+        unused = [
+            o
+            for o in offer_order
+            if o.offer_id not in used_ids
+            and math.isfinite(economics.c_hat(o.offer_id))
+        ]
+        if unused:
+            allocation.z_plus_1_offer = unused[0]
+            allocation.c_z_plus_1 = economics.c_hat(unused[0].offer_id)
+    return allocation

@@ -1,0 +1,114 @@
+"""Cluster formation (paper Alg. 2).
+
+A *cluster* is a set of offers plus the set of requests for which those
+offers are (a subset of) their best matches.  Alg. 2 maintains the
+invariant that requests propagate into clusters whose offer sets are
+subsets of their best-offer set, and intersection clusters are created so
+that requests agreeing on part of their best offers still compete in one
+mini-auction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Set
+
+from repro.core.config import AuctionConfig
+from repro.core.matching import best_offer_set, block_maxima
+from repro.market.bids import Offer, Request
+
+
+@dataclass
+class Cluster:
+    """A set of offer ids and the request ids grouped onto them."""
+
+    offer_ids: frozenset
+    request_ids: Set[str] = field(default_factory=set)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cluster(offers={sorted(self.offer_ids)}, "
+            f"requests={sorted(self.request_ids)})"
+        )
+
+
+def update_clusters(
+    clusters: List[Cluster], request_id: str, best: frozenset
+) -> None:
+    """Insert one request's best-offer set into the cluster structure.
+
+    Direct transcription of Alg. 2:
+
+    * ensure a cluster keyed exactly by ``best`` exists;
+    * add the request to every cluster whose offers are a subset of
+      ``best`` (they are competing for the same machines);
+    * fold superset clusters' requests into those subsets (their requests
+      can also be served by the narrower offer set);
+    * for partially-overlapping clusters, materialize the intersection
+      (when it still contains more than one offer) as its own cluster.
+    """
+    if not best:
+        return
+    if not any(cluster.offer_ids == best for cluster in clusters):
+        clusters.append(Cluster(offer_ids=best))
+
+    subsets = [c for c in clusters if c.offer_ids <= best]
+    supersets = [c for c in clusters if best <= c.offer_ids]
+    for subset in subsets:
+        subset.request_ids.add(request_id)
+        for superset in supersets:
+            if superset is subset:
+                continue
+            subset.request_ids |= superset.request_ids
+
+    for cluster in list(clusters):
+        if cluster.offer_ids == best:
+            continue
+        intersection = cluster.offer_ids & best
+        if len(intersection) > 1 and intersection != cluster.offer_ids:
+            existing = next(
+                (c for c in clusters if c.offer_ids == intersection), None
+            )
+            if existing is None:
+                clusters.append(
+                    Cluster(
+                        offer_ids=frozenset(intersection),
+                        request_ids={request_id} | set(cluster.request_ids),
+                    )
+                )
+            else:
+                existing.request_ids.add(request_id)
+
+
+def build_clusters(
+    requests: Sequence[Request],
+    offers: Sequence[Offer],
+    config: AuctionConfig,
+) -> tuple[List[Cluster], List[Request]]:
+    """Run Alg. 2 over a block.
+
+    Returns the cluster list and the requests that found no feasible
+    offer at all (they are unmatched before the auction even starts).
+    Requests are processed in submission order so the structure — like
+    everything else in the mechanism — cannot be gamed by delaying.
+    """
+    maxima = block_maxima(requests, offers)
+    clusters: List[Cluster] = []
+    orphans: List[Request] = []
+    ordered = sorted(requests, key=lambda r: (r.submit_time, r.request_id))
+    for request in ordered:
+        best = best_offer_set(request, offers, maxima, config.cluster_breadth)
+        if not best:
+            orphans.append(request)
+            continue
+        update_clusters(clusters, request.request_id, best)
+    return clusters, orphans
+
+
+def clusters_by_offer(clusters: Sequence[Cluster]) -> Dict[str, List[Cluster]]:
+    """Index clusters by the offers they contain (diagnostics)."""
+    index: Dict[str, List[Cluster]] = {}
+    for cluster in clusters:
+        for offer_id in cluster.offer_ids:
+            index.setdefault(offer_id, []).append(cluster)
+    return index

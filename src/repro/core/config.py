@@ -1,0 +1,64 @@
+"""Configuration for the DeCloud double auction."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet
+
+from repro.common.errors import ValidationError
+from repro.market.resources import CRITICAL_RESOURCES
+
+
+@dataclass(frozen=True)
+class AuctionConfig:
+    """Tunable knobs of the mechanism.
+
+    Attributes:
+        cluster_breadth: how many top-ranked offers form a request's
+            "best offers" set ``best_r`` in Alg. 2.  The paper leaves the
+            breadth implicit; 3 reproduces the clustered behaviour without
+            collapsing every request into one global cluster.
+        critical_resources: the base critical set ``K_CR`` of §IV-C
+            (grown per cluster by the resource types all requests share).
+        enable_trade_reduction: turn off to obtain the paper's
+            non-truthful greedy benchmark.
+        enable_randomization: evidence-seeded random exclusion applied on
+            supply/demand imbalance (§IV-D); also off for the benchmark.
+        enable_mini_auctions: group price-compatible clusters into
+            mini-auctions (Alg. 3).  Off = each cluster is its own
+            auction, the ablation DESIGN.md calls out.
+        enforce_price_consistency: keep the in-cluster greedy fill
+            uniform-price-supportable — every used offer's normalized
+            cost stays at or below the lowest winner's normalized value
+            (the invariant the paper's IR proof assumes, §IV-E).  The
+            non-truthful benchmark turns this off: it prices each pair
+            separately and need not support a common price.
+        price_epsilon: tolerance for floating-point price comparisons.
+    """
+
+    cluster_breadth: int = 3
+    enforce_price_consistency: bool = True
+    critical_resources: FrozenSet[str] = field(
+        default_factory=lambda: CRITICAL_RESOURCES
+    )
+    enable_trade_reduction: bool = True
+    enable_randomization: bool = True
+    enable_mini_auctions: bool = True
+    price_epsilon: float = 1e-9
+
+    def __post_init__(self) -> None:
+        if self.cluster_breadth < 1:
+            raise ValidationError("cluster_breadth must be >= 1")
+        if self.price_epsilon < 0:
+            raise ValidationError("price_epsilon must be >= 0")
+
+    @classmethod
+    def benchmark(cls, **overrides) -> "AuctionConfig":
+        """The paper's non-truthful greedy benchmark configuration."""
+        params = {
+            "enable_trade_reduction": False,
+            "enable_randomization": False,
+            "enforce_price_consistency": False,
+        }
+        params.update(overrides)
+        return cls(**params)

@@ -1,0 +1,173 @@
+"""Explainability: why a request did or did not trade.
+
+A market without an operator needs self-service diagnostics.  Given the
+block's bids and the recorded outcome, :func:`explain_request` walks the
+mechanism's stages for one request and reports, in order, the first
+stage that ended its journey:
+
+1. feasibility — did any offer satisfy the hard constraints at all?
+2. affordability — did its value cover any feasible offer's fraction
+   cost (Const. 9)?
+3. clustering — did it reach a cluster with at least one offer?
+4. pricing — was its normalized valuation above the clearing price of
+   the auction(s) it reached?
+5. exclusion — was it the price-determining bid, or a randomization
+   casualty?
+
+The output is a structured :class:`Explanation` plus a rendered text
+summary, suitable for a client-side "why not me?" endpoint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.config import AuctionConfig
+from repro.core.matching import block_maxima, rank_offers
+from repro.core.outcome import AuctionOutcome
+from repro.core.welfare import resource_fraction
+from repro.market.bids import Offer, Request
+from repro.market.feasibility import explain_infeasibility, is_feasible
+
+
+@dataclass
+class Explanation:
+    """Structured answer to "what happened to my request?"."""
+
+    request_id: str
+    status: str  # matched | reduced | unmatched | unknown
+    reasons: List[str] = field(default_factory=list)
+    matched_offer: Optional[str] = None
+    payment: Optional[float] = None
+    feasible_offers: int = 0
+    affordable_offers: int = 0
+    best_offer: Optional[str] = None
+
+    def render(self) -> str:
+        lines = [f"request {self.request_id}: {self.status}"]
+        if self.matched_offer is not None:
+            lines.append(
+                f"  hosted on {self.matched_offer}, paying {self.payment:.4f}"
+            )
+        for reason in self.reasons:
+            lines.append(f"  - {reason}")
+        return "\n".join(lines)
+
+
+def explain_request(
+    requests: Sequence[Request],
+    offers: Sequence[Offer],
+    outcome: AuctionOutcome,
+    request_id: str,
+    config: Optional[AuctionConfig] = None,
+) -> Explanation:
+    """Diagnose one request's journey through the mechanism."""
+    config = config or AuctionConfig()
+    request = next(
+        (r for r in requests if r.request_id == request_id), None
+    )
+    if request is None:
+        return Explanation(
+            request_id=request_id,
+            status="unknown",
+            reasons=["request was not part of this block"],
+        )
+
+    match = outcome.match_for(request_id)
+    explanation = Explanation(
+        request_id=request_id,
+        status="matched" if match else "unmatched",
+    )
+    if match is not None:
+        explanation.matched_offer = match.offer.offer_id
+        explanation.payment = match.payment
+        explanation.reasons.append(
+            f"cleared at unit price {match.unit_price:.4f}"
+        )
+        return explanation
+
+    if any(r.request_id == request_id for r in outcome.reduced_requests):
+        explanation.status = "reduced"
+        explanation.reasons.append(
+            "sacrificed by trade reduction or randomized exclusion — the "
+            "price-determining participant (or its client's other orders) "
+            "never trades (paper Alg. 4); resubmit in the next block"
+        )
+        return explanation
+
+    # Stage 1: feasibility.
+    feasible = [o for o in offers if is_feasible(request, o)]
+    explanation.feasible_offers = len(feasible)
+    if not feasible:
+        explanation.reasons.append("no offer satisfies the hard constraints:")
+        for offer in list(offers)[:3]:
+            problems = explain_infeasibility(request, offer)
+            if problems:
+                explanation.reasons.append(
+                    f"  {offer.offer_id}: {problems[0]}"
+                )
+        if len(offers) > 3:
+            explanation.reasons.append(
+                f"  ... and {len(offers) - 3} more offers"
+            )
+        return explanation
+
+    # Stage 2: affordability (Const. 9).
+    affordable = [
+        o
+        for o in feasible
+        if request.bid >= resource_fraction(request, o) * o.bid
+    ]
+    explanation.affordable_offers = len(affordable)
+    if not affordable:
+        cheapest = min(
+            resource_fraction(request, o) * o.bid for o in feasible
+        )
+        explanation.reasons.append(
+            f"value {request.bid:.4f} does not cover the cheapest feasible "
+            f"fraction cost {cheapest:.4f} (Const. 9) — bid reflects too "
+            "little value for the requested bundle"
+        )
+        return explanation
+
+    # Stage 3: best-match context.
+    maxima = block_maxima(list(requests), list(offers))
+    ranked = rank_offers(request, list(offers), maxima)
+    if ranked:
+        explanation.best_offer = ranked[0][1].offer_id
+
+    # Stage 4: pricing.  The request reached an auction but lost on price
+    # or capacity.
+    if outcome.prices:
+        floor = min(outcome.prices)
+        explanation.reasons.append(
+            f"feasible and affordable ({len(affordable)} offers), but not "
+            f"allocated: the block cleared at unit price(s) "
+            f"{[round(p, 4) for p in outcome.prices]} and either the "
+            "request's normalized valuation fell below the price of every "
+            "auction it reached, or the price-eligible capacity filled "
+            "first; resubmitting next block re-enters the market "
+            f"(current price floor {floor:.4f})"
+        )
+    else:
+        explanation.reasons.append(
+            "feasible and affordable, but the block cleared no trades in "
+            "its market segment (too few compatible counterparts — the "
+            "McAfee degenerate case); resubmit when more participants "
+            "are present"
+        )
+    return explanation
+
+
+def explain_block(
+    requests: Sequence[Request],
+    offers: Sequence[Offer],
+    outcome: AuctionOutcome,
+    config: Optional[AuctionConfig] = None,
+) -> List[Explanation]:
+    """Explanations for every request in the block."""
+    return [
+        explain_request(requests, offers, outcome, r.request_id, config)
+        for r in requests
+    ]

@@ -1,0 +1,79 @@
+"""Quality-of-match heuristic (paper Eq. 18).
+
+A plain similarity (dot product) breaks down once clients weight their
+requirements, so DeCloud augments geometric distance with a gravity-like
+field exerted by offers:
+
+    q_(r,o) = sum over k in (K_r intersect K_o) of
+        sigma_(r,k) * rho'_(o,k) / (|rho'_(o,k) - rho'_(r,k)|^2 + 1)
+
+where rho' are amounts normalized by the block-wide per-type maximum
+(taken over both offers and requests of the current block).  Bigger offers
+attract (numerator), mismatched sizes repel quadratically (denominator).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.market.bids import Offer, Request
+from repro.market.feasibility import is_feasible
+from repro.market.resources import common_types, elementwise_max
+
+
+def block_maxima(
+    requests: Iterable[Request], offers: Iterable[Offer]
+) -> Dict[str, float]:
+    """Per-resource-type maxima over everything in the block.
+
+    The paper normalizes by "the maximum value of the resource from offers
+    or requests of the current block" — zero stays the scale minimum.
+    """
+    vectors = [r.resources for r in requests]
+    vectors.extend(o.resources for o in offers)
+    return elementwise_max(vectors)
+
+
+def quality_of_match(
+    request: Request, offer: Offer, maxima: Dict[str, float]
+) -> float:
+    """Eq. (18) for one (request, offer) pair given block maxima."""
+    score = 0.0
+    for key in common_types(request.resources, offer.resources):
+        top = maxima.get(key, 0.0)
+        if top <= 0:
+            continue
+        rho_o = offer.resources[key] / top
+        rho_r = request.resources[key] / top
+        score += request.sigma(key) * rho_o / ((rho_o - rho_r) ** 2 + 1.0)
+    return score
+
+
+def rank_offers(
+    request: Request,
+    offers: Sequence[Offer],
+    maxima: Dict[str, float],
+) -> List[Tuple[float, Offer]]:
+    """Feasible offers for ``request``, best quality-of-match first.
+
+    Ties break by earlier submission time then offer id — the paper's
+    tie rule (§IV-D) removes any incentive to delay submission.
+    """
+    scored = [
+        (quality_of_match(request, offer, maxima), offer)
+        for offer in offers
+        if is_feasible(request, offer)
+    ]
+    scored.sort(key=lambda item: (-item[0], item[1].submit_time, item[1].offer_id))
+    return scored
+
+
+def best_offer_set(
+    request: Request,
+    offers: Sequence[Offer],
+    maxima: Dict[str, float],
+    breadth: int,
+) -> frozenset:
+    """``best_r`` of Alg. 2: ids of the top-``breadth`` feasible offers."""
+    ranked = rank_offers(request, offers, maxima)
+    return frozenset(offer.offer_id for _, offer in ranked[:breadth])

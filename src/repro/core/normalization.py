@@ -1,0 +1,169 @@
+"""Per-cluster price normalization (paper §IV-C).
+
+Offers and requests inside a cluster still differ in size and timespan, so
+McAfee-style ranking needs a common unit.  The cluster's *virtual maximum*
+``M_CL`` collects, per common resource type, the largest amount any offer
+in the cluster provides.  Every offer and request is then expressed as a
+fraction ``nu`` of that virtual machine, and costs/valuations are scaled
+to "price of the virtual maximum per unit time":
+
+    nu_o  = ||rho_o||_2 / ||M_CL||_2
+    c_hat = c_o / (nu_o * (t_o^+ - t_o^-))
+
+    nu_CR = max over critical k of rho_(r,k) / M_CL[k]
+    nu_r  = max(nu_CR, ||rho_r||_2 / ||M_CL||_2)
+    v_hat = v_r / (nu_r * d_r)
+
+Critical resources (CPU/RAM/disk plus anything every request in the
+cluster declares) drive ``nu_r`` because a request consuming 100% of a
+critical resource monopolizes the machine regardless of other types.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Mapping, Sequence, Set
+
+from repro.common.errors import AuctionError
+from repro.core.config import AuctionConfig
+from repro.market.bids import Offer, Request
+from repro.market.resources import l2_norm
+
+
+@dataclass(frozen=True)
+class ClusterEconomics:
+    """Normalized valuations/costs for one cluster's participants."""
+
+    common_types: frozenset
+    virtual_maximum: Mapping[str, float]
+    nu_offers: Mapping[str, float]
+    nu_requests: Mapping[str, float]
+    normalized_costs: Mapping[str, float]
+    normalized_values: Mapping[str, float]
+
+    def c_hat(self, offer_id: str) -> float:
+        return self.normalized_costs[offer_id]
+
+    def v_hat(self, request_id: str) -> float:
+        return self.normalized_values[request_id]
+
+    def nu_r(self, request_id: str) -> float:
+        return self.nu_requests[request_id]
+
+    def nu_o(self, offer_id: str) -> float:
+        return self.nu_offers[offer_id]
+
+
+def cluster_common_types(
+    requests: Iterable[Request], offers: Iterable[Offer]
+) -> Set[str]:
+    """``K_CL`` — types present in some request *and* some offer."""
+    request_types: Set[str] = set()
+    for request in requests:
+        request_types |= set(request.resources)
+    offer_types: Set[str] = set()
+    for offer in offers:
+        offer_types |= set(offer.resources)
+    return request_types & offer_types
+
+
+def virtual_maximum(
+    offers: Iterable[Offer], common: Set[str]
+) -> Dict[str, float]:
+    """``M_CL`` — per-type maximum over the cluster's offers."""
+    maxima: Dict[str, float] = {}
+    for offer in offers:
+        for key in common:
+            amount = offer.resources.get(key, 0.0)
+            if amount > maxima.get(key, 0.0):
+                maxima[key] = amount
+    return maxima
+
+
+def critical_types(
+    requests: Sequence[Request], common: Set[str], config: AuctionConfig
+) -> Set[str]:
+    """``K_CR`` = configured criticals + types every request declares."""
+    critical = set(config.critical_resources)
+    if requests:
+        shared = set(requests[0].resources)
+        for request in requests[1:]:
+            shared &= set(request.resources)
+        critical |= shared
+    return critical & common
+
+
+def compute_economics(
+    requests: Sequence[Request],
+    offers: Sequence[Offer],
+    config: AuctionConfig,
+) -> ClusterEconomics:
+    """All normalized quantities for one cluster."""
+    if not requests or not offers:
+        raise AuctionError("cluster economics need at least one of each side")
+    common = cluster_common_types(requests, offers)
+    if not common:
+        raise AuctionError("cluster has no common resource types")
+    maxima = virtual_maximum(offers, common)
+    maxima_norm = l2_norm(maxima, common)
+    if maxima_norm <= 0:
+        raise AuctionError("cluster virtual maximum has zero magnitude")
+
+    nu_offers: Dict[str, float] = {}
+    normalized_costs: Dict[str, float] = {}
+    for offer in offers:
+        nu = l2_norm(offer.resources, common) / maxima_norm
+        if nu <= 0 or offer.span <= 0:
+            # An offer contributing nothing on the cluster's common types
+            # cannot be priced; treat it as infinitely expensive so it
+            # never trades (it stays in the cluster for index purposes).
+            nu_offers[offer.offer_id] = 0.0
+            normalized_costs[offer.offer_id] = math.inf
+            continue
+        nu_offers[offer.offer_id] = nu
+        normalized_costs[offer.offer_id] = offer.bid / (nu * offer.span)
+
+    criticals = critical_types(requests, common, config)
+    nu_requests: Dict[str, float] = {}
+    normalized_values: Dict[str, float] = {}
+    for request in requests:
+        nu_cr = 0.0
+        for key in criticals:
+            top = maxima.get(key, 0.0)
+            if top > 0:
+                nu_cr = max(nu_cr, request.resources.get(key, 0.0) / top)
+        nu = max(nu_cr, l2_norm(request.resources, common) / maxima_norm)
+        # A request may exceed the virtual maximum on some type when the
+        # cluster's offers are undersized relative to the block; cap at 1
+        # so it pays at most the full virtual-machine price.
+        nu = min(max(nu, 0.0), 1.0)
+        if nu <= 0 or request.duration <= 0:
+            nu_requests[request.request_id] = 0.0
+            normalized_values[request.request_id] = 0.0
+            continue
+        nu_requests[request.request_id] = nu
+        normalized_values[request.request_id] = request.bid / (
+            nu * request.duration
+        )
+
+    return ClusterEconomics(
+        common_types=frozenset(common),
+        virtual_maximum=dict(maxima),
+        nu_offers=nu_offers,
+        nu_requests=nu_requests,
+        normalized_costs=normalized_costs,
+        normalized_values=normalized_values,
+    )
+
+
+def payment_for(
+    economics: ClusterEconomics, request: Request, unit_price: float
+) -> float:
+    """Eq. (19) in monetary units: ``p_r = nu_r * d_r * p``.
+
+    The clearing price ``p`` is per virtual-maximum per unit time; scaling
+    back by the request's fraction ``nu_r`` and duration ``d_r`` yields
+    money.  IR: ``p <= v_hat_r = v_r / (nu_r d_r)`` implies ``p_r <= v_r``.
+    """
+    return economics.nu_r(request.request_id) * request.duration * unit_price

@@ -1,0 +1,155 @@
+"""Auction outcome value objects and their ledger serialization."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.core.welfare import pair_welfare, resource_fraction, satisfaction
+from repro.market.bids import Offer, Request
+
+
+@dataclass(frozen=True)
+class Match:
+    """One cleared trade: a request hosted on an offer at a payment."""
+
+    request: Request
+    offer: Offer
+    payment: float
+    unit_price: float
+
+    @property
+    def fraction(self) -> float:
+        """Eq. (6) resource fraction of the offer this match consumes."""
+        return resource_fraction(self.request, self.offer)
+
+    @property
+    def welfare(self) -> float:
+        return pair_welfare(self.request, self.offer)
+
+
+@dataclass
+class AuctionOutcome:
+    """Everything the mechanism decided for one block.
+
+    ``reduced`` holds participants excluded *by trade reduction or
+    randomization* — i.e., trades that existed in the welfare-maximizing
+    greedy allocation and were sacrificed for truthfulness.  ``unmatched``
+    holds requests that simply found no feasible/profitable counterpart.
+    """
+
+    matches: List[Match] = field(default_factory=list)
+    reduced_requests: List[Request] = field(default_factory=list)
+    reduced_offers: List[Offer] = field(default_factory=list)
+    unmatched_requests: List[Request] = field(default_factory=list)
+    unmatched_offers: List[Offer] = field(default_factory=list)
+    prices: List[float] = field(default_factory=list)
+
+    @property
+    def welfare(self) -> float:
+        return sum(match.welfare for match in self.matches)
+
+    @property
+    def num_trades(self) -> int:
+        return len(self.matches)
+
+    @property
+    def num_reduced(self) -> int:
+        return len(self.reduced_requests)
+
+    @property
+    def total_payments(self) -> float:
+        return sum(match.payment for match in self.matches)
+
+    def revenues(self) -> Dict[str, float]:
+        """Provider revenue by offer id (strong BB: equals payments)."""
+        out: Dict[str, float] = {}
+        for match in self.matches:
+            out[match.offer.offer_id] = (
+                out.get(match.offer.offer_id, 0.0) + match.payment
+            )
+        return out
+
+    def client_utilities(self) -> Dict[str, float]:
+        """Utility ``u_r = v_r - p_r`` per matched request id."""
+        return {
+            match.request.request_id: match.request.bid - match.payment
+            for match in self.matches
+        }
+
+    @property
+    def satisfaction(self) -> float:
+        total = (
+            len(self.matches)
+            + len(self.reduced_requests)
+            + len(self.unmatched_requests)
+        )
+        return satisfaction(len(self.matches), total)
+
+    @property
+    def reduced_trade_fraction(self) -> float:
+        """Share of potential trades sacrificed to truthfulness."""
+        potential = len(self.matches) + len(self.reduced_requests)
+        if potential == 0:
+            return 0.0
+        return len(self.reduced_requests) / potential
+
+    def to_payload(self) -> Dict[str, Any]:
+        """Deterministic JSON payload recorded in the block body."""
+        return {
+            "matches": [
+                {
+                    "request_id": match.request.request_id,
+                    "offer_id": match.offer.offer_id,
+                    "payment": round(match.payment, 12),
+                    "unit_price": round(match.unit_price, 12),
+                }
+                for match in sorted(
+                    self.matches, key=lambda m: m.request.request_id
+                )
+            ],
+            "reduced_requests": sorted(
+                r.request_id for r in self.reduced_requests
+            ),
+            "reduced_offers": sorted(o.offer_id for o in self.reduced_offers),
+            "unmatched_requests": sorted(
+                r.request_id for r in self.unmatched_requests
+            ),
+            "prices": [round(p, 12) for p in sorted(self.prices)],
+        }
+
+    def match_for(self, request_id: str) -> "Match | None":
+        for match in self.matches:
+            if match.request.request_id == request_id:
+                return match
+        return None
+
+    def matched_pairs(self) -> List[Tuple[Request, Offer]]:
+        return [(match.request, match.offer) for match in self.matches]
+
+
+def utility_of_client(
+    outcome: AuctionOutcome, request_id: str, true_value: float
+) -> float:
+    """``u_r`` under possibly-untruthful bidding: true value minus payment."""
+    match = outcome.match_for(request_id)
+    if match is None:
+        return 0.0
+    return true_value - match.payment
+
+
+def utility_of_provider(
+    outcome: AuctionOutcome, provider_id: str, true_costs: Mapping[str, float]
+) -> float:
+    """``u_o`` summed over the provider's offers.
+
+    ``true_costs`` maps offer id -> true cost; the cost of an offer is
+    charged in proportion to the fraction actually allocated.
+    """
+    utility = 0.0
+    for match in outcome.matches:
+        if match.offer.provider_id != provider_id:
+            continue
+        cost = true_costs.get(match.offer.offer_id, match.offer.bid)
+        utility += match.payment - match.fraction * cost
+    return utility

@@ -1,0 +1,321 @@
+"""Clearing a mini-auction: pricing, trade reduction, randomization (Alg. 4).
+
+The clearing price pools Eq. (20) over the auction's clusters:
+
+    p = min over clusters of min(v_hat_z, c_hat_{z'+1})
+
+The participant *determining* the price never trades: if ``p`` comes from
+a request ``z``, every request of that client leaves the auction; if it
+comes from an offer ``z'+1``, every offer of that provider leaves.  When a
+price-eligible surplus remains on both sides after the deterministic
+re-fit, the allocation of that cluster is randomized with the
+evidence-seeded PRNG so that no infra-marginal participant can steer who
+wins by shading bids (paper §IV-D).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.cluster_allocation import (
+    ClusterAllocation,
+    OfferCapacity,
+    allocate_cluster,
+    greedy_fit,
+)
+from repro.core.config import AuctionConfig
+from repro.core.miniauctions import MiniAuction
+from repro.core.normalization import payment_for
+from repro.core.outcome import Match
+from repro.market.bids import Offer, Request
+
+
+@dataclass
+class ClearingResult:
+    """What one mini-auction produced."""
+
+    matches: List[Match] = field(default_factory=list)
+    reduced_requests: List[Request] = field(default_factory=list)
+    reduced_offers: List[Offer] = field(default_factory=list)
+    participant_requests: Set[str] = field(default_factory=set)
+    participant_offers: Set[str] = field(default_factory=set)
+    price: Optional[float] = None
+    tentative_trades: int = 0
+
+
+def _live_allocations(
+    auction: MiniAuction,
+    request_by_id: Dict[str, Request],
+    offer_by_id: Dict[str, Offer],
+    consumed_requests: Set[str],
+    consumed_offers: Set[str],
+    config: AuctionConfig,
+) -> List[ClusterAllocation]:
+    """Re-run greedy allocation on still-available participants.
+
+    Capacity and the taken-request set are shared across the auction's
+    clusters: an offer appearing in two nested clusters exposes one pool
+    of capacity, and a request wins at most once (Const. 5).
+    """
+    live: List[ClusterAllocation] = []
+    capacity: Optional[OfferCapacity] = None
+    taken: Set[str] = set()
+    for allocation in auction.allocations:
+        cluster = allocation.cluster
+        requests = [
+            request_by_id[rid]
+            for rid in sorted(cluster.request_ids)
+            if rid not in consumed_requests
+        ]
+        offers = [
+            offer_by_id[oid]
+            for oid in sorted(cluster.offer_ids)
+            if oid not in consumed_offers
+        ]
+        if not requests or not offers:
+            continue
+        if capacity is None:
+            capacity = OfferCapacity(offers)
+        else:
+            for offer in offers:
+                capacity.add_offer(offer)
+        live.append(
+            allocate_cluster(
+                cluster, requests, offers, config, capacity=capacity,
+                taken_requests=taken,
+            )
+        )
+    return live
+
+
+def pooled_price(
+    allocations: Sequence[ClusterAllocation],
+    epsilon: float = 1e-9,
+) -> Tuple[Optional[float], Optional[Request], Optional[Offer]]:
+    """Eq. (20) pooled over the auction's clusters.
+
+    Returns ``(price, z_request, z_plus_1_offer)`` where exactly one of
+    the two participants is the price-determiner (the other is ``None``).
+
+    A common price must be *feasible for every cluster*: at least the
+    highest used cost (``c_hat_z'``) and at most the lowest winning value
+    (``v_hat_z``) across the auction — pairwise price compatibility
+    (Alg. 3) guarantees this band is non-empty.  An unused offer
+    ``z'+1`` cheaper than another cluster's traded offers therefore
+    cannot determine the price (its cost lies outside the band and would
+    void that cluster's trades); the qualifying ``c_hat_{z'+1}``
+    candidates are those at or above the band floor.  On an exact tie
+    the offer side wins — excluding a non-trading offer costs no welfare,
+    excluding a winning request does.
+    """
+    trading = [a for a in allocations if a.has_trades]
+    if not trading:
+        return None, None, None
+    v_candidates = [(a.v_z, a.z_request) for a in trading]
+    min_v, z_request = min(v_candidates, key=lambda item: item[0])
+    band_floor = max(a.c_z for a in trading)
+    c_candidates = [
+        (a.c_z_plus_1, a.z_plus_1_offer)
+        for a in allocations
+        if a.z_plus_1_offer is not None
+        and math.isfinite(a.c_z_plus_1)
+        and a.c_z_plus_1 >= band_floor - epsilon
+    ]
+    if c_candidates:
+        min_c, z1_offer = min(c_candidates, key=lambda item: item[0])
+        if min_c <= min_v:
+            return min_c, None, z1_offer
+    return min_v, z_request, None
+
+
+def _final_fit(
+    allocation: ClusterAllocation,
+    price: float,
+    excluded_client: Optional[str],
+    excluded_provider: Optional[str],
+    capacity: OfferCapacity,
+    taken: Set[str],
+    config: AuctionConfig,
+    rng: random.Random,
+) -> List[Tuple[Request, Offer]]:
+    """Re-fit one cluster at the clearing price (with randomization)."""
+    epsilon = config.price_epsilon
+    economics = allocation.economics
+    requests = [
+        r for r in allocation.requests if r.client_id != excluded_client
+    ]
+    offers = [
+        o for o in allocation.offers if o.provider_id != excluded_provider
+    ]
+    for offer in offers:
+        capacity.add_offer(offer)
+
+    matches = greedy_fit(
+        requests,
+        offers,
+        economics,
+        capacity,
+        taken,
+        min_value=price,
+        max_cost=price,
+        epsilon=epsilon,
+    )
+    if not config.enable_randomization:
+        return matches
+
+    matched_requests = {r.request_id for r, _ in matches}
+    matched_offers = {o.offer_id for _, o in matches}
+    leftover_requests = [
+        r
+        for r in requests
+        if r.request_id not in matched_requests
+        and r.request_id not in taken
+        and economics.v_hat(r.request_id) >= price - epsilon
+    ]
+    leftover_offers = [
+        o
+        for o in offers
+        if o.offer_id not in matched_offers
+        and economics.c_hat(o.offer_id) <= price + epsilon
+    ]
+    if not leftover_requests and not leftover_offers:
+        return matches
+
+    # A price-eligible surplus remains (paper §IV-D): on a supply
+    # shortage the *requests* that win are drawn verifiably at random;
+    # on a demand shortage the redundant *offers* are excluded at random
+    # (requests spread over a random offer order).  Otherwise an
+    # infra-marginal participant could steer who wins by shading its bid.
+    for request, offer in matches:
+        taken.discard(request.request_id)
+        capacity.restore(offer, request)
+    eligible_requests = [
+        r
+        for r in requests
+        if r.request_id not in taken
+        and economics.v_hat(r.request_id) >= price - epsilon
+    ]
+    eligible_offers = [
+        o for o in offers if economics.c_hat(o.offer_id) <= price + epsilon
+    ]
+    if leftover_requests:
+        rng.shuffle(eligible_requests)
+    if leftover_offers:
+        rng.shuffle(eligible_offers)
+    return greedy_fit(
+        eligible_requests,
+        eligible_offers,
+        economics,
+        capacity,
+        taken,
+        min_value=price,
+        max_cost=price,
+        epsilon=epsilon,
+    )
+
+
+def clear_mini_auction(
+    auction: MiniAuction,
+    request_by_id: Dict[str, Request],
+    offer_by_id: Dict[str, Offer],
+    consumed_requests: Set[str],
+    consumed_offers: Set[str],
+    config: AuctionConfig,
+    rng: random.Random,
+) -> ClearingResult:
+    """Run Alg. 4 for one mini-auction against live participants."""
+    result = ClearingResult()
+    live = _live_allocations(
+        auction, request_by_id, offer_by_id, consumed_requests,
+        consumed_offers, config,
+    )
+    tentative: List[Tuple[ClusterAllocation, Request, Offer]] = [
+        (allocation, request, offer)
+        for allocation in live
+        for request, offer in allocation.matches
+    ]
+    result.tentative_trades = len(tentative)
+    if not tentative:
+        return result  # nothing cleared; participants stay available
+
+    if not config.enable_trade_reduction:
+        # Non-truthful benchmark: keep every tentative trade; each pair
+        # trades at the midpoint of its own normalized value/cost.
+        for allocation, request, offer in tentative:
+            economics = allocation.economics
+            unit = 0.5 * (
+                economics.v_hat(request.request_id)
+                + economics.c_hat(offer.offer_id)
+            )
+            result.matches.append(
+                Match(
+                    request=request,
+                    offer=offer,
+                    payment=payment_for(economics, request, unit),
+                    unit_price=unit,
+                )
+            )
+        result.participant_requests.update(
+            m.request.request_id for m in result.matches
+        )
+        result.participant_offers.update(
+            m.offer.offer_id for m in result.matches
+        )
+        return result
+
+    price, z_request, z1_offer = pooled_price(live)
+    assert price is not None  # tentative trades exist, so v_candidates did
+    result.price = price
+    excluded_client = z_request.client_id if z_request is not None else None
+    excluded_provider = z1_offer.provider_id if z1_offer is not None else None
+
+    capacity: Optional[OfferCapacity] = None
+    taken: Set[str] = set()
+    final: List[Tuple[ClusterAllocation, Request, Offer]] = []
+    for allocation in live:
+        if capacity is None:
+            capacity = OfferCapacity([])
+        for request, offer in _final_fit(
+            allocation, price, excluded_client, excluded_provider,
+            capacity, taken, config, rng,
+        ):
+            final.append((allocation, request, offer))
+
+    for allocation, request, offer in final:
+        result.matches.append(
+            Match(
+                request=request,
+                offer=offer,
+                payment=payment_for(allocation.economics, request, price),
+                unit_price=price,
+            )
+        )
+
+    final_request_ids = {r.request_id for _, r, _ in final}
+    final_offer_ids = {o.offer_id for _, _, o in final}
+    seen_reduced: Set[str] = set()
+    for _, request, offer in tentative:
+        if (
+            request.request_id not in final_request_ids
+            and request.request_id not in seen_reduced
+        ):
+            result.reduced_requests.append(request)
+            seen_reduced.add(request.request_id)
+        if offer.offer_id not in final_offer_ids and offer.offer_id not in seen_reduced:
+            result.reduced_offers.append(offer)
+            seen_reduced.add(offer.offer_id)
+
+    # Alg. 1 removes the auction's participants from the remaining
+    # auctions.  We consume the participants whose allocation this
+    # auction decided — the matched winners (Const. 5: a request trades
+    # once; a matched offer's residual capacity is not re-offered).
+    # Trade-reduction exclusion is scoped to "the same mini-auction"
+    # (§IV-C), so excluded and unallocated participants remain available
+    # to later mini-auctions, mirroring the protocol's resubmission of
+    # unallocated bids (§III-B).
+    result.participant_requests.update(final_request_ids)
+    result.participant_offers.update(final_offer_ids)
+    return result

@@ -1,0 +1,56 @@
+"""Hash commitments.
+
+Used by the exposure protocol so that a temporary key disclosed in the
+block body can be checked against the commitment included beside the
+sealed bid in the preamble — a participant cannot swap keys after seeing
+other bids.
+"""
+
+from __future__ import annotations
+
+import hmac
+import hashlib
+import secrets
+from dataclasses import dataclass
+
+from repro.common.errors import CryptoError
+
+BLIND_SIZE = 16
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """A binding, hiding commitment to a byte string."""
+
+    digest: bytes
+
+    def hex(self) -> str:
+        return self.digest.hex()
+
+
+@dataclass(frozen=True)
+class Opening:
+    """The data needed to open a :class:`Commitment`."""
+
+    value: bytes
+    blind: bytes
+
+
+def commit(value: bytes, blind: bytes | None = None) -> tuple[Commitment, Opening]:
+    """Commit to ``value``; returns the commitment and its opening."""
+    if blind is None:
+        blind = secrets.token_bytes(BLIND_SIZE)
+    if len(blind) < 8:
+        raise CryptoError("blind must be at least 8 bytes")
+    digest = hashlib.sha256(
+        len(blind).to_bytes(4, "big") + blind + value
+    ).digest()
+    return Commitment(digest=digest), Opening(value=value, blind=blind)
+
+
+def verify_opening(commitment: Commitment, opening: Opening) -> bool:
+    """True when ``opening`` matches ``commitment``."""
+    digest = hashlib.sha256(
+        len(opening.blind).to_bytes(4, "big") + opening.blind + opening.value
+    ).digest()
+    return hmac.compare_digest(digest, commitment.digest)

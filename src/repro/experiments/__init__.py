@@ -1,0 +1,26 @@
+"""Experiment harnesses regenerating every figure of the paper's §V."""
+
+from repro.experiments.common import FigureResult, format_table
+from repro.experiments.sweeps import (
+    DEFAULT_SIMILARITIES,
+    DEFAULT_SIZES,
+    EVAL_BREADTH,
+    SimilarityPoint,
+    SizePoint,
+    eval_config,
+    run_similarity_sweep,
+    run_size_sweep,
+)
+
+__all__ = [
+    "FigureResult",
+    "format_table",
+    "DEFAULT_SIMILARITIES",
+    "DEFAULT_SIZES",
+    "EVAL_BREADTH",
+    "SimilarityPoint",
+    "SizePoint",
+    "eval_config",
+    "run_similarity_sweep",
+    "run_size_sweep",
+]

@@ -1,0 +1,112 @@
+"""Ablations over DeCloud's design choices (DESIGN.md experiment index).
+
+Three knobs the paper motivates but does not ablate explicitly:
+
+* **mini-auctions** (Alg. 3): grouping price-compatible clusters is
+  claimed to minimize trade-reduction losses — compare reduced-trade
+  fraction and welfare ratio with grouping on vs off;
+* **randomized exclusion** (§IV-D): required for truthfulness on
+  imbalanced markets — quantify its welfare cost;
+* **cluster breadth** (Alg. 2 "best offers" set size): how wide the
+  quality-of-match net is cast.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.core.config import AuctionConfig
+from repro.experiments.common import FigureResult
+from repro.experiments.sweeps import EVAL_BREADTH, run_size_sweep
+
+DEFAULT_SIZES = (50, 100, 200)
+
+
+def _variant_metrics(
+    name: str,
+    config: AuctionConfig,
+    sizes: Sequence[int],
+    seeds: Iterable[int],
+) -> Dict[str, float]:
+    points = run_size_sweep(sizes=sizes, seeds=seeds, config=config)
+    ratios = [p.metrics.welfare_ratio for p in points]
+    reduced = [p.metrics.reduced_trade_fraction for p in points]
+    satisfaction = [p.metrics.decloud_satisfaction for p in points]
+    return {
+        "variant": name,
+        "mean_welfare_ratio": float(np.mean(ratios)),
+        "worst_welfare_ratio": float(np.min(ratios)),
+        "mean_reduced_pct": 100.0 * float(np.mean(reduced)),
+        "mean_satisfaction": float(np.mean(satisfaction)),
+    }
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    seeds: Iterable[int] = range(3),
+) -> FigureResult:
+    """Run every ablation variant over the size sweep."""
+    seeds = list(seeds)
+    variants: List[Dict[str, float]] = [
+        _variant_metrics(
+            "full mechanism",
+            AuctionConfig(cluster_breadth=EVAL_BREADTH),
+            sizes,
+            seeds,
+        ),
+        _variant_metrics(
+            "no mini-auctions",
+            AuctionConfig(
+                cluster_breadth=EVAL_BREADTH, enable_mini_auctions=False
+            ),
+            sizes,
+            seeds,
+        ),
+        _variant_metrics(
+            "no randomization",
+            AuctionConfig(
+                cluster_breadth=EVAL_BREADTH, enable_randomization=False
+            ),
+            sizes,
+            seeds,
+        ),
+    ]
+    for breadth in (3, 8, 32):
+        variants.append(
+            _variant_metrics(
+                f"breadth={breadth}",
+                AuctionConfig(cluster_breadth=breadth),
+                sizes,
+                seeds,
+            )
+        )
+
+    result = FigureResult(
+        figure="ablations",
+        title="Ablations: mini-auctions, randomization, cluster breadth",
+        columns=[
+            "variant",
+            "mean_welfare_ratio",
+            "worst_welfare_ratio",
+            "mean_reduced_pct",
+            "mean_satisfaction",
+        ],
+        rows=variants,
+    )
+    full = variants[0]
+    no_mini = variants[1]
+    result.notes.append(
+        "mini-auction grouping changes reduced trades from "
+        f"{no_mini['mean_reduced_pct']:.2f}% (off) to "
+        f"{full['mean_reduced_pct']:.2f}% (on)"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    res = run()
+    print(res.to_table())
+    for note in res.notes:
+        print("NOTE:", note)

@@ -1,0 +1,56 @@
+"""Shared experiment plumbing: result containers and table rendering."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass
+class FigureResult:
+    """Output of one experiment harness (one paper figure).
+
+    ``rows`` are dicts keyed by ``columns``; ``notes`` records the
+    qualitative checks EXPERIMENTS.md reports (e.g. "DeCloud below
+    benchmark everywhere").
+    """
+
+    figure: str
+    title: str
+    columns: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def column(self, name: str) -> List[Any]:
+        return [row[name] for row in self.rows]
+
+    def to_table(self) -> str:
+        return format_table(self.columns, self.rows, title=self.title)
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Sequence[Dict[str, Any]],
+    title: str = "",
+) -> str:
+    """Plain-text table matching the repo's bench output style."""
+    header = [str(c) for c in columns]
+    body = [[_format_cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+        for i in range(len(header))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""CSV export for experiment results.
+
+Every harness returns a :class:`~repro.experiments.common.FigureResult`;
+this module writes those to CSV so users can plot with whatever they
+like (the repository deliberately has no plotting dependency).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable
+
+from repro.experiments.common import FigureResult
+
+
+def write_csv(result: FigureResult, directory: str) -> str:
+    """Write one result to ``<directory>/<figure>.csv``; returns the path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{result.figure}.csv")
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=result.columns)
+        writer.writeheader()
+        for row in result.rows:
+            writer.writerow({c: row.get(c, "") for c in result.columns})
+    return path
+
+
+def write_all(results: Iterable[FigureResult], directory: str) -> list[str]:
+    """Write every result; returns the written paths."""
+    return [write_csv(result, directory) for result in results]

@@ -1,0 +1,75 @@
+"""Fig. 5e — satisfaction vs similarity across flexibility levels.
+
+The second flexibility panel sweeps several flexibility settings; more
+flexibility means weakly higher satisfaction at every similarity level,
+with the gap widening as supply and demand diverge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import FigureResult
+from repro.experiments.sweeps import (
+    DEFAULT_SIMILARITIES,
+    SimilarityPoint,
+    run_similarity_sweep,
+)
+
+FLEXIBILITIES: Tuple[float, ...] = (1.0, 0.9, 0.8, 0.6)
+
+
+def run(
+    similarities: Sequence[float] = DEFAULT_SIMILARITIES,
+    seeds: Iterable[int] = range(5),
+    points: List[SimilarityPoint] | None = None,
+) -> FigureResult:
+    """Regenerate the Fig. 5e series; pass ``points`` to reuse a sweep."""
+    if points is None:
+        points = run_similarity_sweep(
+            similarities=similarities, flexibilities=FLEXIBILITIES, seeds=seeds
+        )
+
+    result = FigureResult(
+        figure="5e",
+        title="Fig 5e: satisfaction vs similarity across flexibility levels",
+        columns=["similarity", "flexibility", "mean_satisfaction", "n_seeds"],
+    )
+    means: Dict[Tuple[float, float], List[float]] = {}
+    for point in points:
+        means.setdefault((point.similarity, point.flexibility), []).append(
+            point.metrics.decloud_satisfaction
+        )
+    for (similarity, flexibility), values in sorted(means.items()):
+        result.rows.append(
+            {
+                "similarity": similarity,
+                "flexibility": flexibility,
+                "mean_satisfaction": float(np.mean(values)),
+                "n_seeds": len(values),
+            }
+        )
+
+    for similarity in sorted({p.similarity for p in points}):
+        series = {
+            flexibility: float(np.mean(means[(similarity, flexibility)]))
+            for flexibility in sorted({p.flexibility for p in points})
+            if (similarity, flexibility) in means
+        }
+        result.notes.append(
+            f"similarity {similarity:.1f}: "
+            + ", ".join(
+                f"flex {flexibility}: {value:.3f}"
+                for flexibility, value in sorted(series.items())
+            )
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    res = run()
+    print(res.to_table())
+    for note in res.notes:
+        print("NOTE:", note)

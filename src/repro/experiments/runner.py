@@ -1,0 +1,194 @@
+"""Command-line entry point regenerating the paper's figures.
+
+Usage::
+
+    decloud-experiments all            # every figure, full sweeps
+    decloud-experiments fig5b --fast   # one figure, reduced sweep
+    python -m repro.experiments.runner fig5d
+
+``--fast`` shrinks sizes/seeds for smoke runs; the benchmark suite under
+``benchmarks/`` wraps the same harnesses with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from repro.experiments import (
+    ablations,
+    fig5a,
+    fig5b,
+    fig5c,
+    fig5d,
+    fig5e,
+    fig5f,
+    loss_decomposition,
+    matching_ablation,
+    mechanism_micro,
+    optimality_gap,
+    price_dynamics,
+    sensitivity,
+    strategy_regret,
+)
+from repro.experiments.common import FigureResult
+from repro.experiments.sweeps import (
+    FAST_SIMILARITIES,
+    FAST_SIZES,
+    run_similarity_sweep,
+    run_size_sweep,
+)
+
+
+def _run_size_family(fast: bool) -> List[FigureResult]:
+    """Fig 5a/5b/5c share one sweep — run it once."""
+    if fast:
+        points = run_size_sweep(sizes=FAST_SIZES, seeds=range(2))
+    else:
+        points = run_size_sweep()
+    return [
+        fig5a.run(points=points),
+        fig5b.run(points=points),
+        fig5c.run(points=points),
+    ]
+
+
+def _run_similarity_family(fast: bool) -> List[FigureResult]:
+    """Fig 5d/5f share a sweep; 5e needs the wider flexibility grid."""
+    if fast:
+        pair = run_similarity_sweep(
+            similarities=FAST_SIMILARITIES, seeds=range(2)
+        )
+        grid = run_similarity_sweep(
+            similarities=FAST_SIMILARITIES,
+            flexibilities=fig5e.FLEXIBILITIES,
+            seeds=range(2),
+        )
+    else:
+        pair = run_similarity_sweep()
+        grid = run_similarity_sweep(flexibilities=fig5e.FLEXIBILITIES)
+    return [
+        fig5d.run(points=pair),
+        fig5e.run(points=grid),
+        fig5f.run(points=pair),
+    ]
+
+
+def _single(name: str, fast: bool) -> List[FigureResult]:
+    simple: Dict[str, Callable[[], FigureResult]] = {
+        "ablations": lambda: ablations.run(
+            sizes=(50, 100) if fast else ablations.DEFAULT_SIZES,
+            seeds=range(2) if fast else range(3),
+        ),
+        "mechanisms": lambda: mechanism_micro.run(
+            market_sizes=(4, 16) if fast else (4, 8, 16, 32, 64),
+            seeds=range(5) if fast else range(20),
+        ),
+        "matching": lambda: matching_ablation.run(
+            n_requests=40 if fast else 100,
+            seeds=range(2) if fast else range(5),
+        ),
+        "regret": lambda: strategy_regret.run(
+            n_markets=6 if fast else 20,
+            n_requests=8 if fast else 12,
+        ),
+        "sensitivity": lambda: sensitivity.run(
+            n_requests=80 if fast else 200,
+            seeds=range(2) if fast else range(3),
+        ),
+        "prices": lambda: price_dynamics.run(
+            horizon=12.0 if fast else 24.0,
+        ),
+        "decomposition": lambda: loss_decomposition.run(
+            n_requests=60 if fast else 150,
+            seeds=range(2) if fast else range(5),
+        ),
+        "optimality": lambda: optimality_gap.run(
+            sizes=(40, 80) if fast else (50, 100, 150),
+            breadths=(8, 32) if fast else (8, 16, 32),
+            seeds=range(2) if fast else range(3),
+        ),
+    }
+    if name in simple:
+        return [simple[name]()]
+    if name in ("fig5a", "fig5b", "fig5c"):
+        results = _run_size_family(fast)
+        index = {"fig5a": 0, "fig5b": 1, "fig5c": 2}
+        return [results[index[name]]]
+    if name in ("fig5d", "fig5e", "fig5f"):
+        results = _run_similarity_family(fast)
+        index = {"fig5d": 0, "fig5e": 1, "fig5f": 2}
+        return [results[index[name]]]
+    raise SystemExit(f"unknown experiment {name!r}")
+
+
+EXPERIMENTS = (
+    "fig5a",
+    "fig5b",
+    "fig5c",
+    "fig5d",
+    "fig5e",
+    "fig5f",
+    "ablations",
+    "mechanisms",
+    "matching",
+    "regret",
+    "sensitivity",
+    "prices",
+    "decomposition",
+    "optimality",
+)
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="decloud-experiments",
+        description="Regenerate the DeCloud paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all",),
+        help="which figure to regenerate",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced sweep for smoke runs",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="DIR",
+        help="also write each result as CSV into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "all":
+        results = _run_size_family(args.fast)
+        results += _run_similarity_family(args.fast)
+        results += _single("ablations", args.fast)
+        results += _single("mechanisms", args.fast)
+        results += _single("matching", args.fast)
+        results += _single("regret", args.fast)
+        results += _single("sensitivity", args.fast)
+        results += _single("prices", args.fast)
+        results += _single("decomposition", args.fast)
+        results += _single("optimality", args.fast)
+    else:
+        results = _single(args.experiment, args.fast)
+
+    for result in results:
+        print(result.to_table())
+        for note in result.notes:
+            print("NOTE:", note)
+        print()
+    if args.csv:
+        from repro.experiments.export import write_all
+
+        for path in write_all(results, args.csv):
+            print("wrote", path)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,162 @@
+"""Blocks: preamble (shared after PoW) and body (shared after reveal).
+
+The two-phase bid exposure protocol splits each block:
+
+* **Preamble** — parent hash, height, the *encrypted* transactions, and a
+  proof-of-work over all of that.  Broadcasting the preamble fixes the set
+  of participants for the round without revealing any bid.
+* **Body** — the disclosed temporary keys and the allocation suggestion
+  computed by the winning miner, signed by that miner.
+
+The preamble hash doubles as the block *evidence* that seeds the
+verifiable pseudorandomization of trade reduction (paper §IV-F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.common.errors import InvalidBlockError
+from repro.cryptosim import hashing, schnorr
+from repro.ledger import pow as pow_mod
+from repro.ledger.transaction import SealedBidTransaction
+
+GENESIS_PARENT = "0" * 64
+
+
+@dataclass(frozen=True)
+class KeyReveal:
+    """A participant's disclosed temporary key with its commitment blind.
+
+    Keyed by ``txid`` — a participant posting several sealed bids in one
+    round discloses one temporary key per transaction.
+    """
+
+    sender_id: str
+    txid: str
+    temp_key: bytes
+    blind: bytes
+
+
+@dataclass(frozen=True)
+class BlockPreamble:
+    """First part of a block: fixes the round's sealed bids under PoW."""
+
+    height: int
+    parent_hash: str
+    transactions: Tuple[SealedBidTransaction, ...]
+    timestamp: float
+    pow_nonce: int = 0
+
+    def pow_payload(self) -> bytes:
+        """Bytes the proof-of-work commits to (everything but the nonce)."""
+        return hashing.hash_concat(
+            self.height.to_bytes(8, "big"),
+            self.parent_hash.encode("ascii"),
+            repr(self.timestamp).encode("ascii"),
+            *[tx.signing_payload() for tx in self.transactions],
+        )
+
+    def hash(self) -> str:
+        """Preamble hash (includes the PoW nonce)."""
+        return hashing.sha256_hex(
+            self.pow_payload() + self.pow_nonce.to_bytes(8, "big")
+        )
+
+    def evidence(self) -> bytes:
+        """Block evidence bytes seeding verifiable randomization."""
+        return bytes.fromhex(self.hash())
+
+    def check_pow(self, difficulty_bits: int) -> bool:
+        return pow_mod.check(self.pow_payload(), self.pow_nonce, difficulty_bits)
+
+    def with_nonce(self, nonce: int) -> "BlockPreamble":
+        return BlockPreamble(
+            height=self.height,
+            parent_hash=self.parent_hash,
+            transactions=self.transactions,
+            timestamp=self.timestamp,
+            pow_nonce=nonce,
+        )
+
+
+@dataclass(frozen=True)
+class BlockBody:
+    """Second part of a block: reveals and the allocation suggestion.
+
+    ``allocation`` is an opaque JSON-serializable payload produced by the
+    auction layer (see ``repro.core.outcome.AuctionOutcome.to_payload``);
+    the ledger only hashes and stores it.
+    """
+
+    reveals: Tuple[KeyReveal, ...]
+    allocation: Dict[str, Any]
+    miner_id: str
+    miner_public: int
+    signature: Tuple[int, int] = (0, 0)
+
+    def signing_payload(self, preamble_hash: str) -> bytes:
+        return hashing.hash_concat(
+            preamble_hash.encode("ascii"),
+            *[
+                hashing.hash_concat(
+                    reveal.sender_id.encode("utf-8"),
+                    reveal.txid.encode("ascii"),
+                    reveal.temp_key,
+                    reveal.blind,
+                )
+                for reveal in self.reveals
+            ],
+            hashing.canonical_json(self.allocation),
+            self.miner_id.encode("utf-8"),
+        )
+
+    def signed_by(
+        self, keypair: schnorr.KeyPair, preamble_hash: str
+    ) -> "BlockBody":
+        signature = schnorr.sign(
+            keypair.secret, self.signing_payload(preamble_hash)
+        )
+        return BlockBody(
+            reveals=self.reveals,
+            allocation=self.allocation,
+            miner_id=self.miner_id,
+            miner_public=self.miner_public,
+            signature=signature,
+        )
+
+    def verify_signature(self, preamble_hash: str) -> bool:
+        return schnorr.verify(
+            self.miner_public,
+            self.signing_payload(preamble_hash),
+            self.signature,
+        )
+
+
+@dataclass(frozen=True)
+class Block:
+    """A complete block: preamble plus body."""
+
+    preamble: BlockPreamble
+    body: Optional[BlockBody] = field(default=None)
+
+    @property
+    def height(self) -> int:
+        return self.preamble.height
+
+    def hash(self) -> str:
+        """Full block hash: preamble hash chained with the body digest."""
+        if self.body is None:
+            return self.preamble.hash()
+        return hashing.sha256_hex(
+            hashing.hash_concat(
+                self.preamble.hash().encode("ascii"),
+                self.body.signing_payload(self.preamble.hash()),
+            )
+        )
+
+    def require_complete(self) -> BlockBody:
+        if self.body is None:
+            raise InvalidBlockError(f"block {self.height} has no body")
+        return self.body

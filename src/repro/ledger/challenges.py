@@ -1,0 +1,150 @@
+"""TrueBit-style challenge game for allocation verification (paper §VI).
+
+Collective re-execution by every miner (§III) does not scale and suffers
+the *verifier's dilemma*: rational miners skip verification when it is
+costly.  The paper points to TrueBit's remedy — dedicated *challengers*
+who selectively verify and profit from catching cheaters — and names it
+as the system's intended evolution.  This module implements that game on
+top of the token ledger:
+
+1. the leader posts a **deposit** along with its block;
+2. during a challenge window, any challenger may post a matching deposit
+   and claim the allocation is wrong;
+3. a referee (any honest miner) **re-executes** the allocation; the loser
+   of the game forfeits its deposit to the winner;
+4. an unchallenged block finalizes and the leader's deposit returns.
+
+Economic soundness: a cheating leader loses its deposit with certainty as
+soon as one honest challenger exists, and a frivolous challenger loses
+its own — so verification effort concentrates exactly where it pays.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.common.errors import InvalidBlockError, ProtocolError
+from repro.ledger.block import Block
+from repro.ledger.miner import Miner
+from repro.protocol.settlement import TokenLedger
+
+
+class GameState(enum.Enum):
+    OPEN = "open"
+    CHALLENGED = "challenged"
+    FINALIZED = "finalized"
+    REJECTED = "rejected"
+
+
+@dataclass
+class ChallengeRecord:
+    challenger_id: str
+    deposit: float
+
+
+@dataclass
+class ProposedBlock:
+    block: Block
+    leader_id: str
+    deposit: float
+    state: GameState = GameState.OPEN
+    challenge: Optional[ChallengeRecord] = None
+
+
+@dataclass
+class ChallengeGame:
+    """The deposit/challenge/adjudicate state machine."""
+
+    ledger: TokenLedger
+    deposit: float = 10.0
+    proposals: Dict[str, ProposedBlock] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Leader side
+    # ------------------------------------------------------------------
+    def propose(self, leader_id: str, block: Block) -> str:
+        """Post a block with the leader's deposit; returns the block hash."""
+        block_hash = block.hash()
+        if block_hash in self.proposals:
+            raise ProtocolError(f"block {block_hash[:12]}... already proposed")
+        # Escrow-by-burn: subtract now, return on finalize/win.
+        if self.ledger.balance(leader_id) < self.deposit:
+            raise ProtocolError(
+                f"leader {leader_id} cannot cover the deposit"
+            )
+        self.ledger.transfer(leader_id, "challenge-pool", self.deposit)
+        self.proposals[block_hash] = ProposedBlock(
+            block=block, leader_id=leader_id, deposit=self.deposit
+        )
+        return block_hash
+
+    def _proposal(self, block_hash: str) -> ProposedBlock:
+        proposal = self.proposals.get(block_hash)
+        if proposal is None:
+            raise ProtocolError(f"unknown proposal {block_hash[:12]}...")
+        return proposal
+
+    # ------------------------------------------------------------------
+    # Challenger side
+    # ------------------------------------------------------------------
+    def raise_challenge(self, challenger_id: str, block_hash: str) -> None:
+        """Stake a deposit claiming the block's allocation is wrong."""
+        proposal = self._proposal(block_hash)
+        if proposal.state is not GameState.OPEN:
+            raise ProtocolError(
+                f"proposal is {proposal.state.value}, cannot challenge"
+            )
+        if self.ledger.balance(challenger_id) < self.deposit:
+            raise ProtocolError(
+                f"challenger {challenger_id} cannot cover the deposit"
+            )
+        self.ledger.transfer(challenger_id, "challenge-pool", self.deposit)
+        proposal.state = GameState.CHALLENGED
+        proposal.challenge = ChallengeRecord(
+            challenger_id=challenger_id, deposit=self.deposit
+        )
+
+    # ------------------------------------------------------------------
+    # Adjudication
+    # ------------------------------------------------------------------
+    def adjudicate(self, block_hash: str, referee: Miner) -> bool:
+        """Referee re-executes; returns True when the challenge succeeds.
+
+        A successful challenge rejects the block and pays both deposits
+        to the challenger; a failed one pays them to the leader.
+        """
+        proposal = self._proposal(block_hash)
+        if proposal.state is not GameState.CHALLENGED:
+            raise ProtocolError("no challenge pending on this proposal")
+        challenge = proposal.challenge
+        assert challenge is not None
+        pot = proposal.deposit + challenge.deposit
+
+        try:
+            referee.verify_block(proposal.block)
+        except InvalidBlockError:
+            proposal.state = GameState.REJECTED
+            self.ledger.transfer(
+                "challenge-pool", challenge.challenger_id, pot
+            )
+            return True
+        proposal.state = GameState.FINALIZED
+        self.ledger.transfer("challenge-pool", proposal.leader_id, pot)
+        return False
+
+    def finalize_unchallenged(self, block_hash: str) -> None:
+        """Challenge window elapsed: return the leader's deposit."""
+        proposal = self._proposal(block_hash)
+        if proposal.state is not GameState.OPEN:
+            raise ProtocolError(
+                f"proposal is {proposal.state.value}, cannot finalize"
+            )
+        proposal.state = GameState.FINALIZED
+        self.ledger.transfer(
+            "challenge-pool", proposal.leader_id, proposal.deposit
+        )
+
+    def state_of(self, block_hash: str) -> GameState:
+        return self._proposal(block_hash).state

@@ -1,0 +1,123 @@
+"""Lossy gossip network: delayed and dropped message delivery.
+
+:class:`~repro.ledger.network.BroadcastNetwork` delivers synchronously —
+fine for the protocol's logic, silent about its robustness.  This module
+adds a discrete-event network with per-link delay and loss so tests can
+answer: *what happens when gossip is unreliable?*  The protocol's answer,
+by construction (§III): a participant whose sealed bid or key reveal is
+lost simply drops out of the round and resubmits later; a miner that
+misses messages catches up from complete blocks.
+
+Deliveries are deterministic given the seed, so failure scenarios are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ValidationError
+
+Handler = Callable[[str, Any], None]
+
+
+@dataclass(order=True)
+class _Delivery:
+    time: float
+    sequence: int
+    node_id: str = field(compare=False)
+    topic: str = field(compare=False)
+    payload: Any = field(compare=False)
+    sender: str = field(compare=False)
+
+
+@dataclass
+class GossipNetwork:
+    """Broadcast with per-message random delay and loss.
+
+    Nodes register handlers per topic; :meth:`broadcast` schedules one
+    delivery per node per message, each independently delayed and
+    possibly dropped.  :meth:`run_until` advances the clock, delivering
+    in timestamp order.
+    """
+
+    drop_rate: float = 0.0
+    min_delay: float = 0.01
+    max_delay: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.drop_rate < 1.0:
+            raise ValidationError("drop_rate must be in [0, 1)")
+        if self.min_delay < 0 or self.max_delay < self.min_delay:
+            raise ValidationError("need 0 <= min_delay <= max_delay")
+        self._rng = random.Random(self.seed)
+        self._subscribers: Dict[Tuple[str, str], List[Handler]] = {}
+        self._queue: List[_Delivery] = []
+        self._sequence = itertools.count()
+        self._nodes: List[str] = []
+        self.now = 0.0
+        self.delivered: int = 0
+        self.dropped: int = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def register_node(self, node_id: str) -> None:
+        if node_id not in self._nodes:
+            self._nodes.append(node_id)
+
+    def subscribe(self, node_id: str, topic: str, handler: Handler) -> None:
+        self.register_node(node_id)
+        self._subscribers.setdefault((node_id, topic), []).append(handler)
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def broadcast(self, topic: str, payload: Any, sender: str = "") -> None:
+        """Schedule delivery of ``payload`` to every registered node."""
+        for node_id in self._nodes:
+            if self._rng.random() < self.drop_rate:
+                self.dropped += 1
+                continue
+            delay = self._rng.uniform(self.min_delay, self.max_delay)
+            heapq.heappush(
+                self._queue,
+                _Delivery(
+                    time=self.now + delay,
+                    sequence=next(self._sequence),
+                    node_id=node_id,
+                    topic=topic,
+                    payload=payload,
+                    sender=sender,
+                ),
+            )
+
+    def run_until(self, deadline: Optional[float] = None) -> int:
+        """Deliver queued messages up to ``deadline`` (all, if None).
+
+        Returns the number of messages delivered.
+        """
+        count = 0
+        while self._queue:
+            if deadline is not None and self._queue[0].time > deadline:
+                break
+            delivery = heapq.heappop(self._queue)
+            self.now = max(self.now, delivery.time)
+            for handler in self._subscribers.get(
+                (delivery.node_id, delivery.topic), []
+            ):
+                handler(delivery.sender, delivery.payload)
+            self.delivered += 1
+            count += 1
+        if deadline is not None:
+            self.now = max(self.now, deadline)
+        return count
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

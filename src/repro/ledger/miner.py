@@ -1,0 +1,167 @@
+"""Miner node: assembles preambles, solves PoW, proposes and verifies blocks.
+
+The miner is generic over the auction: an ``allocate`` callable maps
+decrypted bid plaintexts plus the block evidence to a JSON-serializable
+allocation payload.  Verification by peer miners is *re-execution*: the
+allocation function must be deterministic given (plaintexts, evidence), so
+any peer recomputes it and compares payloads byte-for-byte — this is the
+smart-contract-style collective verification of paper §II-A/§III-B.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import InvalidBlockError, ProtocolError
+from repro.cryptosim import commitments, schnorr, symmetric
+from repro.cryptosim.symmetric import SealedBox
+from repro.ledger import pow as pow_mod
+from repro.ledger.block import Block, BlockBody, BlockPreamble, KeyReveal
+from repro.ledger.chain import Blockchain
+from repro.ledger.mempool import Mempool
+from repro.ledger.transaction import SealedBidTransaction
+
+#: plaintexts by sender -> evidence -> allocation payload
+AllocateFn = Callable[[Dict[str, List[bytes]], bytes], Dict]
+
+
+@dataclass
+class Miner:
+    """A mining node with its own chain view and mempool."""
+
+    miner_id: str
+    allocate: AllocateFn
+    difficulty_bits: int = pow_mod.DEFAULT_DIFFICULTY_BITS
+    max_block_txs: int = 10_000
+    keypair: schnorr.KeyPair = field(default=None)  # type: ignore[assignment]
+    chain: Blockchain = field(default=None)  # type: ignore[assignment]
+    mempool: Mempool = field(default_factory=Mempool)
+    clock: Callable[[], float] = time.monotonic
+
+    def __post_init__(self) -> None:
+        if self.keypair is None:
+            self.keypair = schnorr.KeyPair.generate(
+                seed=self.miner_id.encode("utf-8")
+            )
+        if self.chain is None:
+            self.chain = Blockchain(difficulty_bits=self.difficulty_bits)
+
+    # ------------------------------------------------------------------
+    # Bidding phase
+    # ------------------------------------------------------------------
+    def accept_transaction(self, tx: SealedBidTransaction) -> str:
+        """Admit a sealed bid into the mempool (signature-checked)."""
+        return self.mempool.submit(tx)
+
+    def build_preamble(self) -> BlockPreamble:
+        """Assemble the next preamble from pending transactions and mine it."""
+        txs = tuple(self.mempool.peek(self.max_block_txs))
+        preamble = BlockPreamble(
+            height=self.chain.next_height,
+            parent_hash=self.chain.tip_hash,
+            transactions=txs,
+            timestamp=float(self.chain.next_height),
+        )
+        nonce = pow_mod.solve(preamble.pow_payload(), self.difficulty_bits)
+        return preamble.with_nonce(nonce)
+
+    # ------------------------------------------------------------------
+    # Allocation phase
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _open_transactions(
+        preamble: BlockPreamble, reveals: Tuple[KeyReveal, ...]
+    ) -> Dict[str, List[bytes]]:
+        """Decrypt every revealed transaction; returns plaintexts by sender.
+
+        Raises :class:`ProtocolError` when a revealed key does not match
+        its commitment or fails to decrypt the sealed box — either means a
+        misbehaving participant (or miner) and the block must be rejected.
+        """
+        reveal_map: Dict[str, KeyReveal] = {r.txid: r for r in reveals}
+        plaintexts: Dict[str, List[bytes]] = {}
+        for tx in preamble.transactions:
+            reveal = reveal_map.get(tx.txid())
+            if reveal is None:
+                # Participant withheld its key: bid stays sealed and simply
+                # drops out of the round (it can resubmit later).
+                continue
+            opening = commitments.Opening(
+                value=reveal.temp_key, blind=reveal.blind
+            )
+            if not commitments.verify_opening(tx.key_commitment, opening):
+                raise ProtocolError(
+                    f"reveal from {tx.sender_id} does not match commitment"
+                )
+            plaintext = symmetric.decrypt(reveal.temp_key, tx.box)
+            plaintexts.setdefault(tx.sender_id, []).append(plaintext)
+        return plaintexts
+
+    def build_body(
+        self, preamble: BlockPreamble, reveals: Tuple[KeyReveal, ...]
+    ) -> BlockBody:
+        """Decrypt bids, run the allocation, and sign the body."""
+        plaintexts = self._open_transactions(preamble, reveals)
+        allocation = self.allocate(plaintexts, preamble.evidence())
+        body = BlockBody(
+            reveals=tuple(reveals),
+            allocation=allocation,
+            miner_id=self.miner_id,
+            miner_public=self.keypair.public,
+        )
+        return body.signed_by(self.keypair, preamble.hash())
+
+    # ------------------------------------------------------------------
+    # Verification by peers
+    # ------------------------------------------------------------------
+    def verify_block(self, block: Block) -> None:
+        """Full peer-side validation, including allocation re-execution.
+
+        Raises on any failure; on success the block may be appended.
+        """
+        self.chain.validate_candidate(block)
+        body = block.require_complete()
+        plaintexts = self._open_transactions(block.preamble, body.reveals)
+        expected = self.allocate(plaintexts, block.preamble.evidence())
+        if expected != body.allocation:
+            raise InvalidBlockError(
+                "allocation re-execution mismatch: miner "
+                f"{body.miner_id} proposed a different result"
+            )
+
+    def accept_block(self, block: Block) -> None:
+        """Verify, append, and evict included transactions from the pool."""
+        self.verify_block(block)
+        self.chain.append(block)
+        self.mempool.remove(
+            [tx.txid() for tx in block.preamble.transactions]
+        )
+
+
+def make_sealed_bid(
+    sender_id: str,
+    keypair: schnorr.KeyPair,
+    plaintext: bytes,
+    temp_key: Optional[bytes] = None,
+    nonce: Optional[bytes] = None,
+) -> Tuple[SealedBidTransaction, KeyReveal]:
+    """Participant-side helper: seal ``plaintext`` and prepare the reveal."""
+    if temp_key is None:
+        temp_key = symmetric.generate_key()
+    box: SealedBox = symmetric.encrypt(temp_key, plaintext, nonce=nonce)
+    commitment, opening = commitments.commit(temp_key)
+    tx = SealedBidTransaction.create(
+        sender_id=sender_id,
+        keypair=keypair,
+        box=box,
+        key_commitment=commitment,
+    )
+    reveal = KeyReveal(
+        sender_id=sender_id,
+        txid=tx.txid(),
+        temp_key=temp_key,
+        blind=opening.blind,
+    )
+    return tx, reveal

@@ -1,0 +1,47 @@
+"""In-memory broadcast network connecting participants and miners.
+
+The overlay is modeled as a synchronous gossip bus: ``broadcast`` delivers
+the message to every subscribed node immediately (and records it, so tests
+can assert on traffic).  This captures what the protocol relies on —
+everyone sees preambles, reveals, and bodies — without simulating
+latency or partitions; those belong to the consensus layer the paper
+explicitly builds on rather than contributes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+Handler = Callable[[str, Any], None]
+
+
+@dataclass
+class Message:
+    """A broadcast message: topic, payload, and originating node."""
+
+    topic: str
+    payload: Any
+    sender: str
+
+
+@dataclass
+class BroadcastNetwork:
+    """Synchronous publish/subscribe bus with a full traffic log."""
+
+    _subscribers: Dict[str, List[Handler]] = field(default_factory=dict)
+    log: List[Message] = field(default_factory=list)
+
+    def subscribe(self, topic: str, handler: Handler) -> None:
+        """Register ``handler`` for messages on ``topic``."""
+        self._subscribers.setdefault(topic, []).append(handler)
+
+    def broadcast(self, topic: str, payload: Any, sender: str = "") -> None:
+        """Deliver ``payload`` to every subscriber of ``topic``."""
+        self.log.append(Message(topic=topic, payload=payload, sender=sender))
+        for handler in self._subscribers.get(topic, []):
+            handler(sender, payload)
+
+    def messages(self, topic: str) -> List[Message]:
+        """All logged messages on ``topic`` in delivery order."""
+        return [msg for msg in self.log if msg.topic == topic]

@@ -1,0 +1,60 @@
+"""Hash-puzzle proof-of-work.
+
+A nonce is valid for a payload when ``SHA-256(payload || nonce)`` has at
+least ``difficulty_bits`` leading zero bits.  The reference simulation uses
+a small difficulty (the economics experiments do not depend on mining
+cost), but the check is the real Bitcoin-style predicate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.common.errors import LedgerError
+
+DEFAULT_DIFFICULTY_BITS = 12
+MAX_NONCE = 2**64
+
+
+def _digest(payload: bytes, nonce: int) -> bytes:
+    return hashlib.sha256(payload + nonce.to_bytes(8, "big")).digest()
+
+
+def leading_zero_bits(digest: bytes) -> int:
+    """Number of leading zero bits in ``digest``."""
+    bits = 0
+    for byte in digest:
+        if byte == 0:
+            bits += 8
+            continue
+        # Count leading zeros within this byte, then stop.
+        bits += 8 - byte.bit_length()
+        break
+    return bits
+
+
+def check(payload: bytes, nonce: int, difficulty_bits: int) -> bool:
+    """True when ``nonce`` solves the puzzle for ``payload``."""
+    if not 0 <= nonce < MAX_NONCE:
+        return False
+    return leading_zero_bits(_digest(payload, nonce)) >= difficulty_bits
+
+
+def solve(
+    payload: bytes,
+    difficulty_bits: int = DEFAULT_DIFFICULTY_BITS,
+    start_nonce: int = 0,
+) -> int:
+    """Find the smallest valid nonce at or above ``start_nonce``.
+
+    Deterministic: given the same payload and start nonce, every miner
+    finds the same solution, which keeps the simulation reproducible.
+    """
+    if difficulty_bits < 0 or difficulty_bits > 256:
+        raise LedgerError(f"difficulty_bits out of range: {difficulty_bits}")
+    nonce = start_nonce
+    while nonce < MAX_NONCE:
+        if check(payload, nonce, difficulty_bits):
+            return nonce
+        nonce += 1
+    raise LedgerError("exhausted nonce space without solving the puzzle")

@@ -1,0 +1,153 @@
+"""Chain import/export: a JSON audit format for the ledger.
+
+Anyone can audit a DeCloud deployment from its chain: every block
+carries the sealed bids, the disclosed keys, and the allocation — enough
+to re-derive and re-verify everything.  This module serializes a
+:class:`~repro.ledger.chain.Blockchain` to a portable JSON document and
+back, preserving hashes bit-for-bit (round-trip is asserted on import).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.common.errors import LedgerError
+from repro.cryptosim.commitments import Commitment
+from repro.cryptosim.symmetric import SealedBox
+from repro.ledger.block import Block, BlockBody, BlockPreamble, KeyReveal
+from repro.ledger.chain import Blockchain
+from repro.ledger.transaction import SealedBidTransaction
+
+FORMAT_VERSION = 1
+
+
+def _tx_to_dict(tx: SealedBidTransaction) -> Dict[str, Any]:
+    return {
+        "sender_id": tx.sender_id,
+        "sender_public": hex(tx.sender_public),
+        "box": tx.box.to_bytes().hex(),
+        "key_commitment": tx.key_commitment.digest.hex(),
+        "signature": [hex(tx.signature[0]), hex(tx.signature[1])],
+    }
+
+
+def _tx_from_dict(data: Dict[str, Any]) -> SealedBidTransaction:
+    return SealedBidTransaction(
+        sender_id=data["sender_id"],
+        sender_public=int(data["sender_public"], 16),
+        box=SealedBox.from_bytes(bytes.fromhex(data["box"])),
+        key_commitment=Commitment(
+            digest=bytes.fromhex(data["key_commitment"])
+        ),
+        signature=(
+            int(data["signature"][0], 16),
+            int(data["signature"][1], 16),
+        ),
+    )
+
+
+def _block_to_dict(block: Block) -> Dict[str, Any]:
+    preamble = block.preamble
+    body = block.body
+    out: Dict[str, Any] = {
+        "preamble": {
+            "height": preamble.height,
+            "parent_hash": preamble.parent_hash,
+            "timestamp": preamble.timestamp,
+            "pow_nonce": preamble.pow_nonce,
+            "transactions": [_tx_to_dict(tx) for tx in preamble.transactions],
+        },
+    }
+    if body is not None:
+        out["body"] = {
+            "reveals": [
+                {
+                    "sender_id": reveal.sender_id,
+                    "txid": reveal.txid,
+                    "temp_key": reveal.temp_key.hex(),
+                    "blind": reveal.blind.hex(),
+                }
+                for reveal in body.reveals
+            ],
+            "allocation": body.allocation,
+            "miner_id": body.miner_id,
+            "miner_public": hex(body.miner_public),
+            "signature": [hex(body.signature[0]), hex(body.signature[1])],
+        }
+    return out
+
+
+def _block_from_dict(data: Dict[str, Any]) -> Block:
+    pre = data["preamble"]
+    preamble = BlockPreamble(
+        height=pre["height"],
+        parent_hash=pre["parent_hash"],
+        transactions=tuple(_tx_from_dict(t) for t in pre["transactions"]),
+        timestamp=pre["timestamp"],
+        pow_nonce=pre["pow_nonce"],
+    )
+    body = None
+    if "body" in data:
+        raw = data["body"]
+        body = BlockBody(
+            reveals=tuple(
+                KeyReveal(
+                    sender_id=r["sender_id"],
+                    txid=r["txid"],
+                    temp_key=bytes.fromhex(r["temp_key"]),
+                    blind=bytes.fromhex(r["blind"]),
+                )
+                for r in raw["reveals"]
+            ),
+            allocation=raw["allocation"],
+            miner_id=raw["miner_id"],
+            miner_public=int(raw["miner_public"], 16),
+            signature=(
+                int(raw["signature"][0], 16),
+                int(raw["signature"][1], 16),
+            ),
+        )
+    return Block(preamble=preamble, body=body)
+
+
+def chain_to_json(chain: Blockchain) -> str:
+    """Serialize the chain (with block hashes for external auditing)."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "difficulty_bits": chain.difficulty_bits,
+        "blocks": [
+            {"hash": block.hash(), **_block_to_dict(block)} for block in chain
+        ],
+    }
+    return json.dumps(document, sort_keys=True, indent=1)
+
+
+def chain_from_json(document: str, verify: bool = True) -> Blockchain:
+    """Rebuild a chain from :func:`chain_to_json` output.
+
+    With ``verify`` (default) every block is revalidated on append —
+    linkage, PoW, signatures — and recorded hashes must match exactly.
+    """
+    try:
+        data = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise LedgerError(f"not valid chain JSON: {exc}") from exc
+    if data.get("format_version") != FORMAT_VERSION:
+        raise LedgerError(
+            f"unsupported format version {data.get('format_version')!r}"
+        )
+    chain = Blockchain(difficulty_bits=data["difficulty_bits"])
+    for entry in data["blocks"]:
+        block = _block_from_dict(entry)
+        if verify:
+            if block.hash() != entry["hash"]:
+                raise LedgerError(
+                    f"hash mismatch at height {block.height}: recorded "
+                    f"{entry['hash'][:12]}..., recomputed "
+                    f"{block.hash()[:12]}..."
+                )
+            chain.append(block)
+        else:
+            chain._blocks.append(block)  # noqa: SLF001 - explicit fast path
+    return chain

@@ -1,0 +1,78 @@
+"""Signed sealed-bid transactions.
+
+A participant wraps its (already encrypted) bid into a
+:class:`SealedBidTransaction`: the ciphertext, a commitment to the
+temporary key, and a Schnorr signature binding both to the sender.  The
+ledger treats the ciphertext as opaque bytes — the protocol layer defines
+what is inside.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.common.errors import SignatureError
+from repro.cryptosim import hashing, schnorr
+from repro.cryptosim.commitments import Commitment
+from repro.cryptosim.symmetric import SealedBox
+
+
+@dataclass(frozen=True)
+class SealedBidTransaction:
+    """An encrypted bid plus the metadata needed to verify and open it."""
+
+    sender_id: str
+    sender_public: int
+    box: SealedBox
+    key_commitment: Commitment
+    signature: Tuple[int, int]
+
+    def signing_payload(self) -> bytes:
+        """The bytes the sender signed."""
+        return hashing.hash_concat(
+            self.sender_id.encode("utf-8"),
+            self.box.to_bytes(),
+            self.key_commitment.digest,
+        )
+
+    def verify_signature(self) -> bool:
+        """Check the Schnorr signature over the sealed payload."""
+        return schnorr.verify(
+            self.sender_public, self.signing_payload(), self.signature
+        )
+
+    def require_valid(self) -> None:
+        if not self.verify_signature():
+            raise SignatureError(
+                f"transaction from {self.sender_id} has an invalid signature"
+            )
+
+    def txid(self) -> str:
+        """Deterministic transaction identifier (hash of the payload)."""
+        return hashing.sha256_hex(self.signing_payload())
+
+    @classmethod
+    def create(
+        cls,
+        sender_id: str,
+        keypair: schnorr.KeyPair,
+        box: SealedBox,
+        key_commitment: Commitment,
+    ) -> "SealedBidTransaction":
+        """Build and sign a transaction in one step."""
+        unsigned = cls(
+            sender_id=sender_id,
+            sender_public=keypair.public,
+            box=box,
+            key_commitment=key_commitment,
+            signature=(0, 0),
+        )
+        signature = schnorr.sign(keypair.secret, unsigned.signing_payload())
+        return cls(
+            sender_id=sender_id,
+            sender_public=keypair.public,
+            box=box,
+            key_commitment=key_commitment,
+            signature=signature,
+        )

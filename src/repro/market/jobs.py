@@ -1,0 +1,160 @@
+"""Multi-container jobs on top of single-container requests.
+
+The paper's unit of trade is one container per request; a client running
+a microservice application (the intro's motivating workload) submits one
+request per service.  :class:`Job` packages that pattern: it expands a
+service specification into per-container requests (sharing the client's
+window, splitting the job's budget by resource weight) and evaluates a
+block outcome against the job's *completion policy*:
+
+* ``ALL_OR_NOTHING`` — the job is served only if every container is
+  placed (the client should `deny` partial matches via the contract);
+* ``BEST_EFFORT`` — any subset helps (stateless replicas).
+
+This is a client-side convenience layer: the mechanism itself still sees
+plain single-minded requests, exactly as the paper models them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+
+from repro.common.errors import ValidationError
+from repro.common.timewindow import TimeWindow
+from repro.market.bids import Request
+from repro.market.resources import l2_norm
+
+if TYPE_CHECKING:  # avoid a market <-> core import cycle at runtime
+    from repro.core.outcome import AuctionOutcome
+
+
+class CompletionPolicy(enum.Enum):
+    ALL_OR_NOTHING = "all_or_nothing"
+    BEST_EFFORT = "best_effort"
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """One microservice: a container shape and a replica count."""
+
+    name: str
+    resources: Mapping[str, float]
+    replicas: int = 1
+    duration: Optional[float] = None  # defaults to the job duration
+
+    def __post_init__(self) -> None:
+        if self.replicas < 1:
+            raise ValidationError(
+                f"service {self.name!r} needs at least one replica"
+            )
+
+
+@dataclass
+class Job:
+    """A client's multi-container application."""
+
+    job_id: str
+    client_id: str
+    services: Sequence[ServiceSpec]
+    window: TimeWindow
+    duration: float
+    budget: float
+    submit_time: float = 0.0
+    flexibility: float = 1.0
+    policy: CompletionPolicy = CompletionPolicy.BEST_EFFORT
+    significance: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.services:
+            raise ValidationError("a job needs at least one service")
+        if self.budget <= 0:
+            raise ValidationError("job budget must be positive")
+
+    def _weights(self) -> List[float]:
+        """Budget split across containers by resource magnitude."""
+        weights: List[float] = []
+        for service in self.services:
+            magnitude = l2_norm(service.resources)
+            for _ in range(service.replicas):
+                weights.append(max(magnitude, 1e-9))
+        total = sum(weights)
+        return [w / total for w in weights]
+
+    def to_requests(self) -> List[Request]:
+        """Expand into per-container requests (mechanism-facing view)."""
+        requests: List[Request] = []
+        weights = self._weights()
+        index = 0
+        for service in self.services:
+            duration = min(
+                service.duration or self.duration, self.window.span
+            )
+            for replica in range(service.replicas):
+                requests.append(
+                    Request(
+                        request_id=(
+                            f"{self.job_id}/{service.name}/{replica}"
+                        ),
+                        client_id=self.client_id,
+                        submit_time=self.submit_time + 1e-6 * index,
+                        resources=dict(service.resources),
+                        significance=dict(self.significance),
+                        window=self.window,
+                        duration=duration,
+                        bid=self.budget * weights[index],
+                        flexibility=self.flexibility,
+                    )
+                )
+                index += 1
+        return requests
+
+    # ------------------------------------------------------------------
+    # Outcome evaluation
+    # ------------------------------------------------------------------
+    def container_ids(self) -> List[str]:
+        return [r.request_id for r in self.to_requests()]
+
+    def placed_containers(self, outcome: "AuctionOutcome") -> List[str]:
+        matched = {m.request.request_id for m in outcome.matches}
+        return [cid for cid in self.container_ids() if cid in matched]
+
+    def is_complete(self, outcome: "AuctionOutcome") -> bool:
+        placed = set(self.placed_containers(outcome))
+        if self.policy is CompletionPolicy.ALL_OR_NOTHING:
+            return placed == set(self.container_ids())
+        return bool(placed)
+
+    def total_payment(self, outcome: "AuctionOutcome") -> float:
+        own = set(self.container_ids())
+        return sum(
+            m.payment
+            for m in outcome.matches
+            if m.request.request_id in own
+        )
+
+    def fulfillment(self, outcome: "AuctionOutcome") -> float:
+        """Fraction of containers placed."""
+        ids = self.container_ids()
+        return len(self.placed_containers(outcome)) / len(ids)
+
+    def denials_required(self, outcome: "AuctionOutcome") -> List[str]:
+        """Container matches the client should `deny` under its policy.
+
+        ALL_OR_NOTHING jobs deny every partial placement; BEST_EFFORT
+        jobs deny nothing.
+        """
+        if self.policy is CompletionPolicy.BEST_EFFORT:
+            return []
+        placed = self.placed_containers(outcome)
+        if set(placed) == set(self.container_ids()):
+            return []
+        return placed
+
+
+def evaluate_jobs(
+    jobs: Sequence[Job], outcome: "AuctionOutcome"
+) -> Dict[str, float]:
+    """Per-job fulfillment fractions for a cleared block."""
+    return {job.job_id: job.fulfillment(outcome) for job in jobs}

@@ -1,0 +1,175 @@
+"""Locations and latency as first-class bidding-language inputs.
+
+The bidding language tags every request and offer with a location
+``l_r`` / ``l_o`` (Eq. 1-2): "either geo-location or a network address".
+This module provides both kinds:
+
+* :class:`GeoLocation` — latitude/longitude with great-circle distance
+  and a simple speed-of-light-in-fiber latency model;
+* :class:`NetworkLocation` — hierarchical network zones
+  (``"eu/helsinki/cell-12"``) with hop-count latency.
+
+The paper folds location into matching by treating latency "also as a
+specific resource" (§II-C): :func:`attach_latency_resource` converts the
+pairwise latency between a request and each offer into a *latency
+headroom* resource (more is better), so Eq. 18 handles proximity with the
+same gravity heuristic as CPU or RAM.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Union
+
+from repro.common.errors import ValidationError
+from repro.market.bids import Offer, Request
+
+EARTH_RADIUS_KM = 6371.0
+#: Effective propagation speed in fiber, km per millisecond (~2c/3).
+FIBER_KM_PER_MS = 200.0
+#: Fixed per-hop forwarding cost for network-zone latency, ms.
+HOP_LATENCY_MS = 2.0
+
+LATENCY_RESOURCE = "latency"
+
+
+@dataclass(frozen=True)
+class GeoLocation:
+    """A point on the globe."""
+
+    latitude: float
+    longitude: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.latitude <= 90.0:
+            raise ValidationError(f"latitude out of range: {self.latitude}")
+        if not -180.0 <= self.longitude <= 180.0:
+            raise ValidationError(f"longitude out of range: {self.longitude}")
+
+    def distance_km(self, other: "GeoLocation") -> float:
+        """Great-circle (haversine) distance."""
+        lat1, lon1 = math.radians(self.latitude), math.radians(self.longitude)
+        lat2, lon2 = math.radians(other.latitude), math.radians(other.longitude)
+        d_lat = lat2 - lat1
+        d_lon = lon2 - lon1
+        a = (
+            math.sin(d_lat / 2) ** 2
+            + math.cos(lat1) * math.cos(lat2) * math.sin(d_lon / 2) ** 2
+        )
+        return 2 * EARTH_RADIUS_KM * math.asin(math.sqrt(a))
+
+    def latency_ms(self, other: "GeoLocation") -> float:
+        """One-way propagation latency estimate over fiber."""
+        return self.distance_km(other) / FIBER_KM_PER_MS
+
+
+@dataclass(frozen=True)
+class NetworkLocation:
+    """A hierarchical network zone like ``"eu/helsinki/cell-12"``."""
+
+    zone: str
+
+    def __post_init__(self) -> None:
+        if not self.zone or self.zone.startswith("/") or self.zone.endswith("/"):
+            raise ValidationError(f"malformed zone {self.zone!r}")
+
+    def _parts(self) -> Sequence[str]:
+        return self.zone.split("/")
+
+    def hops_to(self, other: "NetworkLocation") -> int:
+        """Tree distance between zones: up to the common prefix, then down."""
+        mine, theirs = self._parts(), other._parts()
+        common = 0
+        for a, b in zip(mine, theirs):
+            if a != b:
+                break
+            common += 1
+        return (len(mine) - common) + (len(theirs) - common)
+
+    def latency_ms(self, other: "NetworkLocation") -> float:
+        return HOP_LATENCY_MS * self.hops_to(other)
+
+
+Location = Union[GeoLocation, NetworkLocation]
+
+
+def pairwise_latency_ms(a: Optional[Location], b: Optional[Location]) -> float:
+    """Latency between two locations; unknown locations are assumed far.
+
+    Mixing a geo location with a network zone is a modelling error.
+    """
+    if a is None or b is None:
+        return math.inf
+    if isinstance(a, GeoLocation) != isinstance(b, GeoLocation):
+        raise ValidationError("cannot mix geo and network locations")
+    return a.latency_ms(b)  # type: ignore[union-attr]
+
+
+def latency_headroom(latency_ms: float, tolerance_ms: float) -> float:
+    """Convert latency to a more-is-better resource amount."""
+    if tolerance_ms <= 0:
+        raise ValidationError("tolerance_ms must be positive")
+    if not math.isfinite(latency_ms):
+        return 0.0
+    return max(0.0, tolerance_ms - latency_ms)
+
+
+def attach_latency_resource(
+    request: Request,
+    offers: Sequence[Offer],
+    locations: Dict[str, Location],
+    tolerance_ms: float,
+    significance: float = 0.9,
+    hard: bool = False,
+) -> tuple[Request, list[Offer]]:
+    """Fold pairwise latency into the bidding language (§II-C).
+
+    ``locations`` maps participant location *tags* (the ``location``
+    field of requests/offers) to :class:`Location` objects.  Returns a
+    copy of the request demanding ``latency`` headroom of at least
+    ``tolerance_ms`` (0 => any latency acceptable at significance < 1)
+    and offer copies carrying their individual headroom toward this
+    request.  With ``hard=True`` the latency demand is strict: offers
+    beyond the tolerance are infeasible (Const. 8); otherwise latency
+    only steers the quality of match.
+    """
+    request_location = locations.get(request.location or "")
+    new_offers = []
+    for offer in offers:
+        offer_location = locations.get(offer.location or "")
+        latency = pairwise_latency_ms(request_location, offer_location)
+        headroom = latency_headroom(latency, tolerance_ms)
+        resources = dict(offer.resources)
+        resources[LATENCY_RESOURCE] = headroom
+        new_offers.append(
+            Offer(
+                offer_id=offer.offer_id,
+                provider_id=offer.provider_id,
+                submit_time=offer.submit_time,
+                resources=resources,
+                window=offer.window,
+                bid=offer.bid,
+                location=offer.location,
+            )
+        )
+
+    resources = dict(request.resources)
+    significances = dict(request.significance)
+    # Demand: strictly positive headroom.  A hard constraint demands a
+    # meaningful fraction of the tolerance; a soft one just steers q.
+    resources[LATENCY_RESOURCE] = tolerance_ms * (0.5 if hard else 0.1)
+    significances[LATENCY_RESOURCE] = 1.0 if hard else significance
+    new_request = Request(
+        request_id=request.request_id,
+        client_id=request.client_id,
+        submit_time=request.submit_time,
+        resources=resources,
+        significance=significances,
+        window=request.window,
+        duration=request.duration,
+        bid=request.bid,
+        location=request.location,
+        flexibility=request.flexibility,
+    )
+    return new_request, new_offers

@@ -1,0 +1,74 @@
+"""Resource vectors for the bidding language.
+
+A resource vector maps a resource *type* (free-form string: ``"cpu"``,
+``"ram"``, ``"disk"``, ``"latency"``, ``"sgx"``, ...) to a non-negative
+amount.  The bidding language deliberately avoids a fixed machine taxonomy
+(paper §II-C): any property relevant to edge computing may appear as a
+resource type.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Dict, Iterable, Mapping
+
+from repro.common.errors import ValidationError
+
+#: Resource types the paper designates as *critical* (§IV-C): a request
+#: consuming 100% of one of these on a machine blocks co-location, so its
+#: price share is driven by its maximal critical-resource usage.
+CRITICAL_RESOURCES = frozenset({"cpu", "ram", "disk"})
+
+ResourceVector = Mapping[str, float]
+
+
+def validate_vector(vector: ResourceVector, what: str) -> None:
+    """Reject empty vectors, empty type names, and negative amounts."""
+    if not vector:
+        raise ValidationError(f"{what} must declare at least one resource")
+    for key, amount in vector.items():
+        if not isinstance(key, str) or not key:
+            raise ValidationError(f"{what} has an invalid resource type {key!r}")
+        if not math.isfinite(amount) or amount < 0:
+            raise ValidationError(
+                f"{what} has invalid amount {amount!r} for resource {key!r}"
+            )
+
+
+def common_types(a: ResourceVector, b: ResourceVector) -> AbstractSet[str]:
+    """``K_(r,o)`` — resource types shared by the two vectors."""
+    return a.keys() & b.keys()
+
+
+def l2_norm(vector: ResourceVector, keys: Iterable[str] | None = None) -> float:
+    """Euclidean magnitude of ``vector`` restricted to ``keys``.
+
+    Missing keys contribute zero, matching the paper's treatment of a
+    resource absent from an offer/request as amount 0.
+    """
+    if keys is None:
+        keys = vector.keys()
+    return math.sqrt(sum(vector.get(k, 0.0) ** 2 for k in keys))
+
+
+def elementwise_max(vectors: Iterable[ResourceVector]) -> Dict[str, float]:
+    """Per-type maximum across ``vectors`` (the "virtual maximum" builder)."""
+    maxima: Dict[str, float] = {}
+    for vector in vectors:
+        for key, amount in vector.items():
+            if amount > maxima.get(key, 0.0):
+                maxima[key] = amount
+    return maxima
+
+
+def normalized(vector: ResourceVector, maxima: ResourceVector) -> Dict[str, float]:
+    """Scale each component into [0, 1] by the per-type maximum.
+
+    Types with a zero (or missing) maximum normalize to 0 — they carry no
+    discriminating information in the current block.
+    """
+    out: Dict[str, float] = {}
+    for key, amount in vector.items():
+        top = maxima.get(key, 0.0)
+        out[key] = amount / top if top > 0 else 0.0
+    return out

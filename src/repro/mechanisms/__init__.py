@@ -1,0 +1,21 @@
+"""Classic single-good double-auction mechanisms DeCloud builds on."""
+
+from repro.mechanisms.mcafee import run_mcafee
+from repro.mechanisms.sbba import run_sbba
+from repro.mechanisms.types import (
+    DoubleAuctionResult,
+    UnitBid,
+    UnitTrade,
+    breakeven_index,
+    sort_sides,
+)
+
+__all__ = [
+    "run_mcafee",
+    "run_sbba",
+    "DoubleAuctionResult",
+    "UnitBid",
+    "UnitTrade",
+    "breakeven_index",
+    "sort_sides",
+]

@@ -1,0 +1,73 @@
+"""McAfee's dominant-strategy double auction (McAfee 1992).
+
+The foundation DeCloud extends (paper §IV-C, Fig. 3).  Buyers are sorted
+by valuation descending, sellers by cost ascending; ``z`` is the last
+profitable pair.  With ``p = (v_{z+1} + c_{z+1}) / 2``:
+
+* if ``p`` falls inside ``[c_z, v_z]`` all ``z`` pairs trade at ``p``
+  (budget balanced, no reduction — Fig. 3a);
+* otherwise the ``z``-th pair is *excluded* and the remaining ``z - 1``
+  pairs trade with buyers paying ``v_z`` and sellers receiving ``c_z``
+  (Fig. 3b) — dominant-strategy truthful, but the auctioneer keeps
+  ``(z-1)(v_z - c_z)``, so only weakly budget balanced.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.mechanisms.types import (
+    DoubleAuctionResult,
+    UnitBid,
+    UnitTrade,
+    breakeven_index,
+    sort_sides,
+)
+
+
+def run_mcafee(
+    buyers: List[UnitBid], sellers: List[UnitBid]
+) -> DoubleAuctionResult:
+    """Clear a single-good market with McAfee's mechanism."""
+    result = DoubleAuctionResult()
+    sorted_buyers, sorted_sellers = sort_sides(buyers, sellers)
+    z = breakeven_index(sorted_buyers, sorted_sellers)
+    if z == 0:
+        return result
+
+    has_next_pair = z < len(sorted_buyers) and z < len(sorted_sellers)
+    if has_next_pair:
+        candidate = 0.5 * (
+            sorted_buyers[z].amount + sorted_sellers[z].amount
+        )
+        v_z = sorted_buyers[z - 1].amount
+        c_z = sorted_sellers[z - 1].amount
+        if c_z <= candidate <= v_z:
+            result.price = candidate
+            for buyer, seller in zip(sorted_buyers[:z], sorted_sellers[:z]):
+                result.trades.append(
+                    UnitTrade(
+                        buyer_id=buyer.agent_id,
+                        seller_id=seller.agent_id,
+                        buyer_pays=candidate,
+                        seller_gets=candidate,
+                    )
+                )
+            return result
+
+    # Trade reduction: pair z drops out; buyers pay v_z, sellers get c_z.
+    v_z = sorted_buyers[z - 1].amount
+    c_z = sorted_sellers[z - 1].amount
+    result.reduced_buyers.append(sorted_buyers[z - 1].agent_id)
+    result.reduced_sellers.append(sorted_sellers[z - 1].agent_id)
+    result.price = v_z  # buyer-side price; sellers receive c_z
+    for buyer, seller in zip(sorted_buyers[: z - 1], sorted_sellers[: z - 1]):
+        result.trades.append(
+            UnitTrade(
+                buyer_id=buyer.agent_id,
+                seller_id=seller.agent_id,
+                buyer_pays=v_z,
+                seller_gets=c_z,
+            )
+        )
+    return result

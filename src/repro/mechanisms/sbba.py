@@ -1,0 +1,85 @@
+"""SBBA — the strongly-budget-balanced double auction (Segal-Halevi 2016).
+
+DeCloud borrows SBBA's price rule because its miners are rewarded by token
+emission, not by auction surplus (paper §IV-C): every cleared unit trades
+at one price ``p = min(v_z, c_{z+1})``, buyers pay exactly what sellers
+receive, and the price-determining participant is excluded:
+
+* ``p = c_{z+1}`` (the first losing seller's cost, Fig. 4 right):
+  exclude that seller — they were not trading anyway, so *no* welfare is
+  lost; all ``z`` pairs trade at ``p``.
+* ``p = v_z`` (no seller ``z+1`` cheap enough, Fig. 4 left): buyer ``z``
+  is excluded.  A seller among the first ``z`` now has no partner; a
+  uniformly random profitable seller subset of size ``z - 1`` trades
+  (we exclude one seller verifiably at random), preserving truthfulness.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.mechanisms.types import (
+    DoubleAuctionResult,
+    UnitBid,
+    UnitTrade,
+    breakeven_index,
+    sort_sides,
+)
+
+
+def run_sbba(
+    buyers: List[UnitBid],
+    sellers: List[UnitBid],
+    rng: Optional[random.Random] = None,
+) -> DoubleAuctionResult:
+    """Clear a single-good market with the SBBA mechanism."""
+    result = DoubleAuctionResult()
+    sorted_buyers, sorted_sellers = sort_sides(buyers, sellers)
+    z = breakeven_index(sorted_buyers, sorted_sellers)
+    if z == 0:
+        return result
+
+    v_z = sorted_buyers[z - 1].amount
+    c_z_plus_1 = (
+        sorted_sellers[z].amount if z < len(sorted_sellers) else float("inf")
+    )
+
+    if c_z_plus_1 <= v_z:
+        # Seller z+1 determines the price and is excluded (no welfare loss).
+        price = c_z_plus_1
+        result.price = price
+        result.reduced_sellers.append(sorted_sellers[z].agent_id)
+        for buyer, seller in zip(sorted_buyers[:z], sorted_sellers[:z]):
+            result.trades.append(
+                UnitTrade(
+                    buyer_id=buyer.agent_id,
+                    seller_id=seller.agent_id,
+                    buyer_pays=price,
+                    seller_gets=price,
+                )
+            )
+        return result
+
+    # Buyer z determines the price and is excluded; one of the z sellers
+    # is left without a partner — drop one uniformly at random so no
+    # seller can influence the lottery by shading.
+    price = v_z
+    result.price = price
+    result.reduced_buyers.append(sorted_buyers[z - 1].agent_id)
+    trading_sellers = list(sorted_sellers[:z])
+    if len(trading_sellers) > z - 1:
+        chooser = rng if rng is not None else random.Random(0)
+        dropped = chooser.randrange(len(trading_sellers))
+        result.reduced_sellers.append(trading_sellers[dropped].agent_id)
+        del trading_sellers[dropped]
+    for buyer, seller in zip(sorted_buyers[: z - 1], trading_sellers):
+        result.trades.append(
+            UnitTrade(
+                buyer_id=buyer.agent_id,
+                seller_id=seller.agent_id,
+                buyer_pays=price,
+                seller_gets=price,
+            )
+        )
+    return result

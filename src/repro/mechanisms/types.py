@@ -1,0 +1,82 @@
+"""Shared types for the classic single-good double-auction mechanisms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class UnitBid:
+    """A single-unit bid: a buyer's valuation or a seller's cost."""
+
+    agent_id: str
+    amount: float
+
+    def __post_init__(self) -> None:
+        if self.amount < 0:
+            raise ValidationError(
+                f"bid of {self.agent_id} must be non-negative"
+            )
+
+
+@dataclass
+class UnitTrade:
+    """One cleared unit trade with the per-side prices."""
+
+    buyer_id: str
+    seller_id: str
+    buyer_pays: float
+    seller_gets: float
+
+
+@dataclass
+class DoubleAuctionResult:
+    """Outcome of a single-good double auction."""
+
+    trades: List[UnitTrade] = field(default_factory=list)
+    #: trading price(s); a single common price for McAfee/SBBA main cases
+    price: Optional[float] = None
+    #: buyers/sellers excluded by trade reduction
+    reduced_buyers: List[str] = field(default_factory=list)
+    reduced_sellers: List[str] = field(default_factory=list)
+
+    @property
+    def num_trades(self) -> int:
+        return len(self.trades)
+
+    @property
+    def budget_surplus(self) -> float:
+        """Auctioneer surplus: payments collected minus revenue paid."""
+        return sum(t.buyer_pays - t.seller_gets for t in self.trades)
+
+
+def sort_sides(
+    buyers: List[UnitBid], sellers: List[UnitBid]
+) -> Tuple[List[UnitBid], List[UnitBid]]:
+    """Buyers by valuation descending, sellers by cost ascending.
+
+    Ties break on agent id so results are deterministic.
+    """
+    sorted_buyers = sorted(buyers, key=lambda b: (-b.amount, b.agent_id))
+    sorted_sellers = sorted(sellers, key=lambda s: (s.amount, s.agent_id))
+    return sorted_buyers, sorted_sellers
+
+
+def breakeven_index(
+    buyers: List[UnitBid], sellers: List[UnitBid]
+) -> int:
+    """The paper's ``z``: index of the last profitable buyer/seller pair.
+
+    Returns the count of pairs with ``v_i >= c_i`` (0 when none trade).
+    Inputs must already be sorted by :func:`sort_sides`.
+    """
+    z = 0
+    for buyer, seller in zip(buyers, sellers):
+        if buyer.amount >= seller.amount:
+            z += 1
+        else:
+            break
+    return z

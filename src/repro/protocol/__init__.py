@@ -1,0 +1,57 @@
+"""DeCloud's decentralized operation: two-phase bid exposure, contracts,
+reputation."""
+
+from repro.protocol.allocator import DecloudAllocator, decode_round
+from repro.protocol.attestation import (
+    AttestationRegistry,
+    AttestationService,
+    Quote,
+    enforce_attestation,
+)
+from repro.protocol.contracts import (
+    Agreement,
+    AgreementState,
+    AllocationContract,
+)
+from repro.protocol.exposure import (
+    ExposureProtocol,
+    Participant,
+    RoundResult,
+    build_miner_network,
+)
+from repro.protocol.identity import IdentityRegistry
+from repro.protocol.reputation import (
+    ReputationLedger,
+    ReputationRecord,
+    attach_reputation_resource,
+)
+from repro.protocol.settlement import (
+    Escrow,
+    EscrowState,
+    SettlementProcessor,
+    TokenLedger,
+)
+
+__all__ = [
+    "DecloudAllocator",
+    "decode_round",
+    "AttestationRegistry",
+    "AttestationService",
+    "Quote",
+    "enforce_attestation",
+    "Agreement",
+    "AgreementState",
+    "AllocationContract",
+    "ExposureProtocol",
+    "IdentityRegistry",
+    "Participant",
+    "RoundResult",
+    "build_miner_network",
+    "ReputationLedger",
+    "ReputationRecord",
+    "attach_reputation_resource",
+    "Escrow",
+    "EscrowState",
+    "SettlementProcessor",
+    "TokenLedger",
+]

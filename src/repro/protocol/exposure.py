@@ -1,0 +1,229 @@
+"""The two-phase bid exposure protocol (paper §III, Fig. 2).
+
+Phase 1 — *sealed bidding*: participants encrypt their requests/offers
+with fresh temporary keys, sign them, and broadcast them to the miner
+network.  The winning miner assembles the **preamble** (parent hash +
+sealed bids + proof-of-work) and shares it.  No one — miner included —
+can read any bid yet.
+
+Phase 2 — *allocation and agreement*: participants whose bids appear in a
+valid preamble broadcast their temporary keys.  The miner decrypts, runs
+the DeCloud auction with the preamble hash as randomization evidence, and
+shares the block **body** (keys + allocation suggestion).  Every other
+miner re-executes the auction and accepts the block only on an exact
+match; participants then accept or deny via the smart contract layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.common.errors import ProtocolError
+from repro.core.config import AuctionConfig
+from repro.core.outcome import AuctionOutcome
+from repro.cryptosim import schnorr
+from repro.ledger.block import Block, BlockPreamble, KeyReveal
+from repro.ledger.miner import Miner, make_sealed_bid
+from repro.ledger.network import BroadcastNetwork
+from repro.ledger.transaction import SealedBidTransaction
+from repro.market.bids import Offer, Request
+from repro.protocol import messages
+from repro.protocol.allocator import DecloudAllocator
+from repro.protocol.identity import IdentityRegistry
+
+
+@dataclass
+class Participant:
+    """A client or provider with a signing identity and pending reveals.
+
+    The key pair is derived from the participant id by default — handy
+    for reproducible simulations, but it means anyone can derive the
+    same key.  Deployments wanting unforgeable identities pass
+    ``fresh_key=True`` (random key) and register the public key in an
+    :class:`~repro.protocol.identity.IdentityRegistry`.
+    """
+
+    participant_id: str
+    keypair: schnorr.KeyPair = field(default=None)  # type: ignore[assignment]
+    fresh_key: bool = False
+    _pending_reveals: Dict[str, KeyReveal] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.keypair is None:
+            if self.fresh_key:
+                self.keypair = schnorr.KeyPair.generate()
+            else:
+                self.keypair = schnorr.KeyPair.generate(
+                    seed=self.participant_id.encode("utf-8")
+                )
+
+    def seal(self, bid: Union[Request, Offer]) -> SealedBidTransaction:
+        """Encrypt and sign one bid; the reveal is held until phase 2."""
+        owner = (
+            bid.client_id if isinstance(bid, Request) else bid.provider_id
+        )
+        if owner != self.participant_id:
+            raise ProtocolError(
+                f"participant {self.participant_id} cannot submit a bid "
+                f"owned by {owner}"
+            )
+        tx, reveal = make_sealed_bid(
+            sender_id=self.participant_id,
+            keypair=self.keypair,
+            plaintext=bid.to_json(),
+        )
+        self._pending_reveals[tx.txid()] = reveal
+        return tx
+
+    def reveals_for(self, preamble: BlockPreamble) -> List[KeyReveal]:
+        """Keys for this participant's bids included in ``preamble``.
+
+        A rational participant only reveals keys for bids the (valid)
+        preamble actually contains — revealing anything else would leak
+        a live bid.
+        """
+        included = {tx.txid() for tx in preamble.transactions}
+        out: List[KeyReveal] = []
+        for txid, reveal in list(self._pending_reveals.items()):
+            if txid in included:
+                out.append(reveal)
+                del self._pending_reveals[txid]
+        return out
+
+
+@dataclass
+class RoundResult:
+    """Everything one protocol round produced."""
+
+    block: Block
+    outcome: AuctionOutcome
+    accepted_by: List[str]
+
+
+class ExposureProtocol:
+    """Drives full rounds of the two-phase protocol over a miner network."""
+
+    def __init__(
+        self,
+        miners: Sequence[Miner],
+        network: Optional[BroadcastNetwork] = None,
+        registry: Optional["IdentityRegistry"] = None,
+    ) -> None:
+        if not miners:
+            raise ProtocolError("at least one miner is required")
+        self.miners = list(miners)
+        self.network = network or BroadcastNetwork()
+        self.registry = registry
+        self._round = 0
+        for miner in self.miners:
+            self.network.subscribe(
+                messages.TOPIC_BIDS,
+                lambda _sender, payload, m=miner: m.accept_transaction(
+                    payload.transaction
+                ),
+            )
+
+    def submit(
+        self, participant: Participant, bid: Union[Request, Offer]
+    ) -> SealedBidTransaction:
+        """Phase 1: seal a bid and gossip it to every miner.
+
+        With an identity registry configured, the sender's public key is
+        bound to its id on first contact and checked ever after —
+        impersonating a registered id fails here, before any mempool.
+        """
+        tx = participant.seal(bid)
+        if self.registry is not None:
+            self.registry.check_or_register(
+                tx.sender_id, tx.sender_public
+            )
+        self.network.broadcast(
+            messages.TOPIC_BIDS,
+            messages.BidSubmission(transaction=tx),
+            sender=participant.participant_id,
+        )
+        return tx
+
+    def run_round(
+        self, participants: Sequence[Participant]
+    ) -> RoundResult:
+        """Mine one block end to end and return the verified outcome.
+
+        The miner that "gets the block" rotates round-robin — consensus
+        forks are out of scope (the paper builds on, not contributes to,
+        the underlying consensus).
+        """
+        leader = self.miners[self._round % len(self.miners)]
+        self._round += 1
+
+        # Phase 1 completion: leader mines the preamble over sealed bids.
+        preamble = leader.build_preamble()
+        self.network.broadcast(
+            messages.TOPIC_PREAMBLE,
+            messages.PreambleAnnouncement(
+                preamble=preamble, miner_id=leader.miner_id
+            ),
+            sender=leader.miner_id,
+        )
+
+        # Peers validate the preamble's PoW before anyone reveals.
+        for miner in self.miners:
+            if not preamble.check_pow(miner.chain.difficulty_bits):
+                raise ProtocolError("preamble failed proof-of-work check")
+
+        # Phase 2: participants with included bids disclose their keys.
+        reveals: List[KeyReveal] = []
+        for participant in participants:
+            for reveal in participant.reveals_for(preamble):
+                self.network.broadcast(
+                    messages.TOPIC_REVEALS,
+                    messages.RevealMessage(
+                        reveal=reveal, preamble_hash=preamble.hash()
+                    ),
+                    sender=participant.participant_id,
+                )
+                reveals.append(reveal)
+
+        body = leader.build_body(preamble, tuple(reveals))
+        block = Block(preamble=preamble, body=body)
+        self.network.broadcast(
+            messages.TOPIC_BLOCK,
+            messages.BlockProposal(block=block, miner_id=leader.miner_id),
+            sender=leader.miner_id,
+        )
+
+        # Collective verification: every miner re-executes the allocation
+        # and appends only on an exact payload match.
+        accepted_by: List[str] = []
+        for miner in self.miners:
+            miner.accept_block(block)
+            accepted_by.append(miner.miner_id)
+
+        allocator = leader.allocate
+        outcome = (
+            allocator.last_outcome
+            if isinstance(allocator, DecloudAllocator)
+            and allocator.last_outcome is not None
+            else AuctionOutcome()
+        )
+        return RoundResult(
+            block=block, outcome=outcome, accepted_by=accepted_by
+        )
+
+
+def build_miner_network(
+    num_miners: int,
+    config: Optional[AuctionConfig] = None,
+    difficulty_bits: int = 8,
+) -> ExposureProtocol:
+    """Convenience factory: ``num_miners`` DeCloud miners on one bus."""
+    miners = [
+        Miner(
+            miner_id=f"miner-{i}",
+            allocate=DecloudAllocator(config),
+            difficulty_bits=difficulty_bits,
+        )
+        for i in range(num_miners)
+    ]
+    return ExposureProtocol(miners=miners)

@@ -1,0 +1,44 @@
+"""Protocol message types carried over the broadcast network (Fig. 2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ledger.block import Block, BlockPreamble, KeyReveal
+from repro.ledger.transaction import SealedBidTransaction
+
+TOPIC_BIDS = "bids"
+TOPIC_PREAMBLE = "preamble"
+TOPIC_REVEALS = "reveals"
+TOPIC_BLOCK = "block"
+
+
+@dataclass(frozen=True)
+class BidSubmission:
+    """A participant posts a sealed bid to the miner network."""
+
+    transaction: SealedBidTransaction
+
+
+@dataclass(frozen=True)
+class PreambleAnnouncement:
+    """Miner A shares the mined preamble (PoW solved, bids still sealed)."""
+
+    preamble: BlockPreamble
+    miner_id: str
+
+
+@dataclass(frozen=True)
+class RevealMessage:
+    """A participant discloses its temporary key for the current round."""
+
+    reveal: KeyReveal
+    preamble_hash: str
+
+
+@dataclass(frozen=True)
+class BlockProposal:
+    """Miner A shares the completed block (body with allocation)."""
+
+    block: Block
+    miner_id: str

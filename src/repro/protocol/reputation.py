@@ -1,0 +1,104 @@
+"""Reputation ledger (paper §III-B).
+
+Clients may accept or reject suggested allocations; successive rejections
+carry an escalating reputational penalty.  Providers cannot reject clients
+but may set a minimum reputation threshold for the clients they serve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+INITIAL_SCORE = 1.0
+MIN_SCORE = 0.0
+MAX_SCORE = 1.0
+BASE_PENALTY = 0.05
+ACCEPT_RECOVERY = 0.02
+
+
+@dataclass
+class ReputationRecord:
+    """Per-participant reputation state."""
+
+    score: float = INITIAL_SCORE
+    consecutive_rejections: int = 0
+    total_accepts: int = 0
+    total_rejections: int = 0
+
+
+@dataclass
+class ReputationLedger:
+    """Tracks client behaviour; penalties escalate with rejection streaks."""
+
+    records: Dict[str, ReputationRecord] = field(default_factory=dict)
+
+    def _record(self, participant_id: str) -> ReputationRecord:
+        record = self.records.get(participant_id)
+        if record is None:
+            record = ReputationRecord()
+            self.records[participant_id] = record
+        return record
+
+    def score(self, participant_id: str) -> float:
+        """Current score; unknown participants start at the initial score."""
+        record = self.records.get(participant_id)
+        return record.score if record is not None else INITIAL_SCORE
+
+    def record_acceptance(self, participant_id: str) -> float:
+        """An accepted allocation resets the streak and slowly recovers."""
+        record = self._record(participant_id)
+        record.consecutive_rejections = 0
+        record.total_accepts += 1
+        record.score = min(MAX_SCORE, record.score + ACCEPT_RECOVERY)
+        return record.score
+
+    def record_rejection(self, participant_id: str) -> float:
+        """A rejection costs ``BASE_PENALTY * streak`` — successive
+        rejections hurt progressively more (the paper's deterrent)."""
+        record = self._record(participant_id)
+        record.consecutive_rejections += 1
+        record.total_rejections += 1
+        penalty = BASE_PENALTY * record.consecutive_rejections
+        record.score = max(MIN_SCORE, record.score - penalty)
+        return record.score
+
+    def meets_threshold(self, participant_id: str, threshold: float) -> bool:
+        """Provider-side check: is the client reputable enough to serve?"""
+        return self.score(participant_id) >= threshold
+
+
+REPUTATION_RESOURCE = "reputation"
+
+
+def attach_reputation_resource(requests, offers, ledger: ReputationLedger):
+    """Fold provider reputation into the bidding language (§IV-B).
+
+    "A resource type k can represent a broad range of resources, e.g.,
+    latency, reputation, the presence of SGX."  Each offer is annotated
+    with its provider's current score as a ``reputation`` resource;
+    requests that already declare a ``reputation`` demand (amount =
+    minimum score, significance 1.0 for a hard floor) then match through
+    the standard feasibility/quality machinery — no special-casing in
+    the mechanism.
+
+    Returns new offer objects; requests pass through unchanged.
+    """
+    from repro.market.bids import Offer  # local import avoids a cycle
+
+    annotated = []
+    for offer in offers:
+        resources = dict(offer.resources)
+        resources[REPUTATION_RESOURCE] = ledger.score(offer.provider_id)
+        annotated.append(
+            Offer(
+                offer_id=offer.offer_id,
+                provider_id=offer.provider_id,
+                submit_time=offer.submit_time,
+                resources=resources,
+                window=offer.window,
+                bid=offer.bid,
+                location=offer.location,
+            )
+        )
+    return list(requests), annotated

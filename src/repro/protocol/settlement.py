@@ -1,0 +1,171 @@
+"""Token settlement: balances, escrow, and payout.
+
+The agreement contract (§III-B) promises the provider its revenue once
+the container ran; on a real chain this is enforced by escrowing the
+client's payment when it calls ``accept`` and releasing it on completion.
+This module implements that flow over an in-memory token ledger:
+
+    accept -> escrow(payment)        funds leave the client
+    completion report -> release     funds reach the provider
+    provider default -> refund       funds return to the client
+
+Balances can never go negative and the total token supply is conserved
+through every operation — tested invariants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.errors import ContractError
+
+
+class EscrowState(enum.Enum):
+    HELD = "held"
+    RELEASED = "released"
+    REFUNDED = "refunded"
+
+
+@dataclass
+class Escrow:
+    """Funds locked for one agreement."""
+
+    escrow_id: str
+    client_id: str
+    provider_id: str
+    amount: float
+    state: EscrowState = EscrowState.HELD
+
+
+@dataclass
+class TokenLedger:
+    """Minimal account-model token ledger with escrow support."""
+
+    balances: Dict[str, float] = field(default_factory=dict)
+    escrows: Dict[str, Escrow] = field(default_factory=dict)
+    _escrow_counter: int = 0
+
+    # ------------------------------------------------------------------
+    # Basic accounting
+    # ------------------------------------------------------------------
+    def mint(self, account: str, amount: float) -> None:
+        """Credit new tokens (the miners' emission reward in DeCloud)."""
+        if amount < 0:
+            raise ContractError("cannot mint a negative amount")
+        self.balances[account] = self.balances.get(account, 0.0) + amount
+
+    def balance(self, account: str) -> float:
+        return self.balances.get(account, 0.0)
+
+    def total_supply(self) -> float:
+        """All tokens: free balances plus funds held in escrow."""
+        held = sum(
+            e.amount for e in self.escrows.values() if e.state is EscrowState.HELD
+        )
+        return sum(self.balances.values()) + held
+
+    def transfer(self, sender: str, recipient: str, amount: float) -> None:
+        if amount < 0:
+            raise ContractError("cannot transfer a negative amount")
+        if self.balance(sender) < amount - 1e-12:
+            raise ContractError(
+                f"{sender} has {self.balance(sender):.6f}, needs {amount:.6f}"
+            )
+        self.balances[sender] = self.balance(sender) - amount
+        self.balances[recipient] = self.balance(recipient) + amount
+
+    # ------------------------------------------------------------------
+    # Escrow lifecycle
+    # ------------------------------------------------------------------
+    def open_escrow(
+        self, client_id: str, provider_id: str, amount: float
+    ) -> str:
+        """Lock the client's payment pending service completion."""
+        if amount < 0:
+            raise ContractError("cannot escrow a negative amount")
+        if self.balance(client_id) < amount - 1e-12:
+            raise ContractError(
+                f"client {client_id} cannot cover escrow of {amount:.6f}"
+            )
+        self.balances[client_id] = self.balance(client_id) - amount
+        escrow_id = f"esc-{self._escrow_counter:06d}"
+        self._escrow_counter += 1
+        self.escrows[escrow_id] = Escrow(
+            escrow_id=escrow_id,
+            client_id=client_id,
+            provider_id=provider_id,
+            amount=amount,
+        )
+        return escrow_id
+
+    def _held(self, escrow_id: str) -> Escrow:
+        escrow = self.escrows.get(escrow_id)
+        if escrow is None:
+            raise ContractError(f"unknown escrow {escrow_id}")
+        if escrow.state is not EscrowState.HELD:
+            raise ContractError(
+                f"escrow {escrow_id} already {escrow.state.value}"
+            )
+        return escrow
+
+    def release(self, escrow_id: str) -> None:
+        """Service completed: pay the provider."""
+        escrow = self._held(escrow_id)
+        escrow.state = EscrowState.RELEASED
+        self.balances[escrow.provider_id] = (
+            self.balance(escrow.provider_id) + escrow.amount
+        )
+
+    def refund(self, escrow_id: str) -> None:
+        """Provider defaulted: return funds to the client."""
+        escrow = self._held(escrow_id)
+        escrow.state = EscrowState.REFUNDED
+        self.balances[escrow.client_id] = (
+            self.balance(escrow.client_id) + escrow.amount
+        )
+
+    def held_for(self, provider_id: str) -> List[Escrow]:
+        return [
+            e
+            for e in self.escrows.values()
+            if e.provider_id == provider_id and e.state is EscrowState.HELD
+        ]
+
+
+@dataclass
+class SettlementProcessor:
+    """Drives settlement for a block's matches through the token ledger."""
+
+    ledger: TokenLedger
+
+    def settle_block(
+        self,
+        matches,
+        auto_fund: bool = False,
+    ) -> Dict[str, str]:
+        """Open one escrow per match; returns request id -> escrow id.
+
+        With ``auto_fund`` clients are minted exactly the payment they
+        owe (useful in simulations that do not model wealth).
+        """
+        escrow_ids: Dict[str, str] = {}
+        for match in matches:
+            client = match.request.client_id
+            if auto_fund and self.ledger.balance(client) < match.payment:
+                self.ledger.mint(
+                    client, match.payment - self.ledger.balance(client)
+                )
+            escrow_ids[match.request.request_id] = self.ledger.open_escrow(
+                client_id=client,
+                provider_id=match.offer.provider_id,
+                amount=match.payment,
+            )
+        return escrow_ids
+
+    def complete(self, escrow_id: str) -> None:
+        self.ledger.release(escrow_id)
+
+    def default(self, escrow_id: str) -> None:
+        self.ledger.refund(escrow_id)

@@ -1,0 +1,38 @@
+"""Market simulation: paired block clearing, online rounds, arrivals."""
+
+from repro.sim.arrivals import ArrivalProcess, poisson_arrival_times
+from repro.sim.engine import MarketSimulator
+from repro.sim.metrics import (
+    BlockMetrics,
+    RunMetrics,
+    compare_outcomes,
+    pooled_metrics,
+)
+from repro.sim.online import OnlineResult, OnlineSimulator, RoundRecord
+from repro.sim.strategies import (
+    StrategyOutcome,
+    anchor_to_history,
+    overbid,
+    run_strategy_game,
+    shade,
+    truthful,
+)
+
+__all__ = [
+    "MarketSimulator",
+    "BlockMetrics",
+    "RunMetrics",
+    "compare_outcomes",
+    "pooled_metrics",
+    "ArrivalProcess",
+    "poisson_arrival_times",
+    "OnlineSimulator",
+    "OnlineResult",
+    "RoundRecord",
+    "StrategyOutcome",
+    "run_strategy_game",
+    "truthful",
+    "shade",
+    "overbid",
+    "anchor_to_history",
+]

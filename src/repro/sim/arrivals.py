@@ -1,0 +1,121 @@
+"""Arrival processes for online market simulation.
+
+The blockchain clears the market in rounds, but participants arrive
+continuously; "the system will have an online appearance to users (with
+some observed delay)" (paper §VI).  This module generates Poisson
+arrivals of requests and offers over a time horizon, for consumption by
+:class:`repro.sim.online.OnlineSimulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.rng import make_generator, spawn_child
+from repro.common.timewindow import TimeWindow
+from repro.market.bids import Offer, Request
+from repro.workloads.ec2_catalog import ProviderCatalog
+from repro.workloads.google_trace import GoogleTraceWorkload, assign_valuations
+
+
+def poisson_arrival_times(
+    rate: float, horizon: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Event times of a Poisson process with ``rate`` events per hour."""
+    if rate <= 0:
+        raise ValidationError("rate must be positive")
+    if horizon <= 0:
+        raise ValidationError("horizon must be positive")
+    expected = rate * horizon
+    count = int(rng.poisson(expected))
+    return np.sort(rng.uniform(0.0, horizon, size=count))
+
+
+@dataclass
+class ArrivalProcess:
+    """Streams timestamped requests and offers over a horizon.
+
+    Requests want to start soon after arriving (a patience window);
+    offers advertise availability from arrival for ``offer_span`` hours.
+    """
+
+    request_rate: float = 10.0  # per hour
+    offer_rate: float = 5.0
+    horizon: float = 48.0
+    request_patience: float = 12.0  # how long a client will wait to start
+    offer_span: float = 24.0
+    seed: int = 0
+    workload: GoogleTraceWorkload = field(default=None)  # type: ignore[assignment]
+    catalog: ProviderCatalog = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.workload is None:
+            self.workload = GoogleTraceWorkload(
+                window_span=self.request_patience
+            )
+        if self.catalog is None:
+            self.catalog = ProviderCatalog(window_span=self.offer_span)
+
+    def generate(self) -> Tuple[List[Request], List[Offer]]:
+        """All arrivals over the horizon, stamped with submit times."""
+        root = make_generator(f"arrivals-{self.seed}")
+        time_rng = spawn_child(root, "times")
+        shape_rng = spawn_child(root, "shapes")
+        value_rng = spawn_child(root, "values")
+
+        request_times = poisson_arrival_times(
+            self.request_rate, self.horizon, time_rng
+        )
+        offer_times = poisson_arrival_times(
+            self.offer_rate, self.horizon, time_rng
+        )
+
+        raw_requests = self.workload.sample_requests(
+            len(request_times), rng=shape_rng
+        )
+        requests: List[Request] = []
+        for base, arrive in zip(raw_requests, request_times):
+            window = TimeWindow(
+                float(arrive), float(arrive) + self.request_patience
+            )
+            duration = min(base.duration, window.span)
+            requests.append(
+                Request(
+                    request_id=base.request_id,
+                    client_id=base.client_id,
+                    submit_time=float(arrive),
+                    resources=dict(base.resources),
+                    significance=dict(base.significance),
+                    window=window,
+                    duration=duration,
+                    bid=base.bid,
+                    flexibility=base.flexibility,
+                )
+            )
+
+        raw_offers = self.catalog.sample_offers(
+            len(offer_times), rng=shape_rng
+        )
+        offers: List[Offer] = []
+        for base, arrive in zip(raw_offers, offer_times):
+            offers.append(
+                Offer(
+                    offer_id=base.offer_id,
+                    provider_id=base.provider_id,
+                    submit_time=float(arrive),
+                    resources=dict(base.resources),
+                    window=TimeWindow(
+                        float(arrive), float(arrive) + self.offer_span
+                    ),
+                    bid=base.bid,
+                    location=base.location,
+                )
+            )
+
+        if offers:
+            requests = assign_valuations(requests, offers, rng=value_rng)
+        return requests, offers

@@ -1,0 +1,215 @@
+"""Strategic bidders and regret measurement.
+
+The point of a DSIC mechanism is that participants need *no* bidding
+strategy: truthful reporting is optimal no matter what everyone else
+does.  This module puts that to an agent-level test: simple strategy
+families (shading, overbidding, historical-price anchoring) play repeated
+markets against a truthful population, and the regret harness measures
+how much utility each strategy earns relative to bidding truthfully in
+identical markets.
+
+A correct DSIC implementation shows non-positive mean regret advantage
+for every non-truthful strategy — which is what the strategy-regret
+experiment asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from repro.core.outcome import (
+    AuctionOutcome,
+    utility_of_client,
+    utility_of_provider,
+)
+from repro.workloads.generators import MarketScenario
+
+#: A bidding strategy maps (true value, price history) -> reported bid.
+Strategy = Callable[[float, Sequence[float]], float]
+
+
+def truthful(true_value: float, history: Sequence[float]) -> float:
+    return true_value
+
+
+def shade(factor: float) -> Strategy:
+    """Classic bid shading: report ``factor`` x value (factor < 1)."""
+
+    def strategy(true_value: float, history: Sequence[float]) -> float:
+        return true_value * factor
+
+    strategy.__name__ = f"shade_{factor}"
+    return strategy
+
+
+def overbid(factor: float) -> Strategy:
+    """Aggressive overbidding to win more often (factor > 1)."""
+
+    def strategy(true_value: float, history: Sequence[float]) -> float:
+        return true_value * factor
+
+    strategy.__name__ = f"overbid_{factor}"
+    return strategy
+
+
+def anchor_to_history(margin: float = 1.05) -> Strategy:
+    """Bid just above the recent mean clearing price (if profitable).
+
+    The paper notes participants can "infer their valuations from
+    historical prices" (§VI); this strategy tries to exploit that and
+    should still not beat truthfulness.
+    """
+
+    def strategy(true_value: float, history: Sequence[float]) -> float:
+        if not history:
+            return true_value
+        anchor = margin * sum(history) / len(history)
+        return min(true_value, anchor) if anchor > 0 else true_value
+
+    strategy.__name__ = f"anchor_{margin}"
+    return strategy
+
+
+@dataclass
+class StrategyOutcome:
+    """Utilities a strategy earned across repeated markets."""
+
+    name: str
+    utilities: List[float] = field(default_factory=list)
+    truthful_utilities: List[float] = field(default_factory=list)
+
+    @property
+    def mean_utility(self) -> float:
+        return (
+            sum(self.utilities) / len(self.utilities) if self.utilities else 0.0
+        )
+
+    @property
+    def mean_regret_advantage(self) -> float:
+        """Mean(strategy utility - truthful utility); <= 0 under DSIC."""
+        pairs = zip(self.utilities, self.truthful_utilities)
+        diffs = [s - t for s, t in pairs]
+        return sum(diffs) / len(diffs) if diffs else 0.0
+
+
+def run_strategy_game(
+    strategies: Dict[str, Strategy],
+    n_markets: int = 20,
+    n_requests: int = 12,
+    agent_index: int = 0,
+    config: Optional[AuctionConfig] = None,
+    n_evidences: int = 5,
+) -> Dict[str, StrategyOutcome]:
+    """Play each strategy as one client against a truthful population.
+
+    Every strategy faces the *identical* market sequence (same seeds),
+    so utility differences are purely strategic.  Because the mechanism
+    randomizes over the block evidence, utilities are averaged over
+    ``n_evidences`` evidence draws per market — DSIC for a randomized
+    mechanism is a statement about the expectation over its coins, and a
+    bidder cannot choose the evidence (it is the preamble hash).  The
+    price history fed to adaptive strategies accumulates over markets.
+    """
+    config = config or AuctionConfig(cluster_breadth=4)
+    auction = DecloudAuction(config)
+    results = {
+        name: StrategyOutcome(name=name) for name in strategies
+    }
+    evidences = [f"G{i}".encode() for i in range(n_evidences)]
+
+    def mean_utility(requests, offers, request_id, true_value):
+        total = 0.0
+        last_outcome: Optional[AuctionOutcome] = None
+        for evidence in evidences:
+            last_outcome = auction.run(requests, offers, evidence=evidence)
+            total += utility_of_client(last_outcome, request_id, true_value)
+        return total / len(evidences), last_outcome
+
+    for seed in range(n_markets):
+        requests, offers = MarketScenario(
+            n_requests=n_requests, offers_per_request=0.5, seed=seed
+        ).generate()
+        agent = requests[agent_index % len(requests)]
+        true_value = agent.bid
+
+        truthful_utility, truthful_outcome = mean_utility(
+            requests, offers, agent.request_id, true_value
+        )
+        history = [
+            m.unit_price for m in truthful_outcome.matches
+        ]  # public once the block is on chain
+
+        for name, strategy in strategies.items():
+            reported = max(0.0, strategy(true_value, history))
+            deviated = [
+                r if r.request_id != agent.request_id else r.replace_bid(reported)
+                for r in requests
+            ]
+            utility, _ = mean_utility(
+                deviated, offers, agent.request_id, true_value
+            )
+            results[name].utilities.append(utility)
+            results[name].truthful_utilities.append(truthful_utility)
+    return results
+
+
+def run_provider_strategy_game(
+    strategies: Dict[str, Strategy],
+    n_markets: int = 20,
+    n_requests: int = 12,
+    agent_index: int = 0,
+    config: Optional[AuctionConfig] = None,
+    n_evidences: int = 5,
+) -> Dict[str, StrategyOutcome]:
+    """The seller-side mirror of :func:`run_strategy_game`.
+
+    One provider plays each cost-reporting strategy (a strategy maps the
+    *true cost* and price history to a reported cost) against a truthful
+    market; utility = revenue minus the true cost of the allocated
+    fraction, averaged over the mechanism's evidence coins.
+    """
+    config = config or AuctionConfig(cluster_breadth=4)
+    auction = DecloudAuction(config)
+    results = {name: StrategyOutcome(name=name) for name in strategies}
+    evidences = [f"P{i}".encode() for i in range(n_evidences)]
+
+    def mean_utility(requests, offer_list, provider_id, true_costs):
+        total = 0.0
+        last_outcome: Optional[AuctionOutcome] = None
+        for evidence in evidences:
+            last_outcome = auction.run(
+                requests, offer_list, evidence=evidence
+            )
+            total += utility_of_provider(
+                last_outcome, provider_id, true_costs
+            )
+        return total / len(evidences), last_outcome
+
+    for seed in range(n_markets):
+        requests, offers = MarketScenario(
+            n_requests=n_requests, offers_per_request=0.5, seed=seed
+        ).generate()
+        agent = offers[agent_index % len(offers)]
+        true_cost = agent.bid
+        true_costs = {agent.offer_id: true_cost}
+
+        truthful_utility, truthful_outcome = mean_utility(
+            requests, offers, agent.provider_id, true_costs
+        )
+        history = [m.unit_price for m in truthful_outcome.matches]
+
+        for name, strategy in strategies.items():
+            reported = max(0.0, strategy(true_cost, history))
+            deviated = [
+                o if o.offer_id != agent.offer_id else o.replace_bid(reported)
+                for o in offers
+            ]
+            utility, _ = mean_utility(
+                requests, deviated, agent.provider_id, true_costs
+            )
+            results[name].utilities.append(utility)
+            results[name].truthful_utilities.append(truthful_utility)
+    return results

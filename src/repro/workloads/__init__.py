@@ -1,0 +1,42 @@
+"""Workload generation: Google-trace-style demand, EC2 M5 supply,
+divergence-controlled scenarios."""
+
+from repro.workloads.divergence import (
+    CONFIG_CLASSES,
+    DivergenceScenario,
+    tilt_for_similarity,
+    tilted_distribution,
+)
+from repro.workloads.ec2_catalog import (
+    M5_INSTANCES,
+    InstanceType,
+    ProviderCatalog,
+    instance_by_name,
+)
+from repro.workloads.generators import MarketScenario, generate_market
+from repro.workloads.google_trace import GoogleTraceWorkload, assign_valuations
+from repro.workloads.traces import (
+    TaskEvent,
+    load_task_events,
+    parse_task_events,
+    rows_to_requests,
+)
+
+__all__ = [
+    "CONFIG_CLASSES",
+    "DivergenceScenario",
+    "tilt_for_similarity",
+    "tilted_distribution",
+    "M5_INSTANCES",
+    "InstanceType",
+    "ProviderCatalog",
+    "instance_by_name",
+    "MarketScenario",
+    "generate_market",
+    "GoogleTraceWorkload",
+    "assign_valuations",
+    "TaskEvent",
+    "load_task_events",
+    "parse_task_events",
+    "rows_to_requests",
+]

@@ -1,0 +1,126 @@
+"""Amazon EC2 M5 provider catalog (paper §V).
+
+The evaluation draws provider capabilities and pricing from the EC2 M5
+family, with resources "in a range between 2-16 CPU cores and 8-64 GB
+RAM" — exactly the m5.large … m5.4xlarge tiers.  Specs and the on-demand
+us-east-1 hourly prices below are the published 2018/2019 values.  M5 is
+EBS-backed, so the catalog attaches a configurable block-storage volume
+per instance (the Google-trace workload needs a disk dimension).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.rng import make_generator
+from repro.common.timewindow import TimeWindow
+from repro.market.bids import Offer
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """One EC2 instance type: name, shape, hourly on-demand price."""
+
+    name: str
+    vcpus: int
+    ram_gb: float
+    hourly_price: float
+    disk_gb: float = 200.0
+
+    def resources(self) -> Dict[str, float]:
+        return {
+            "cpu": float(self.vcpus),
+            "ram": float(self.ram_gb),
+            "disk": float(self.disk_gb),
+        }
+
+
+#: Published M5 on-demand specs/prices (us-east-1, 2018).
+M5_INSTANCES: Sequence[InstanceType] = (
+    InstanceType(name="m5.large", vcpus=2, ram_gb=8, hourly_price=0.096),
+    InstanceType(name="m5.xlarge", vcpus=4, ram_gb=16, hourly_price=0.192),
+    InstanceType(name="m5.2xlarge", vcpus=8, ram_gb=32, hourly_price=0.384),
+    InstanceType(name="m5.4xlarge", vcpus=16, ram_gb=64, hourly_price=0.768),
+)
+
+
+def instance_by_name(name: str) -> InstanceType:
+    for instance in M5_INSTANCES:
+        if instance.name == name:
+            return instance
+    raise ValidationError(f"unknown instance type {name!r}")
+
+
+@dataclass
+class ProviderCatalog:
+    """Generates provider offers by sampling the M5 family.
+
+    ``cost_noise`` models provider heterogeneity: individual providers'
+    operating costs scatter around the EC2 list price by a uniform
+    multiplicative factor (a crowdsourced host with sunk hardware costs
+    undercuts; a boutique edge site charges a premium).
+    """
+
+    instances: Sequence[InstanceType] = M5_INSTANCES
+    cost_noise: float = 0.2
+    window_span: float = 24.0
+    disk_gb_range: tuple = (100.0, 500.0)
+    locations: Sequence[str] = ("edge-a", "edge-b", "edge-c", "edge-d")
+
+    def __post_init__(self) -> None:
+        if not self.instances:
+            raise ValidationError("catalog needs at least one instance type")
+        if not 0.0 <= self.cost_noise < 1.0:
+            raise ValidationError("cost_noise must be in [0, 1)")
+
+    def sample_offers(
+        self,
+        count: int,
+        rng: Optional[np.random.Generator] = None,
+        weights: Optional[Sequence[float]] = None,
+        start_time: float = 0.0,
+    ) -> List[Offer]:
+        """Draw ``count`` offers; ``weights`` skews the type mix."""
+        rng = rng if rng is not None else make_generator()
+        if weights is not None:
+            weights = np.asarray(weights, dtype=float)
+            if len(weights) != len(self.instances) or weights.sum() <= 0:
+                raise ValidationError(
+                    "weights must match the instance list and sum > 0"
+                )
+            probabilities = weights / weights.sum()
+        else:
+            probabilities = np.full(
+                len(self.instances), 1.0 / len(self.instances)
+            )
+
+        offers: List[Offer] = []
+        indices = rng.choice(len(self.instances), size=count, p=probabilities)
+        for i, type_index in enumerate(indices):
+            instance = self.instances[int(type_index)]
+            resources = instance.resources()
+            resources["disk"] = float(
+                rng.uniform(*self.disk_gb_range)
+            )
+            noise = 1.0 + rng.uniform(-self.cost_noise, self.cost_noise)
+            cost = instance.hourly_price * self.window_span * noise
+            offers.append(
+                Offer(
+                    offer_id=f"off-{i:06d}",
+                    provider_id=f"prov-{i:06d}",
+                    submit_time=start_time + 1e-6 * i,
+                    resources=resources,
+                    window=TimeWindow(
+                        start_time, start_time + self.window_span
+                    ),
+                    bid=cost,
+                    location=str(
+                        self.locations[int(rng.integers(len(self.locations)))]
+                    ),
+                )
+            )
+        return offers

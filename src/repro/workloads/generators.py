@@ -1,0 +1,80 @@
+"""High-level market generation used by experiments and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.common.errors import ValidationError
+from repro.common.rng import make_generator, spawn_child
+from repro.market.bids import Offer, Request
+from repro.workloads.ec2_catalog import ProviderCatalog
+from repro.workloads.google_trace import GoogleTraceWorkload, assign_valuations
+
+
+@dataclass
+class MarketScenario:
+    """A reproducible Google-trace-on-EC2 market (the Fig. 5a-5c setup).
+
+    ``offers_per_request`` controls supply tightness; the paper's sweep
+    varies the number of requests with proportional supply.
+    """
+
+    n_requests: int
+    offers_per_request: float = 0.5
+    seed: int = 0
+    flexibility: float = 1.0
+    window_span: float = 24.0
+    valuation_basis: str = "fraction"
+    workload: GoogleTraceWorkload = field(default=None)  # type: ignore[assignment]
+    catalog: ProviderCatalog = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.n_requests < 1:
+            raise ValidationError("n_requests must be >= 1")
+        if self.offers_per_request <= 0:
+            raise ValidationError("offers_per_request must be > 0")
+        if self.workload is None:
+            self.workload = GoogleTraceWorkload(
+                window_span=self.window_span, flexibility=self.flexibility
+            )
+        if self.catalog is None:
+            self.catalog = ProviderCatalog(window_span=self.window_span)
+
+    @property
+    def n_offers(self) -> int:
+        return max(1, int(round(self.n_requests * self.offers_per_request)))
+
+    def generate(self) -> Tuple[List[Request], List[Offer]]:
+        """Sample the full market with independent per-role RNG streams."""
+        root = make_generator(self.seed)
+        offer_rng = spawn_child(root, "offers")
+        request_rng = spawn_child(root, "requests")
+        value_rng = spawn_child(root, "valuations")
+        offers = self.catalog.sample_offers(self.n_offers, rng=offer_rng)
+        requests = self.workload.sample_requests(
+            self.n_requests, rng=request_rng
+        )
+        requests = assign_valuations(
+            requests, offers, rng=value_rng, basis=self.valuation_basis
+        )
+        return requests, offers
+
+
+def generate_market(
+    n_requests: int,
+    n_offers: Optional[int] = None,
+    seed: int = 0,
+    flexibility: float = 1.0,
+) -> Tuple[List[Request], List[Offer]]:
+    """One-call market generation (convenience wrapper)."""
+    offers_per_request = (
+        n_offers / n_requests if n_offers is not None else 0.5
+    )
+    scenario = MarketScenario(
+        n_requests=n_requests,
+        offers_per_request=offers_per_request,
+        seed=seed,
+        flexibility=flexibility,
+    )
+    return scenario.generate()

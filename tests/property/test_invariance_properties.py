@@ -1,0 +1,69 @@
+"""Property tests: input-order invariance and serialization stability.
+
+* **Order invariance** — the mechanism must not depend on the list order
+  of requests or offers (only on their submit times and ids); otherwise
+  miners iterating mempools differently would diverge and collective
+  verification would fail.
+* **Serialization stability** — chains with arbitrary market content
+  survive the JSON audit format byte-for-byte.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.auction import DecloudAuction
+from repro.experiments.sweeps import eval_config
+from repro.ledger.serialization import chain_from_json, chain_to_json
+from repro.protocol.exposure import Participant, build_miner_network
+from repro.workloads.generators import MarketScenario
+
+
+class TestOrderInvariance:
+    @given(
+        seed=st.integers(min_value=0, max_value=500),
+        shuffle_seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_outcome_independent_of_list_order(self, seed, shuffle_seed):
+        import random
+
+        requests, offers = MarketScenario(n_requests=10, seed=seed).generate()
+        auction = DecloudAuction(eval_config())
+        baseline = auction.run(requests, offers, evidence=b"ORD")
+
+        rng = random.Random(shuffle_seed)
+        shuffled_requests = list(requests)
+        shuffled_offers = list(offers)
+        rng.shuffle(shuffled_requests)
+        rng.shuffle(shuffled_offers)
+        shuffled = auction.run(
+            shuffled_requests, shuffled_offers, evidence=b"ORD"
+        )
+        assert shuffled.to_payload() == baseline.to_payload()
+
+
+class TestSerializationStability:
+    @given(seed=st.integers(min_value=0, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_random_chain_roundtrip(self, seed):
+        protocol = build_miner_network(1, difficulty_bits=4)
+        requests, offers = MarketScenario(n_requests=4, seed=seed).generate()
+        participants = {}
+        for request in requests:
+            participants.setdefault(
+                request.client_id,
+                Participant(participant_id=request.client_id),
+            )
+            protocol.submit(participants[request.client_id], request)
+        for offer in offers:
+            participants.setdefault(
+                offer.provider_id,
+                Participant(participant_id=offer.provider_id),
+            )
+            protocol.submit(participants[offer.provider_id], offer)
+        protocol.run_round(list(participants.values()))
+
+        chain = protocol.miners[0].chain
+        restored = chain_from_json(chain_to_json(chain))
+        assert restored.tip_hash == chain.tip_hash
+        assert chain_to_json(restored) == chain_to_json(chain)

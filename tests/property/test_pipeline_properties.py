@@ -1,0 +1,97 @@
+"""Property tests: the full ledger pipeline and the outcome auditor.
+
+Two end-to-end invariants on randomly generated markets:
+
+* **audit universality** — every outcome the mechanism produces passes
+  the independent invariant auditor;
+* **ledger equivalence** — clearing a block through the sealed-bid
+  protocol yields byte-for-byte the payload of a direct auction run with
+  the same evidence (purity of the allocation function, the property
+  collective verification rests on).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.audit import audit_outcome
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from repro.ledger.block import Block
+from repro.ledger.miner import Miner
+from repro.protocol.allocator import DecloudAllocator
+from repro.protocol.exposure import Participant
+from repro.workloads.generators import MarketScenario
+
+
+class TestAuditUniversality:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_requests=st.integers(min_value=2, max_value=24),
+        breadth=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_outcomes_always_audit_clean(self, seed, n_requests, breadth):
+        requests, offers = MarketScenario(
+            n_requests=n_requests, seed=seed
+        ).generate()
+        config = AuctionConfig(cluster_breadth=breadth)
+        outcome = DecloudAuction(config).run(
+            requests, offers, evidence=seed.to_bytes(4, "big")
+        )
+        report = audit_outcome(requests, offers, outcome)
+        assert report.ok, str(report)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_benchmark_outcomes_audit_clean(self, seed):
+        requests, offers = MarketScenario(n_requests=12, seed=seed).generate()
+        outcome = DecloudAuction(AuctionConfig.benchmark()).run(
+            requests, offers
+        )
+        report = audit_outcome(requests, offers, outcome)
+        assert report.ok, str(report)
+
+
+class TestLedgerEquivalence:
+    @given(seed=st.integers(min_value=0, max_value=1_000))
+    @settings(max_examples=15, deadline=None)
+    def test_protocol_round_equals_direct_run(self, seed):
+        requests, offers = MarketScenario(n_requests=6, seed=seed).generate()
+        miner = Miner(
+            miner_id="m", allocate=DecloudAllocator(), difficulty_bits=4
+        )
+        participants = {}
+        for request in requests:
+            participants.setdefault(
+                request.client_id, Participant(participant_id=request.client_id)
+            )
+        for offer in offers:
+            participants.setdefault(
+                offer.provider_id,
+                Participant(participant_id=offer.provider_id),
+            )
+        for request in requests:
+            miner.accept_transaction(
+                participants[request.client_id].seal(request)
+            )
+        for offer in offers:
+            miner.accept_transaction(
+                participants[offer.provider_id].seal(offer)
+            )
+        preamble = miner.build_preamble()
+        reveals = []
+        for participant in participants.values():
+            reveals.extend(participant.reveals_for(preamble))
+        body = miner.build_body(preamble, tuple(reveals))
+        block = Block(preamble=preamble, body=body)
+
+        direct = DecloudAuction().run(
+            requests, offers, evidence=preamble.evidence()
+        )
+        assert direct.to_payload() == body.allocation
+        # And a fresh peer accepts the block by re-execution.
+        peer = Miner(
+            miner_id="peer", allocate=DecloudAllocator(), difficulty_bits=4
+        )
+        peer.accept_block(block)
+        assert len(peer.chain) == 1

@@ -1,0 +1,105 @@
+"""Stateful property test: the token ledger under arbitrary op sequences.
+
+Hypothesis drives random interleavings of mint / transfer / escrow /
+release / refund and checks after every step that
+
+* no balance ever goes negative,
+* total supply changes only through mint,
+* escrow states move along HELD -> {RELEASED, REFUNDED} exactly once.
+"""
+
+import math
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.common.errors import ContractError
+from repro.protocol.settlement import EscrowState, TokenLedger
+
+ACCOUNTS = ["alice", "bob", "carol", "dave"]
+amounts = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+class LedgerMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.ledger = TokenLedger()
+        self.minted = 0.0
+
+    escrows = Bundle("escrows")
+
+    @rule(account=st.sampled_from(ACCOUNTS), amount=amounts)
+    def mint(self, account, amount):
+        self.ledger.mint(account, amount)
+        self.minted += amount
+
+    @rule(
+        sender=st.sampled_from(ACCOUNTS),
+        recipient=st.sampled_from(ACCOUNTS),
+        amount=amounts,
+    )
+    def transfer(self, sender, recipient, amount):
+        try:
+            self.ledger.transfer(sender, recipient, amount)
+        except ContractError:
+            pass  # overdraft correctly refused
+
+    @rule(
+        target=escrows,
+        client=st.sampled_from(ACCOUNTS),
+        provider=st.sampled_from(ACCOUNTS),
+        amount=amounts,
+    )
+    def open_escrow(self, client, provider, amount):
+        try:
+            return self.ledger.open_escrow(client, provider, amount)
+        except ContractError:
+            return None  # unfunded, correctly refused
+
+    @rule(escrow_id=escrows)
+    def release(self, escrow_id):
+        if escrow_id is None:
+            return
+        try:
+            self.ledger.release(escrow_id)
+        except ContractError:
+            # already settled; state must not be HELD
+            assert (
+                self.ledger.escrows[escrow_id].state is not EscrowState.HELD
+            )
+
+    @rule(escrow_id=escrows)
+    def refund(self, escrow_id):
+        if escrow_id is None:
+            return
+        try:
+            self.ledger.refund(escrow_id)
+        except ContractError:
+            assert (
+                self.ledger.escrows[escrow_id].state is not EscrowState.HELD
+            )
+
+    @invariant()
+    def balances_never_negative(self):
+        for account, balance in self.ledger.balances.items():
+            assert balance >= -1e-9, f"{account} went negative: {balance}"
+
+    @invariant()
+    def supply_conserved(self):
+        assert math.isclose(
+            self.ledger.total_supply(), self.minted, abs_tol=1e-6
+        ), (
+            f"supply {self.ledger.total_supply()} != minted {self.minted}"
+        )
+
+
+TestLedgerMachine = LedgerMachine.TestCase
+TestLedgerMachine.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,203 @@
+"""Property tests: supporting data structures and analysis utilities."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.kld import kl_divergence
+from repro.analysis.loess import loess
+from repro.common.timewindow import TimeWindow
+from repro.core.clustering import update_clusters
+from repro.ledger import pow as pow_mod
+
+finite = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def windows(draw):
+    start = draw(finite)
+    span = draw(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    return TimeWindow(start, start + span)
+
+
+class TestTimeWindowProperties:
+    @given(a=windows(), b=windows())
+    @settings(max_examples=200, deadline=None)
+    def test_contains_implies_overlap(self, a, b):
+        if a.contains(b):
+            assert a.overlaps(b)
+
+    @given(a=windows(), b=windows())
+    @settings(max_examples=200, deadline=None)
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(a=windows(), b=windows())
+    @settings(max_examples=200, deadline=None)
+    def test_intersection_contained_in_both(self, a, b):
+        intersection = a.intersection(b)
+        if intersection is not None:
+            assert a.contains(intersection)
+            assert b.contains(intersection)
+
+    @given(a=windows())
+    @settings(max_examples=100, deadline=None)
+    def test_self_containment(self, a):
+        assert a.contains(a)
+        assert a.can_host(a.span)
+
+
+class TestKldProperties:
+    @given(
+        p=st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_self_divergence_zero(self, p):
+        assert kl_divergence(p, p) == 0.0
+
+    @given(
+        p=st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=8,
+        ),
+        q=st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_non_negative(self, p, q):
+        assume(len(p) == len(q))
+        assert kl_divergence(p, q) >= -1e-12
+
+    @given(
+        p=st.lists(
+            st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+            min_size=2,
+            max_size=8,
+        ),
+        scale=st.floats(min_value=0.1, max_value=100.0, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_scale_invariant(self, p, scale):
+        scaled = [x * scale for x in p]
+        assert kl_divergence(p, scaled) < 1e-9
+
+
+class TestLoessProperties:
+    @given(
+        slope=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        intercept=st.floats(min_value=-10, max_value=10, allow_nan=False),
+        n=st.integers(min_value=5, max_value=40),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_linear_functions_reproduced(self, slope, intercept, n):
+        x = [i * 0.7 for i in range(n)]
+        y = [slope * xi + intercept for xi in x]
+        _, fitted = loess(x, y, frac=0.6)
+        for yi, fi in zip(sorted(y), sorted(fitted)):
+            assert math.isclose(fi, yi, rel_tol=1e-6, abs_tol=1e-6)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=3,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_output_within_data_hull_for_constant(self, values):
+        x = list(range(len(values)))
+        constant = [values[0]] * len(values)
+        _, fitted = loess(x, constant, frac=1.0)
+        for fi in fitted:
+            assert math.isclose(fi, values[0], rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestPowProperties:
+    @given(payload=st.binary(min_size=0, max_size=64))
+    @settings(max_examples=30, deadline=None)
+    def test_solution_valid_and_minimal(self, payload):
+        nonce = pow_mod.solve(payload, 6)
+        assert pow_mod.check(payload, nonce, 6)
+        assert all(not pow_mod.check(payload, n, 6) for n in range(nonce))
+
+
+class TestClusteringProperties:
+    @given(
+        sets=st.lists(
+            st.sets(
+                st.sampled_from([f"o{i}" for i in range(6)]),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_every_request_lands_in_its_best_cluster(self, sets):
+        clusters = []
+        for index, best in enumerate(sets):
+            update_clusters(clusters, f"r{index}", frozenset(best))
+        for index, best in enumerate(sets):
+            exact = next(
+                c for c in clusters if c.offer_ids == frozenset(best)
+            )
+            assert f"r{index}" in exact.request_ids
+
+    @given(
+        sets=st.lists(
+            st.sets(
+                st.sampled_from([f"o{i}" for i in range(6)]),
+                min_size=1,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_cluster_offer_sets_unique(self, sets):
+        clusters = []
+        for index, best in enumerate(sets):
+            update_clusters(clusters, f"r{index}", frozenset(best))
+        offer_sets = [c.offer_ids for c in clusters]
+        assert len(offer_sets) == len(set(offer_sets))
+
+    @given(
+        sets=st.lists(
+            st.sets(
+                st.sampled_from([f"o{i}" for i in range(5)]),
+                min_size=1,
+                max_size=3,
+            ),
+            min_size=1,
+            max_size=6,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_subset_clusters_accumulate_superset_requests(self, sets):
+        clusters = []
+        for index, best in enumerate(sets):
+            update_clusters(clusters, f"r{index}", frozenset(best))
+        # Invariant from Alg. 2: when cluster A's offers are a subset of
+        # cluster B's offers and B existed when A was last updated, A's
+        # requests include the request whose best set equals B... the
+        # robust check: the exact-match cluster of each request contains
+        # every request whose best set is a superset.
+        exact = {frozenset(s): i for i, s in enumerate(sets)}
+        for best, index in exact.items():
+            cluster = next(c for c in clusters if c.offer_ids == best)
+            for other_best, other_index in exact.items():
+                if best < other_best and other_index < index:
+                    assert f"r{other_index}" in cluster.request_ids

@@ -1,0 +1,230 @@
+"""Truthfulness (DSIC) tests for the DeCloud auction (§IV-D).
+
+Two tiers, matching what the theory actually guarantees:
+
+* **Exact, single-cluster** — homogeneous machines, one cluster, no
+  randomization: client misreports never gain, and provider *shading*
+  (under-reporting cost) never gains.  These are the McAfee/SBBA
+  arguments the paper invokes and must hold without exception.
+
+* **Statistical, heterogeneous** — with endogenous clustering and
+  mini-auction grouping, a misreport can shift group membership and the
+  common price; the mechanism is epsilon-DSIC there.  We bound the
+  empirical violation rate and magnitude.  (The paper itself concedes a
+  gaming channel — the ``h'`` offer of §IV-D — and patches it with
+  randomized exclusion, which repairs incentives in expectation, not
+  per-coin-flip.)
+
+Provider *over*-reporting in supply-scarce markets is a genuine leak of
+the paper's mechanism (a monopolist seller can truncate the winner set
+and lift ``v_hat_z``); it is measured and bounded here and documented in
+EXPERIMENTS.md rather than hidden.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.timewindow import TimeWindow
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from repro.core.outcome import utility_of_client, utility_of_provider
+from repro.market.bids import Offer, Request
+from repro.workloads.generators import MarketScenario
+
+NO_RANDOM = AuctionConfig(enable_randomization=False)
+
+
+def _homogeneous_market(request_bids, offer_bids):
+    requests = [
+        Request(
+            request_id=f"r{i}",
+            client_id=f"c{i}",
+            submit_time=i * 0.1,
+            resources={"cpu": 4.0, "ram": 8.0},
+            window=TimeWindow(0, 10),
+            duration=4.0,
+            bid=bid,
+        )
+        for i, bid in enumerate(request_bids)
+    ]
+    offers = [
+        Offer(
+            offer_id=f"o{j}",
+            provider_id=f"p{j}",
+            submit_time=j * 0.05,
+            resources={"cpu": 8.0, "ram": 16.0},
+            window=TimeWindow(0, 24),
+            bid=bid,
+        )
+        for j, bid in enumerate(offer_bids)
+    ]
+    return requests, offers
+
+
+bid_values = st.floats(min_value=0.05, max_value=5.0, allow_nan=False)
+factors = st.floats(min_value=0.0, max_value=4.0, allow_nan=False)
+
+
+class TestExactSingleCluster:
+    @given(
+        request_bids=st.lists(bid_values, min_size=2, max_size=8),
+        offer_bids=st.lists(bid_values, min_size=1, max_size=3),
+        deviant=st.integers(min_value=0, max_value=7),
+        factor=factors,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_client_misreport_never_gains(
+        self, request_bids, offer_bids, deviant, factor
+    ):
+        deviant %= len(request_bids)
+        requests, offers = _homogeneous_market(request_bids, offer_bids)
+        auction = DecloudAuction(NO_RANDOM)
+        true_value = request_bids[deviant]
+        target_id = f"r{deviant}"
+
+        honest = utility_of_client(
+            auction.run(requests, offers, evidence=b"T"), target_id, true_value
+        )
+        deviated_requests = [
+            r if r.request_id != target_id else r.replace_bid(true_value * factor)
+            for r in requests
+        ]
+        deviated = utility_of_client(
+            auction.run(deviated_requests, offers, evidence=b"T"),
+            target_id,
+            true_value,
+        )
+        assert deviated <= honest + 1e-6
+
+    @given(
+        request_bids=st.lists(bid_values, min_size=2, max_size=8),
+        offer_bids=st.lists(bid_values, min_size=1, max_size=3),
+        deviant=st.integers(min_value=0, max_value=2),
+        factor=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_provider_shading_never_gains(
+        self, request_bids, offer_bids, deviant, factor
+    ):
+        deviant %= len(offer_bids)
+        requests, offers = _homogeneous_market(request_bids, offer_bids)
+        auction = DecloudAuction(NO_RANDOM)
+        true_cost = offer_bids[deviant]
+        target_offer = f"o{deviant}"
+        target_provider = f"p{deviant}"
+
+        honest = utility_of_provider(
+            auction.run(requests, offers, evidence=b"T"),
+            target_provider,
+            {target_offer: true_cost},
+        )
+        deviated_offers = [
+            o if o.offer_id != target_offer else o.replace_bid(true_cost * factor)
+            for o in offers
+        ]
+        deviated = utility_of_provider(
+            auction.run(requests, deviated_offers, evidence=b"T"),
+            target_provider,
+            {target_offer: true_cost},
+        )
+        assert deviated <= honest + 1e-6
+
+
+class TestStatisticalHeterogeneous:
+    """Epsilon-DSIC over realistic (Google-on-EC2) markets."""
+
+    def _measure(self, side, factor_set, n_markets=30):
+        auction = DecloudAuction(
+            AuctionConfig(cluster_breadth=4, enable_randomization=False)
+        )
+        violations = 0
+        total = 0
+        total_honest_welfare = 0.0
+        total_gain = 0.0
+        for seed in range(n_markets):
+            requests, offers = MarketScenario(
+                n_requests=12, offers_per_request=0.5, seed=seed
+            ).generate()
+            honest_outcome = auction.run(requests, offers, evidence=b"S")
+            total_honest_welfare += max(honest_outcome.welfare, 1e-9)
+            if side == "client":
+                for i in range(0, len(requests), 3):
+                    request = requests[i]
+                    honest = utility_of_client(
+                        honest_outcome, request.request_id, request.bid
+                    )
+                    for factor in factor_set:
+                        deviated_requests = [
+                            r
+                            if r.request_id != request.request_id
+                            else r.replace_bid(request.bid * factor)
+                            for r in requests
+                        ]
+                        outcome = auction.run(
+                            deviated_requests, offers, evidence=b"S"
+                        )
+                        gain = (
+                            utility_of_client(
+                                outcome, request.request_id, request.bid
+                            )
+                            - honest
+                        )
+                        total += 1
+                        if gain > 1e-6:
+                            violations += 1
+                            total_gain += gain
+            else:
+                for offer in offers[::2]:
+                    honest = utility_of_provider(
+                        honest_outcome,
+                        offer.provider_id,
+                        {offer.offer_id: offer.bid},
+                    )
+                    for factor in factor_set:
+                        deviated_offers = [
+                            o
+                            if o.offer_id != offer.offer_id
+                            else o.replace_bid(offer.bid * factor)
+                            for o in offers
+                        ]
+                        outcome = auction.run(
+                            requests, deviated_offers, evidence=b"S"
+                        )
+                        gain = (
+                            utility_of_provider(
+                                outcome,
+                                offer.provider_id,
+                                {offer.offer_id: offer.bid},
+                            )
+                            - honest
+                        )
+                        total += 1
+                        if gain > 1e-6:
+                            violations += 1
+                            total_gain += gain
+        return violations, total, total_gain, total_honest_welfare
+
+    def test_client_epsilon_dsic(self):
+        violations, total, gain, welfare = self._measure(
+            "client", (0.4, 0.8, 1.3, 2.5)
+        )
+        assert total > 300
+        assert violations / total < 0.05, (
+            f"client misreports gained in {violations}/{total} probes"
+        )
+        assert gain / welfare < 0.02
+
+    def test_provider_epsilon_dsic(self):
+        violations, total, gain, welfare = self._measure(
+            "provider", (0.4, 0.8, 1.5, 2.5)
+        )
+        assert total > 150
+        assert violations / total < 0.12, (
+            f"provider misreports gained in {violations}/{total} probes"
+        )
+        # Mean gain per successful manipulation stays small relative to
+        # the mean per-market welfare (i.e., manipulation is possible in
+        # scarce corners but not lucrative at market scale).
+        mean_gain = gain / max(violations, 1)
+        mean_market_welfare = welfare / 30
+        assert mean_gain < 0.5 * mean_market_welfare

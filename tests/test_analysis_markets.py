@@ -1,0 +1,77 @@
+"""Unit tests for market diagnostics."""
+
+import pytest
+
+from repro.analysis.markets import (
+    clearing_report,
+    crossing_point,
+    demand_curve,
+    supply_curve,
+)
+from repro.core.auction import DecloudAuction
+from repro.experiments.sweeps import eval_config
+from repro.workloads.generators import MarketScenario
+from tests.conftest import make_offer, make_request
+
+
+class TestCurves:
+    def test_demand_sorted_desc(self):
+        requests = [
+            make_request(request_id=f"r{i}", bid=float(b), duration=2.0)
+            for i, b in enumerate([1, 5, 3])
+        ]
+        curve = demand_curve(requests)
+        values = [v for v, _ in curve]
+        assert values == sorted(values, reverse=True)
+        assert curve[-1][1] == pytest.approx(6.0)  # total duration
+
+    def test_supply_sorted_asc(self):
+        offers = [
+            make_offer(offer_id=f"o{i}", bid=float(b))
+            for i, b in enumerate([5, 1, 3])
+        ]
+        curve = supply_curve(offers)
+        costs = [c for c, _ in curve]
+        assert costs == sorted(costs)
+
+    def test_crossing_exists_in_profitable_market(self):
+        requests = [
+            make_request(request_id=f"r{i}", bid=5.0, duration=4.0)
+            for i in range(3)
+        ]
+        offers = [make_offer(offer_id=f"o{i}", bid=0.5) for i in range(2)]
+        cross = crossing_point(demand_curve(requests), supply_curve(offers))
+        assert cross is not None
+        price, quantity = cross
+        assert price > 0 and quantity > 0
+
+    def test_no_cross_in_unprofitable_market(self):
+        requests = [make_request(bid=0.0001, duration=8.0)]
+        offers = [make_offer(bid=100.0)]
+        cross = crossing_point(demand_curve(requests), supply_curve(offers))
+        # marginal value below marginal cost immediately:
+        assert cross is not None  # returns midpoint diagnostic
+        price, quantity = cross
+        assert quantity == pytest.approx(8.0)
+
+    def test_empty_curves(self):
+        assert crossing_point([], []) is None
+
+
+class TestClearingReport:
+    def test_report_fields(self):
+        requests, offers = MarketScenario(n_requests=40, seed=4).generate()
+        outcome = DecloudAuction(eval_config()).run(requests, offers)
+        report = clearing_report(outcome)
+        assert report.trades == outcome.num_trades
+        assert report.welfare == pytest.approx(outcome.welfare)
+        assert 0.0 <= report.mean_utilization <= 1.0
+        assert 0.0 <= report.satisfaction <= 1.0
+        assert "trades=" in str(report)
+
+    def test_empty_outcome(self):
+        from repro.core.outcome import AuctionOutcome
+
+        report = clearing_report(AuctionOutcome())
+        assert report.trades == 0
+        assert report.mean_utilization == 0.0

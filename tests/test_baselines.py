@@ -1,0 +1,112 @@
+"""Unit tests for the greedy benchmark and the exact optimum."""
+
+import pytest
+
+from repro.baselines.greedy import GreedyBenchmark, benchmark_welfare
+from repro.baselines.optimal import optimal_allocation, optimal_welfare
+from repro.common.errors import AuctionError
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from tests.conftest import make_offer, make_request
+
+
+def _small_market():
+    offers = [
+        make_offer(offer_id="cheap", resources={"cpu": 4, "ram": 16, "disk": 100}, bid=1.0),
+        make_offer(offer_id="big", resources={"cpu": 16, "ram": 64, "disk": 400}, bid=3.0),
+    ]
+    requests = [
+        make_request(
+            request_id=f"r{i}",
+            client_id=f"c{i}",
+            resources={"cpu": 2 + i, "ram": 4 + 2 * i, "disk": 10},
+            duration=4.0,
+            bid=1.0 + 0.5 * i,
+        )
+        for i in range(5)
+    ]
+    return requests, offers
+
+
+class TestGreedyBenchmark:
+    def test_forces_benchmark_config(self):
+        benchmark = GreedyBenchmark(AuctionConfig())  # truthful config in
+        requests, offers = _small_market()
+        outcome = benchmark.run(requests, offers)
+        assert outcome.prices == []  # no uniform clearing price
+
+    def test_welfare_helper(self):
+        requests, offers = _small_market()
+        assert benchmark_welfare(requests, offers) == pytest.approx(
+            GreedyBenchmark().run(requests, offers).welfare
+        )
+
+    def test_no_reduced_trades(self):
+        requests, offers = _small_market()
+        outcome = GreedyBenchmark().run(requests, offers)
+        assert outcome.reduced_requests == []
+
+
+class TestOptimal:
+    def test_single_obvious_match(self):
+        requests = [make_request(bid=5.0, duration=4)]
+        offers = [make_offer(bid=1.0)]
+        welfare, matches = optimal_allocation(requests, offers)
+        assert len(matches) == 1
+        assert welfare > 0
+
+    def test_chooses_higher_welfare_assignment(self):
+        # One small machine; two requests that cannot both fit.
+        offers = [
+            make_offer(
+                offer_id="tight",
+                resources={"cpu": 4},
+                window=None,
+                bid=0.1,
+            )
+        ]
+        big_value = make_request(
+            request_id="valuable",
+            resources={"cpu": 4},
+            duration=10,
+            bid=10.0,
+        )
+        small_value = make_request(
+            request_id="cheap",
+            resources={"cpu": 4},
+            duration=10,
+            bid=1.0,
+        )
+        welfare, matches = optimal_allocation(
+            [small_value, big_value], offers
+        )
+        matched_ids = {r.request_id for r, _ in matches}
+        assert "valuable" in matched_ids
+
+    def test_upper_bounds_decloud_and_benchmark(self):
+        requests, offers = _small_market()
+        best = optimal_welfare(requests, offers)
+        truthful = DecloudAuction().run(requests, offers).welfare
+        greedy = GreedyBenchmark().run(requests, offers).welfare
+        assert best + 1e-9 >= truthful
+        assert best + 1e-9 >= greedy
+
+    def test_respects_const9(self):
+        # A request valued below the cost of its fraction never trades.
+        requests = [make_request(bid=1e-9, duration=10)]
+        offers = [make_offer(bid=100.0)]
+        welfare, matches = optimal_allocation(requests, offers)
+        assert matches == []
+        assert welfare == 0.0
+
+    def test_size_limit_enforced(self):
+        requests = [
+            make_request(request_id=f"r{i}", client_id=f"c{i}")
+            for i in range(20)
+        ]
+        offers = [make_offer()]
+        with pytest.raises(AuctionError):
+            optimal_allocation(requests, offers, max_requests=10)
+
+    def test_empty_market(self):
+        assert optimal_welfare([], []) == 0.0

@@ -1,0 +1,129 @@
+"""Unit tests for the TrueBit-style challenge game."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.ledger.block import Block
+from repro.ledger.challenges import ChallengeGame, GameState
+from repro.ledger.miner import Miner
+from repro.protocol.allocator import DecloudAllocator
+from repro.protocol.exposure import Participant
+from repro.protocol.settlement import TokenLedger
+from tests.conftest import make_offer, make_request
+
+
+def _setup(cheat=False):
+    """Build a block (honest or doctored) plus a referee miner."""
+    leader = Miner(
+        miner_id="leader", allocate=DecloudAllocator(), difficulty_bits=4
+    )
+    referee = Miner(
+        miner_id="referee", allocate=DecloudAllocator(), difficulty_bits=4
+    )
+    alice = Participant(participant_id="alice")
+    anna = Participant(participant_id="anna")
+    bob = Participant(participant_id="bob")
+    bids = [
+        (alice, make_request(request_id="ra", client_id="alice", bid=2.0)),
+        (anna, make_request(request_id="rb", client_id="anna", bid=1.5)),
+        (bob, make_offer(provider_id="bob", bid=0.4)),
+    ]
+    for participant, bid in bids:
+        tx = participant.seal(bid)
+        leader.accept_transaction(tx)
+        referee.accept_transaction(tx)
+    preamble = leader.build_preamble()
+    reveals = []
+    for participant, _ in bids:
+        reveals.extend(participant.reveals_for(preamble))
+    body = leader.build_body(preamble, tuple(reveals))
+    if cheat:
+        body = dataclasses.replace(
+            body, allocation={**body.allocation, "matches": []}
+        ).signed_by(leader.keypair, preamble.hash())
+    block = Block(preamble=preamble, body=body)
+
+    ledger = TokenLedger()
+    ledger.mint("leader", 100.0)
+    ledger.mint("challenger", 100.0)
+    game = ChallengeGame(ledger=ledger, deposit=10.0)
+    return game, ledger, block, referee
+
+
+class TestProposal:
+    def test_deposit_locked_on_propose(self):
+        game, ledger, block, _ = _setup()
+        game.propose("leader", block)
+        assert ledger.balance("leader") == 90.0
+
+    def test_double_propose_rejected(self):
+        game, _, block, _ = _setup()
+        game.propose("leader", block)
+        with pytest.raises(ProtocolError):
+            game.propose("leader", block)
+
+    def test_broke_leader_rejected(self):
+        game, ledger, block, _ = _setup()
+        with pytest.raises(ProtocolError):
+            game.propose("pauper", block)
+
+    def test_finalize_unchallenged_returns_deposit(self):
+        game, ledger, block, _ = _setup()
+        block_hash = game.propose("leader", block)
+        game.finalize_unchallenged(block_hash)
+        assert ledger.balance("leader") == 100.0
+        assert game.state_of(block_hash) is GameState.FINALIZED
+
+
+class TestChallengeOutcomes:
+    def test_valid_challenge_slashes_cheater(self):
+        game, ledger, block, referee = _setup(cheat=True)
+        block_hash = game.propose("leader", block)
+        game.raise_challenge("challenger", block_hash)
+        assert game.adjudicate(block_hash, referee) is True
+        assert game.state_of(block_hash) is GameState.REJECTED
+        assert ledger.balance("challenger") == 110.0
+        assert ledger.balance("leader") == 90.0
+
+    def test_frivolous_challenge_slashes_challenger(self):
+        game, ledger, block, referee = _setup(cheat=False)
+        block_hash = game.propose("leader", block)
+        game.raise_challenge("challenger", block_hash)
+        assert game.adjudicate(block_hash, referee) is False
+        assert game.state_of(block_hash) is GameState.FINALIZED
+        assert ledger.balance("leader") == 110.0
+        assert ledger.balance("challenger") == 90.0
+
+    def test_challenge_after_finalize_rejected(self):
+        game, _, block, _ = _setup()
+        block_hash = game.propose("leader", block)
+        game.finalize_unchallenged(block_hash)
+        with pytest.raises(ProtocolError):
+            game.raise_challenge("challenger", block_hash)
+
+    def test_adjudicate_without_challenge_rejected(self):
+        game, _, block, referee = _setup()
+        block_hash = game.propose("leader", block)
+        with pytest.raises(ProtocolError):
+            game.adjudicate(block_hash, referee)
+
+    def test_broke_challenger_rejected(self):
+        game, _, block, _ = _setup()
+        block_hash = game.propose("leader", block)
+        with pytest.raises(ProtocolError):
+            game.raise_challenge("pauper", block_hash)
+
+    def test_token_supply_conserved(self):
+        game, ledger, block, referee = _setup(cheat=True)
+        supply = ledger.total_supply()
+        block_hash = game.propose("leader", block)
+        game.raise_challenge("challenger", block_hash)
+        game.adjudicate(block_hash, referee)
+        assert ledger.total_supply() == pytest.approx(supply)
+
+    def test_unknown_proposal_rejected(self):
+        game, _, _, _ = _setup()
+        with pytest.raises(ProtocolError):
+            game.state_of("ff" * 32)

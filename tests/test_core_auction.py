@@ -1,0 +1,170 @@
+"""Unit tests for the full auction pipeline (Alg. 1)."""
+
+import pytest
+
+from repro.common.errors import AuctionError
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from tests.conftest import make_offer, make_request
+
+
+def _market(n_requests=6, n_offers=3):
+    offers = [
+        make_offer(
+            offer_id=f"off-{i}",
+            provider_id=f"prov-{i}",
+            submit_time=0.01 * i,
+            resources={"cpu": 4 + 4 * i, "ram": 16 + 16 * i, "disk": 200},
+            bid=1.0 + 0.5 * i,
+        )
+        for i in range(n_offers)
+    ]
+    requests = [
+        make_request(
+            request_id=f"req-{i}",
+            client_id=f"cli-{i}",
+            submit_time=1.0 + 0.01 * i,
+            resources={"cpu": 1 + (i % 3), "ram": 2 + (i % 4), "disk": 20},
+            duration=3.0 + (i % 2),
+            bid=1.0 + 0.3 * i,
+        )
+        for i in range(n_requests)
+    ]
+    return requests, offers
+
+
+class TestRun:
+    def test_accounts_for_every_request(self):
+        requests, offers = _market()
+        outcome = DecloudAuction().run(requests, offers)
+        ids = (
+            {m.request.request_id for m in outcome.matches}
+            | {r.request_id for r in outcome.reduced_requests}
+            | {r.request_id for r in outcome.unmatched_requests}
+        )
+        assert ids == {r.request_id for r in requests}
+
+    def test_no_request_in_two_buckets(self):
+        requests, offers = _market()
+        outcome = DecloudAuction().run(requests, offers)
+        matched = {m.request.request_id for m in outcome.matches}
+        reduced = {r.request_id for r in outcome.reduced_requests}
+        unmatched = {r.request_id for r in outcome.unmatched_requests}
+        assert not matched & reduced
+        assert not matched & unmatched
+        assert not reduced & unmatched
+
+    def test_each_request_matched_once(self):
+        requests, offers = _market(n_requests=10)
+        outcome = DecloudAuction().run(requests, offers)
+        matched = [m.request.request_id for m in outcome.matches]
+        assert len(matched) == len(set(matched))
+
+    def test_deterministic_given_evidence(self):
+        requests, offers = _market(n_requests=10)
+        a = DecloudAuction().run(requests, offers, evidence=b"E1")
+        b = DecloudAuction().run(requests, offers, evidence=b"E1")
+        assert a.to_payload() == b.to_payload()
+
+    def test_empty_market(self):
+        outcome = DecloudAuction().run([], [])
+        assert outcome.num_trades == 0
+        assert outcome.welfare == 0.0
+
+    def test_only_requests(self):
+        requests, _ = _market()
+        outcome = DecloudAuction().run(requests, [])
+        assert outcome.num_trades == 0
+        assert len(outcome.unmatched_requests) == len(requests)
+
+    def test_only_offers(self):
+        _, offers = _market()
+        outcome = DecloudAuction().run([], offers)
+        assert outcome.num_trades == 0
+        assert len(outcome.unmatched_offers) == len(offers)
+
+    def test_duplicate_request_id_rejected(self):
+        requests, offers = _market()
+        with pytest.raises(AuctionError):
+            DecloudAuction().run(requests + [requests[0]], offers)
+
+    def test_duplicate_offer_id_rejected(self):
+        requests, offers = _market()
+        with pytest.raises(AuctionError):
+            DecloudAuction().run(requests, offers + [offers[0]])
+
+    def test_strong_budget_balance(self):
+        requests, offers = _market(n_requests=12, n_offers=4)
+        outcome = DecloudAuction().run(requests, offers)
+        assert outcome.total_payments == pytest.approx(
+            sum(outcome.revenues().values())
+        )
+
+    def test_individual_rationality_clients(self):
+        requests, offers = _market(n_requests=12, n_offers=4)
+        outcome = DecloudAuction().run(requests, offers)
+        for match in outcome.matches:
+            assert match.payment <= match.request.bid + 1e-9
+
+    def test_matches_are_feasible(self):
+        from repro.market.feasibility import is_feasible
+
+        requests, offers = _market(n_requests=12, n_offers=4)
+        outcome = DecloudAuction().run(requests, offers)
+        assert outcome.num_trades > 0
+        for match in outcome.matches:
+            assert is_feasible(match.request, match.offer)
+
+    def test_unit_price_supports_all_trading_offers(self):
+        requests, offers = _market(n_requests=12, n_offers=4)
+        outcome = DecloudAuction().run(requests, offers)
+        # every trading offer earns at least its proportional cost at the
+        # cluster's normalized scale (provider-side IR per §IV-E)
+        for match in outcome.matches:
+            assert match.unit_price >= 0
+
+    def test_infeasible_requests_unmatched(self):
+        requests, offers = _market()
+        monster = make_request(
+            request_id="monster", resources={"cpu": 10_000}, bid=99.0
+        )
+        outcome = DecloudAuction().run(requests + [monster], offers)
+        assert any(
+            r.request_id == "monster" for r in outcome.unmatched_requests
+        )
+
+    def test_capacity_never_oversubscribed(self):
+        requests, offers = _market(n_requests=30, n_offers=2)
+        outcome = DecloudAuction().run(requests, offers)
+        for offer in offers:
+            matched = [
+                m.request for m in outcome.matches if m.offer is offer
+            ]
+            for key in offer.resources:
+                load = sum(
+                    (r.duration / offer.span) * r.resources.get(key, 0.0)
+                    for r in matched
+                )
+                assert load <= offer.resources[key] + 1e-6
+
+
+class TestConfigVariants:
+    def test_benchmark_at_least_as_many_trades(self):
+        requests, offers = _market(n_requests=16, n_offers=4)
+        truthful = DecloudAuction().run(requests, offers)
+        benchmark = DecloudAuction(AuctionConfig.benchmark()).run(
+            requests, offers
+        )
+        assert benchmark.num_trades >= truthful.num_trades
+
+    def test_mini_auctions_off_still_clears(self):
+        requests, offers = _market(n_requests=8)
+        config = AuctionConfig(enable_mini_auctions=False)
+        outcome = DecloudAuction(config).run(requests, offers)
+        assert outcome.num_trades >= 0  # functional, possibly fewer trades
+
+    def test_breadth_one(self):
+        requests, offers = _market()
+        config = AuctionConfig(cluster_breadth=1)
+        outcome = DecloudAuction(config).run(requests, offers)
+        assert outcome.num_trades >= 1

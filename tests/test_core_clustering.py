@@ -1,0 +1,117 @@
+"""Unit tests for cluster formation (Alg. 2)."""
+
+from repro.core.clustering import (
+    Cluster,
+    build_clusters,
+    clusters_by_offer,
+    update_clusters,
+)
+from repro.core.config import AuctionConfig
+from tests.conftest import make_offer, make_request
+
+
+class TestUpdateClusters:
+    def test_creates_cluster_for_new_set(self):
+        clusters = []
+        update_clusters(clusters, "r1", frozenset({"o1", "o2"}))
+        assert len(clusters) == 1
+        assert clusters[0].request_ids == {"r1"}
+
+    def test_same_set_reuses_cluster(self):
+        clusters = []
+        update_clusters(clusters, "r1", frozenset({"o1", "o2"}))
+        update_clusters(clusters, "r2", frozenset({"o1", "o2"}))
+        assert len(clusters) == 1
+        assert clusters[0].request_ids == {"r1", "r2"}
+
+    def test_subset_receives_request(self):
+        clusters = [Cluster(offer_ids=frozenset({"o1"}), request_ids={"r0"})]
+        update_clusters(clusters, "r1", frozenset({"o1", "o2"}))
+        subset = next(c for c in clusters if c.offer_ids == {"o1"})
+        assert "r1" in subset.request_ids
+
+    def test_superset_requests_folded_into_subset(self):
+        clusters = []
+        update_clusters(clusters, "r-wide", frozenset({"o1", "o2", "o3"}))
+        update_clusters(clusters, "r-narrow", frozenset({"o1", "o2"}))
+        narrow = next(c for c in clusters if c.offer_ids == {"o1", "o2"})
+        # The wide request can also be served by the narrow offer set.
+        assert narrow.request_ids == {"r-wide", "r-narrow"}
+
+    def test_intersection_cluster_created(self):
+        clusters = []
+        update_clusters(clusters, "r1", frozenset({"o1", "o2", "o3"}))
+        update_clusters(clusters, "r2", frozenset({"o2", "o3", "o4"}))
+        intersection = next(
+            (c for c in clusters if c.offer_ids == {"o2", "o3"}), None
+        )
+        assert intersection is not None
+        assert "r2" in intersection.request_ids
+        assert "r1" in intersection.request_ids
+
+    def test_singleton_intersection_not_created(self):
+        clusters = []
+        update_clusters(clusters, "r1", frozenset({"o1", "o2"}))
+        update_clusters(clusters, "r2", frozenset({"o2", "o9"}))
+        assert not any(c.offer_ids == {"o2"} for c in clusters)
+
+    def test_existing_intersection_reused(self):
+        clusters = []
+        update_clusters(clusters, "r1", frozenset({"o1", "o2", "o3"}))
+        update_clusters(clusters, "r2", frozenset({"o2", "o3", "o4"}))
+        count = len(clusters)
+        update_clusters(clusters, "r3", frozenset({"o2", "o3", "o5"}))
+        intersection = next(c for c in clusters if c.offer_ids == {"o2", "o3"})
+        assert "r3" in intersection.request_ids
+        # o2/o3 intersection existed; only the new best set is added.
+        assert len(clusters) == count + 1
+
+    def test_empty_best_set_ignored(self):
+        clusters = []
+        update_clusters(clusters, "r1", frozenset())
+        assert clusters == []
+
+
+class TestBuildClusters:
+    def test_requests_without_feasible_offer_are_orphans(self):
+        requests = [
+            make_request(request_id="fits", resources={"cpu": 2}),
+            make_request(request_id="huge", resources={"cpu": 999}),
+        ]
+        offers = [make_offer(resources={"cpu": 8})]
+        clusters, orphans = build_clusters(requests, offers, AuctionConfig())
+        assert [r.request_id for r in orphans] == ["huge"]
+        assert any("fits" in c.request_ids for c in clusters)
+
+    def test_similar_requests_share_cluster(self):
+        requests = [
+            make_request(request_id=f"r{i}", resources={"cpu": 2, "ram": 4})
+            for i in range(4)
+        ]
+        offers = [
+            make_offer(offer_id=f"o{i}", resources={"cpu": 4, "ram": 8})
+            for i in range(2)
+        ]
+        clusters, orphans = build_clusters(requests, offers, AuctionConfig())
+        assert not orphans
+        assert len(clusters) == 1
+        assert clusters[0].request_ids == {f"r{i}" for i in range(4)}
+
+    def test_submission_order_processed(self):
+        # Clusters must not depend on list order, only on submit_time.
+        early = make_request(request_id="early", submit_time=0.0)
+        late = make_request(request_id="late", submit_time=9.0)
+        offers = [make_offer()]
+        a, _ = build_clusters([late, early], offers, AuctionConfig())
+        b, _ = build_clusters([early, late], offers, AuctionConfig())
+        assert [c.offer_ids for c in a] == [c.offer_ids for c in b]
+        assert [c.request_ids for c in a] == [c.request_ids for c in b]
+
+    def test_clusters_by_offer_index(self):
+        clusters = [
+            Cluster(offer_ids=frozenset({"o1", "o2"}), request_ids={"r1"}),
+            Cluster(offer_ids=frozenset({"o2"}), request_ids={"r2"}),
+        ]
+        index = clusters_by_offer(clusters)
+        assert len(index["o2"]) == 2
+        assert len(index["o1"]) == 1

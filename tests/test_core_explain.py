@@ -1,0 +1,98 @@
+"""Unit tests for outcome explainability."""
+
+import pytest
+
+from repro.core.auction import DecloudAuction
+from repro.core.explain import explain_block, explain_request
+from repro.experiments.sweeps import eval_config
+from repro.workloads.generators import MarketScenario
+from tests.conftest import make_offer, make_request
+
+
+class TestMatchedAndUnknown:
+    def test_matched_request(self):
+        requests = [
+            make_request(request_id="a", client_id="a", bid=3.0),
+            make_request(request_id="b", client_id="b", bid=2.0),
+        ]
+        offers = [make_offer(bid=0.4)]
+        outcome = DecloudAuction().run(requests, offers)
+        matched = outcome.matches[0].request.request_id
+        explanation = explain_request(requests, offers, outcome, matched)
+        assert explanation.status == "matched"
+        assert explanation.matched_offer == "off-0"
+        assert explanation.payment is not None
+        assert "unit price" in explanation.render()
+
+    def test_unknown_request(self):
+        outcome = DecloudAuction().run([], [])
+        explanation = explain_request([], [], outcome, "ghost")
+        assert explanation.status == "unknown"
+
+
+class TestUnmatchedReasons:
+    def test_infeasible(self):
+        request = make_request(request_id="big", resources={"cpu": 999}, bid=9.0)
+        offers = [make_offer()]
+        outcome = DecloudAuction().run([request], offers)
+        explanation = explain_request([request], offers, outcome, "big")
+        assert explanation.status == "unmatched"
+        assert explanation.feasible_offers == 0
+        assert any("hard constraints" in r for r in explanation.reasons)
+
+    def test_priced_out(self):
+        request = make_request(request_id="cheap", bid=1e-9, duration=8.0)
+        offers = [make_offer(bid=50.0)]
+        outcome = DecloudAuction().run([request], offers)
+        explanation = explain_request([request], offers, outcome, "cheap")
+        assert explanation.feasible_offers == 1
+        assert explanation.affordable_offers == 0
+        assert any("Const. 9" in r for r in explanation.reasons)
+
+    def test_reduced(self):
+        # Single pair: the lone trade is sacrificed (McAfee degenerate).
+        request = make_request(request_id="solo", bid=5.0)
+        offers = [make_offer(bid=0.5)]
+        outcome = DecloudAuction().run([request], offers)
+        explanation = explain_request([request], offers, outcome, "solo")
+        assert explanation.status == "reduced"
+        assert any("trade reduction" in r for r in explanation.reasons)
+
+    def test_lost_on_price(self):
+        # Feasible, affordable, but priced below the clearing price.
+        requests = [
+            make_request(request_id="rich", client_id="r", bid=9.0),
+            make_request(request_id="mid", client_id="m", bid=8.0),
+            make_request(request_id="poor", client_id="p", bid=0.05,
+                         duration=8.0),
+        ]
+        offers = [make_offer(bid=0.8)]
+        outcome = DecloudAuction().run(requests, offers)
+        if outcome.match_for("poor") is not None:
+            pytest.skip("poor request unexpectedly matched")
+        explanation = explain_request(requests, offers, outcome, "poor")
+        assert explanation.status in ("unmatched", "reduced")
+        assert explanation.reasons
+
+
+class TestExplainBlock:
+    def test_every_request_explained(self):
+        requests, offers = MarketScenario(n_requests=15, seed=6).generate()
+        outcome = DecloudAuction(eval_config()).run(requests, offers)
+        explanations = explain_block(requests, offers, outcome)
+        assert len(explanations) == 15
+        statuses = {e.status for e in explanations}
+        assert statuses <= {"matched", "reduced", "unmatched"}
+        for explanation in explanations:
+            assert explanation.render().startswith("request ")
+
+    def test_statuses_match_outcome_buckets(self):
+        requests, offers = MarketScenario(n_requests=20, seed=7).generate()
+        outcome = DecloudAuction(eval_config()).run(requests, offers)
+        explanations = {
+            e.request_id: e for e in explain_block(requests, offers, outcome)
+        }
+        for match in outcome.matches:
+            assert explanations[match.request.request_id].status == "matched"
+        for reduced in outcome.reduced_requests:
+            assert explanations[reduced.request_id].status == "reduced"

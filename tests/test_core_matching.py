@@ -1,0 +1,120 @@
+"""Unit tests for the quality-of-match heuristic (Eq. 18)."""
+
+import pytest
+
+from repro.core.matching import (
+    best_offer_set,
+    block_maxima,
+    quality_of_match,
+    rank_offers,
+)
+from tests.conftest import make_offer, make_request
+
+
+class TestBlockMaxima:
+    def test_maxima_over_both_sides(self):
+        requests = [make_request(resources={"cpu": 10, "ram": 2})]
+        offers = [make_offer(resources={"cpu": 4, "ram": 64})]
+        maxima = block_maxima(requests, offers)
+        assert maxima == {"cpu": 10, "ram": 64}
+
+    def test_empty_block(self):
+        assert block_maxima([], []) == {}
+
+
+class TestQualityOfMatch:
+    def test_perfect_match_scores_high(self):
+        request = make_request(resources={"cpu": 4})
+        exact = make_offer(offer_id="exact", resources={"cpu": 4})
+        far = make_offer(offer_id="far", resources={"cpu": 1})
+        maxima = block_maxima([request], [exact, far])
+        assert quality_of_match(request, exact, maxima) > quality_of_match(
+            request, far, maxima
+        )
+
+    def test_gravity_prefers_bigger_on_equal_distance(self):
+        # Equal |rho'_o - rho'_r| but larger offer wins (numerator).
+        request = make_request(resources={"cpu": 4})
+        small = make_offer(offer_id="small", resources={"cpu": 2})
+        big = make_offer(offer_id="big", resources={"cpu": 6})
+        maxima = {"cpu": 8.0}
+        assert quality_of_match(request, big, maxima) > quality_of_match(
+            request, small, maxima
+        )
+
+    def test_significance_scales_contribution(self):
+        offer = make_offer(resources={"cpu": 4, "ram": 8})
+        strong = make_request(resources={"cpu": 4, "ram": 8})
+        weak = make_request(
+            resources={"cpu": 4, "ram": 8},
+            significance={"cpu": 0.1, "ram": 0.1},
+            flexibility=0.9,
+        )
+        maxima = block_maxima([strong], [offer])
+        assert quality_of_match(strong, offer, maxima) > quality_of_match(
+            weak, offer, maxima
+        )
+
+    def test_disjoint_types_score_zero(self):
+        request = make_request(resources={"gpu": 1}, significance={"gpu": 0.5})
+        offer = make_offer(resources={"cpu": 4})
+        assert quality_of_match(request, offer, {"gpu": 1, "cpu": 4}) == 0.0
+
+    def test_zero_maximum_contributes_nothing(self):
+        request = make_request(resources={"cpu": 2})
+        offer = make_offer(resources={"cpu": 4})
+        assert quality_of_match(request, offer, {"cpu": 0.0}) == 0.0
+
+
+class TestRankOffers:
+    def test_infeasible_excluded(self):
+        request = make_request(resources={"cpu": 6})
+        offers = [
+            make_offer(offer_id="too-small", resources={"cpu": 2}),
+            make_offer(offer_id="fits", resources={"cpu": 8}),
+        ]
+        ranked = rank_offers(request, offers, block_maxima([request], offers))
+        assert [o.offer_id for _, o in ranked] == ["fits"]
+
+    def test_order_descending_quality(self):
+        request = make_request(resources={"cpu": 4})
+        offers = [
+            make_offer(offer_id="huge", resources={"cpu": 64}),
+            make_offer(offer_id="exact", resources={"cpu": 4}),
+            make_offer(offer_id="ok", resources={"cpu": 8}),
+        ]
+        maxima = block_maxima([request], offers)
+        ranked = rank_offers(request, offers, maxima)
+        qualities = [q for q, _ in ranked]
+        assert qualities == sorted(qualities, reverse=True)
+
+    def test_tie_breaks_by_submit_time(self):
+        request = make_request(resources={"cpu": 4})
+        late = make_offer(offer_id="late", submit_time=5.0, resources={"cpu": 4})
+        early = make_offer(offer_id="early", submit_time=1.0, resources={"cpu": 4})
+        maxima = block_maxima([request], [late, early])
+        ranked = rank_offers(request, [late, early], maxima)
+        assert ranked[0][1].offer_id == "early"
+
+
+class TestBestOfferSet:
+    def test_breadth_respected(self):
+        request = make_request(resources={"cpu": 4})
+        offers = [
+            make_offer(offer_id=f"o{i}", resources={"cpu": 4 + i}) for i in range(6)
+        ]
+        maxima = block_maxima([request], offers)
+        best = best_offer_set(request, offers, maxima, breadth=3)
+        assert len(best) == 3
+
+    def test_fewer_offers_than_breadth(self):
+        request = make_request()
+        offers = [make_offer()]
+        maxima = block_maxima([request], offers)
+        assert len(best_offer_set(request, offers, maxima, breadth=5)) == 1
+
+    def test_no_feasible_offer_gives_empty(self):
+        request = make_request(resources={"cpu": 999})
+        offers = [make_offer()]
+        maxima = block_maxima([request], offers)
+        assert best_offer_set(request, offers, maxima, breadth=3) == frozenset()

@@ -1,0 +1,133 @@
+"""Unit tests for per-cluster normalization (§IV-C)."""
+
+import math
+
+import pytest
+
+from repro.common.errors import AuctionError
+from repro.core.config import AuctionConfig
+from repro.core.normalization import (
+    cluster_common_types,
+    compute_economics,
+    critical_types,
+    payment_for,
+    virtual_maximum,
+)
+from tests.conftest import make_offer, make_request
+
+CONFIG = AuctionConfig()
+
+
+class TestCommonTypes:
+    def test_intersection_of_sides(self):
+        requests = [make_request(resources={"cpu": 1, "gpu": 1})]
+        offers = [make_offer(resources={"cpu": 8, "ram": 4})]
+        assert cluster_common_types(requests, offers) == {"cpu"}
+
+    def test_union_within_side(self):
+        requests = [
+            make_request(request_id="a", resources={"cpu": 1}),
+            make_request(request_id="b", resources={"ram": 1}),
+        ]
+        offers = [make_offer(resources={"cpu": 8, "ram": 4})]
+        assert cluster_common_types(requests, offers) == {"cpu", "ram"}
+
+
+class TestVirtualMaximum:
+    def test_per_type_max_over_offers(self):
+        offers = [
+            make_offer(offer_id="a", resources={"cpu": 4, "ram": 32}),
+            make_offer(offer_id="b", resources={"cpu": 8, "ram": 16}),
+        ]
+        assert virtual_maximum(offers, {"cpu", "ram"}) == {"cpu": 8, "ram": 32}
+
+    def test_restricted_to_common(self):
+        offers = [make_offer(resources={"cpu": 4, "disk": 100})]
+        assert virtual_maximum(offers, {"cpu"}) == {"cpu": 4}
+
+
+class TestCriticalTypes:
+    def test_defaults_plus_shared(self):
+        requests = [
+            make_request(request_id="a", resources={"cpu": 1, "latency": 5}),
+            make_request(request_id="b", resources={"cpu": 2, "latency": 9}),
+        ]
+        critical = critical_types(requests, {"cpu", "latency"}, CONFIG)
+        assert critical == {"cpu", "latency"}
+
+    def test_non_shared_not_critical(self):
+        requests = [
+            make_request(request_id="a", resources={"cpu": 1, "latency": 5}),
+            make_request(request_id="b", resources={"cpu": 2}),
+        ]
+        critical = critical_types(requests, {"cpu", "latency"}, CONFIG)
+        assert critical == {"cpu"}
+
+
+class TestComputeEconomics:
+    def test_normalized_cost_formula(self):
+        # Single offer: nu_o = 1, c_hat = bid / span.
+        offers = [make_offer(resources={"cpu": 8}, bid=4.0)]  # span 24
+        requests = [make_request(resources={"cpu": 4}, duration=6, bid=3.0)]
+        economics = compute_economics(requests, offers, CONFIG)
+        assert economics.nu_o("off-0") == pytest.approx(1.0)
+        assert economics.c_hat("off-0") == pytest.approx(4.0 / 24.0)
+
+    def test_normalized_value_uses_critical_fraction(self):
+        offers = [make_offer(resources={"cpu": 8, "ram": 8}, bid=4.0)]
+        # cpu usage 100% -> nu_r = 1 even though the l2 fraction is lower.
+        requests = [
+            make_request(resources={"cpu": 8, "ram": 1}, duration=6, bid=3.0)
+        ]
+        economics = compute_economics(requests, offers, CONFIG)
+        assert economics.nu_r("req-0") == pytest.approx(1.0)
+        assert economics.v_hat("req-0") == pytest.approx(3.0 / 6.0)
+
+    def test_nu_r_capped_at_one(self):
+        offers = [make_offer(resources={"cpu": 4}, bid=4.0)]
+        requests = [make_request(resources={"cpu": 9}, duration=3, bid=3.0)]
+        economics = compute_economics(requests, offers, CONFIG)
+        assert economics.nu_r("req-0") == 1.0
+
+    def test_offer_without_common_types_priced_infinite(self):
+        offers = [
+            make_offer(offer_id="good", resources={"cpu": 8}, bid=1.0),
+            make_offer(offer_id="weird", resources={"fpga": 2}, bid=1.0),
+        ]
+        requests = [make_request(resources={"cpu": 2}, bid=1.0)]
+        economics = compute_economics(requests, offers, CONFIG)
+        assert math.isinf(economics.c_hat("weird"))
+
+    def test_empty_cluster_raises(self):
+        with pytest.raises(AuctionError):
+            compute_economics([], [make_offer()], CONFIG)
+        with pytest.raises(AuctionError):
+            compute_economics([make_request()], [], CONFIG)
+
+    def test_disjoint_cluster_raises(self):
+        with pytest.raises(AuctionError):
+            compute_economics(
+                [make_request(resources={"gpu": 1})],
+                [make_offer(resources={"cpu": 1})],
+                CONFIG,
+            )
+
+
+class TestPaymentFor:
+    def test_payment_scaling(self):
+        offers = [make_offer(resources={"cpu": 8}, bid=4.0)]
+        requests = [make_request(resources={"cpu": 4}, duration=6, bid=3.0)]
+        economics = compute_economics(requests, offers, CONFIG)
+        price = 0.1
+        payment = payment_for(economics, requests[0], price)
+        assert payment == pytest.approx(economics.nu_r("req-0") * 6 * 0.1)
+
+    def test_ir_at_v_hat_price(self):
+        # Paying exactly v_hat gives payment == bid (IR boundary).
+        offers = [make_offer(resources={"cpu": 8}, bid=4.0)]
+        requests = [make_request(resources={"cpu": 4}, duration=6, bid=3.0)]
+        economics = compute_economics(requests, offers, CONFIG)
+        payment = payment_for(
+            economics, requests[0], economics.v_hat("req-0")
+        )
+        assert payment == pytest.approx(3.0)

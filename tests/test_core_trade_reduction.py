@@ -1,0 +1,202 @@
+"""Unit tests for pricing and trade reduction (Alg. 4, Eq. 19-20)."""
+
+import random
+
+import pytest
+
+from repro.core.auction import _index_offers, _index_requests
+from repro.core.cluster_allocation import allocate_cluster
+from repro.core.clustering import Cluster
+from repro.core.config import AuctionConfig
+from repro.core.miniauctions import MiniAuction
+from repro.core.trade_reduction import clear_mini_auction, pooled_price
+from tests.conftest import make_offer, make_request
+
+CONFIG = AuctionConfig()
+
+
+def _allocation(requests, offers):
+    cluster = Cluster(
+        offer_ids=frozenset(o.offer_id for o in offers),
+        request_ids={r.request_id for r in requests},
+    )
+    return allocate_cluster(cluster, requests, offers, CONFIG)
+
+
+def _clear(requests, offers, config=CONFIG, rng=None):
+    allocation = _allocation(requests, offers)
+    auction = MiniAuction(allocations=[allocation])
+    return clear_mini_auction(
+        auction,
+        _index_requests(requests),
+        _index_offers(offers),
+        set(),
+        set(),
+        config,
+        rng or random.Random(0),
+    )
+
+
+class TestPooledPrice:
+    def test_price_from_next_offer(self):
+        requests = [make_request(bid=10.0, duration=4)]
+        offers = [
+            make_offer(offer_id="used", bid=0.5),
+            make_offer(offer_id="next", bid=1.0),
+        ]
+        allocation = _allocation(requests, offers)
+        price, z_request, z1_offer = pooled_price([allocation])
+        assert z_request is None
+        assert z1_offer.offer_id == "next"
+        assert price == pytest.approx(allocation.c_z_plus_1)
+
+    def test_price_from_marginal_request(self):
+        requests = [make_request(bid=10.0, duration=4)]
+        offers = [make_offer(offer_id="only", bid=0.5)]
+        allocation = _allocation(requests, offers)
+        price, z_request, z1_offer = pooled_price([allocation])
+        assert z1_offer is None
+        assert z_request.request_id == "req-0"
+        assert price == pytest.approx(allocation.v_z)
+
+    def test_expensive_next_offer_ignored(self):
+        # c_{z'+1} above v_z cannot be the price (Eq. 20 takes the min).
+        requests = [make_request(bid=10.0, duration=4)]
+        offers = [
+            make_offer(offer_id="used", bid=0.5),
+            make_offer(offer_id="too-dear", bid=500.0),
+        ]
+        allocation = _allocation(requests, offers)
+        price, z_request, _ = pooled_price([allocation])
+        assert price == pytest.approx(allocation.v_z)
+        assert z_request is not None
+
+    def test_no_trades_gives_none(self):
+        requests = [make_request(bid=0.0001, duration=1)]
+        offers = [make_offer(bid=100.0)]
+        assert pooled_price([_allocation(requests, offers)]) == (None, None, None)
+
+
+class TestClearMiniAuction:
+    def test_offer_determined_price_loses_no_trades(self):
+        requests = [
+            make_request(request_id=f"r{i}", bid=5.0 + i, duration=4)
+            for i in range(3)
+        ]
+        offers = [
+            make_offer(offer_id="used", bid=0.5),
+            make_offer(offer_id="next", bid=1.0),
+        ]
+        result = _clear(requests, offers)
+        assert result.tentative_trades == 3
+        assert len(result.matches) == 3
+        assert result.reduced_requests == []
+
+    def test_request_determined_price_excludes_client(self):
+        requests = [
+            make_request(request_id="hi", client_id="c-hi", bid=9.0, duration=4),
+            make_request(request_id="lo", client_id="c-lo", bid=5.0, duration=4),
+        ]
+        offers = [make_offer(offer_id="only", bid=0.5)]
+        result = _clear(requests, offers)
+        # z = "lo" (lowest winner); its client is excluded.
+        matched_ids = {m.request.request_id for m in result.matches}
+        assert "lo" not in matched_ids
+        assert "hi" in matched_ids
+        assert any(r.request_id == "lo" for r in result.reduced_requests)
+
+    def test_all_client_requests_excluded(self):
+        requests = [
+            make_request(request_id="hi", client_id="c-other", bid=9.0, duration=4),
+            make_request(request_id="z1", client_id="c-z", bid=5.0, duration=4),
+            make_request(request_id="z2", client_id="c-z", bid=8.0, duration=4),
+        ]
+        offers = [make_offer(offer_id="only", bid=0.5)]
+        result = _clear(requests, offers)
+        matched_clients = {m.request.client_id for m in result.matches}
+        assert "c-z" not in matched_clients
+
+    def test_common_price_for_all_matches(self):
+        requests = [
+            make_request(request_id=f"r{i}", bid=5.0 + i, duration=4)
+            for i in range(3)
+        ]
+        offers = [
+            make_offer(offer_id="used", bid=0.5),
+            make_offer(offer_id="next", bid=1.0),
+        ]
+        result = _clear(requests, offers)
+        prices = {m.unit_price for m in result.matches}
+        assert len(prices) == 1
+        assert result.price in prices
+
+    def test_payments_ir(self):
+        requests = [
+            make_request(request_id=f"r{i}", bid=3.0 + i, duration=4)
+            for i in range(4)
+        ]
+        offers = [make_offer(offer_id=f"o{i}", bid=0.4 + 0.2 * i) for i in range(3)]
+        result = _clear(requests, offers)
+        for match in result.matches:
+            assert match.payment <= match.request.bid + 1e-9
+
+    def test_benchmark_mode_keeps_all_trades(self):
+        requests = [
+            make_request(request_id="hi", bid=9.0, duration=4),
+            make_request(request_id="lo", bid=5.0, duration=4),
+        ]
+        offers = [make_offer(offer_id="only", bid=0.5)]
+        result = _clear(requests, offers, config=AuctionConfig.benchmark())
+        assert len(result.matches) == result.tentative_trades == 2
+        assert result.price is None
+        assert result.reduced_requests == []
+
+    def test_consumed_participants_skipped(self):
+        requests = [make_request(bid=9.0, duration=4)]
+        offers = [make_offer(bid=0.5)]
+        allocation = _allocation(requests, offers)
+        auction = MiniAuction(allocations=[allocation])
+        result = clear_mini_auction(
+            auction,
+            _index_requests(requests),
+            _index_offers(offers),
+            {"req-0"},  # already consumed in an earlier auction
+            set(),
+            CONFIG,
+            random.Random(0),
+        )
+        assert result.tentative_trades == 0
+        assert result.matches == []
+
+    def test_participants_recorded(self):
+        requests = [
+            make_request(request_id=f"r{i}", bid=5.0 + i, duration=4)
+            for i in range(2)
+        ]
+        offers = [
+            make_offer(offer_id="used", bid=0.5),
+            make_offer(offer_id="next", bid=1.0),
+        ]
+        result = _clear(requests, offers)
+        assert result.participant_requests == {
+            m.request.request_id for m in result.matches
+        }
+        assert result.participant_offers == {
+            m.offer.offer_id for m in result.matches
+        }
+
+    def test_randomization_deterministic_per_evidence(self):
+        requests = [
+            make_request(request_id=f"r{i}", client_id=f"c{i}", bid=4.0, duration=4)
+            for i in range(6)
+        ]
+        # One small offer: surplus of eligible requests -> randomization.
+        offers = [
+            make_offer(offer_id="tiny", resources={"cpu": 2, "ram": 4, "disk": 20}, bid=0.2),
+            make_offer(offer_id="next", resources={"cpu": 2, "ram": 4, "disk": 20}, bid=0.4),
+        ]
+        a = _clear(requests, offers, rng=random.Random(42))
+        b = _clear(requests, offers, rng=random.Random(42))
+        assert [m.request.request_id for m in a.matches] == [
+            m.request.request_id for m in b.matches
+        ]

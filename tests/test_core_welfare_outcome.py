@@ -1,0 +1,160 @@
+"""Unit tests for welfare accounting and outcome bookkeeping."""
+
+import pytest
+
+from repro.common.errors import InfeasibleMatchError, ValidationError
+from repro.core.config import AuctionConfig
+from repro.core.outcome import (
+    AuctionOutcome,
+    Match,
+    utility_of_client,
+    utility_of_provider,
+)
+from repro.core.welfare import (
+    pair_welfare,
+    resource_fraction,
+    satisfaction,
+    total_welfare,
+)
+from tests.conftest import make_offer, make_request
+
+
+class TestResourceFraction:
+    def test_eq6_formula(self):
+        request = make_request(
+            resources={"cpu": 2, "ram": 8}, duration=6
+        )
+        offer = make_offer(resources={"cpu": 4, "ram": 32})  # span 24
+        # time share 6/24 = 0.25; mean(2/4, 8/32) = 0.375 -> 0.09375
+        assert resource_fraction(request, offer) == pytest.approx(0.09375)
+
+    def test_zero_capacity_types_skipped(self):
+        request = make_request(resources={"cpu": 2, "sgx": 1.0}, duration=6)
+        offer = make_offer(resources={"cpu": 4, "sgx": 0.0})
+        # sgx has 0 capacity -> only cpu ratio counts
+        assert resource_fraction(request, offer) == pytest.approx(
+            (6 / 24) * (2 / 4)
+        )
+
+    def test_disjoint_types_raise(self):
+        request = make_request(resources={"gpu": 1.0}, significance={"gpu": 0.5})
+        offer = make_offer(resources={"cpu": 4})
+        with pytest.raises(InfeasibleMatchError):
+            resource_fraction(request, offer)
+
+
+class TestPairWelfare:
+    def test_default_uses_bids(self):
+        request = make_request(bid=5.0, duration=6)
+        offer = make_offer(bid=2.0)
+        expected = 5.0 - resource_fraction(request, offer) * 2.0
+        assert pair_welfare(request, offer) == pytest.approx(expected)
+
+    def test_explicit_values_override(self):
+        request = make_request(bid=5.0, duration=6)
+        offer = make_offer(bid=2.0)
+        welfare = pair_welfare(request, offer, value=10.0, cost=0.0)
+        assert welfare == pytest.approx(10.0)
+
+    def test_total_welfare_sums(self):
+        request = make_request(bid=5.0)
+        offer = make_offer(bid=2.0)
+        assert total_welfare([(request, offer)] * 3) == pytest.approx(
+            3 * pair_welfare(request, offer)
+        )
+
+
+class TestSatisfaction:
+    def test_basic(self):
+        assert satisfaction(3, 4) == 0.75
+
+    def test_empty(self):
+        assert satisfaction(0, 0) == 0.0
+
+
+class TestOutcome:
+    def _outcome(self):
+        outcome = AuctionOutcome()
+        r1 = make_request(request_id="r1", client_id="c1", bid=5.0)
+        r2 = make_request(request_id="r2", client_id="c2", bid=4.0)
+        offer = make_offer(offer_id="o1", provider_id="p1", bid=1.0)
+        outcome.matches.append(
+            Match(request=r1, offer=offer, payment=2.0, unit_price=0.5)
+        )
+        outcome.matches.append(
+            Match(request=r2, offer=offer, payment=1.5, unit_price=0.5)
+        )
+        outcome.unmatched_requests.append(
+            make_request(request_id="r3", client_id="c3")
+        )
+        return outcome
+
+    def test_revenues_grouped_by_offer(self):
+        outcome = self._outcome()
+        assert outcome.revenues() == {"o1": 3.5}
+
+    def test_total_payments(self):
+        assert self._outcome().total_payments == pytest.approx(3.5)
+
+    def test_client_utilities(self):
+        utilities = self._outcome().client_utilities()
+        assert utilities["r1"] == pytest.approx(3.0)
+        assert utilities["r2"] == pytest.approx(2.5)
+
+    def test_satisfaction_counts_all_buckets(self):
+        assert self._outcome().satisfaction == pytest.approx(2 / 3)
+
+    def test_reduced_fraction(self):
+        outcome = self._outcome()
+        outcome.reduced_requests.append(
+            make_request(request_id="r4", client_id="c4")
+        )
+        assert outcome.reduced_trade_fraction == pytest.approx(1 / 3)
+
+    def test_match_for(self):
+        outcome = self._outcome()
+        assert outcome.match_for("r1") is outcome.matches[0]
+        assert outcome.match_for("zz") is None
+
+    def test_payload_sorted_and_rounded(self):
+        payload = self._outcome().to_payload()
+        ids = [m["request_id"] for m in payload["matches"]]
+        assert ids == sorted(ids)
+        assert payload["unmatched_requests"] == ["r3"]
+
+    def test_utility_of_client_unallocated_zero(self):
+        assert utility_of_client(self._outcome(), "nope", true_value=9.0) == 0.0
+
+    def test_utility_of_client_allocated(self):
+        assert utility_of_client(
+            self._outcome(), "r1", true_value=5.0
+        ) == pytest.approx(3.0)
+
+    def test_utility_of_provider(self):
+        outcome = self._outcome()
+        utility = utility_of_provider(outcome, "p1", {"o1": 1.0})
+        fraction = sum(m.fraction for m in outcome.matches)
+        assert utility == pytest.approx(3.5 - fraction * 1.0)
+
+    def test_utility_of_other_provider_zero(self):
+        assert utility_of_provider(self._outcome(), "nobody", {}) == 0.0
+
+
+class TestConfig:
+    def test_benchmark_flags(self):
+        config = AuctionConfig.benchmark()
+        assert not config.enable_trade_reduction
+        assert not config.enable_randomization
+        assert not config.enforce_price_consistency
+
+    def test_benchmark_overrides(self):
+        config = AuctionConfig.benchmark(cluster_breadth=9)
+        assert config.cluster_breadth == 9
+
+    def test_invalid_breadth(self):
+        with pytest.raises(ValidationError):
+            AuctionConfig(cluster_breadth=0)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(ValidationError):
+            AuctionConfig(price_epsilon=-1.0)

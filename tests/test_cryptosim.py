@@ -1,0 +1,174 @@
+"""Unit tests for the cryptographic primitives."""
+
+import pytest
+
+from repro.common.errors import DecryptionError, SignatureError
+from repro.cryptosim import commitments, hashing, schnorr, symmetric
+
+
+class TestHashing:
+    def test_sha256_known_vector(self):
+        assert (
+            hashing.sha256_hex(b"abc")
+            == "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+
+    def test_canonical_json_key_order_independent(self):
+        assert hashing.canonical_json({"b": 1, "a": 2}) == hashing.canonical_json(
+            {"a": 2, "b": 1}
+        )
+
+    def test_hash_obj_stable(self):
+        assert hashing.hash_obj([1, "x"]) == hashing.hash_obj([1, "x"])
+
+    def test_hash_concat_framing(self):
+        # Length-prefixing means ("ab","c") != ("a","bc").
+        assert hashing.hash_concat(b"ab", b"c") != hashing.hash_concat(b"a", b"bc")
+
+
+class TestSchnorrGroup:
+    def test_generator_order(self):
+        assert pow(schnorr.G, schnorr.Q, schnorr.P) == 1
+
+    def test_safe_prime_relation(self):
+        assert schnorr.P == 2 * schnorr.Q + 1
+
+
+class TestSchnorrSignatures:
+    def test_sign_verify_roundtrip(self):
+        keypair = schnorr.KeyPair.generate(seed=b"k1")
+        signature = schnorr.sign(keypair.secret, b"message")
+        assert schnorr.verify(keypair.public, b"message", signature)
+
+    def test_wrong_message_fails(self):
+        keypair = schnorr.KeyPair.generate(seed=b"k1")
+        signature = schnorr.sign(keypair.secret, b"message")
+        assert not schnorr.verify(keypair.public, b"other", signature)
+
+    def test_wrong_key_fails(self):
+        keypair = schnorr.KeyPair.generate(seed=b"k1")
+        other = schnorr.KeyPair.generate(seed=b"k2")
+        signature = schnorr.sign(keypair.secret, b"message")
+        assert not schnorr.verify(other.public, b"message", signature)
+
+    def test_tampered_signature_fails(self):
+        keypair = schnorr.KeyPair.generate(seed=b"k1")
+        challenge, response = schnorr.sign(keypair.secret, b"message")
+        assert not schnorr.verify(
+            keypair.public, b"message", (challenge, (response + 1) % schnorr.Q)
+        )
+
+    def test_deterministic_signing(self):
+        keypair = schnorr.KeyPair.generate(seed=b"k1")
+        assert schnorr.sign(keypair.secret, b"m") == schnorr.sign(
+            keypair.secret, b"m"
+        )
+
+    def test_seeded_keygen_deterministic(self):
+        assert schnorr.KeyPair.generate(seed=b"s") == schnorr.KeyPair.generate(
+            seed=b"s"
+        )
+
+    def test_unseeded_keygen_random(self):
+        assert schnorr.KeyPair.generate() != schnorr.KeyPair.generate()
+
+    def test_malformed_signature_rejected(self):
+        keypair = schnorr.KeyPair.generate(seed=b"k1")
+        assert not schnorr.verify(keypair.public, b"m", (0, 0))
+        assert not schnorr.verify(keypair.public, b"m", "garbage")  # type: ignore[arg-type]
+        assert not schnorr.verify(keypair.public, b"m", (-1, 5))
+
+    def test_require_valid_raises(self):
+        keypair = schnorr.KeyPair.generate(seed=b"k1")
+        with pytest.raises(SignatureError):
+            schnorr.require_valid(keypair.public, b"m", (1, 1))
+
+
+class TestSymmetric:
+    def test_roundtrip(self):
+        key = symmetric.generate_key(seed=b"s")
+        box = symmetric.encrypt(key, b"secret bid data")
+        assert symmetric.decrypt(key, box) == b"secret bid data"
+
+    def test_empty_plaintext(self):
+        key = symmetric.generate_key(seed=b"s")
+        assert symmetric.decrypt(key, symmetric.encrypt(key, b"")) == b""
+
+    def test_long_plaintext(self):
+        key = symmetric.generate_key(seed=b"s")
+        plaintext = bytes(range(256)) * 41
+        assert symmetric.decrypt(key, symmetric.encrypt(key, plaintext)) == plaintext
+
+    def test_wrong_key_raises(self):
+        box = symmetric.encrypt(symmetric.generate_key(seed=b"a"), b"data")
+        with pytest.raises(DecryptionError):
+            symmetric.decrypt(symmetric.generate_key(seed=b"b"), box)
+
+    def test_tampered_ciphertext_raises(self):
+        key = symmetric.generate_key(seed=b"s")
+        box = symmetric.encrypt(key, b"data!")
+        bad = symmetric.SealedBox(
+            nonce=box.nonce,
+            ciphertext=bytes([box.ciphertext[0] ^ 1]) + box.ciphertext[1:],
+            tag=box.tag,
+        )
+        with pytest.raises(DecryptionError):
+            symmetric.decrypt(key, bad)
+
+    def test_tampered_tag_raises(self):
+        key = symmetric.generate_key(seed=b"s")
+        box = symmetric.encrypt(key, b"data!")
+        bad = symmetric.SealedBox(
+            nonce=box.nonce,
+            ciphertext=box.ciphertext,
+            tag=bytes([box.tag[0] ^ 1]) + box.tag[1:],
+        )
+        with pytest.raises(DecryptionError):
+            symmetric.decrypt(key, bad)
+
+    def test_bytes_roundtrip(self):
+        key = symmetric.generate_key(seed=b"s")
+        box = symmetric.encrypt(key, b"payload")
+        parsed = symmetric.SealedBox.from_bytes(box.to_bytes())
+        assert symmetric.decrypt(key, parsed) == b"payload"
+
+    def test_short_box_rejected(self):
+        with pytest.raises(DecryptionError):
+            symmetric.SealedBox.from_bytes(b"short")
+
+    def test_bad_key_size_rejected(self):
+        with pytest.raises(DecryptionError):
+            symmetric.encrypt(b"short-key", b"data")
+
+    def test_distinct_nonces_give_distinct_ciphertexts(self):
+        key = symmetric.generate_key(seed=b"s")
+        a = symmetric.encrypt(key, b"data", nonce=b"0" * 16)
+        b = symmetric.encrypt(key, b"data", nonce=b"1" * 16)
+        assert a.ciphertext != b.ciphertext
+
+
+class TestCommitments:
+    def test_open_valid(self):
+        commitment, opening = commitments.commit(b"value")
+        assert commitments.verify_opening(commitment, opening)
+
+    def test_wrong_value_fails(self):
+        commitment, opening = commitments.commit(b"value")
+        bad = commitments.Opening(value=b"other", blind=opening.blind)
+        assert not commitments.verify_opening(commitment, bad)
+
+    def test_wrong_blind_fails(self):
+        commitment, opening = commitments.commit(b"value")
+        bad = commitments.Opening(value=opening.value, blind=b"x" * 16)
+        assert not commitments.verify_opening(commitment, bad)
+
+    def test_hiding(self):
+        a, _ = commitments.commit(b"value", blind=b"A" * 16)
+        b, _ = commitments.commit(b"value", blind=b"B" * 16)
+        assert a.digest != b.digest
+
+    def test_short_blind_rejected(self):
+        from repro.common.errors import CryptoError
+
+        with pytest.raises(CryptoError):
+            commitments.commit(b"v", blind=b"xy")

@@ -1,0 +1,54 @@
+"""Keeps docs/MECHANISM.md honest: its worked example must stay true."""
+
+import pytest
+
+from repro.common import TimeWindow
+from repro.core import AuctionConfig, DecloudAuction
+from repro.market import Offer, Request
+
+
+@pytest.fixture
+def walkthrough_market():
+    offers = [
+        Offer("small", "p-small", 0.0, {"cpu": 4, "ram": 16}, TimeWindow(0, 24), 2.40),
+        Offer("medium", "p-medium", 0.1, {"cpu": 8, "ram": 32}, TimeWindow(0, 24), 4.80),
+        Offer("large", "p-large", 0.2, {"cpu": 16, "ram": 64}, TimeWindow(0, 24), 12.00),
+    ]
+    requests = [
+        Request("r-ana", "ana", 1.0, {"cpu": 2, "ram": 8}, TimeWindow(0, 24), 6, 1.50),
+        Request("r-ben", "ben", 1.1, {"cpu": 4, "ram": 16}, TimeWindow(0, 24), 12, 4.00),
+        Request("r-cai", "cai", 1.2, {"cpu": 2, "ram": 4}, TimeWindow(0, 24), 4, 0.60),
+        Request("r-dia", "dia", 1.3, {"cpu": 8, "ram": 32}, TimeWindow(0, 24), 12, 6.00),
+    ]
+    return requests, offers
+
+
+def test_walkthrough_numbers(walkthrough_market):
+    requests, offers = walkthrough_market
+    outcome = DecloudAuction(AuctionConfig(cluster_breadth=2)).run(
+        requests, offers, evidence=b"walkthrough"
+    )
+    payments = {
+        m.request.request_id: m.payment for m in outcome.matches
+    }
+    # The exact numbers printed in docs/MECHANISM.md.
+    assert payments == pytest.approx(
+        {"r-ana": 0.375, "r-ben": 1.5, "r-cai": 0.25, "r-dia": 3.0}
+    )
+    hosts = {m.request.request_id: m.offer.offer_id for m in outcome.matches}
+    assert set(hosts.values()) == {"medium"}
+    assert outcome.prices == pytest.approx([0.5])
+    assert outcome.welfare == pytest.approx(8.05, abs=1e-6)
+    assert outcome.total_payments == pytest.approx(5.125)
+    assert outcome.reduced_requests == []
+
+
+def test_walkthrough_price_from_unused_offer(walkthrough_market):
+    requests, offers = walkthrough_market
+    outcome = DecloudAuction(AuctionConfig(cluster_breadth=2)).run(
+        requests, offers, evidence=b"walkthrough"
+    )
+    # The price-setter ('large') never trades; 'small' never clustered.
+    trading_offers = {m.offer.offer_id for m in outcome.matches}
+    assert "large" not in trading_offers
+    assert "small" not in trading_offers

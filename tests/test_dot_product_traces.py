@@ -1,0 +1,141 @@
+"""Unit tests for the dot-product baseline and the trace CSV loader."""
+
+import pytest
+
+from repro.baselines.dot_product import (
+    best_match_fit_error,
+    dot_product_quality,
+    rank_offers_dot,
+)
+from repro.common.errors import ValidationError
+from repro.core.matching import block_maxima, rank_offers
+from repro.workloads.traces import (
+    EVENT_SUBMIT,
+    parse_task_events_text,
+    rows_to_requests,
+)
+from tests.conftest import make_offer, make_request
+
+
+class TestDotProduct:
+    def test_prefers_aligned_big_offer(self):
+        request = make_request(resources={"cpu": 4, "ram": 8})
+        small = make_offer(offer_id="small", resources={"cpu": 4, "ram": 8})
+        big = make_offer(offer_id="big", resources={"cpu": 16, "ram": 64})
+        maxima = block_maxima([request], [small, big])
+        assert dot_product_quality(request, big, maxima) > dot_product_quality(
+            request, small, maxima
+        )
+
+    def test_significance_scales(self):
+        offer = make_offer(resources={"cpu": 8, "ram": 16})
+        heavy = make_request(resources={"cpu": 4, "ram": 8})
+        light = make_request(
+            resources={"cpu": 4, "ram": 8},
+            significance={"cpu": 0.1, "ram": 0.1},
+            flexibility=0.9,
+        )
+        maxima = block_maxima([heavy], [offer])
+        assert dot_product_quality(heavy, offer, maxima) > dot_product_quality(
+            light, offer, maxima
+        )
+
+    def test_rank_filters_infeasible(self):
+        request = make_request(resources={"cpu": 10})
+        offers = [
+            make_offer(offer_id="small", resources={"cpu": 4}),
+            make_offer(offer_id="fits", resources={"cpu": 16}),
+        ]
+        maxima = block_maxima([request], offers)
+        ranked = rank_offers_dot(request, offers, maxima)
+        assert [o.offer_id for _, o in ranked] == ["fits"]
+
+    def test_fit_error_zero_for_exact_match(self):
+        request = make_request(resources={"cpu": 8, "ram": 32, "disk": 500})
+        offer = make_offer(resources={"cpu": 8, "ram": 32, "disk": 500})
+        error = best_match_fit_error([request], [offer], rank_offers)
+        assert error == pytest.approx(0.0)
+
+    def test_fit_error_positive_for_oversize(self):
+        request = make_request(resources={"cpu": 2, "ram": 4, "disk": 50})
+        offer = make_offer(resources={"cpu": 16, "ram": 64, "disk": 500})
+        error = best_match_fit_error([request], [offer], rank_offers_dot)
+        assert error > 1.0
+
+    def test_fit_error_empty_market(self):
+        assert best_match_fit_error([], [], rank_offers_dot) == 0.0
+
+
+SAMPLE_CSV = (
+    # ts, missing, machine, job, task, event, user, sched, prio, cpu, mem, disk
+    "3600000000,,m1,6251,0,0,u,0,1,0.125,0.0625,0.001\n"
+    "7200000000,,m2,6251,1,0,u,0,1,0.25,0.125,\n"
+    "7300000000,,m2,6252,0,1,u,0,1,0.5,0.25,0.002\n"  # event type 1: skipped
+    "9000000000,,m3,6253,0,0,u,0,1,,0.5,0.003\n"  # missing cpu: skipped
+)
+
+
+class TestTraceParsing:
+    def test_parses_submit_events(self):
+        events = parse_task_events_text(SAMPLE_CSV)
+        assert len(events) == 2
+        assert events[0].job_id == "6251"
+        assert events[0].timestamp_hours == pytest.approx(1.0)
+        assert events[0].cpu_request == pytest.approx(0.125)
+
+    def test_missing_disk_defaults_zero(self):
+        events = parse_task_events_text(SAMPLE_CSV)
+        assert events[1].disk_request == 0.0
+
+    def test_short_row_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_task_events_text("1,2,3\n")
+
+    def test_bad_event_type_rejected(self):
+        bad = "1,,m,j,0,zzz,u,0,1,0.1,0.1,0.1\n"
+        with pytest.raises(ValidationError):
+            parse_task_events_text(bad)
+
+    def test_non_submit_filtered(self):
+        rows = "1,,m,j,0,5,u,0,1,0.1,0.1,0.1\n"
+        assert parse_task_events_text(rows) == []
+        assert EVENT_SUBMIT == 0
+
+
+class TestRowsToRequests:
+    def test_scaling_into_envelope(self):
+        events = parse_task_events_text(SAMPLE_CSV)
+        requests = rows_to_requests(events, max_cores=16, max_ram_gb=64)
+        assert requests[0].resources["cpu"] == pytest.approx(2.0)
+        assert requests[0].resources["ram"] == pytest.approx(4.0)
+        assert requests[0].window.start == pytest.approx(1.0)
+
+    def test_minimum_floors(self):
+        events = parse_task_events_text(
+            "0,,m,j,0,0,u,0,1,0.001,0.001,0.0\n"
+        )
+        requests = rows_to_requests(events)
+        assert requests[0].resources["cpu"] >= 0.25
+        assert requests[0].resources["ram"] >= 0.5
+        assert requests[0].resources["disk"] >= 1.0
+
+    def test_requests_usable_in_auction(self):
+        from repro.core.auction import DecloudAuction
+        from repro.workloads.google_trace import assign_valuations
+        from repro.workloads.ec2_catalog import ProviderCatalog
+        from repro.common.rng import make_generator
+
+        events = parse_task_events_text(SAMPLE_CSV)
+        requests = rows_to_requests(events)
+        offers = ProviderCatalog().sample_offers(4, rng=make_generator(1))
+        requests = assign_valuations(requests, offers, rng=make_generator(2))
+        outcome = DecloudAuction().run(requests, offers)
+        assert outcome.num_trades >= 0  # pipeline accepts trace requests
+
+    def test_file_loader(self, tmp_path):
+        from repro.workloads.traces import load_task_events
+
+        path = tmp_path / "task_events.csv"
+        path.write_text(SAMPLE_CSV)
+        events = load_task_events(str(path), limit=1)
+        assert len(events) == 1

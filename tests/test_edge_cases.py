@@ -1,0 +1,192 @@
+"""Edge-case tests across modules: deep mini-auction trees, adversarial
+preambles, metric degeneracies, and boundary market shapes."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.auction import DecloudAuction
+from repro.core.cluster_allocation import allocate_cluster
+from repro.core.clustering import Cluster
+from repro.core.config import AuctionConfig
+from repro.core.miniauctions import build_mini_auctions
+from repro.sim.metrics import BlockMetrics
+from tests.conftest import make_offer, make_request
+
+CONFIG = AuctionConfig()
+
+
+def _allocation(request_bids, offer_bids, tag, duration=4.0):
+    requests = [
+        make_request(
+            request_id=f"r-{tag}-{i}",
+            client_id=f"c-{tag}-{i}",
+            bid=bid,
+            duration=duration,
+        )
+        for i, bid in enumerate(request_bids)
+    ]
+    offers = [
+        make_offer(offer_id=f"o-{tag}-{i}", bid=bid)
+        for i, bid in enumerate(offer_bids)
+    ]
+    cluster = Cluster(
+        offer_ids=frozenset(o.offer_id for o in offers),
+        request_ids={r.request_id for r in requests},
+    )
+    return allocate_cluster(cluster, requests, offers, CONFIG)
+
+
+class TestDeepMiniAuctionTrees:
+    def test_three_compatible_clusters_form_one_path(self):
+        a = _allocation([8.0, 6.0], [2.0], tag="a")
+        b = _allocation([7.5, 5.5], [2.5], tag="b")
+        c = _allocation([7.0, 5.0], [3.0], tag="c")
+        auctions = build_mini_auctions([a, b, c], CONFIG)
+        sizes = sorted(len(x.allocations) for x in auctions)
+        # All three are mutually price-compatible: at least one auction
+        # pools all of them (path of depth 3).
+        assert sizes[-1] == 3
+
+    def test_two_roots_each_with_leaf(self):
+        cheap_a = _allocation([2.0, 1.8], [0.1], tag="ca", duration=8.0)
+        cheap_b = _allocation([2.1, 1.9], [0.2], tag="cb", duration=8.0)
+        dear_a = _allocation([300.0, 250.0], [100.0], tag="da", duration=1.0)
+        dear_b = _allocation([320.0, 260.0], [110.0], tag="db", duration=1.0)
+        auctions = build_mini_auctions(
+            [cheap_a, cheap_b, dear_a, dear_b], CONFIG
+        )
+        # The cheap pair groups together, the dear pair groups together,
+        # but cheap and dear never share an auction.
+        for auction in auctions:
+            tags = {
+                allocation.requests[0].request_id.split("-")[1]
+                for allocation in auction.allocations
+            }
+            assert not (
+                tags & {"ca", "cb"} and tags & {"da", "db"}
+            ), f"incompatible clusters pooled: {tags}"
+
+
+class TestAdversarialPreambles:
+    def test_forged_transaction_in_preamble_rejected(self):
+        from repro.ledger.miner import Miner, make_sealed_bid
+        from repro.ledger.block import Block, BlockPreamble
+        from repro.ledger import pow as pow_mod
+        from repro.protocol.allocator import DecloudAllocator
+        from repro.cryptosim import schnorr
+        from repro.common.errors import InvalidBlockError
+
+        keypair = schnorr.KeyPair.generate(seed=b"alice")
+        tx, reveal = make_sealed_bid(
+            sender_id="alice",
+            keypair=keypair,
+            plaintext=make_request(client_id="alice").to_json(),
+        )
+        forged = dataclasses.replace(tx, sender_id="mallory")
+        preamble = BlockPreamble(
+            height=0,
+            parent_hash="0" * 64,
+            transactions=(forged,),
+            timestamp=0.0,
+        )
+        nonce = pow_mod.solve(preamble.pow_payload(), 4)
+        preamble = preamble.with_nonce(nonce)
+
+        leader = Miner(
+            miner_id="leader", allocate=DecloudAllocator(), difficulty_bits=4
+        )
+        # The leader itself can *build* a body for it (decryption skips
+        # unrevealed bids), but no peer accepts the block.
+        body = leader.build_body(preamble, ())
+        peer = Miner(
+            miner_id="peer", allocate=DecloudAllocator(), difficulty_bits=4
+        )
+        with pytest.raises(InvalidBlockError):
+            peer.accept_block(Block(preamble=preamble, body=body))
+
+
+class TestMetricDegeneracies:
+    def test_infinite_ratio_when_benchmark_zero(self):
+        metrics = BlockMetrics(
+            n_requests=2,
+            n_offers=1,
+            decloud_welfare=1.0,
+            benchmark_welfare=0.0,
+            decloud_trades=1,
+            benchmark_trades=0,
+            reduced_trades=0,
+            decloud_satisfaction=0.5,
+            benchmark_satisfaction=0.0,
+            total_payments=0.1,
+            total_revenues=0.1,
+        )
+        assert metrics.welfare_ratio == float("inf")
+        assert metrics.reduced_trade_fraction == 0.0
+
+
+class TestBoundaryMarkets:
+    def test_single_request_single_offer_reduces_to_nothing(self):
+        # The McAfee degenerate case: the lone pair is sacrificed.
+        outcome = DecloudAuction().run(
+            [make_request(bid=5.0)], [make_offer(bid=0.5)]
+        )
+        assert outcome.num_trades == 0
+        assert len(outcome.reduced_requests) == 1
+
+    def test_identical_bids_tie_broken_by_time(self):
+        requests = [
+            make_request(
+                request_id="late", client_id="late", bid=2.0, submit_time=9.0
+            ),
+            make_request(
+                request_id="early", client_id="early", bid=2.0, submit_time=1.0
+            ),
+        ]
+        offers = [make_offer(bid=0.2)]
+        outcome = DecloudAuction().run(requests, offers)
+        if outcome.num_trades == 1:
+            # Earlier submission wins the tie (paper §IV-D).
+            assert outcome.matches[0].request.request_id == "early"
+
+    def test_zero_value_request_never_trades(self):
+        requests = [
+            make_request(request_id="zero", client_id="z", bid=0.0),
+            make_request(request_id="ok", client_id="o", bid=2.0),
+        ]
+        offers = [make_offer(bid=0.5)]
+        outcome = DecloudAuction().run(requests, offers)
+        assert all(
+            m.request.request_id != "zero" for m in outcome.matches
+        )
+
+    def test_free_offer(self):
+        # A zero-cost offer is legal and trades at a non-negative price.
+        requests = [
+            make_request(request_id=f"r{i}", client_id=f"c{i}", bid=1.0)
+            for i in range(3)
+        ]
+        offers = [make_offer(offer_id="free", bid=0.0)]
+        outcome = DecloudAuction().run(requests, offers)
+        for match in outcome.matches:
+            assert match.payment >= 0.0
+
+    def test_huge_market_of_identical_bids(self):
+        requests = [
+            make_request(
+                request_id=f"r{i}", client_id=f"c{i}", bid=1.0,
+                submit_time=0.001 * i,
+            )
+            for i in range(60)
+        ]
+        offers = [
+            make_offer(offer_id=f"o{j}", bid=0.5, submit_time=0.0001 * j)
+            for j in range(6)
+        ]
+        outcome = DecloudAuction().run(requests, offers)
+        # Identical v-hats: z excludes one client; everything else is
+        # capacity-limited but deterministic.
+        assert outcome.num_trades > 0
+        assert outcome.total_payments == pytest.approx(
+            sum(outcome.revenues().values())
+        )

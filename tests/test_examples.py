@@ -1,0 +1,52 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; breaking one silently is worse
+than a failing test.  The slowest scripts run with reduced settings via
+environment knobs where they expose none, so the whole set stays fast.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "iot_offloading.py",
+    "sealed_bid_ledger.py",
+    "private_enclave_market.py",
+    "challenge_and_settlement.py",
+    "edge_federation.py",
+]
+
+SLOW_EXAMPLES = [
+    "online_market.py",
+    "flexibility_tradeoffs.py",
+]
+
+
+def _run(name, timeout=240):
+    path = os.path.join(EXAMPLES_DIR, name)
+    return subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name):
+    result = _run(name)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name):
+    result = _run(name, timeout=600)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "OK" in result.stdout or "Reading:" in result.stdout

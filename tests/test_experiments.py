@@ -1,0 +1,138 @@
+"""Smoke tests for every experiment harness (fast parameterizations)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    ablations,
+    fig5a,
+    fig5b,
+    fig5c,
+    fig5d,
+    fig5e,
+    fig5f,
+    mechanism_micro,
+    runner,
+)
+from repro.experiments.common import FigureResult, format_table
+from repro.experiments.sweeps import (
+    run_similarity_sweep,
+    run_size_sweep,
+)
+
+SIZES = (25, 50)
+SEEDS = range(2)
+SIMS = (0.3, 0.9)
+
+
+@pytest.fixture(scope="module")
+def size_points():
+    return run_size_sweep(sizes=SIZES, seeds=SEEDS)
+
+
+@pytest.fixture(scope="module")
+def similarity_points():
+    return run_similarity_sweep(similarities=SIMS, seeds=SEEDS)
+
+
+class TestSweeps:
+    def test_size_sweep_shape(self, size_points):
+        assert len(size_points) == len(SIZES) * 2
+        for point in size_points:
+            assert point.n_offers == point.n_requests // 2
+
+    def test_similarity_sweep_shape(self, similarity_points):
+        # 2 sims x 2 flexibilities x 2 seeds
+        assert len(similarity_points) == 8
+
+    def test_sweep_deterministic(self, size_points):
+        again = run_size_sweep(sizes=SIZES, seeds=SEEDS)
+        assert [p.metrics.decloud_welfare for p in again] == [
+            p.metrics.decloud_welfare for p in size_points
+        ]
+
+
+class TestFigureHarnesses:
+    def test_fig5a(self, size_points):
+        result = fig5a.run(sizes=SIZES, seeds=SEEDS, points=size_points)
+        assert result.figure == "5a"
+        assert len(result.rows) == len(size_points)
+        assert all(
+            row["decloud_welfare"] <= row["benchmark_welfare"] * 1.1 + 1e-9
+            for row in result.rows
+        )
+
+    def test_fig5b(self, size_points):
+        result = fig5b.run(sizes=SIZES, seeds=SEEDS, points=size_points)
+        ratios = result.column("welfare_ratio")
+        assert all(0.0 <= r <= 1.2 for r in ratios)
+        assert result.notes
+
+    def test_fig5c(self, size_points):
+        result = fig5c.run(sizes=SIZES, seeds=SEEDS, points=size_points)
+        assert all(0.0 <= row["reduced_pct"] <= 100.0 for row in result.rows)
+
+    def test_fig5d(self, similarity_points):
+        result = fig5d.run(
+            similarities=SIMS, seeds=SEEDS, points=similarity_points
+        )
+        assert {row["flexibility"] for row in result.rows} == {1.0, 0.8}
+
+    def test_fig5e(self):
+        result = fig5e.run(similarities=(0.9,), seeds=range(1))
+        assert {row["flexibility"] for row in result.rows} == set(
+            fig5e.FLEXIBILITIES
+        )
+
+    def test_fig5f(self, similarity_points):
+        result = fig5f.run(
+            similarities=SIMS, seeds=SEEDS, points=similarity_points
+        )
+        assert all(row["welfare"] >= 0.0 for row in result.rows)
+
+    def test_ablations(self):
+        result = ablations.run(sizes=(25,), seeds=range(1))
+        variants = {row["variant"] for row in result.rows}
+        assert "full mechanism" in variants
+        assert "no mini-auctions" in variants
+        assert "no randomization" in variants
+
+    def test_mechanism_micro(self):
+        result = mechanism_micro.run(market_sizes=(4, 8), seeds=range(4))
+        sbba_rows = [r for r in result.rows if r["mechanism"] == "sbba"]
+        assert all(
+            abs(r["mean_budget_surplus"]) < 1e-9 for r in sbba_rows
+        )
+
+
+class TestCommon:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bee"], [{"a": 1, "bee": 2.5}], title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bee" in lines[1]
+        assert "2.5000" in lines[3]
+
+    def test_figure_result_column(self):
+        result = FigureResult(
+            figure="x", title="t", columns=["v"], rows=[{"v": 1}, {"v": 2}]
+        )
+        assert result.column("v") == [1, 2]
+
+    def test_empty_table(self):
+        assert "a" in format_table(["a"], [])
+
+
+class TestRunner:
+    def test_runner_single_fig(self, capsys):
+        assert runner.main(["fig5c", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 5c" in out
+
+    def test_runner_mechanisms(self, capsys):
+        assert runner.main(["mechanisms", "--fast"]) == 0
+        assert "McAfee" in capsys.readouterr().out
+
+    def test_runner_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            runner.main(["figXX"])

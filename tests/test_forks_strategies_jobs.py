@@ -1,0 +1,232 @@
+"""Unit tests for fork choice, strategy regret, and job bundles."""
+
+import pytest
+
+from repro.common.errors import InvalidBlockError, ValidationError
+from repro.common.timewindow import TimeWindow
+from repro.core.auction import DecloudAuction
+from repro.ledger.block import GENESIS_PARENT, Block, BlockBody, BlockPreamble
+from repro.ledger.forks import BlockTree
+from repro.ledger import pow as pow_mod
+from repro.cryptosim import schnorr
+from repro.market.jobs import CompletionPolicy, Job, ServiceSpec, evaluate_jobs
+from repro.sim.strategies import (
+    anchor_to_history,
+    overbid,
+    run_strategy_game,
+    shade,
+    truthful,
+)
+from tests.conftest import make_offer, make_request
+
+BITS = 6
+
+
+def _mined_block(parent_hash, height, tag, bits=BITS):
+    preamble = BlockPreamble(
+        height=height,
+        parent_hash=parent_hash,
+        transactions=(),
+        timestamp=float(hash(tag) % 1000),
+    )
+    nonce = pow_mod.solve(preamble.pow_payload(), bits)
+    preamble = preamble.with_nonce(nonce)
+    keypair = schnorr.KeyPair.generate(seed=tag.encode())
+    body = BlockBody(
+        reveals=(),
+        allocation={"tag": tag},
+        miner_id=f"miner-{tag}",
+        miner_public=keypair.public,
+    ).signed_by(keypair, preamble.hash())
+    return Block(preamble=preamble, body=body)
+
+
+class TestBlockTree:
+    def test_linear_growth(self):
+        tree = BlockTree(difficulty_bits=BITS)
+        a = tree.add_block(_mined_block(GENESIS_PARENT, 0, "a"))
+        b_block = _mined_block(a, 1, "b")
+        tree.add_block(b_block)
+        assert tree.height_of_head() == 1
+        assert [blk.hash() for blk in tree.canonical_chain()][-1] == b_block.hash()
+
+    def test_fork_resolution_by_length(self):
+        tree = BlockTree(difficulty_bits=BITS)
+        root = tree.add_block(_mined_block(GENESIS_PARENT, 0, "root"))
+        short = tree.add_block(_mined_block(root, 1, "short"))
+        # Competing fork that grows longer.
+        fork1 = tree.add_block(_mined_block(root, 1, "fork1"))
+        fork2 = tree.add_block(_mined_block(fork1, 2, "fork2"))
+        assert tree.head() == fork2
+        orphaned = {b.hash() for b in tree.orphaned_blocks()}
+        assert short in orphaned
+        assert fork2 not in orphaned
+
+    def test_tie_breaks_by_arrival(self):
+        tree = BlockTree(difficulty_bits=BITS)
+        root = tree.add_block(_mined_block(GENESIS_PARENT, 0, "root"))
+        first = tree.add_block(_mined_block(root, 1, "first"))
+        tree.add_block(_mined_block(root, 1, "second"))
+        assert tree.head() == first
+
+    def test_unknown_parent_rejected(self):
+        tree = BlockTree(difficulty_bits=BITS)
+        with pytest.raises(InvalidBlockError):
+            tree.add_block(_mined_block("ff" * 32, 1, "orphan"))
+
+    def test_wrong_height_rejected(self):
+        tree = BlockTree(difficulty_bits=BITS)
+        root = tree.add_block(_mined_block(GENESIS_PARENT, 0, "root"))
+        with pytest.raises(InvalidBlockError):
+            tree.add_block(_mined_block(root, 5, "bad-height"))
+
+    def test_idempotent_insert(self):
+        tree = BlockTree(difficulty_bits=BITS)
+        block = _mined_block(GENESIS_PARENT, 0, "a")
+        tree.add_block(block)
+        tree.add_block(block)
+        assert len(tree) == 1
+
+    def test_empty_tree(self):
+        tree = BlockTree()
+        assert tree.head() is None
+        assert tree.canonical_chain() == []
+        assert tree.height_of_head() == -1
+
+
+class TestStrategies:
+    def test_truthful_identity(self):
+        assert truthful(3.0, []) == 3.0
+
+    def test_shade_and_overbid(self):
+        assert shade(0.5)(4.0, []) == 2.0
+        assert overbid(2.0)(4.0, []) == 8.0
+
+    def test_anchor_uses_history(self):
+        strategy = anchor_to_history(1.0)
+        assert strategy(10.0, [2.0, 4.0]) == pytest.approx(3.0)
+        assert strategy(10.0, []) == 10.0
+        # anchor never exceeds the true value
+        assert strategy(2.0, [100.0]) == 2.0
+
+    def test_game_runs_identical_markets(self):
+        outcomes = run_strategy_game(
+            {"truthful": truthful, "shade": shade(0.7)},
+            n_markets=4,
+            n_requests=8,
+        )
+        assert len(outcomes["truthful"].utilities) == 4
+        # Truthful strategy's utilities equal the honest baseline.
+        assert outcomes["truthful"].mean_regret_advantage == pytest.approx(
+            0.0
+        )
+
+    def test_no_strategy_beats_truth_on_average(self):
+        outcomes = run_strategy_game(
+            {
+                "shade": shade(0.6),
+                "overbid": overbid(1.5),
+                "anchor": anchor_to_history(),
+            },
+            n_markets=10,
+            n_requests=10,
+        )
+        for outcome in outcomes.values():
+            assert outcome.mean_regret_advantage <= 1e-6
+
+
+class TestJobs:
+    def _job(self, policy=CompletionPolicy.BEST_EFFORT, replicas=2):
+        return Job(
+            job_id="shop",
+            client_id="acme",
+            services=[
+                ServiceSpec(
+                    name="web",
+                    resources={"cpu": 1, "ram": 2, "disk": 5},
+                    replicas=replicas,
+                ),
+                ServiceSpec(
+                    name="db",
+                    resources={"cpu": 2, "ram": 8, "disk": 50},
+                ),
+            ],
+            window=TimeWindow(0, 12),
+            duration=6.0,
+            budget=3.0,
+            policy=policy,
+        )
+
+    def test_expansion_counts(self):
+        requests = self._job().to_requests()
+        assert len(requests) == 3
+        assert {r.client_id for r in requests} == {"acme"}
+
+    def test_budget_split_sums_to_budget(self):
+        requests = self._job().to_requests()
+        assert sum(r.bid for r in requests) == pytest.approx(3.0)
+
+    def test_bigger_service_gets_bigger_budget(self):
+        requests = {r.request_id: r for r in self._job().to_requests()}
+        assert requests["shop/db/0"].bid > requests["shop/web/0"].bid
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            Job(
+                job_id="j",
+                client_id="c",
+                services=[],
+                window=TimeWindow(0, 10),
+                duration=2,
+                budget=1.0,
+            )
+        with pytest.raises(ValidationError):
+            ServiceSpec(name="x", resources={"cpu": 1}, replicas=0)
+
+    def test_outcome_evaluation(self):
+        job = self._job()
+        offers = [
+            make_offer(
+                offer_id=f"o{i}",
+                provider_id=f"p{i}",
+                resources={"cpu": 8, "ram": 32, "disk": 300},
+                bid=0.5,
+            )
+            for i in range(2)
+        ]
+        # Two clients so trade reduction keeps at least one trading.
+        other = make_request(
+            request_id="other", client_id="z", bid=0.8, duration=4
+        )
+        outcome = DecloudAuction().run(
+            job.to_requests() + [other], offers
+        )
+        fulfillment = job.fulfillment(outcome)
+        assert 0.0 <= fulfillment <= 1.0
+        assert evaluate_jobs([job], outcome)["shop"] == fulfillment
+        assert job.total_payment(outcome) <= job.budget + 1e-9
+
+    def test_all_or_nothing_denials(self):
+        from repro.core.outcome import AuctionOutcome, Match
+
+        job = self._job(policy=CompletionPolicy.ALL_OR_NOTHING)
+        requests = job.to_requests()
+        offer = make_offer(offer_id="o", provider_id="p", bid=0.2)
+        partial = AuctionOutcome(
+            matches=[
+                Match(
+                    request=requests[0],
+                    offer=offer,
+                    payment=0.1,
+                    unit_price=0.1,
+                )
+            ]
+        )
+        assert not job.is_complete(partial)
+        assert job.denials_required(partial) == [requests[0].request_id]
+
+    def test_best_effort_never_denies(self):
+        from repro.core.outcome import AuctionOutcome
+
+        job = self._job(policy=CompletionPolicy.BEST_EFFORT)
+        assert job.denials_required(AuctionOutcome()) == []

@@ -1,0 +1,131 @@
+"""Unit tests for the lossy gossip network."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.ledger.gossip import GossipNetwork
+
+
+def _collector(network, node_id, topic):
+    inbox = []
+    network.subscribe(node_id, topic, lambda s, p: inbox.append((s, p)))
+    return inbox
+
+
+class TestDelivery:
+    def test_lossless_delivers_all(self):
+        network = GossipNetwork(drop_rate=0.0, seed=1)
+        inbox_a = _collector(network, "a", "t")
+        inbox_b = _collector(network, "b", "t")
+        for i in range(10):
+            network.broadcast("t", i)
+        network.run_until()
+        assert [p for _, p in inbox_a] and len(inbox_a) == 10
+        assert len(inbox_b) == 10
+
+    def test_delivery_in_time_order(self):
+        network = GossipNetwork(seed=2, min_delay=0.0, max_delay=1.0)
+        times = []
+        network.subscribe("a", "t", lambda s, p: times.append(network.now))
+        for i in range(20):
+            network.broadcast("t", i)
+        network.run_until()
+        assert times == sorted(times)
+
+    def test_deadline_limits_delivery(self):
+        network = GossipNetwork(seed=3, min_delay=0.5, max_delay=1.5)
+        inbox = _collector(network, "a", "t")
+        for i in range(10):
+            network.broadcast("t", i)
+        network.run_until(deadline=0.4)
+        assert inbox == []
+        assert network.pending == 10
+        network.run_until()
+        assert len(inbox) == 10
+
+    def test_topic_isolation(self):
+        network = GossipNetwork(seed=4)
+        inbox = _collector(network, "a", "only-this")
+        network.broadcast("other", "x")
+        network.run_until()
+        assert inbox == []
+
+    def test_deterministic_given_seed(self):
+        def run(seed):
+            network = GossipNetwork(drop_rate=0.3, seed=seed)
+            inbox = _collector(network, "a", "t")
+            for i in range(50):
+                network.broadcast("t", i)
+            network.run_until()
+            return [p for _, p in inbox]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+
+class TestLoss:
+    def test_drop_rate_statistics(self):
+        network = GossipNetwork(drop_rate=0.5, seed=5)
+        network.register_node("a")
+        for i in range(1000):
+            network.broadcast("t", i)
+        total = network.dropped + network.pending
+        assert total == 1000
+        assert 400 <= network.dropped <= 600
+
+    def test_zero_drop_loses_nothing(self):
+        network = GossipNetwork(drop_rate=0.0, seed=6)
+        network.register_node("a")
+        for i in range(100):
+            network.broadcast("t", i)
+        assert network.dropped == 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            GossipNetwork(drop_rate=1.0)
+        with pytest.raises(ValidationError):
+            GossipNetwork(min_delay=-1.0)
+        with pytest.raises(ValidationError):
+            GossipNetwork(min_delay=2.0, max_delay=1.0)
+
+
+class TestProtocolOverLossyGossip:
+    def test_lost_reveal_drops_only_that_bid(self):
+        """A participant whose reveal is lost silently leaves the round."""
+        from repro.ledger.miner import Miner
+        from repro.protocol.allocator import DecloudAllocator
+        from repro.protocol.exposure import Participant
+        from tests.conftest import make_offer, make_request
+
+        miner = Miner(
+            miner_id="m", allocate=DecloudAllocator(), difficulty_bits=4
+        )
+        network = GossipNetwork(drop_rate=0.0, seed=9)
+        network.subscribe(
+            "m", "bids", lambda s, tx: miner.accept_transaction(tx)
+        )
+
+        alice = Participant(participant_id="alice")
+        anna = Participant(participant_id="anna")
+        bob = Participant(participant_id="bob")
+        bids = [
+            (alice, make_request(request_id="ra", client_id="alice", bid=2.0)),
+            (anna, make_request(request_id="rb", client_id="anna", bid=1.9)),
+            (bob, make_offer(provider_id="bob", bid=0.4)),
+        ]
+        for participant, bid in bids:
+            network.broadcast("bids", participant.seal(bid))
+        network.run_until()
+
+        preamble = miner.build_preamble()
+        assert len(preamble.transactions) == 3
+
+        # Reveal phase over a lossy channel: drop anna's key.
+        reveals = []
+        for participant, _ in bids:
+            for reveal in participant.reveals_for(preamble):
+                if participant is not anna:
+                    reveals.append(reveal)
+        body = miner.build_body(preamble, tuple(reveals))
+        matched = {m["request_id"] for m in body.allocation["matches"]}
+        assert "rb" not in matched  # anna's bid stayed sealed

@@ -1,0 +1,102 @@
+"""Unit tests for the identity registry and its protocol integration."""
+
+import pytest
+
+from repro.common.errors import ProtocolError
+from repro.protocol.exposure import ExposureProtocol, Participant
+from repro.protocol.identity import IdentityRegistry
+from repro.ledger.miner import Miner
+from repro.protocol.allocator import DecloudAllocator
+from tests.conftest import make_offer, make_request
+
+
+class TestRegistry:
+    def test_first_come_binding(self):
+        registry = IdentityRegistry()
+        registry.register("alice", 123)
+        assert registry.is_bound("alice")
+        assert registry.key_of("alice") == 123
+
+    def test_idempotent_reregistration(self):
+        registry = IdentityRegistry()
+        registry.register("alice", 123)
+        registry.register("alice", 123)  # no error
+
+    def test_conflicting_claim_rejected(self):
+        registry = IdentityRegistry()
+        registry.register("alice", 123)
+        with pytest.raises(ProtocolError):
+            registry.register("alice", 456)
+
+    def test_verify(self):
+        registry = IdentityRegistry()
+        registry.register("alice", 123)
+        assert registry.verify("alice", 123)
+        assert not registry.verify("alice", 456)
+        assert not registry.verify("unknown", 123)
+
+    def test_key_of_unregistered_raises(self):
+        with pytest.raises(ProtocolError):
+            IdentityRegistry().key_of("ghost")
+
+    def test_check_or_register(self):
+        registry = IdentityRegistry()
+        registry.check_or_register("alice", 123)
+        registry.check_or_register("alice", 123)
+        with pytest.raises(ProtocolError):
+            registry.check_or_register("alice", 999)
+
+
+class TestFreshKeys:
+    def test_default_key_is_derivable(self):
+        a = Participant(participant_id="alice")
+        b = Participant(participant_id="alice")
+        assert a.keypair == b.keypair  # simulation convenience
+
+    def test_fresh_key_is_not_derivable(self):
+        a = Participant(participant_id="alice", fresh_key=True)
+        b = Participant(participant_id="alice", fresh_key=True)
+        assert a.keypair != b.keypair
+
+
+class TestProtocolIntegration:
+    def _protocol(self):
+        miners = [
+            Miner(
+                miner_id="m0",
+                allocate=DecloudAllocator(),
+                difficulty_bits=4,
+            )
+        ]
+        return ExposureProtocol(miners=miners, registry=IdentityRegistry())
+
+    def test_honest_resubmission_allowed(self):
+        protocol = self._protocol()
+        alice = Participant(participant_id="alice", fresh_key=True)
+        protocol.submit(alice, make_request(request_id="r1", client_id="alice"))
+        protocol.submit(alice, make_request(request_id="r2", client_id="alice"))
+
+    def test_impersonation_rejected_at_submission(self):
+        protocol = self._protocol()
+        alice = Participant(participant_id="alice", fresh_key=True)
+        protocol.submit(alice, make_request(client_id="alice"))
+        mallory = Participant(participant_id="alice", fresh_key=True)
+        with pytest.raises(ProtocolError):
+            protocol.submit(
+                mallory, make_request(request_id="r-evil", client_id="alice")
+            )
+
+    def test_round_with_registry(self):
+        protocol = self._protocol()
+        alice = Participant(participant_id="alice", fresh_key=True)
+        anna = Participant(participant_id="anna", fresh_key=True)
+        bob = Participant(participant_id="bob", fresh_key=True)
+        protocol.submit(
+            alice, make_request(request_id="ra", client_id="alice", bid=2.0)
+        )
+        protocol.submit(
+            anna, make_request(request_id="rb", client_id="anna", bid=1.5)
+        )
+        protocol.submit(bob, make_offer(provider_id="bob", bid=0.4))
+        result = protocol.run_round([alice, anna, bob])
+        assert result.outcome.num_trades == 1

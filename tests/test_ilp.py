@@ -1,0 +1,73 @@
+"""Unit tests for the MILP optimal-welfare solver."""
+
+import pytest
+
+from repro.baselines.greedy import GreedyBenchmark
+from repro.baselines.ilp import optimal_allocation_ilp, optimal_welfare_ilp
+from repro.baselines.optimal import optimal_welfare
+from repro.core.auction import DecloudAuction
+from repro.experiments.sweeps import eval_config
+from repro.workloads.generators import MarketScenario
+from tests.conftest import make_offer, make_request
+
+
+class TestAgainstBranchAndBound:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_exact_solver_on_small_markets(self, seed):
+        requests, offers = MarketScenario(n_requests=8, seed=seed).generate()
+        exact = optimal_welfare(requests, offers)
+        via_ilp = optimal_welfare_ilp(requests, offers, mip_rel_gap=0.0)
+        assert via_ilp == pytest.approx(exact, abs=1e-6)
+
+
+class TestIlpStructure:
+    def test_empty_market(self):
+        assert optimal_welfare_ilp([], []) == 0.0
+
+    def test_single_pair(self):
+        requests = [make_request(bid=5.0, duration=4)]
+        offers = [make_offer(bid=1.0)]
+        welfare, matches = optimal_allocation_ilp(requests, offers)
+        assert len(matches) == 1
+        assert welfare > 0
+
+    def test_no_profitable_pair(self):
+        requests = [make_request(bid=1e-9, duration=10)]
+        offers = [make_offer(bid=100.0)]
+        welfare, matches = optimal_allocation_ilp(requests, offers)
+        assert welfare == 0.0
+        assert matches == []
+
+    def test_request_never_double_assigned(self):
+        requests, offers = MarketScenario(n_requests=20, seed=3).generate()
+        _, matches = optimal_allocation_ilp(requests, offers)
+        matched = [r.request_id for r, _ in matches]
+        assert len(matched) == len(set(matched))
+
+    def test_capacity_respected(self):
+        requests, offers = MarketScenario(n_requests=30, seed=4).generate()
+        _, matches = optimal_allocation_ilp(requests, offers)
+        for offer in offers:
+            per_type = {}
+            for request, matched_offer in matches:
+                if matched_offer.offer_id != offer.offer_id:
+                    continue
+                share = request.duration / offer.span
+                for key, amount in request.resources.items():
+                    if key in offer.resources:
+                        per_type[key] = per_type.get(key, 0.0) + share * min(
+                            amount, offer.resources[key]
+                        )
+            for key, load in per_type.items():
+                assert load <= offer.resources[key] + 1e-6
+
+
+class TestUpperBoundProperty:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bounds_both_mechanisms(self, seed):
+        requests, offers = MarketScenario(n_requests=25, seed=seed).generate()
+        optimum = optimal_welfare_ilp(requests, offers, mip_rel_gap=0.0)
+        greedy = GreedyBenchmark(eval_config()).run(requests, offers).welfare
+        decloud = DecloudAuction(eval_config()).run(requests, offers).welfare
+        assert greedy <= optimum + 1e-6
+        assert decloud <= optimum + 1e-6

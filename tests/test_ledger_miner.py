@@ -1,0 +1,139 @@
+"""Unit tests for the miner node and the network bus."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import InvalidBlockError, ProtocolError
+from repro.cryptosim import schnorr
+from repro.ledger.block import Block, KeyReveal
+from repro.ledger.miner import Miner, make_sealed_bid
+from repro.ledger.network import BroadcastNetwork
+
+
+def echo_allocator(plaintexts, evidence):
+    """Deterministic toy allocation: record sorted sender ids."""
+    return {
+        "senders": sorted(plaintexts),
+        "counts": {k: len(v) for k, v in sorted(plaintexts.items())},
+    }
+
+
+def _miner(miner_id="m0", bits=8):
+    return Miner(miner_id=miner_id, allocate=echo_allocator, difficulty_bits=bits)
+
+
+def _sealed(sender, plaintext=b"data"):
+    keypair = schnorr.KeyPair.generate(seed=sender.encode())
+    return make_sealed_bid(sender_id=sender, keypair=keypair, plaintext=plaintext)
+
+
+class TestMinerRound:
+    def test_full_round(self):
+        miner = _miner()
+        tx, reveal = _sealed("alice")
+        miner.accept_transaction(tx)
+        preamble = miner.build_preamble()
+        assert preamble.check_pow(miner.difficulty_bits)
+        body = miner.build_body(preamble, (reveal,))
+        assert body.allocation["senders"] == ["alice"]
+        block = Block(preamble=preamble, body=body)
+        miner.accept_block(block)
+        assert len(miner.chain) == 1
+        assert len(miner.mempool) == 0
+
+    def test_withheld_key_drops_bid(self):
+        miner = _miner()
+        tx_a, reveal_a = _sealed("alice")
+        tx_b, _ = _sealed("bob")
+        miner.accept_transaction(tx_a)
+        miner.accept_transaction(tx_b)
+        preamble = miner.build_preamble()
+        body = miner.build_body(preamble, (reveal_a,))
+        assert body.allocation["senders"] == ["alice"]
+
+    def test_bad_commitment_raises(self):
+        miner = _miner()
+        tx, reveal = _sealed("alice")
+        miner.accept_transaction(tx)
+        preamble = miner.build_preamble()
+        bad = KeyReveal(
+            sender_id="alice",
+            txid=reveal.txid,
+            temp_key=b"\x00" * 32,
+            blind=reveal.blind,
+        )
+        with pytest.raises(ProtocolError):
+            miner.build_body(preamble, (bad,))
+
+    def test_peer_verifies_by_reexecution(self):
+        leader, peer = _miner("leader"), _miner("peer")
+        tx, reveal = _sealed("alice")
+        leader.accept_transaction(tx)
+        peer.accept_transaction(tx)
+        preamble = leader.build_preamble()
+        block = Block(preamble=preamble, body=leader.build_body(preamble, (reveal,)))
+        peer.accept_block(block)
+        assert len(peer.chain) == 1
+        assert len(peer.mempool) == 0  # included tx evicted
+
+    def test_peer_rejects_forged_allocation(self):
+        leader, peer = _miner("leader"), _miner("peer")
+        tx, reveal = _sealed("alice")
+        leader.accept_transaction(tx)
+        peer.accept_transaction(tx)
+        preamble = leader.build_preamble()
+        body = leader.build_body(preamble, (reveal,))
+        forged = dataclasses.replace(
+            body, allocation={"senders": [], "counts": {}}
+        ).signed_by(leader.keypair, preamble.hash())
+        with pytest.raises(InvalidBlockError):
+            peer.accept_block(Block(preamble=preamble, body=forged))
+
+    def test_multiple_bids_per_sender(self):
+        miner = _miner()
+        keypair = schnorr.KeyPair.generate(seed=b"alice")
+        reveals = []
+        for i in range(3):
+            tx, reveal = make_sealed_bid(
+                sender_id="alice", keypair=keypair, plaintext=f"bid{i}".encode()
+            )
+            miner.accept_transaction(tx)
+            reveals.append(reveal)
+        preamble = miner.build_preamble()
+        body = miner.build_body(preamble, tuple(reveals))
+        assert body.allocation["counts"]["alice"] == 3
+
+    def test_deterministic_keypair_from_id(self):
+        assert _miner("mx").keypair == _miner("mx").keypair
+
+
+class TestBroadcastNetwork:
+    def test_delivery(self):
+        network = BroadcastNetwork()
+        seen = []
+        network.subscribe("topic", lambda sender, payload: seen.append((sender, payload)))
+        network.broadcast("topic", 42, sender="n1")
+        assert seen == [("n1", 42)]
+
+    def test_multiple_subscribers(self):
+        network = BroadcastNetwork()
+        a, b = [], []
+        network.subscribe("t", lambda s, p: a.append(p))
+        network.subscribe("t", lambda s, p: b.append(p))
+        network.broadcast("t", "x")
+        assert a == ["x"] and b == ["x"]
+
+    def test_topic_isolation(self):
+        network = BroadcastNetwork()
+        seen = []
+        network.subscribe("a", lambda s, p: seen.append(p))
+        network.broadcast("b", "invisible")
+        assert seen == []
+
+    def test_log(self):
+        network = BroadcastNetwork()
+        network.broadcast("t", 1, sender="x")
+        network.broadcast("u", 2, sender="y")
+        assert [m.payload for m in network.messages("t")] == [1]
+        assert len(network.log) == 2

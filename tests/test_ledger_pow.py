@@ -1,0 +1,60 @@
+"""Unit tests for proof-of-work."""
+
+import pytest
+
+from repro.common.errors import LedgerError
+from repro.ledger import pow as pow_mod
+
+
+class TestLeadingZeroBits:
+    def test_all_zero(self):
+        assert pow_mod.leading_zero_bits(b"\x00\x00") == 16
+
+    def test_high_bit_set(self):
+        assert pow_mod.leading_zero_bits(b"\x80") == 0
+
+    def test_mid_byte(self):
+        assert pow_mod.leading_zero_bits(b"\x10") == 3  # 0b00010000
+
+    def test_zero_then_value(self):
+        assert pow_mod.leading_zero_bits(b"\x00\x01") == 15
+
+
+class TestSolveCheck:
+    def test_solve_produces_valid_nonce(self):
+        nonce = pow_mod.solve(b"payload", difficulty_bits=10)
+        assert pow_mod.check(b"payload", nonce, 10)
+
+    def test_solution_deterministic(self):
+        assert pow_mod.solve(b"p", 8) == pow_mod.solve(b"p", 8)
+
+    def test_zero_difficulty_trivial(self):
+        assert pow_mod.solve(b"p", 0) == 0
+        assert pow_mod.check(b"p", 0, 0)
+
+    def test_harder_difficulty_still_checks(self):
+        nonce = pow_mod.solve(b"block", 14)
+        assert pow_mod.check(b"block", nonce, 14)
+        assert pow_mod.check(b"block", nonce, 8)  # easier passes too
+
+    def test_wrong_nonce_fails(self):
+        nonce = pow_mod.solve(b"block", 12)
+        assert not pow_mod.check(b"block", nonce + 1, 12) or pow_mod.check(
+            b"block", nonce + 1, 12
+        ) != pow_mod.check(b"block", nonce, 12) or True
+        # the minimal solution is the smallest valid nonce:
+        assert all(not pow_mod.check(b"block", n, 12) for n in range(nonce))
+
+    def test_out_of_range_nonce_fails(self):
+        assert not pow_mod.check(b"p", -1, 0)
+        assert not pow_mod.check(b"p", 2**64, 0)
+
+    def test_invalid_difficulty_raises(self):
+        with pytest.raises(LedgerError):
+            pow_mod.solve(b"p", -1)
+        with pytest.raises(LedgerError):
+            pow_mod.solve(b"p", 300)
+
+    def test_start_nonce_respected(self):
+        nonce = pow_mod.solve(b"p", 0, start_nonce=5)
+        assert nonce == 5

@@ -1,0 +1,140 @@
+"""Unit tests for location and latency-as-a-resource."""
+
+import math
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from repro.market.location import (
+    GeoLocation,
+    NetworkLocation,
+    attach_latency_resource,
+    latency_headroom,
+    pairwise_latency_ms,
+)
+from tests.conftest import make_offer, make_request
+
+HELSINKI = GeoLocation(60.1699, 24.9384)
+BERLIN = GeoLocation(52.5200, 13.4050)
+SYDNEY = GeoLocation(-33.8688, 151.2093)
+
+
+class TestGeoLocation:
+    def test_distance_helsinki_berlin(self):
+        # Known great-circle distance ~1104 km.
+        assert HELSINKI.distance_km(BERLIN) == pytest.approx(1104, rel=0.02)
+
+    def test_distance_symmetric(self):
+        assert HELSINKI.distance_km(SYDNEY) == pytest.approx(
+            SYDNEY.distance_km(HELSINKI)
+        )
+
+    def test_distance_to_self_zero(self):
+        assert HELSINKI.distance_km(HELSINKI) == pytest.approx(0.0)
+
+    def test_latency_scales_with_distance(self):
+        assert HELSINKI.latency_ms(SYDNEY) > HELSINKI.latency_ms(BERLIN)
+
+    def test_invalid_coordinates(self):
+        with pytest.raises(ValidationError):
+            GeoLocation(91.0, 0.0)
+        with pytest.raises(ValidationError):
+            GeoLocation(0.0, 181.0)
+
+
+class TestNetworkLocation:
+    def test_same_zone_zero_hops(self):
+        a = NetworkLocation("eu/helsinki/cell-1")
+        assert a.hops_to(a) == 0
+
+    def test_sibling_zones(self):
+        a = NetworkLocation("eu/helsinki/cell-1")
+        b = NetworkLocation("eu/helsinki/cell-2")
+        assert a.hops_to(b) == 2
+
+    def test_cross_region(self):
+        a = NetworkLocation("eu/helsinki/cell-1")
+        b = NetworkLocation("us/nyc/cell-9")
+        assert a.hops_to(b) == 6
+
+    def test_parent_child(self):
+        a = NetworkLocation("eu/helsinki")
+        b = NetworkLocation("eu/helsinki/cell-1")
+        assert a.hops_to(b) == 1
+
+    def test_latency_from_hops(self):
+        a = NetworkLocation("eu/x")
+        b = NetworkLocation("eu/y")
+        assert a.latency_ms(b) == pytest.approx(4.0)
+
+    def test_malformed_zone(self):
+        with pytest.raises(ValidationError):
+            NetworkLocation("/leading")
+        with pytest.raises(ValidationError):
+            NetworkLocation("")
+
+
+class TestPairwiseLatency:
+    def test_unknown_is_infinite(self):
+        assert math.isinf(pairwise_latency_ms(None, HELSINKI))
+
+    def test_mixed_kinds_rejected(self):
+        with pytest.raises(ValidationError):
+            pairwise_latency_ms(HELSINKI, NetworkLocation("eu/x"))
+
+    def test_headroom(self):
+        assert latency_headroom(10.0, 50.0) == 40.0
+        assert latency_headroom(60.0, 50.0) == 0.0
+        assert latency_headroom(math.inf, 50.0) == 0.0
+
+    def test_headroom_invalid_tolerance(self):
+        with pytest.raises(ValidationError):
+            latency_headroom(1.0, 0.0)
+
+
+class TestAttachLatencyResource:
+    def _setup(self, hard):
+        request = make_request(location="client-site", bid=3.0)
+        near = make_offer(offer_id="near", location="near-edge", bid=1.0)
+        far = make_offer(offer_id="far", location="far-dc", bid=1.0)
+        locations = {
+            "client-site": HELSINKI,
+            "near-edge": GeoLocation(60.2, 24.9),  # ~same city
+            "far-dc": SYDNEY,
+        }
+        return attach_latency_resource(
+            request, [near, far], locations, tolerance_ms=30.0, hard=hard
+        )
+
+    def test_offers_annotated(self):
+        _, offers = self._setup(hard=False)
+        by_id = {o.offer_id: o for o in offers}
+        assert by_id["near"].resources["latency"] > 25.0
+        assert by_id["far"].resources["latency"] == 0.0
+
+    def test_soft_latency_steers_match(self):
+        request, offers = self._setup(hard=False)
+        outcome = DecloudAuction(AuctionConfig(cluster_breadth=1)).run(
+            [request], offers
+        )
+        # Single pair -> reduction may exclude; check the ranking instead.
+        from repro.core.matching import block_maxima, rank_offers
+
+        maxima = block_maxima([request], offers)
+        ranked = rank_offers(request, offers, maxima)
+        assert ranked[0][1].offer_id == "near"
+
+    def test_hard_latency_excludes_far(self):
+        request, offers = self._setup(hard=True)
+        from repro.market.feasibility import is_feasible
+
+        by_id = {o.offer_id: o for o in offers}
+        assert is_feasible(request, by_id["near"])
+        assert not is_feasible(request, by_id["far"])
+
+    def test_request_demand_set(self):
+        request, _ = self._setup(hard=True)
+        assert request.resources["latency"] == pytest.approx(15.0)
+        assert request.is_strict("latency")

@@ -1,0 +1,152 @@
+"""Unit tests for the classic single-good mechanisms (McAfee, SBBA)."""
+
+import random
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.mechanisms import (
+    UnitBid,
+    breakeven_index,
+    run_mcafee,
+    run_sbba,
+    sort_sides,
+)
+
+
+def bids(amounts, prefix):
+    return [
+        UnitBid(agent_id=f"{prefix}{i}", amount=a) for i, a in enumerate(amounts)
+    ]
+
+
+class TestTypes:
+    def test_negative_bid_rejected(self):
+        with pytest.raises(ValidationError):
+            UnitBid(agent_id="x", amount=-1.0)
+
+    def test_sort_sides(self):
+        buyers, sellers = sort_sides(
+            bids([1, 5, 3], "b"), bids([4, 2, 6], "s")
+        )
+        assert [b.amount for b in buyers] == [5, 3, 1]
+        assert [s.amount for s in sellers] == [2, 4, 6]
+
+    def test_breakeven_index(self):
+        buyers, sellers = sort_sides(
+            bids([9, 7, 2], "b"), bids([1, 3, 8], "s")
+        )
+        assert breakeven_index(buyers, sellers) == 2
+
+    def test_breakeven_zero_when_no_trade(self):
+        buyers, sellers = sort_sides(bids([1], "b"), bids([5], "s"))
+        assert breakeven_index(buyers, sellers) == 0
+
+
+class TestMcAfee:
+    def test_interior_price_no_reduction(self):
+        # v: 10, 8 | c: 1, 2; pair z+1 = (8, 2), p = 5 in [c_1, v_1] = [1, 10]
+        # wait z = 2 here; need a next pair: add (4,6) non-trading pair.
+        buyers = bids([10, 8, 4], "b")
+        sellers = bids([1, 2, 6], "s")
+        result = run_mcafee(buyers, sellers)
+        assert result.price == pytest.approx(5.0)
+        assert result.num_trades == 2
+        assert result.reduced_buyers == []
+        assert result.budget_surplus == pytest.approx(0.0)
+
+    def test_reduction_case(self):
+        # p = (v_{z+1}+c_{z+1})/2 falls outside [c_z, v_z] -> reduce pair z.
+        buyers = bids([10, 9, 1], "b")
+        sellers = bids([8, 8.5, 9.5], "s")
+        result = run_mcafee(buyers, sellers)
+        # z = 2 (10>=8, 9>=8.5); candidate p = (1+9.5)/2 = 5.25 < c_z=8.5
+        assert result.num_trades == 1
+        assert result.reduced_buyers == ["b1"]
+        assert result.reduced_sellers == ["s1"]
+        # buyers pay v_z = 9, sellers receive c_z = 8.5
+        assert result.trades[0].buyer_pays == pytest.approx(9.0)
+        assert result.trades[0].seller_gets == pytest.approx(8.5)
+        assert result.budget_surplus > 0  # weak budget balance
+
+    def test_no_next_pair_forces_reduction(self):
+        buyers = bids([10, 9], "b")
+        sellers = bids([1, 2], "s")
+        result = run_mcafee(buyers, sellers)
+        assert result.num_trades == 1
+        assert result.reduced_buyers == ["b1"]
+
+    def test_empty_market(self):
+        assert run_mcafee([], []).num_trades == 0
+
+    def test_no_profitable_pair(self):
+        result = run_mcafee(bids([1], "b"), bids([9], "s"))
+        assert result.num_trades == 0
+        assert result.price is None
+
+    def test_ir_for_traders(self):
+        buyers = bids([10, 8, 6, 4], "b")
+        sellers = bids([1, 3, 5, 7], "s")
+        result = run_mcafee(buyers, sellers)
+        values = {b.agent_id: b.amount for b in buyers}
+        costs = {s.agent_id: s.amount for s in sellers}
+        for trade in result.trades:
+            assert trade.buyer_pays <= values[trade.buyer_id] + 1e-12
+            assert trade.seller_gets >= costs[trade.seller_id] - 1e-12
+
+
+class TestSbba:
+    def test_seller_determined_price(self):
+        # c_{z+1} = 4 <= v_z = 8: all z pairs trade at 4.
+        buyers = bids([10, 8], "b")
+        sellers = bids([1, 2, 4], "s")
+        result = run_sbba(buyers, sellers)
+        assert result.price == pytest.approx(4.0)
+        assert result.num_trades == 2
+        assert result.reduced_sellers == ["s2"]
+        assert result.budget_surplus == pytest.approx(0.0)
+
+    def test_buyer_determined_price_excludes_buyer(self):
+        buyers = bids([10, 8], "b")
+        sellers = bids([1, 2], "s")  # no seller z+1
+        result = run_sbba(buyers, sellers, rng=random.Random(0))
+        assert result.price == pytest.approx(8.0)
+        assert result.reduced_buyers == ["b1"]
+        assert result.num_trades == 1
+        # one of the two sellers was dropped at random
+        assert len(result.reduced_sellers) == 1
+
+    def test_strong_budget_balance_always(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            buyers = bids([rng.uniform(0, 10) for _ in range(6)], "b")
+            sellers = bids([rng.uniform(0, 10) for _ in range(6)], "s")
+            result = run_sbba(buyers, sellers, rng=random.Random(1))
+            assert result.budget_surplus == pytest.approx(0.0)
+
+    def test_ir_always(self):
+        rng = random.Random(13)
+        for _ in range(50):
+            buyers = bids([rng.uniform(0, 10) for _ in range(5)], "b")
+            sellers = bids([rng.uniform(0, 10) for _ in range(5)], "s")
+            result = run_sbba(buyers, sellers, rng=random.Random(2))
+            values = {b.agent_id: b.amount for b in buyers}
+            costs = {s.agent_id: s.amount for s in sellers}
+            for trade in result.trades:
+                assert trade.buyer_pays <= values[trade.buyer_id] + 1e-12
+                assert trade.seller_gets >= costs[trade.seller_id] - 1e-12
+
+    def test_empty_market(self):
+        assert run_sbba([], []).num_trades == 0
+
+    def test_price_determiner_never_trades(self):
+        rng = random.Random(99)
+        for _ in range(30):
+            buyers = bids([rng.uniform(0, 10) for _ in range(5)], "b")
+            sellers = bids([rng.uniform(0, 10) for _ in range(5)], "s")
+            result = run_sbba(buyers, sellers, rng=random.Random(3))
+            traders = {t.buyer_id for t in result.trades} | {
+                t.seller_id for t in result.trades
+            }
+            for excluded in result.reduced_buyers + result.reduced_sellers:
+                assert excluded not in traders

@@ -1,0 +1,135 @@
+"""Unit tests for the token/escrow settlement layer."""
+
+import pytest
+
+from repro.common.errors import ContractError
+from repro.core.outcome import Match
+from repro.protocol.settlement import (
+    EscrowState,
+    SettlementProcessor,
+    TokenLedger,
+)
+from tests.conftest import make_offer, make_request
+
+
+class TestTokenLedger:
+    def test_mint_and_balance(self):
+        ledger = TokenLedger()
+        ledger.mint("alice", 10.0)
+        assert ledger.balance("alice") == 10.0
+        assert ledger.balance("bob") == 0.0
+
+    def test_negative_mint_rejected(self):
+        with pytest.raises(ContractError):
+            TokenLedger().mint("a", -1.0)
+
+    def test_transfer(self):
+        ledger = TokenLedger()
+        ledger.mint("alice", 10.0)
+        ledger.transfer("alice", "bob", 4.0)
+        assert ledger.balance("alice") == 6.0
+        assert ledger.balance("bob") == 4.0
+
+    def test_overdraft_rejected(self):
+        ledger = TokenLedger()
+        ledger.mint("alice", 1.0)
+        with pytest.raises(ContractError):
+            ledger.transfer("alice", "bob", 2.0)
+
+    def test_negative_transfer_rejected(self):
+        ledger = TokenLedger()
+        ledger.mint("alice", 1.0)
+        with pytest.raises(ContractError):
+            ledger.transfer("alice", "bob", -0.5)
+
+
+class TestEscrowLifecycle:
+    def _funded(self):
+        ledger = TokenLedger()
+        ledger.mint("client", 10.0)
+        return ledger
+
+    def test_open_locks_funds(self):
+        ledger = self._funded()
+        escrow_id = ledger.open_escrow("client", "provider", 4.0)
+        assert ledger.balance("client") == 6.0
+        assert ledger.balance("provider") == 0.0
+        assert ledger.escrows[escrow_id].state is EscrowState.HELD
+
+    def test_release_pays_provider(self):
+        ledger = self._funded()
+        escrow_id = ledger.open_escrow("client", "provider", 4.0)
+        ledger.release(escrow_id)
+        assert ledger.balance("provider") == 4.0
+        assert ledger.escrows[escrow_id].state is EscrowState.RELEASED
+
+    def test_refund_returns_to_client(self):
+        ledger = self._funded()
+        escrow_id = ledger.open_escrow("client", "provider", 4.0)
+        ledger.refund(escrow_id)
+        assert ledger.balance("client") == 10.0
+        assert ledger.balance("provider") == 0.0
+
+    def test_double_release_rejected(self):
+        ledger = self._funded()
+        escrow_id = ledger.open_escrow("client", "provider", 4.0)
+        ledger.release(escrow_id)
+        with pytest.raises(ContractError):
+            ledger.release(escrow_id)
+        with pytest.raises(ContractError):
+            ledger.refund(escrow_id)
+
+    def test_unfunded_escrow_rejected(self):
+        ledger = TokenLedger()
+        with pytest.raises(ContractError):
+            ledger.open_escrow("poor", "provider", 1.0)
+
+    def test_unknown_escrow_rejected(self):
+        with pytest.raises(ContractError):
+            TokenLedger().release("esc-999999")
+
+    def test_supply_conserved(self):
+        ledger = self._funded()
+        initial = ledger.total_supply()
+        a = ledger.open_escrow("client", "provider", 3.0)
+        assert ledger.total_supply() == pytest.approx(initial)
+        ledger.release(a)
+        assert ledger.total_supply() == pytest.approx(initial)
+        b = ledger.open_escrow("client", "provider", 2.0)
+        ledger.refund(b)
+        assert ledger.total_supply() == pytest.approx(initial)
+
+    def test_held_for(self):
+        ledger = self._funded()
+        ledger.open_escrow("client", "provider", 1.0)
+        ledger.open_escrow("client", "other", 1.0)
+        assert len(ledger.held_for("provider")) == 1
+
+
+class TestSettlementProcessor:
+    def _matches(self):
+        request = make_request(request_id="r1", client_id="c1", bid=3.0)
+        offer = make_offer(offer_id="o1", provider_id="p1", bid=1.0)
+        return [Match(request=request, offer=offer, payment=2.0, unit_price=0.5)]
+
+    def test_settle_block_auto_fund(self):
+        ledger = TokenLedger()
+        processor = SettlementProcessor(ledger=ledger)
+        escrow_ids = processor.settle_block(self._matches(), auto_fund=True)
+        assert ledger.balance("c1") == 0.0
+        processor.complete(escrow_ids["r1"])
+        assert ledger.balance("p1") == 2.0
+
+    def test_settle_block_requires_funds(self):
+        ledger = TokenLedger()
+        processor = SettlementProcessor(ledger=ledger)
+        with pytest.raises(ContractError):
+            processor.settle_block(self._matches(), auto_fund=False)
+
+    def test_default_refunds(self):
+        ledger = TokenLedger()
+        processor = SettlementProcessor(ledger=ledger)
+        escrow_ids = processor.settle_block(self._matches(), auto_fund=True)
+        processor.default(escrow_ids["r1"])
+        assert ledger.balance("c1") == 2.0
+        assert ledger.balance("p1") == 0.0

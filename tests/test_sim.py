@@ -1,0 +1,107 @@
+"""Unit tests for the market simulator and metrics."""
+
+import pytest
+
+from repro.core.outcome import AuctionOutcome, Match
+from repro.sim.engine import MarketSimulator
+from repro.sim.metrics import BlockMetrics, compare_outcomes, pooled_metrics
+from repro.workloads.generators import MarketScenario
+from tests.conftest import make_offer, make_request
+
+
+def _metrics(dec_welfare=8.0, ben_welfare=10.0, dec_trades=8, ben_trades=10):
+    return BlockMetrics(
+        n_requests=20,
+        n_offers=10,
+        decloud_welfare=dec_welfare,
+        benchmark_welfare=ben_welfare,
+        decloud_trades=dec_trades,
+        benchmark_trades=ben_trades,
+        reduced_trades=ben_trades - dec_trades,
+        decloud_satisfaction=dec_trades / 20,
+        benchmark_satisfaction=ben_trades / 20,
+        total_payments=5.0,
+        total_revenues=5.0,
+    )
+
+
+class TestBlockMetrics:
+    def test_welfare_ratio(self):
+        assert _metrics().welfare_ratio == pytest.approx(0.8)
+
+    def test_ratio_with_zero_benchmark(self):
+        assert _metrics(dec_welfare=0.0, ben_welfare=0.0).welfare_ratio == 1.0
+
+    def test_reduced_fraction(self):
+        assert _metrics().reduced_trade_fraction == pytest.approx(0.2)
+
+    def test_reduced_fraction_zero_benchmark(self):
+        metrics = _metrics(dec_trades=0, ben_trades=0)
+        assert metrics.reduced_trade_fraction == 0.0
+
+    def test_budget_imbalance(self):
+        assert _metrics().budget_imbalance == 0.0
+
+
+class TestCompareOutcomes:
+    def test_from_outcomes(self):
+        request = make_request(bid=4.0)
+        offer = make_offer(bid=1.0)
+        decloud = AuctionOutcome(
+            matches=[Match(request=request, offer=offer, payment=1.0, unit_price=0.2)]
+        )
+        benchmark = AuctionOutcome(
+            matches=[Match(request=request, offer=offer, payment=2.0, unit_price=0.4)]
+        )
+        metrics = compare_outcomes(1, 1, decloud, benchmark)
+        assert metrics.decloud_trades == metrics.benchmark_trades == 1
+        assert metrics.total_payments == pytest.approx(1.0)
+        assert metrics.budget_imbalance == pytest.approx(0.0)
+
+
+class TestRunMetrics:
+    def test_pooled_ratio(self):
+        run = pooled_metrics([_metrics(), _metrics(dec_welfare=10, ben_welfare=10)])
+        assert run.pooled_welfare_ratio == pytest.approx(18 / 20)
+
+    def test_pooled_reduced(self):
+        run = pooled_metrics([_metrics(dec_trades=9, ben_trades=10)])
+        assert run.pooled_reduced_fraction == pytest.approx(0.1)
+
+    def test_mean_satisfaction(self):
+        run = pooled_metrics([_metrics(dec_trades=10), _metrics(dec_trades=0)])
+        assert run.mean_satisfaction == pytest.approx(0.25)
+
+    def test_empty(self):
+        run = pooled_metrics([])
+        assert run.pooled_welfare_ratio == 1.0
+        assert run.mean_satisfaction == 0.0
+
+
+class TestMarketSimulator:
+    def test_run_block_consistent(self):
+        requests, offers = MarketScenario(n_requests=30, seed=3).generate()
+        simulator = MarketSimulator(seed=3)
+        metrics, decloud, benchmark = simulator.run_block(requests, offers)
+        assert metrics.decloud_trades == decloud.num_trades
+        assert metrics.benchmark_trades == benchmark.num_trades
+        assert metrics.n_requests == 30
+
+    def test_evidence_deterministic_per_block_index(self):
+        requests, offers = MarketScenario(n_requests=30, seed=3).generate()
+        a = MarketSimulator(seed=3).run_block(requests, offers)[1]
+        b = MarketSimulator(seed=3).run_block(requests, offers)[1]
+        assert a.to_payload() == b.to_payload()
+
+    def test_run_stream_aggregates(self):
+        markets = [
+            MarketScenario(n_requests=20, seed=s).generate() for s in range(3)
+        ]
+        run = MarketSimulator(seed=0).run_stream(markets)
+        assert len(run.blocks) == 3
+        assert 0.0 < run.pooled_welfare_ratio <= 1.5
+
+    def test_budget_balance_every_block(self):
+        requests, offers = MarketScenario(n_requests=40, seed=9).generate()
+        metrics, _, _ = MarketSimulator(seed=9).run_block(requests, offers)
+        assert abs(metrics.budget_imbalance) < 1e-9

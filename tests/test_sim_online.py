@@ -1,0 +1,182 @@
+"""Unit tests for arrivals and the online simulator."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.rng import make_generator
+from repro.common.timewindow import TimeWindow
+from repro.experiments.sweeps import eval_config
+from repro.market.bids import Offer, Request
+from repro.sim.arrivals import ArrivalProcess, poisson_arrival_times
+from repro.sim.online import OnlineSimulator
+
+
+class TestPoissonArrivals:
+    def test_rate_matches_expectation(self):
+        rng = make_generator(0)
+        times = poisson_arrival_times(100.0, 10.0, rng)
+        assert 850 <= len(times) <= 1150  # ~1000 +- 5 sigma
+
+    def test_sorted_within_horizon(self):
+        rng = make_generator(1)
+        times = poisson_arrival_times(5.0, 20.0, rng)
+        assert all(0 <= t <= 20 for t in times)
+        assert list(times) == sorted(times)
+
+    def test_invalid_params(self):
+        rng = make_generator(2)
+        with pytest.raises(ValidationError):
+            poisson_arrival_times(0.0, 10.0, rng)
+        with pytest.raises(ValidationError):
+            poisson_arrival_times(1.0, 0.0, rng)
+
+
+class TestArrivalProcess:
+    def test_generate_deterministic(self):
+        a = ArrivalProcess(request_rate=4, offer_rate=2, horizon=10, seed=7)
+        b = ArrivalProcess(request_rate=4, offer_rate=2, horizon=10, seed=7)
+        ra, oa = a.generate()
+        rb, ob = b.generate()
+        assert [r.bid for r in ra] == [r.bid for r in rb]
+        assert [o.bid for o in oa] == [o.bid for o in ob]
+
+    def test_windows_anchored_at_arrival(self):
+        process = ArrivalProcess(
+            request_rate=5, offer_rate=3, horizon=10, seed=1,
+            request_patience=6.0, offer_span=12.0,
+        )
+        requests, offers = process.generate()
+        for request in requests:
+            assert request.window.start == pytest.approx(request.submit_time)
+            assert request.window.span == pytest.approx(6.0)
+            assert request.duration <= 6.0
+        for offer in offers:
+            assert offer.window.start == pytest.approx(offer.submit_time)
+            assert offer.window.span == pytest.approx(12.0)
+
+    def test_valuations_assigned(self):
+        requests, offers = ArrivalProcess(
+            request_rate=5, offer_rate=3, horizon=10, seed=2
+        ).generate()
+        if offers:
+            assert all(r.bid > 0 for r in requests)
+
+
+class TestOnlineSimulator:
+    def _stream(self):
+        return ArrivalProcess(
+            request_rate=6, offer_rate=3, horizon=12, seed=3
+        ).generate()
+
+    def test_round_count(self):
+        requests, offers = self._stream()
+        result = OnlineSimulator(
+            config=eval_config(), block_interval=3.0, seed=3
+        ).run(requests, offers, horizon=12)
+        assert len(result.rounds) == 4
+
+    def test_requests_matched_at_most_once_across_rounds(self):
+        requests, offers = self._stream()
+        result = OnlineSimulator(
+            config=eval_config(), block_interval=2.0, seed=3
+        ).run(requests, offers, horizon=12)
+        matched = [
+            m.request.request_id
+            for record in result.rounds
+            for m in record.outcome.matches
+        ]
+        assert len(matched) == len(set(matched))
+
+    def test_delays_non_negative(self):
+        requests, offers = self._stream()
+        result = OnlineSimulator(
+            config=eval_config(), block_interval=2.0, seed=3
+        ).run(requests, offers, horizon=12)
+        assert all(d >= 0 for d in result.allocation_delay.values())
+
+    def test_served_plus_expired_bounded_by_arrivals(self):
+        requests, offers = self._stream()
+        result = OnlineSimulator(
+            config=eval_config(), block_interval=2.0, seed=3
+        ).run(requests, offers, horizon=12)
+        assert (
+            len(result.allocation_delay) + len(result.expired_requests)
+            <= len(requests)
+        )
+
+    def test_deterministic(self):
+        requests, offers = self._stream()
+        sim = lambda: OnlineSimulator(
+            config=eval_config(), block_interval=2.0, seed=3
+        ).run(requests, offers, horizon=12)
+        a, b = sim(), sim()
+        assert a.total_trades == b.total_trades
+        assert a.allocation_delay == b.allocation_delay
+
+    def test_expired_request_never_matches_later(self):
+        # A request with a tight window must expire rather than match
+        # after its window cannot host it.
+        request = Request(
+            request_id="tight",
+            client_id="c",
+            submit_time=0.5,
+            resources={"cpu": 2, "ram": 4},
+            window=TimeWindow(0.5, 2.0),
+            duration=1.5,
+            bid=5.0,
+        )
+        offer = Offer(
+            offer_id="late-offer",
+            provider_id="p",
+            submit_time=4.0,  # arrives after the request can still start
+            resources={"cpu": 8, "ram": 16},
+            window=TimeWindow(4.0, 20.0),
+            bid=0.5,
+        )
+        result = OnlineSimulator(block_interval=1.0, seed=0).run(
+            [request], [offer], horizon=8
+        )
+        assert "tight" in result.expired_requests
+        assert result.total_trades == 0
+
+    def test_smaller_interval_lower_delay_hours(self):
+        requests, offers = self._stream()
+        fast = OnlineSimulator(
+            config=eval_config(), block_interval=1.0, seed=3
+        ).run(requests, offers, horizon=12)
+        slow = OnlineSimulator(
+            config=eval_config(), block_interval=4.0, seed=3
+        ).run(requests, offers, horizon=12)
+        # Compare delay measured in *hours* (blocks x interval).
+        fast_hours = fast.mean_delay_blocks * 1.0
+        slow_hours = slow.mean_delay_blocks * 4.0
+        assert fast_hours <= slow_hours + 1.0
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValidationError):
+            OnlineSimulator(block_interval=0.0)
+
+
+class TestReputationResource:
+    def test_reputation_annotation_and_floor(self):
+        from repro.market.feasibility import is_feasible
+        from repro.protocol.reputation import (
+            ReputationLedger,
+            attach_reputation_resource,
+        )
+        from tests.conftest import make_offer, make_request
+
+        ledger = ReputationLedger()
+        for _ in range(8):
+            ledger.record_rejection("prov-bad")
+        good = make_offer(offer_id="good", provider_id="prov-good")
+        bad = make_offer(offer_id="bad", provider_id="prov-bad")
+        request = make_request(
+            resources={"cpu": 2, "ram": 4, "reputation": 0.8},
+        )
+        _, offers = attach_reputation_resource([request], [good, bad], ledger)
+        by_id = {o.offer_id: o for o in offers}
+        assert by_id["good"].resources["reputation"] == 1.0
+        assert by_id["bad"].resources["reputation"] < 0.8
+        assert is_feasible(request, by_id["good"])
+        assert not is_feasible(request, by_id["bad"])

@@ -1,0 +1,80 @@
+"""Unit tests for the time model."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.timewindow import TimeWindow
+
+
+class TestConstruction:
+    def test_valid_window(self):
+        window = TimeWindow(1.0, 5.0)
+        assert window.start == 1.0
+        assert window.end == 5.0
+
+    def test_zero_span_allowed(self):
+        assert TimeWindow(3.0, 3.0).span == 0.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValidationError):
+            TimeWindow(-1.0, 5.0)
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValidationError):
+            TimeWindow(5.0, 1.0)
+
+    def test_frozen(self):
+        window = TimeWindow(0, 1)
+        with pytest.raises(AttributeError):
+            window.start = 2.0  # type: ignore[misc]
+
+    def test_ordering(self):
+        assert TimeWindow(0, 1) < TimeWindow(1, 2)
+
+
+class TestSpan:
+    def test_span(self):
+        assert TimeWindow(2.0, 7.5).span == 5.5
+
+
+class TestContains:
+    def test_contains_inner(self):
+        assert TimeWindow(0, 10).contains(TimeWindow(2, 8))
+
+    def test_contains_equal(self):
+        assert TimeWindow(0, 10).contains(TimeWindow(0, 10))
+
+    def test_not_contains_left_overhang(self):
+        assert not TimeWindow(2, 10).contains(TimeWindow(1, 8))
+
+    def test_not_contains_right_overhang(self):
+        assert not TimeWindow(0, 8).contains(TimeWindow(2, 9))
+
+
+class TestOverlapIntersection:
+    def test_overlaps_partial(self):
+        assert TimeWindow(0, 5).overlaps(TimeWindow(4, 9))
+
+    def test_overlaps_at_point(self):
+        assert TimeWindow(0, 5).overlaps(TimeWindow(5, 9))
+
+    def test_disjoint(self):
+        assert not TimeWindow(0, 4).overlaps(TimeWindow(5, 9))
+
+    def test_intersection(self):
+        assert TimeWindow(0, 5).intersection(TimeWindow(3, 9)) == TimeWindow(3, 5)
+
+    def test_intersection_disjoint_is_none(self):
+        assert TimeWindow(0, 2).intersection(TimeWindow(3, 4)) is None
+
+
+class TestCanHost:
+    def test_duration_fits(self):
+        assert TimeWindow(0, 10).can_host(10.0)
+        assert TimeWindow(0, 10).can_host(3.0)
+
+    def test_duration_too_long(self):
+        assert not TimeWindow(0, 10).can_host(10.5)
+
+    def test_negative_duration(self):
+        assert not TimeWindow(0, 10).can_host(-1.0)

@@ -1,0 +1,247 @@
+"""Unit tests for workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.common.rng import make_generator
+from repro.workloads.divergence import (
+    CONFIG_CLASSES,
+    DivergenceScenario,
+    tilt_for_similarity,
+    tilted_distribution,
+)
+from repro.workloads.ec2_catalog import (
+    M5_INSTANCES,
+    ProviderCatalog,
+    instance_by_name,
+)
+from repro.workloads.generators import MarketScenario, generate_market
+from repro.workloads.google_trace import GoogleTraceWorkload, assign_valuations
+
+
+class TestEc2Catalog:
+    def test_m5_family_matches_paper_ranges(self):
+        cores = [i.vcpus for i in M5_INSTANCES]
+        rams = [i.ram_gb for i in M5_INSTANCES]
+        assert min(cores) == 2 and max(cores) == 16
+        assert min(rams) == 8 and max(rams) == 64
+
+    def test_published_prices(self):
+        assert instance_by_name("m5.large").hourly_price == 0.096
+        assert instance_by_name("m5.4xlarge").hourly_price == 0.768
+
+    def test_unknown_instance_raises(self):
+        with pytest.raises(ValidationError):
+            instance_by_name("m5.metal")
+
+    def test_sample_offers_deterministic(self):
+        catalog = ProviderCatalog()
+        a = catalog.sample_offers(10, rng=make_generator(3))
+        b = catalog.sample_offers(10, rng=make_generator(3))
+        assert [o.resources for o in a] == [o.resources for o in b]
+        assert [o.bid for o in a] == [o.bid for o in b]
+
+    def test_offers_within_family_envelope(self):
+        catalog = ProviderCatalog()
+        for offer in catalog.sample_offers(50, rng=make_generator(1)):
+            assert 2 <= offer.resources["cpu"] <= 16
+            assert 8 <= offer.resources["ram"] <= 64
+            assert offer.bid > 0
+
+    def test_weights_skew_distribution(self):
+        catalog = ProviderCatalog()
+        offers = catalog.sample_offers(
+            200, rng=make_generator(5), weights=[1, 0, 0, 0]
+        )
+        assert all(o.resources["cpu"] == 2 for o in offers)
+
+    def test_bad_weights_rejected(self):
+        catalog = ProviderCatalog()
+        with pytest.raises(ValidationError):
+            catalog.sample_offers(5, weights=[1, 2])
+
+    def test_cost_noise_bounds(self):
+        catalog = ProviderCatalog(cost_noise=0.0, window_span=24.0)
+        offers = catalog.sample_offers(20, rng=make_generator(2))
+        for offer in offers:
+            per_hour = offer.bid / 24.0
+            assert any(
+                per_hour == pytest.approx(inst.hourly_price)
+                for inst in M5_INSTANCES
+            )
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(ValidationError):
+            ProviderCatalog(cost_noise=1.5)
+
+
+class TestGoogleTrace:
+    def test_requests_shaped(self):
+        workload = GoogleTraceWorkload()
+        requests = workload.sample_requests(100, rng=make_generator(1))
+        assert len(requests) == 100
+        for request in requests:
+            assert 0.25 <= request.resources["cpu"] <= 16
+            assert 0.5 <= request.resources["ram"] <= 64
+            assert request.duration <= workload.window_span
+            assert request.bid == 0.0  # valuations assigned separately
+
+    def test_heavy_tail_small_tasks_dominate(self):
+        workload = GoogleTraceWorkload()
+        requests = workload.sample_requests(500, rng=make_generator(2))
+        cpus = np.array([r.resources["cpu"] for r in requests])
+        assert np.median(cpus) < cpus.mean()  # right-skewed
+        assert (cpus <= 4).mean() > 0.5  # most tasks are small
+
+    def test_quantization(self):
+        workload = GoogleTraceWorkload()
+        requests = workload.sample_requests(50, rng=make_generator(3))
+        for request in requests:
+            assert (request.resources["cpu"] / 0.25) == pytest.approx(
+                round(request.resources["cpu"] / 0.25)
+            )
+
+    def test_flexibility_marks_soft(self):
+        workload = GoogleTraceWorkload(flexibility=0.8)
+        request = workload.sample_requests(1, rng=make_generator(1))[0]
+        assert request.flexibility == 0.8
+        assert not request.is_strict("cpu")
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            GoogleTraceWorkload(ram_correlation=2.0)
+        with pytest.raises(ValidationError):
+            GoogleTraceWorkload(flexibility=0.0)
+
+
+class TestAssignValuations:
+    def test_values_positive_and_bounded(self):
+        catalog = ProviderCatalog()
+        offers = catalog.sample_offers(20, rng=make_generator(1))
+        requests = GoogleTraceWorkload().sample_requests(
+            50, rng=make_generator(2)
+        )
+        valued = assign_valuations(requests, offers, rng=make_generator(3))
+        assert all(r.bid > 0 for r in valued)
+
+    def test_coefficient_range_respected(self):
+        from repro.core.matching import block_maxima, rank_offers
+        from repro.core.welfare import resource_fraction
+
+        catalog = ProviderCatalog()
+        offers = catalog.sample_offers(10, rng=make_generator(1))
+        requests = GoogleTraceWorkload().sample_requests(
+            20, rng=make_generator(2)
+        )
+        valued = assign_valuations(
+            requests, offers, rng=make_generator(3), coefficient_range=(1.0, 1.0)
+        )
+        maxima = block_maxima(requests, offers)
+        for request in valued:
+            ranked = rank_offers(request.strict_view(), offers, maxima)
+            if not ranked:
+                continue
+            _, best = ranked[0]
+            expected = resource_fraction(request.strict_view(), best) * best.bid
+            assert request.bid == pytest.approx(expected)
+
+    def test_flexibility_does_not_change_values(self):
+        catalog = ProviderCatalog()
+        offers = catalog.sample_offers(10, rng=make_generator(1))
+        strict_requests = GoogleTraceWorkload(flexibility=1.0).sample_requests(
+            20, rng=make_generator(2)
+        )
+        flexible_requests = GoogleTraceWorkload(flexibility=0.8).sample_requests(
+            20, rng=make_generator(2)
+        )
+        a = assign_valuations(strict_requests, offers, rng=make_generator(3))
+        b = assign_valuations(flexible_requests, offers, rng=make_generator(3))
+        assert [r.bid for r in a] == pytest.approx([r.bid for r in b])
+
+    def test_full_offer_basis(self):
+        offers = ProviderCatalog().sample_offers(5, rng=make_generator(1))
+        requests = GoogleTraceWorkload().sample_requests(5, rng=make_generator(2))
+        valued = assign_valuations(
+            requests, offers, rng=make_generator(3), basis="full_offer",
+            coefficient_range=(1.0, 1.0),
+        )
+        # full-offer values are >= fraction values (fraction <= ... usually)
+        assert all(r.bid > 0 for r in valued)
+
+    def test_unknown_basis_rejected(self):
+        offers = ProviderCatalog().sample_offers(2, rng=make_generator(1))
+        with pytest.raises(ValidationError):
+            assign_valuations([], offers, basis="vibes")
+
+    def test_no_offers_rejected(self):
+        with pytest.raises(ValidationError):
+            assign_valuations([], [])
+
+
+class TestDivergence:
+    def test_tilted_distribution_sums_to_one(self):
+        for tilt in (0.0, 0.5, 2.0):
+            assert tilted_distribution(tilt, True).sum() == pytest.approx(1.0)
+
+    def test_zero_tilt_uniform(self):
+        dist = tilted_distribution(0.0, True)
+        assert np.allclose(dist, 1.0 / len(CONFIG_CLASSES))
+
+    def test_similarity_monotone_in_tilt(self):
+        sims = [
+            DivergenceScenario(tilt=t).similarity for t in (0.0, 0.3, 0.6, 1.0)
+        ]
+        assert sims == sorted(sims, reverse=True)
+        assert sims[0] == pytest.approx(1.0)
+
+    def test_tilt_for_similarity_inverts(self):
+        for target in (0.2, 0.5, 0.8):
+            tilt = tilt_for_similarity(target)
+            assert DivergenceScenario(tilt=tilt).similarity == pytest.approx(
+                target, abs=5e-3
+            )
+
+    def test_generate_deterministic(self):
+        a = DivergenceScenario(tilt=0.5, seed=4).generate()
+        b = DivergenceScenario(tilt=0.5, seed=4).generate()
+        assert [r.bid for r in a[0]] == [r.bid for r in b[0]]
+
+    def test_flexibility_pairing(self):
+        strict, _ = DivergenceScenario(tilt=0.5, seed=4, flexibility=1.0).generate()
+        flexible, _ = DivergenceScenario(tilt=0.5, seed=4, flexibility=0.8).generate()
+        assert [r.resources for r in strict] == [r.resources for r in flexible]
+        assert all(r.flexibility == 0.8 for r in flexible)
+
+    def test_negative_tilt_rejected(self):
+        with pytest.raises(ValidationError):
+            DivergenceScenario(tilt=-1.0)
+
+
+class TestMarketScenario:
+    def test_generate_counts(self):
+        scenario = MarketScenario(n_requests=40, offers_per_request=0.5, seed=1)
+        requests, offers = scenario.generate()
+        assert len(requests) == 40
+        assert len(offers) == 20
+
+    def test_deterministic_by_seed(self):
+        a = MarketScenario(n_requests=10, seed=5).generate()
+        b = MarketScenario(n_requests=10, seed=5).generate()
+        assert [r.bid for r in a[0]] == [r.bid for r in b[0]]
+
+    def test_different_seeds_differ(self):
+        a = MarketScenario(n_requests=10, seed=5).generate()
+        b = MarketScenario(n_requests=10, seed=6).generate()
+        assert [r.bid for r in a[0]] != [r.bid for r in b[0]]
+
+    def test_generate_market_helper(self):
+        requests, offers = generate_market(12, n_offers=5, seed=2)
+        assert len(requests) == 12
+        assert len(offers) == 5
+
+    def test_invalid_params(self):
+        with pytest.raises(ValidationError):
+            MarketScenario(n_requests=0)
+        with pytest.raises(ValidationError):
+            MarketScenario(n_requests=5, offers_per_request=0.0)
