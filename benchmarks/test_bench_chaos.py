@@ -1,0 +1,40 @@
+"""Chaos-harness benchmark: protocol rounds over a faulty network.
+
+Measures the cost of running the full ledger-backed protocol through
+the fault-injection stack (seeded drops, delays, duplicates, Byzantine
+actors) — the overhead a resilience experiment pays over the clean-bus
+round benchmarked in ``test_bench_ledger.py``.
+"""
+
+from __future__ import annotations
+
+from repro.sim.chaos import ChaosSpec, run_chaos_sweep
+
+BENCH_SPEC = ChaosSpec(
+    num_clients=6,
+    num_providers=3,
+    num_miners=3,
+    rounds=2,
+    seed=11,
+    difficulty_bits=4,
+    withholding_clients=1,
+    equivocating_leader=True,
+    reorder_rate=0.1,
+    duplicate_rate=0.05,
+)
+
+
+def test_bench_chaos_sweep(benchmark):
+    points = benchmark.pedantic(
+        run_chaos_sweep,
+        args=(BENCH_SPEC,),
+        kwargs={"drop_rates": (0.0, 0.2)},
+        rounds=3,
+        iterations=1,
+    )
+    clean, faulty = points
+    assert clean.success_rate == 1.0
+    assert faulty.success_rate == 1.0
+    assert clean.integrity_failures == faulty.integrity_failures == 0
+    # faults may shrink welfare but the harness must retain some market
+    assert faulty.welfare > 0.0

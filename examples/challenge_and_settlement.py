@@ -36,8 +36,10 @@ from repro.protocol import (
 def main() -> None:
     # --- mine a block through the protocol -----------------------------
     protocol = build_miner_network(num_miners=2, difficulty_bits=6)
-    clients = [Participant(participant_id=f"cli-{i}") for i in range(4)]
-    provider = Participant(participant_id="prov-0")
+    clients = [
+        Participant(participant_id=f"cli-{i}", fresh_key=True) for i in range(4)
+    ]
+    provider = Participant(participant_id="prov-0", fresh_key=True)
     requests = []
     for i, client in enumerate(clients):
         request = Request(

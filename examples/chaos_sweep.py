@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Chaos sweep: how the decentralized auction degrades under faults.
+
+Runs the full ledger-backed protocol over a fault-injecting network and
+sweeps the message drop rate while one client withholds its keys and the
+round-robin leader equivocates.  For each fault level it reports:
+
+* auction success rate (rounds that produced a quorum-verified block),
+* welfare retention versus the identical fault-free market,
+* how many sealed bids were excluded (the paper's denial path),
+* how often peers rejected a leader and fell back to the next miner.
+
+The sweep is fully deterministic: rerunning this script reproduces the
+exact same curve.
+
+Run:  python examples/chaos_sweep.py
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.sim.chaos import ChaosSpec, run_chaos_sweep
+
+DROP_RATES = (0.0, 0.1, 0.2, 0.3, 0.5)
+
+
+def main() -> None:
+    rounds = int(os.environ.get("CHAOS_ROUNDS", "3"))
+    spec = ChaosSpec(
+        num_clients=6,
+        num_providers=3,
+        num_miners=3,
+        rounds=rounds,
+        seed=7,
+        difficulty_bits=4,
+        withholding_clients=1,
+        tampering_clients=1,
+        equivocating_leader=True,
+        reorder_rate=0.1,
+        duplicate_rate=0.05,
+    )
+    print(
+        "chaos sweep: 1 withholding + 1 tampering client, "
+        "equivocating leader, reorder 10%, duplicates 5%"
+    )
+    print(f"{rounds} rounds per point, 3 miners, quorum = 2\n")
+    header = (
+        f"{'drop':>5}  {'success':>8}  {'retention':>9}  "
+        f"{'excluded':>8}  {'fallbacks':>9}  {'msgs lost':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for point in run_chaos_sweep(spec, drop_rates=DROP_RATES):
+        print(
+            f"{point.drop_rate:>5.2f}  "
+            f"{point.success_rate:>8.2f}  "
+            f"{point.welfare_retention:>9.2f}  "
+            f"{point.excluded_bids:>8d}  "
+            f"{point.fallback_rounds:>9d}  "
+            f"{point.messages_dropped:>9d}"
+        )
+        if point.integrity_failures:
+            raise SystemExit(
+                "mechanism integrity violated under faults — "
+                f"{point.integrity_failures} block(s) diverged from the "
+                "fault-free replay"
+            )
+        for error in point.errors:
+            print(f"        degraded: {error}")
+    print(
+        "\nevery completed block matched a fault-free replay on its "
+        "surviving bid set — faults shrink the market, never corrupt "
+        "the mechanism"
+    )
+
+
+if __name__ == "__main__":
+    main()

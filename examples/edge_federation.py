@@ -33,8 +33,14 @@ def main() -> None:
     protocol = build_miner_network(num_miners=3, difficulty_bits=8)
     print("=== private chain: 3 federated operator miners ===")
 
-    operators = [Participant(participant_id=f"operator-{c}") for c in "abc"]
-    tenants = [Participant(participant_id=f"tenant-{i:02d}") for i in range(9)]
+    operators = [
+        Participant(participant_id=f"operator-{c}", fresh_key=True)
+        for c in "abc"
+    ]
+    tenants = [
+        Participant(participant_id=f"tenant-{i:02d}", fresh_key=True)
+        for i in range(9)
+    ]
 
     # Operators post spare machines; tenants post container requests.
     for round_index in range(3):

@@ -34,9 +34,11 @@ def main() -> None:
     ]
     leader, verifier_1, verifier_2 = miners
 
-    alice = Participant(participant_id="alice")
-    bob = Participant(participant_id="bob")
-    carol_provider = Participant(participant_id="carol")
+    # fresh_key=True is the documented default for protocol deployments:
+    # id-derived keys are reproducible but forgeable by anyone.
+    alice = Participant(participant_id="alice", fresh_key=True)
+    bob = Participant(participant_id="bob", fresh_key=True)
+    carol_provider = Participant(participant_id="carol", fresh_key=True)
 
     bids = [
         (

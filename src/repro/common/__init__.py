@@ -2,15 +2,21 @@
 
 from repro.common.errors import (
     AuctionError,
+    ByzantineFaultError,
     ContractError,
     CryptoError,
     DecryptionError,
+    EquivocationError,
     InfeasibleMatchError,
+    InsecureKeyWarning,
     InvalidBlockError,
     LedgerError,
     ProtocolError,
+    QuorumError,
     ReproError,
+    RevealTimeoutError,
     SignatureError,
+    TimeoutError,
     ValidationError,
 )
 from repro.common.ids import DEFAULT_FACTORY, IdFactory, next_id
@@ -19,15 +25,21 @@ from repro.common.timewindow import TimeWindow
 
 __all__ = [
     "AuctionError",
+    "ByzantineFaultError",
     "ContractError",
     "CryptoError",
     "DecryptionError",
+    "EquivocationError",
     "InfeasibleMatchError",
+    "InsecureKeyWarning",
     "InvalidBlockError",
     "LedgerError",
     "ProtocolError",
+    "QuorumError",
     "ReproError",
+    "RevealTimeoutError",
     "SignatureError",
+    "TimeoutError",
     "ValidationError",
     "IdFactory",
     "DEFAULT_FACTORY",

@@ -7,6 +7,8 @@ programming errors (``TypeError``, ``KeyError``, ...).
 
 from __future__ import annotations
 
+import builtins
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -38,6 +40,40 @@ class InvalidBlockError(LedgerError):
 
 class ProtocolError(ReproError):
     """Two-phase bid exposure protocol violation."""
+
+
+class TimeoutError(ReproError, builtins.TimeoutError):  # noqa: A001
+    """A protocol phase missed its deadline.
+
+    Deliberately shadows the builtin inside this namespace (and subclasses
+    it, so ``except TimeoutError`` catches both spellings): liveness
+    failures are deadline failures whichever way the caller thinks of them.
+    """
+
+
+class RevealTimeoutError(TimeoutError):
+    """No key reveal arrived for any sealed bid within the deadline.
+
+    Raised only when *every* included bid stayed sealed after the retry
+    budget was spent — partial withholding degrades gracefully instead
+    (the unrevealed bids are excluded and the round clears on the rest).
+    """
+
+
+class QuorumError(TimeoutError):
+    """Too few live miners remain to reach a verification majority."""
+
+
+class ByzantineFaultError(ProtocolError):
+    """Detected misbehavior that honest nodes could not route around."""
+
+
+class EquivocationError(ByzantineFaultError):
+    """One miner signed two different bodies for the same preamble."""
+
+
+class InsecureKeyWarning(UserWarning):
+    """A participant fell back to a forgeable id-derived keypair."""
 
 
 class ContractError(ReproError):

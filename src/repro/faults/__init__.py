@@ -1,0 +1,46 @@
+"""Fault injection: unreliable networks, Byzantine actors, chaos plans.
+
+The decentralized layer is only falsifiable if faults can actually
+occur.  This package supplies them, deterministically:
+
+* :class:`FaultPlan` — one seeded chaos scenario (message drop / delay /
+  duplication / reorder, scheduled node crashes and partitions).
+* :class:`UnreliableNetwork` — a drop-in
+  :class:`~repro.ledger.network.BroadcastNetwork` that executes a plan.
+* Byzantine actors — :class:`WithholdingParticipant`,
+  :class:`TamperingParticipant`, :class:`EquivocatingMiner` — honest
+  implementations with exactly one lie each.
+
+The protocol-side degradation these exercise lives in
+:mod:`repro.protocol.exposure`; the sweep harness that measures it lives
+in :mod:`repro.sim.chaos`.
+"""
+
+from repro.faults.actors import (
+    EquivocatingMiner,
+    TamperingParticipant,
+    WithholdingParticipant,
+    detect_equivocation,
+)
+from repro.faults.network import GLOBAL_NODE, UnreliableNetwork
+from repro.faults.plan import (
+    LOSSLESS,
+    CrashSpec,
+    FaultPlan,
+    PartitionSpec,
+    make_partition,
+)
+
+__all__ = [
+    "CrashSpec",
+    "EquivocatingMiner",
+    "FaultPlan",
+    "GLOBAL_NODE",
+    "LOSSLESS",
+    "PartitionSpec",
+    "TamperingParticipant",
+    "UnreliableNetwork",
+    "WithholdingParticipant",
+    "detect_equivocation",
+    "make_partition",
+]

@@ -1,0 +1,199 @@
+"""A broadcast bus that lies, loses, repeats, and goes quiet.
+
+:class:`UnreliableNetwork` is a drop-in for
+:class:`~repro.ledger.network.BroadcastNetwork` — same ``subscribe`` /
+``broadcast`` / ``messages`` surface, same traffic log — but every
+delivery runs the gauntlet of a :class:`~repro.faults.plan.FaultPlan`:
+it may be dropped, delayed, duplicated, jittered out of order, refused
+because the recipient crashed, or severed by a partition.
+
+Deliveries are queued in virtual time and drained by :meth:`flush`;
+:class:`~repro.protocol.exposure.ExposureProtocol` flushes at phase
+boundaries, so messages delayed past a phase deadline are genuinely
+*late* — the protocol's retry path has to earn its keep.
+
+Node-scoped subscriptions (:meth:`subscribe_node`) opt a handler into
+crash and partition semantics; plain :meth:`subscribe` handlers behave
+like BroadcastNetwork subscribers that merely suffer message faults.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from repro.faults.plan import FaultPlan, PartitionSpec
+from repro.ledger.network import Message
+
+Handler = Callable[[str, Any], None]
+
+#: pseudo-node owning handlers registered via the node-less ``subscribe``
+GLOBAL_NODE = "*"
+
+
+@dataclass(order=True)
+class _Delivery:
+    time: float
+    sequence: int
+    node_id: str = field(compare=False)
+    topic: str = field(compare=False)
+    payload: Any = field(compare=False)
+    sender: str = field(compare=False)
+
+
+@dataclass
+class UnreliableNetwork:
+    """Seeded-fault broadcast bus implementing the BroadcastNetwork surface."""
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    log: List[Message] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._rng = self.plan.rng()
+        self._subscribers: Dict[Tuple[str, str], List[Handler]] = {}
+        self._nodes: List[str] = []
+        self._queue: List[_Delivery] = []
+        self._sequence = itertools.count()
+        self._crashed: Set[str] = set()
+        self._manual_partitions: List[PartitionSpec] = []
+        self.now = 0.0
+        self.delivered = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.censored = 0  # undeliverable: crashed node or severed link
+
+    # ------------------------------------------------------------------
+    # Subscription (BroadcastNetwork-compatible plus node-scoped form)
+    # ------------------------------------------------------------------
+    def subscribe(self, topic: str, handler: Handler) -> None:
+        """Register a handler unaffected by node-level faults."""
+        self.subscribe_node(GLOBAL_NODE, topic, handler)
+
+    def subscribe_node(
+        self, node_id: str, topic: str, handler: Handler
+    ) -> None:
+        """Register ``handler`` as ``node_id``'s inbox for ``topic``."""
+        if node_id not in self._nodes:
+            self._nodes.append(node_id)
+        self._subscribers.setdefault((node_id, topic), []).append(handler)
+
+    # ------------------------------------------------------------------
+    # Node faults: scripted on top of whatever the plan schedules
+    # ------------------------------------------------------------------
+    def crash_node(self, node_id: str) -> None:
+        self._crashed.add(node_id)
+
+    def recover_node(self, node_id: str) -> None:
+        self._crashed.discard(node_id)
+
+    def partition(self, *groups: Tuple[str, ...]) -> None:
+        """Sever links between the given groups until :meth:`heal`."""
+        self._manual_partitions.append(
+            PartitionSpec(groups=tuple(frozenset(g) for g in groups))
+        )
+
+    def heal(self) -> None:
+        """Lift every scripted partition (plan-scheduled ones still apply)."""
+        self._manual_partitions.clear()
+
+    def is_down(self, node_id: str) -> bool:
+        if node_id in self._crashed:
+            return True
+        return any(
+            spec.node_id == node_id and spec.down_at(self.now)
+            for spec in self.plan.crashes
+        )
+
+    def _severed(self, sender: str, recipient: str) -> bool:
+        if not sender:
+            return False
+        for spec in self._manual_partitions:
+            if spec.severs(sender, recipient):
+                return True
+        return any(
+            spec.active_at(self.now) and spec.severs(sender, recipient)
+            for spec in self.plan.partitions
+        )
+
+    # ------------------------------------------------------------------
+    # Traffic
+    # ------------------------------------------------------------------
+    def broadcast(self, topic: str, payload: Any, sender: str = "") -> None:
+        """Queue one faulty delivery per subscribing node.
+
+        Fault sampling happens in subscription order at send time, so the
+        fault stream depends only on the plan seed and the call sequence —
+        never on wall-clock or payload contents.
+        """
+        self.log.append(Message(topic=topic, payload=payload, sender=sender))
+        if self.is_down(sender):
+            return
+        plan = self.plan
+        for node_id in self._nodes:
+            if (node_id, topic) not in self._subscribers:
+                continue
+            copies = 1
+            if plan.duplicate_rate and self._rng.random() < plan.duplicate_rate:
+                copies = 2
+                self.duplicated += 1
+            for _ in range(copies):
+                if plan.drop_rate and self._rng.random() < plan.drop_rate:
+                    self.dropped += 1
+                    continue
+                delay = self._rng.uniform(plan.min_delay, plan.max_delay)
+                if plan.reorder_rate and self._rng.random() < plan.reorder_rate:
+                    delay += self._rng.uniform(0.0, plan.reorder_jitter)
+                heapq.heappush(
+                    self._queue,
+                    _Delivery(
+                        time=self.now + delay,
+                        sequence=next(self._sequence),
+                        node_id=node_id,
+                        topic=topic,
+                        payload=payload,
+                        sender=sender,
+                    ),
+                )
+
+    def flush(self, until: Optional[float] = None) -> int:
+        """Deliver queued messages in virtual-time order up to ``until``.
+
+        Crash and partition state is evaluated at each delivery's
+        timestamp, so a message in flight when its recipient crashes is
+        lost — exactly the window real failures exploit.  Returns the
+        number of messages delivered.
+        """
+        horizon = math.inf if until is None else until
+        count = 0
+        while self._queue and self._queue[0].time <= horizon:
+            delivery = heapq.heappop(self._queue)
+            self.now = max(self.now, delivery.time)
+            if self.is_down(delivery.node_id) or self._severed(
+                delivery.sender, delivery.node_id
+            ):
+                self.censored += 1
+                continue
+            handlers = self._subscribers.get(
+                (delivery.node_id, delivery.topic), ()
+            )
+            for handler in list(handlers):
+                handler(delivery.sender, delivery.payload)
+            self.delivered += 1
+            count += 1
+        if until is not None:
+            self.now = max(self.now, until)
+        return count
+
+    # ------------------------------------------------------------------
+    # Introspection (BroadcastNetwork parity)
+    # ------------------------------------------------------------------
+    def messages(self, topic: str) -> List[Message]:
+        """All *sent* messages on ``topic`` (delivery not guaranteed)."""
+        return [msg for msg in self.log if msg.topic == topic]
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)

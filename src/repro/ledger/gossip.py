@@ -49,10 +49,13 @@ class GossipNetwork:
     min_delay: float = 0.01
     max_delay: float = 0.1
     seed: int = 0
+    duplicate_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.drop_rate < 1.0:
             raise ValidationError("drop_rate must be in [0, 1)")
+        if not 0.0 <= self.duplicate_rate < 1.0:
+            raise ValidationError("duplicate_rate must be in [0, 1)")
         if self.min_delay < 0 or self.max_delay < self.min_delay:
             raise ValidationError("need 0 <= min_delay <= max_delay")
         self._rng = random.Random(self.seed)
@@ -60,6 +63,7 @@ class GossipNetwork:
         self._queue: List[_Delivery] = []
         self._sequence = itertools.count()
         self._nodes: List[str] = []
+        self._crashed: set = set()
         self.now = 0.0
         self.delivered: int = 0
         self.dropped: int = 0
@@ -75,27 +79,41 @@ class GossipNetwork:
         self.register_node(node_id)
         self._subscribers.setdefault((node_id, topic), []).append(handler)
 
+    def crash(self, node_id: str) -> None:
+        """Take a node offline: nothing is delivered to it until recovery."""
+        self._crashed.add(node_id)
+
+    def recover(self, node_id: str) -> None:
+        self._crashed.discard(node_id)
+
     # ------------------------------------------------------------------
     # Traffic
     # ------------------------------------------------------------------
     def broadcast(self, topic: str, payload: Any, sender: str = "") -> None:
         """Schedule delivery of ``payload`` to every registered node."""
         for node_id in self._nodes:
-            if self._rng.random() < self.drop_rate:
-                self.dropped += 1
-                continue
-            delay = self._rng.uniform(self.min_delay, self.max_delay)
-            heapq.heappush(
-                self._queue,
-                _Delivery(
-                    time=self.now + delay,
-                    sequence=next(self._sequence),
-                    node_id=node_id,
-                    topic=topic,
-                    payload=payload,
-                    sender=sender,
-                ),
-            )
+            copies = 1
+            if (
+                self.duplicate_rate
+                and self._rng.random() < self.duplicate_rate
+            ):
+                copies = 2
+            for _ in range(copies):
+                if self._rng.random() < self.drop_rate:
+                    self.dropped += 1
+                    continue
+                delay = self._rng.uniform(self.min_delay, self.max_delay)
+                heapq.heappush(
+                    self._queue,
+                    _Delivery(
+                        time=self.now + delay,
+                        sequence=next(self._sequence),
+                        node_id=node_id,
+                        topic=topic,
+                        payload=payload,
+                        sender=sender,
+                    ),
+                )
 
     def run_until(self, deadline: Optional[float] = None) -> int:
         """Deliver queued messages up to ``deadline`` (all, if None).
@@ -108,8 +126,15 @@ class GossipNetwork:
                 break
             delivery = heapq.heappop(self._queue)
             self.now = max(self.now, delivery.time)
-            for handler in self._subscribers.get(
-                (delivery.node_id, delivery.topic), []
+            if delivery.node_id in self._crashed:
+                self.dropped += 1
+                continue
+            # Snapshot the handler list: a handler subscribing during
+            # delivery must not receive (or redirect) this message.
+            for handler in list(
+                self._subscribers.get(
+                    (delivery.node_id, delivery.topic), ()
+                )
             ):
                 handler(delivery.sender, delivery.payload)
             self.delivered += 1

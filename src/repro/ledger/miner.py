@@ -14,7 +14,11 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.errors import InvalidBlockError, ProtocolError
+from repro.common.errors import (
+    DecryptionError,
+    InvalidBlockError,
+    ProtocolError,
+)
 from repro.cryptosim import commitments, schnorr, symmetric
 from repro.cryptosim.symmetric import SealedBox
 from repro.ledger import pow as pow_mod
@@ -39,6 +43,14 @@ class Miner:
     chain: Blockchain = field(default=None)  # type: ignore[assignment]
     mempool: Mempool = field(default_factory=Mempool)
     clock: Callable[[], float] = time.monotonic
+    #: preambles seen this node, by preamble hash (idempotent ingestion)
+    preamble_inbox: Dict[str, BlockPreamble] = field(default_factory=dict)
+    #: screened key reveals per preamble hash, keyed by txid
+    reveal_inbox: Dict[str, Dict[str, KeyReveal]] = field(default_factory=dict)
+    #: reveals rejected at admission: (reveal, reason) — Byzantine evidence
+    rejected_reveals: List[Tuple[KeyReveal, str]] = field(default_factory=list)
+    #: reveals for preambles this node has not seen yet (reordered gossip)
+    _unscreened: Dict[str, Dict[str, KeyReveal]] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.keypair is None:
@@ -66,6 +78,74 @@ class Miner:
         )
         nonce = pow_mod.solve(preamble.pow_payload(), self.difficulty_bits)
         return preamble.with_nonce(nonce)
+
+    # ------------------------------------------------------------------
+    # Gossip ingestion: preamble announcements and key reveals
+    # ------------------------------------------------------------------
+    def accept_preamble(self, preamble: BlockPreamble) -> bool:
+        """Record an announced preamble; returns False on a duplicate.
+
+        Ingestion is idempotent, so duplicated or re-requested gossip is
+        harmless.  Reveals that arrived *before* their preamble (reordered
+        delivery) are screened now that the commitments are known.
+        """
+        phash = preamble.hash()
+        if phash in self.preamble_inbox:
+            return False
+        self.preamble_inbox[phash] = preamble
+        self.reveal_inbox.setdefault(phash, {})
+        for reveal in self._unscreened.pop(phash, {}).values():
+            self.accept_reveal(phash, reveal)
+        return True
+
+    def accept_reveal(self, preamble_hash: str, reveal: KeyReveal) -> bool:
+        """Screen and admit one key reveal for ``preamble_hash``.
+
+        A reveal is admitted only if it opens the commitment carried by a
+        transaction in the announced preamble *and* decrypts the sealed
+        box — anything else is recorded as Byzantine evidence and treated
+        as if the key had been withheld (the bid drops out; the round
+        survives).  Returns True when the reveal is newly admitted.
+        """
+        preamble = self.preamble_inbox.get(preamble_hash)
+        if preamble is None:
+            # Reveal raced ahead of its preamble: stash for later screening.
+            self._unscreened.setdefault(preamble_hash, {}).setdefault(
+                reveal.txid, reveal
+            )
+            return False
+        inbox = self.reveal_inbox.setdefault(preamble_hash, {})
+        if reveal.txid in inbox:
+            return False
+        tx = next(
+            (t for t in preamble.transactions if t.txid() == reveal.txid),
+            None,
+        )
+        if tx is None:
+            self.rejected_reveals.append((reveal, "unknown txid"))
+            return False
+        opening = commitments.Opening(
+            value=reveal.temp_key, blind=reveal.blind
+        )
+        if not commitments.verify_opening(tx.key_commitment, opening):
+            self.rejected_reveals.append((reveal, "commitment mismatch"))
+            return False
+        try:
+            symmetric.decrypt(reveal.temp_key, tx.box)
+        except DecryptionError:
+            self.rejected_reveals.append((reveal, "undecryptable box"))
+            return False
+        inbox[reveal.txid] = reveal
+        return True
+
+    def collected_reveals(self, preamble: BlockPreamble) -> Tuple[KeyReveal, ...]:
+        """Admitted reveals for ``preamble``, in preamble transaction order."""
+        inbox = self.reveal_inbox.get(preamble.hash(), {})
+        return tuple(
+            inbox[tx.txid()]
+            for tx in preamble.transactions
+            if tx.txid() in inbox
+        )
 
     # ------------------------------------------------------------------
     # Allocation phase
@@ -131,13 +211,22 @@ class Miner:
                 f"{body.miner_id} proposed a different result"
             )
 
-    def accept_block(self, block: Block) -> None:
-        """Verify, append, and evict included transactions from the pool."""
-        self.verify_block(block)
+    def commit_block(self, block: Block) -> None:
+        """Append an already-verified block and evict its transactions.
+
+        Callers that just ran :meth:`verify_block` (the protocol's
+        quorum path) use this to avoid re-executing the allocation a
+        second time per node.
+        """
         self.chain.append(block)
         self.mempool.remove(
             [tx.txid() for tx in block.preamble.transactions]
         )
+
+    def accept_block(self, block: Block) -> None:
+        """Verify, append, and evict included transactions from the pool."""
+        self.verify_block(block)
+        self.commit_block(block)
 
 
 def make_sealed_bid(
@@ -146,12 +235,13 @@ def make_sealed_bid(
     plaintext: bytes,
     temp_key: Optional[bytes] = None,
     nonce: Optional[bytes] = None,
+    blind: Optional[bytes] = None,
 ) -> Tuple[SealedBidTransaction, KeyReveal]:
     """Participant-side helper: seal ``plaintext`` and prepare the reveal."""
     if temp_key is None:
         temp_key = symmetric.generate_key()
     box: SealedBox = symmetric.encrypt(temp_key, plaintext, nonce=nonce)
-    commitment, opening = commitments.commit(temp_key)
+    commitment, opening = commitments.commit(temp_key, blind=blind)
     tx = SealedBidTransaction.create(
         sender_id=sender_id,
         keypair=keypair,

@@ -37,9 +37,14 @@ class BroadcastNetwork:
         self._subscribers.setdefault(topic, []).append(handler)
 
     def broadcast(self, topic: str, payload: Any, sender: str = "") -> None:
-        """Deliver ``payload`` to every subscriber of ``topic``."""
+        """Deliver ``payload`` to every subscriber of ``topic``.
+
+        The handler list is snapshotted first: a handler that subscribes
+        (or unsubscribes) during delivery must not change who receives
+        *this* message, only future ones.
+        """
         self.log.append(Message(topic=topic, payload=payload, sender=sender))
-        for handler in self._subscribers.get(topic, []):
+        for handler in list(self._subscribers.get(topic, ())):
             handler(sender, payload)
 
     def messages(self, topic: str) -> List[Message]:

@@ -16,10 +16,19 @@ match; participants then accept or deny via the smart contract layer.
 
 from __future__ import annotations
 
+import hashlib
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.common.errors import ProtocolError
+from repro.common.errors import (
+    ByzantineFaultError,
+    InsecureKeyWarning,
+    ProtocolError,
+    QuorumError,
+    ReproError,
+    RevealTimeoutError,
+)
 from repro.core.config import AuctionConfig
 from repro.core.outcome import AuctionOutcome
 from repro.cryptosim import schnorr
@@ -37,26 +46,63 @@ from repro.protocol.identity import IdentityRegistry
 class Participant:
     """A client or provider with a signing identity and pending reveals.
 
-    The key pair is derived from the participant id by default — handy
-    for reproducible simulations, but it means anyone can derive the
-    same key.  Deployments wanting unforgeable identities pass
-    ``fresh_key=True`` (random key) and register the public key in an
-    :class:`~repro.protocol.identity.IdentityRegistry`.
+    Protocol examples and deployments should pass ``fresh_key=True`` (a
+    random, unforgeable key) and register the public key in an
+    :class:`~repro.protocol.identity.IdentityRegistry` — that is the
+    documented default for anything beyond a reproducible simulation.
+    Simulations that *want* id-derived keys opt in with
+    ``deterministic=True``; deriving them silently would let anyone
+    recompute anyone's secret, so the silent fallback (kept for
+    backwards compatibility) emits :class:`InsecureKeyWarning`.
+
+    ``seal_seed`` additionally derives the temporary bid keys and nonces
+    deterministically, making whole protocol rounds bit-reproducible —
+    chaos experiments rely on this to replay identical fault scenarios.
     """
 
     participant_id: str
     keypair: schnorr.KeyPair = field(default=None)  # type: ignore[assignment]
     fresh_key: bool = False
+    deterministic: bool = False
+    seal_seed: Optional[bytes] = None
     _pending_reveals: Dict[str, KeyReveal] = field(default_factory=dict)
+    #: reveals already disclosed for a preamble — kept for re-requests
+    _disclosed: Dict[str, KeyReveal] = field(default_factory=dict)
+    _seal_counter: int = 0
 
     def __post_init__(self) -> None:
         if self.keypair is None:
             if self.fresh_key:
                 self.keypair = schnorr.KeyPair.generate()
             else:
+                if not self.deterministic:
+                    warnings.warn(
+                        f"participant {self.participant_id!r} uses an "
+                        "id-derived keypair that anyone can recompute; pass "
+                        "fresh_key=True for an unforgeable identity or "
+                        "deterministic=True to acknowledge the simulation "
+                        "trade-off",
+                        InsecureKeyWarning,
+                        stacklevel=2,
+                    )
                 self.keypair = schnorr.KeyPair.generate(
                     seed=self.participant_id.encode("utf-8")
                 )
+
+    def _next_seal_material(self) -> Dict[str, bytes]:
+        """Temporary key/nonce for the next seal (seeded when requested)."""
+        if self.seal_seed is None:
+            return {}
+        tag = (
+            self.seal_seed
+            + self.participant_id.encode("utf-8")
+            + self._seal_counter.to_bytes(8, "big")
+        )
+        return {
+            "temp_key": hashlib.sha256(b"tempkey" + tag).digest(),
+            "nonce": hashlib.sha256(b"nonce" + tag).digest()[:16],
+            "blind": hashlib.sha256(b"blind" + tag).digest(),
+        }
 
     def seal(self, bid: Union[Request, Offer]) -> SealedBidTransaction:
         """Encrypt and sign one bid; the reveal is held until phase 2."""
@@ -72,7 +118,9 @@ class Participant:
             sender_id=self.participant_id,
             keypair=self.keypair,
             plaintext=bid.to_json(),
+            **self._next_seal_material(),
         )
+        self._seal_counter += 1
         self._pending_reveals[tx.txid()] = reveal
         return tx
 
@@ -81,15 +129,39 @@ class Participant:
 
         A rational participant only reveals keys for bids the (valid)
         preamble actually contains — revealing anything else would leak
-        a live bid.
+        a live bid.  Disclosed reveals move out of the pending set (a
+        second call returns nothing new) but stay available to
+        :meth:`re_reveal` so lost gossip can be re-requested.
         """
         included = {tx.txid() for tx in preamble.transactions}
         out: List[KeyReveal] = []
         for txid, reveal in list(self._pending_reveals.items()):
             if txid in included:
                 out.append(reveal)
+                self._disclosed[txid] = reveal
                 del self._pending_reveals[txid]
         return out
+
+    def re_reveal(
+        self,
+        preamble: BlockPreamble,
+        txids: Optional[Iterable[str]] = None,
+    ) -> List[KeyReveal]:
+        """Re-disclose already-revealed keys for ``preamble``.
+
+        Disclosure is idempotent — the keys left secrecy the moment
+        :meth:`reveals_for` returned them, so answering a retry leaks
+        nothing new.  ``txids`` narrows the answer to what the requester
+        reports missing.
+        """
+        included = {tx.txid() for tx in preamble.transactions}
+        if txids is not None:
+            included &= set(txids)
+        return [
+            reveal
+            for txid, reveal in self._disclosed.items()
+            if txid in included
+        ]
 
 
 @dataclass
@@ -99,31 +171,114 @@ class RoundResult:
     block: Block
     outcome: AuctionOutcome
     accepted_by: List[str]
+    #: sealed bids excluded because their keys never (validly) arrived
+    excluded_txids: Tuple[str, ...] = ()
+    #: miners whose proposals were rejected before one reached quorum
+    failed_proposers: Tuple[str, ...] = ()
 
 
 class ExposureProtocol:
-    """Drives full rounds of the two-phase protocol over a miner network."""
+    """Drives full rounds of the two-phase protocol over a miner network.
+
+    The driver degrades gracefully under faults instead of assuming the
+    lossless synchronous bus of the original design:
+
+    * **Reveal deadline + retry**: key reveals are collected from gossip
+      with a per-attempt delivery budget; missing reveals are re-requested
+      with backoff up to ``max_reveal_retries`` times, after which the
+      still-sealed bids are excluded and the auction runs on the
+      surviving set (the paper's denial path).  Only when *every* bid
+      stays sealed does the round abort with
+      :class:`~repro.common.errors.RevealTimeoutError`.
+    * **Quorum commit**: miners verify a proposed block first and append
+      only once a majority of the network agrees, so a rejected proposal
+      never leaves chains diverged.
+    * **Leader fallback**: when the leader's body fails peer re-execution
+      (equivocation, doctored allocation), the next live miner rebuilds
+      the body from the same preamble and reveal set; the round fails
+      with :class:`~repro.common.errors.ByzantineFaultError` only if no
+      proposer reaches quorum.
+    """
 
     def __init__(
         self,
         miners: Sequence[Miner],
         network: Optional[BroadcastNetwork] = None,
         registry: Optional["IdentityRegistry"] = None,
+        submit_retries: int = 2,
+        max_reveal_retries: int = 2,
+        reveal_deadline: Optional[float] = None,
+        reveal_backoff: float = 2.0,
     ) -> None:
         if not miners:
             raise ProtocolError("at least one miner is required")
+        if submit_retries < 0 or max_reveal_retries < 0:
+            raise ProtocolError("retry budgets must be non-negative")
         self.miners = list(miners)
         self.network = network or BroadcastNetwork()
         self.registry = registry
+        self.submit_retries = submit_retries
+        self.max_reveal_retries = max_reveal_retries
+        self.reveal_deadline = reveal_deadline
+        self.reveal_backoff = reveal_backoff
         self._round = 0
         for miner in self.miners:
-            self.network.subscribe(
-                messages.TOPIC_BIDS,
-                lambda _sender, payload, m=miner: m.accept_transaction(
-                    payload.transaction
-                ),
-            )
+            self._subscribe_miner(miner)
 
+    # ------------------------------------------------------------------
+    # Network plumbing (fault-aware when the bus supports it)
+    # ------------------------------------------------------------------
+    def _subscribe_miner(self, miner: Miner) -> None:
+        def on_bid(_sender: str, payload) -> None:
+            try:
+                miner.accept_transaction(payload.transaction)
+            except ReproError:
+                # A malformed or forged submission is the sender's
+                # problem; it must not crash the receiving node.
+                pass
+
+        def on_preamble(_sender: str, payload) -> None:
+            miner.accept_preamble(payload.preamble)
+
+        def on_reveal(_sender: str, payload) -> None:
+            miner.accept_reveal(payload.preamble_hash, payload.reveal)
+
+        subscribe_node = getattr(self.network, "subscribe_node", None)
+        for topic, handler in (
+            (messages.TOPIC_BIDS, on_bid),
+            (messages.TOPIC_PREAMBLE, on_preamble),
+            (messages.TOPIC_REVEALS, on_reveal),
+        ):
+            if subscribe_node is not None:
+                subscribe_node(miner.miner_id, topic, handler)
+            else:
+                self.network.subscribe(topic, handler)
+
+    def _flush(self, budget: Optional[float] = None) -> None:
+        """Drain a fault-injecting bus; a synchronous bus needs nothing."""
+        flush = getattr(self.network, "flush", None)
+        if flush is None:
+            return
+        if budget is None:
+            flush()
+        else:
+            flush(until=self.network.now + budget)
+
+    def _is_down(self, node_id: str) -> bool:
+        is_down = getattr(self.network, "is_down", None)
+        return bool(is_down(node_id)) if is_down is not None else False
+
+    def _live_miners(self) -> List[Miner]:
+        return [m for m in self.miners if not self._is_down(m.miner_id)]
+
+    @property
+    def quorum(self) -> int:
+        """Verifying majority over the *whole* miner set, live or not."""
+        return len(self.miners) // 2 + 1
+
+    # ------------------------------------------------------------------
+    # Phase 1: sealed bidding
+    # ------------------------------------------------------------------
     def submit(
         self, participant: Participant, bid: Union[Request, Offer]
     ) -> SealedBidTransaction:
@@ -132,19 +287,67 @@ class ExposureProtocol:
         With an identity registry configured, the sender's public key is
         bound to its id on first contact and checked ever after —
         impersonating a registered id fails here, before any mempool.
+        On a lossy bus the submission is re-gossiped up to
+        ``submit_retries`` times until every live miner's mempool holds
+        it (the redundancy a real gossip overlay provides for free).
         """
         tx = participant.seal(bid)
         if self.registry is not None:
             self.registry.check_or_register(
                 tx.sender_id, tx.sender_public
             )
-        self.network.broadcast(
-            messages.TOPIC_BIDS,
-            messages.BidSubmission(transaction=tx),
-            sender=participant.participant_id,
-        )
+        txid = tx.txid()
+        for _attempt in range(self.submit_retries + 1):
+            self.network.broadcast(
+                messages.TOPIC_BIDS,
+                messages.BidSubmission(transaction=tx),
+                sender=participant.participant_id,
+            )
+            self._flush()
+            if all(txid in m.mempool for m in self._live_miners()):
+                break
         return tx
 
+    # ------------------------------------------------------------------
+    # Phase 2: reveal collection with deadline, retry, and backoff
+    # ------------------------------------------------------------------
+    def _collect_reveals(
+        self,
+        leader: Miner,
+        preamble: BlockPreamble,
+        participants: Sequence[Participant],
+    ) -> Tuple[KeyReveal, ...]:
+        phash = preamble.hash()
+        included: Set[str] = {tx.txid() for tx in preamble.transactions}
+        budget = self.reveal_deadline
+        for attempt in range(self.max_reveal_retries + 1):
+            inbox = leader.reveal_inbox.get(phash, {})
+            missing = included - set(inbox)
+            if not missing:
+                break
+            for participant in participants:
+                if self._is_down(participant.participant_id):
+                    continue
+                if attempt == 0:
+                    reveals = participant.reveals_for(preamble)
+                else:
+                    reveals = participant.re_reveal(preamble, missing)
+                for reveal in reveals:
+                    self.network.broadcast(
+                        messages.TOPIC_REVEALS,
+                        messages.RevealMessage(
+                            reveal=reveal, preamble_hash=phash
+                        ),
+                        sender=participant.participant_id,
+                    )
+            self._flush(budget)
+            if budget is not None:
+                budget *= self.reveal_backoff
+        return leader.collected_reveals(preamble)
+
+    # ------------------------------------------------------------------
+    # Full round
+    # ------------------------------------------------------------------
     def run_round(
         self, participants: Sequence[Participant]
     ) -> RoundResult:
@@ -152,13 +355,26 @@ class ExposureProtocol:
 
         The miner that "gets the block" rotates round-robin — consensus
         forks are out of scope (the paper builds on, not contributes to,
-        the underlying consensus).
+        the underlying consensus).  Crashed miners are skipped; if fewer
+        live miners remain than the verification quorum the round aborts
+        with :class:`~repro.common.errors.QuorumError`.
         """
-        leader = self.miners[self._round % len(self.miners)]
+        rotation = (
+            self.miners[self._round % len(self.miners):]
+            + self.miners[: self._round % len(self.miners)]
+        )
         self._round += 1
+        live = self._live_miners()
+        if len(live) < self.quorum:
+            raise QuorumError(
+                f"only {len(live)} of {len(self.miners)} miners are "
+                f"reachable; quorum needs {self.quorum}"
+            )
+        leader = next(m for m in rotation if not self._is_down(m.miner_id))
 
         # Phase 1 completion: leader mines the preamble over sealed bids.
         preamble = leader.build_preamble()
+        leader.accept_preamble(preamble)  # local knowledge, no gossip needed
         self.network.broadcast(
             messages.TOPIC_PREAMBLE,
             messages.PreambleAnnouncement(
@@ -166,49 +382,79 @@ class ExposureProtocol:
             ),
             sender=leader.miner_id,
         )
+        self._flush()
 
         # Peers validate the preamble's PoW before anyone reveals.
-        for miner in self.miners:
+        for miner in live:
             if not preamble.check_pow(miner.chain.difficulty_bits):
                 raise ProtocolError("preamble failed proof-of-work check")
 
-        # Phase 2: participants with included bids disclose their keys.
-        reveals: List[KeyReveal] = []
-        for participant in participants:
-            for reveal in participant.reveals_for(preamble):
-                self.network.broadcast(
-                    messages.TOPIC_REVEALS,
-                    messages.RevealMessage(
-                        reveal=reveal, preamble_hash=preamble.hash()
-                    ),
-                    sender=participant.participant_id,
-                )
-                reveals.append(reveal)
-
-        body = leader.build_body(preamble, tuple(reveals))
-        block = Block(preamble=preamble, body=body)
-        self.network.broadcast(
-            messages.TOPIC_BLOCK,
-            messages.BlockProposal(block=block, miner_id=leader.miner_id),
-            sender=leader.miner_id,
+        # Phase 2: collect screened reveals; excluded bids stay sealed.
+        reveals = self._collect_reveals(leader, preamble, participants)
+        revealed = {r.txid for r in reveals}
+        excluded = tuple(
+            tx.txid()
+            for tx in preamble.transactions
+            if tx.txid() not in revealed
         )
+        if preamble.transactions and not reveals:
+            raise RevealTimeoutError(
+                f"no valid key reveal arrived for any of the "
+                f"{len(preamble.transactions)} sealed bids after "
+                f"{self.max_reveal_retries} retries"
+            )
 
-        # Collective verification: every miner re-executes the allocation
-        # and appends only on an exact payload match.
-        accepted_by: List[str] = []
-        for miner in self.miners:
-            miner.accept_block(block)
-            accepted_by.append(miner.miner_id)
+        # Proposal with fallback: the leader proposes first; if peers
+        # reject its body, the next live miner rebuilds from the same
+        # preamble and reveal set.
+        failed: List[str] = []
+        for proposer in rotation:
+            if self._is_down(proposer.miner_id):
+                continue
+            body = proposer.build_body(preamble, reveals)
+            block = Block(preamble=preamble, body=body)
+            self.network.broadcast(
+                messages.TOPIC_BLOCK,
+                messages.BlockProposal(
+                    block=block, miner_id=proposer.miner_id
+                ),
+                sender=proposer.miner_id,
+            )
+            self._flush()
 
-        allocator = leader.allocate
-        outcome = (
-            allocator.last_outcome
-            if isinstance(allocator, DecloudAllocator)
-            and allocator.last_outcome is not None
-            else AuctionOutcome()
-        )
-        return RoundResult(
-            block=block, outcome=outcome, accepted_by=accepted_by
+            # Collective verification: every live miner re-executes the
+            # allocation; commit happens only after quorum agrees, so a
+            # rejected proposal leaves no chain diverged.
+            approving: List[Miner] = []
+            for miner in self._live_miners():
+                try:
+                    miner.verify_block(block)
+                except ReproError:
+                    continue
+                approving.append(miner)
+            if len(approving) < self.quorum:
+                failed.append(proposer.miner_id)
+                continue
+            for miner in approving:
+                miner.commit_block(block)
+
+            allocator = proposer.allocate
+            outcome = (
+                allocator.last_outcome
+                if isinstance(allocator, DecloudAllocator)
+                and allocator.last_outcome is not None
+                else AuctionOutcome()
+            )
+            return RoundResult(
+                block=block,
+                outcome=outcome,
+                accepted_by=[m.miner_id for m in approving],
+                excluded_txids=excluded,
+                failed_proposers=tuple(failed),
+            )
+        raise ByzantineFaultError(
+            "no block proposal reached quorum; rejected proposers: "
+            + ", ".join(failed)
         )
 
 

@@ -139,17 +139,25 @@ class SettlementProcessor:
     """Drives settlement for a block's matches through the token ledger."""
 
     ledger: TokenLedger
+    #: settlements already processed, by block hash — duplicate-delivery safe
+    _settled_blocks: Dict[str, Dict[str, str]] = field(default_factory=dict)
 
     def settle_block(
         self,
         matches,
         auto_fund: bool = False,
+        block_hash: str = "",
     ) -> Dict[str, str]:
         """Open one escrow per match; returns request id -> escrow id.
 
         With ``auto_fund`` clients are minted exactly the payment they
-        owe (useful in simulations that do not model wealth).
+        owe (useful in simulations that do not model wealth).  Passing
+        the ``block_hash`` makes settlement idempotent per block: gossip
+        that redelivers an already-settled block returns the original
+        escrow ids instead of locking the client's funds twice.
         """
+        if block_hash and block_hash in self._settled_blocks:
+            return dict(self._settled_blocks[block_hash])
         escrow_ids: Dict[str, str] = {}
         for match in matches:
             client = match.request.client_id
@@ -162,6 +170,8 @@ class SettlementProcessor:
                 provider_id=match.offer.provider_id,
                 amount=match.payment,
             )
+        if block_hash:
+            self._settled_blocks[block_hash] = dict(escrow_ids)
         return escrow_ids
 
     def complete(self, escrow_id: str) -> None:

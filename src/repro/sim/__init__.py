@@ -1,7 +1,13 @@
 """Market simulation: paired block clearing, online rounds, arrivals."""
 
 from repro.sim.arrivals import ArrivalProcess, poisson_arrival_times
-from repro.sim.engine import MarketSimulator
+from repro.sim.chaos import (
+    ChaosPoint,
+    ChaosSpec,
+    run_chaos_point,
+    run_chaos_sweep,
+)
+from repro.sim.engine import MarketSimulator, replay_fault_free
 from repro.sim.metrics import (
     BlockMetrics,
     RunMetrics,
@@ -19,6 +25,11 @@ from repro.sim.strategies import (
 )
 
 __all__ = [
+    "ChaosPoint",
+    "ChaosSpec",
+    "run_chaos_point",
+    "run_chaos_sweep",
+    "replay_fault_free",
     "MarketSimulator",
     "BlockMetrics",
     "RunMetrics",

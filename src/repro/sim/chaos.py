@@ -1,0 +1,266 @@
+"""Chaos harness: sweep fault rates, measure graceful degradation.
+
+For each fault level the harness runs the *same* seeded market through
+the full ledger-backed protocol over an
+:class:`~repro.faults.network.UnreliableNetwork` and reports:
+
+* **auction success** — the fraction of rounds that produced a
+  quorum-verified block at all;
+* **welfare retention** — welfare achieved under faults relative to the
+  fault-free run of the identical market;
+* **mechanism integrity** — every completed block is replayed against
+  :func:`~repro.sim.engine.replay_fault_free` on its surviving bid set;
+  any divergence is a harness-level alarm, not a statistic.
+
+Everything is derived from the spec seed, so a sweep is exactly
+reproducible — two identical calls return identical curves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.errors import ReproError
+from repro.common.rng import make_generator
+from repro.common.timewindow import TimeWindow
+from repro.core.config import AuctionConfig
+from repro.faults.actors import (
+    EquivocatingMiner,
+    TamperingParticipant,
+    WithholdingParticipant,
+)
+from repro.faults.network import UnreliableNetwork
+from repro.faults.plan import FaultPlan
+from repro.ledger.miner import Miner
+from repro.market.bids import Offer, Request
+from repro.protocol.allocator import DecloudAllocator, decode_round
+from repro.protocol.exposure import ExposureProtocol, Participant
+from repro.sim.engine import replay_fault_free
+
+DEFAULT_DROP_RATES: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.4)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """One chaos experiment: market shape, fleet, and non-drop faults."""
+
+    num_clients: int = 6
+    num_providers: int = 3
+    num_miners: int = 3
+    rounds: int = 2
+    seed: int = 0
+    difficulty_bits: int = 4
+    duplicate_rate: float = 0.0
+    min_delay: float = 0.0
+    max_delay: float = 0.05
+    reorder_rate: float = 0.0
+    #: leading clients replaced by actors that never reveal keys
+    withholding_clients: int = 0
+    #: next block of clients replaced by actors revealing forged keys
+    tampering_clients: int = 0
+    #: make the first miner an equivocator (exercises leader fallback)
+    equivocating_leader: bool = False
+    config: Optional[AuctionConfig] = None
+
+
+@dataclass
+class ChaosPoint:
+    """Degradation measurements at one fault level."""
+
+    drop_rate: float
+    rounds_attempted: int
+    rounds_completed: int
+    welfare: float
+    baseline_welfare: float
+    excluded_bids: int
+    fallback_rounds: int
+    messages_dropped: int
+    messages_delivered: int
+    integrity_failures: int
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def success_rate(self) -> float:
+        if self.rounds_attempted == 0:
+            return 1.0
+        return self.rounds_completed / self.rounds_attempted
+
+    @property
+    def welfare_retention(self) -> float:
+        if self.baseline_welfare <= 0.0:
+            return 1.0
+        return self.welfare / self.baseline_welfare
+
+
+def _market_for_round(
+    spec: ChaosSpec, round_index: int
+) -> Tuple[List[Request], List[Offer]]:
+    """Seeded bids for one round; identical specs yield identical markets."""
+    rng = make_generator(f"chaos-market-{spec.seed}-{round_index}")
+    requests = [
+        Request(
+            request_id=f"req-{round_index}-{i}",
+            client_id=f"cli-{i}",
+            submit_time=0.1 * i,
+            resources={"cpu": 2, "ram": 4, "disk": 10},
+            window=TimeWindow(0, 10),
+            duration=4.0,
+            bid=float(rng.uniform(1.2, 3.0)),
+        )
+        for i in range(spec.num_clients)
+    ]
+    offers = [
+        Offer(
+            offer_id=f"off-{round_index}-{j}",
+            provider_id=f"prov-{j}",
+            submit_time=0.1 * j,
+            resources={"cpu": 8, "ram": 32, "disk": 500},
+            window=TimeWindow(0, 24),
+            bid=float(rng.uniform(0.2, 0.8)),
+        )
+        for j in range(spec.num_providers)
+    ]
+    return requests, offers
+
+
+def _build_participants(
+    spec: ChaosSpec, byzantine: bool
+) -> Tuple[Dict[str, Participant], Dict[str, Participant]]:
+    """Clients and providers keyed by id, Byzantine actors included."""
+    seal_seed = f"chaos-{spec.seed}".encode("ascii")
+    clients: Dict[str, Participant] = {}
+    for i in range(spec.num_clients):
+        cls: type = Participant
+        if byzantine and i < spec.withholding_clients:
+            cls = WithholdingParticipant
+        elif byzantine and i < spec.withholding_clients + spec.tampering_clients:
+            cls = TamperingParticipant
+        clients[f"cli-{i}"] = cls(
+            participant_id=f"cli-{i}",
+            deterministic=True,
+            seal_seed=seal_seed,
+        )
+    providers = {
+        f"prov-{j}": Participant(
+            participant_id=f"prov-{j}",
+            deterministic=True,
+            seal_seed=seal_seed,
+        )
+        for j in range(spec.num_providers)
+    }
+    return clients, providers
+
+
+def _build_protocol(
+    spec: ChaosSpec, plan: FaultPlan, byzantine: bool
+) -> Tuple[ExposureProtocol, UnreliableNetwork]:
+    miners: List[Miner] = []
+    for m in range(spec.num_miners):
+        cls = (
+            EquivocatingMiner
+            if byzantine and spec.equivocating_leader and m == 0
+            else Miner
+        )
+        miners.append(
+            cls(
+                miner_id=f"miner-{m}",
+                allocate=DecloudAllocator(spec.config),
+                difficulty_bits=spec.difficulty_bits,
+            )
+        )
+    network = UnreliableNetwork(plan=plan)
+    protocol = ExposureProtocol(miners=miners, network=network)
+    return protocol, network
+
+
+def run_chaos_point(
+    spec: ChaosSpec, drop_rate: float, byzantine: bool = True
+) -> ChaosPoint:
+    """Run ``spec.rounds`` protocol rounds at one message-drop level."""
+    plan = FaultPlan(
+        seed=f"chaos-net-{spec.seed}-{drop_rate}",
+        drop_rate=drop_rate,
+        duplicate_rate=spec.duplicate_rate,
+        min_delay=spec.min_delay,
+        max_delay=spec.max_delay,
+        reorder_rate=spec.reorder_rate,
+    )
+    protocol, network = _build_protocol(spec, plan, byzantine)
+    clients, providers = _build_participants(spec, byzantine)
+    participants = list(clients.values()) + list(providers.values())
+
+    point = ChaosPoint(
+        drop_rate=drop_rate,
+        rounds_attempted=spec.rounds,
+        rounds_completed=0,
+        welfare=0.0,
+        baseline_welfare=0.0,
+        excluded_bids=0,
+        fallback_rounds=0,
+        messages_dropped=0,
+        messages_delivered=0,
+        integrity_failures=0,
+    )
+    for round_index in range(spec.rounds):
+        requests, offers = _market_for_round(spec, round_index)
+        for request in requests:
+            protocol.submit(clients[request.client_id], request)
+        for offer in offers:
+            protocol.submit(providers[offer.provider_id], offer)
+        try:
+            result = protocol.run_round(participants)
+        except ReproError as exc:
+            point.errors.append(f"round {round_index}: {exc}")
+            continue
+        point.rounds_completed += 1
+        point.welfare += result.outcome.welfare
+        point.excluded_bids += len(result.excluded_txids)
+        if result.failed_proposers:
+            point.fallback_rounds += 1
+        # Mechanism integrity: the block must equal a fault-free replay
+        # on exactly the bids that survived the faults.
+        body = result.block.require_complete()
+        plaintexts = Miner._open_transactions(
+            result.block.preamble, body.reveals
+        )
+        live_requests, live_offers = decode_round(plaintexts)
+        expected = replay_fault_free(
+            live_requests,
+            live_offers,
+            result.block.preamble.evidence(),
+            spec.config,
+        )
+        if expected != body.allocation:
+            point.integrity_failures += 1
+    point.messages_dropped = network.dropped
+    point.messages_delivered = network.delivered
+    return point
+
+
+def run_chaos_sweep(
+    spec: ChaosSpec,
+    drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
+    byzantine: bool = True,
+) -> List[ChaosPoint]:
+    """Sweep message-drop levels; each point also gets a fault-free baseline.
+
+    The baseline run shares the market seed but switches off every fault
+    (and every Byzantine actor), so ``welfare_retention`` isolates what
+    the *faults* cost — not seed-to-seed market variation.
+    """
+    baseline_spec = replace(
+        spec,
+        withholding_clients=0,
+        tampering_clients=0,
+        equivocating_leader=False,
+        duplicate_rate=0.0,
+        reorder_rate=0.0,
+    )
+    baseline = run_chaos_point(baseline_spec, 0.0, byzantine=False)
+    points: List[ChaosPoint] = []
+    for drop_rate in drop_rates:
+        point = run_chaos_point(spec, drop_rate, byzantine=byzantine)
+        point.baseline_welfare = baseline.welfare
+        points.append(point)
+    return points

@@ -26,6 +26,24 @@ def _evidence_for(seed: int, index: int) -> bytes:
     return hashlib.sha256(f"block-{seed}-{index}".encode()).digest()
 
 
+def replay_fault_free(
+    requests: Sequence[Request],
+    offers: Sequence[Offer],
+    evidence: bytes,
+    config: Optional[AuctionConfig] = None,
+) -> dict:
+    """The allocation payload a fault-free run produces on exactly these bids.
+
+    Chaos experiments and property tests use this as the ground truth: a
+    round that completed under injected faults must carry the *same*
+    payload a lossless network would have produced on the surviving bid
+    subset with the same block evidence — faults may shrink the market,
+    never corrupt the mechanism.
+    """
+    auction = DecloudAuction(config or AuctionConfig())
+    return auction.run(requests, offers, evidence=evidence).to_payload()
+
+
 @dataclass
 class MarketSimulator:
     """Runs paired DeCloud/benchmark clearings over blocks of bids."""

@@ -4,12 +4,17 @@ import dataclasses
 
 import pytest
 
-from repro.common.errors import InvalidBlockError, ProtocolError
+from repro.common.errors import (
+    InvalidBlockError,
+    ProtocolError,
+    RevealTimeoutError,
+)
 from repro.cryptosim import schnorr, symmetric
+from repro.faults.actors import EquivocatingMiner, WithholdingParticipant
 from repro.ledger.block import Block, KeyReveal
 from repro.ledger.miner import Miner, make_sealed_bid
 from repro.protocol.allocator import DecloudAllocator
-from repro.protocol.exposure import Participant
+from repro.protocol.exposure import ExposureProtocol, Participant
 from tests.conftest import make_offer, make_request
 
 
@@ -148,3 +153,82 @@ class TestMisbehavingParticipants:
 
         with pytest.raises(SignatureError):
             miners[0].accept_transaction(forged)
+
+
+class TestDegradedRounds:
+    """Full-protocol degradation: faults reach run_round, not just miners."""
+
+    def _market(self, protocol, alice_cls=Participant):
+        alice = alice_cls(participant_id="alice", deterministic=True)
+        anna = Participant(participant_id="anna", deterministic=True)
+        ada = Participant(participant_id="ada", deterministic=True)
+        bob = Participant(participant_id="bob", deterministic=True)
+        ben = Participant(participant_id="ben", deterministic=True)
+        alice_txid = protocol.submit(
+            alice, make_request(request_id="ra", client_id="alice", bid=2.0)
+        ).txid()
+        protocol.submit(
+            anna, make_request(request_id="rb", client_id="anna", bid=1.5)
+        )
+        protocol.submit(
+            ada, make_request(request_id="rc", client_id="ada", bid=1.0)
+        )
+        protocol.submit(bob, make_offer(offer_id="ob", provider_id="bob", bid=0.4))
+        protocol.submit(ben, make_offer(offer_id="oc", provider_id="ben", bid=0.6))
+        return [alice, anna, ada, bob, ben], alice_txid
+
+    def test_withheld_reveal_excluded_and_round_clears(self):
+        protocol = ExposureProtocol(miners=_network())
+        participants, alice_txid = self._market(
+            protocol, alice_cls=WithholdingParticipant
+        )
+        result = protocol.run_round(participants)
+        assert result.excluded_txids == (alice_txid,)
+        matched = {
+            m["request_id"] for m in result.block.body.allocation["matches"]
+        }
+        assert "ra" not in matched
+        assert matched  # the surviving market still trades
+
+    def test_every_reveal_withheld_aborts_with_typed_error(self):
+        protocol = ExposureProtocol(miners=_network())
+        alice = WithholdingParticipant(
+            participant_id="alice", deterministic=True
+        )
+        protocol.submit(alice, make_request(client_id="alice"))
+        with pytest.raises(RevealTimeoutError):
+            protocol.run_round([alice])
+
+    def test_equivocating_leader_replaced_and_chains_converge(self):
+        miners = [
+            EquivocatingMiner(
+                miner_id="m0", allocate=DecloudAllocator(), difficulty_bits=6
+            )
+        ] + _network()[1:]
+        protocol = ExposureProtocol(miners=miners)
+        participants, _ = self._market(protocol)
+        result = protocol.run_round(participants)
+        assert result.failed_proposers == ("m0",)
+        assert result.block.body.miner_id != "m0"
+        # every approving miner committed the same honest block
+        assert len({m.chain.tip_hash for m in miners}) == 1
+
+    def test_duplicated_and_reordered_gossip_is_idempotent(self):
+        miners = _network()
+        protocol = ExposureProtocol(miners=miners)
+        participants, _ = self._market(protocol)
+        leader = miners[0]
+        preamble = leader.build_preamble()
+        phash = preamble.hash()
+        reveals = [
+            r for p in participants for r in p.reveals_for(preamble)
+        ]
+        # reveals race ahead of the preamble, then everything repeats
+        for miner in miners:
+            for reveal in reveals:
+                miner.accept_reveal(phash, reveal)
+            assert miner.accept_preamble(preamble) is True
+            assert miner.accept_preamble(preamble) is False
+            for reveal in reveals:
+                assert miner.accept_reveal(phash, reveal) is False
+            assert len(miner.collected_reveals(preamble)) == len(reveals)

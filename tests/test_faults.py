@@ -1,0 +1,493 @@
+"""Fault-injection layer: unreliable networks, Byzantine actors, degradation.
+
+The protocol's claims only mean something if faults can actually occur;
+these tests inject them deterministically and assert the two-phase
+exposure protocol degrades exactly as designed: faulty bids drop out,
+honest bids clear, typed errors fire only when quorum is unreachable.
+"""
+
+import warnings
+
+import pytest
+
+from repro.common.errors import (
+    ByzantineFaultError,
+    EquivocationError,
+    InsecureKeyWarning,
+    QuorumError,
+    RevealTimeoutError,
+    ValidationError,
+)
+from repro.faults import (
+    CrashSpec,
+    EquivocatingMiner,
+    FaultPlan,
+    TamperingParticipant,
+    UnreliableNetwork,
+    WithholdingParticipant,
+    detect_equivocation,
+    make_partition,
+)
+from repro.ledger.miner import Miner
+from repro.ledger.network import BroadcastNetwork
+from repro.protocol.allocator import DecloudAllocator
+from repro.protocol.contracts import AgreementState, AllocationContract
+from repro.protocol.exposure import ExposureProtocol, Participant
+from repro.protocol.settlement import SettlementProcessor, TokenLedger
+from repro.sim.chaos import ChaosSpec, run_chaos_point, run_chaos_sweep
+from tests.conftest import make_offer, make_request
+
+
+def _protocol(plan=None, num_miners=3, bits=4, leader_cls=Miner, **kwargs):
+    miners = [
+        (leader_cls if i == 0 else Miner)(
+            miner_id=f"m{i}",
+            allocate=DecloudAllocator(),
+            difficulty_bits=bits,
+        )
+        for i in range(num_miners)
+    ]
+    network = (
+        UnreliableNetwork(plan=plan) if plan is not None else BroadcastNetwork()
+    )
+    return ExposureProtocol(miners=miners, network=network, **kwargs)
+
+
+def _participant(pid, cls=Participant):
+    return cls(participant_id=pid, deterministic=True, seal_seed=b"faults")
+
+
+def _submit_market(protocol, client_cls=Participant):
+    """Three clients, two providers — deep enough that the double
+    auction's trade reduction still leaves honest trades when one bid
+    drops out.  ``client_cls`` swaps in a Byzantine actor for alice.
+    Returns (participants, txids by participant id)."""
+    alice = _participant("alice", client_cls)
+    anna = _participant("anna")
+    ada = _participant("ada")
+    bob = _participant("bob")
+    ben = _participant("ben")
+    txids = {
+        "alice": protocol.submit(
+            alice, make_request(request_id="ra", client_id="alice", bid=2.0)
+        ).txid(),
+        "anna": protocol.submit(
+            anna, make_request(request_id="rb", client_id="anna", bid=1.5)
+        ).txid(),
+        "ada": protocol.submit(
+            ada, make_request(request_id="rc", client_id="ada", bid=1.0)
+        ).txid(),
+        "bob": protocol.submit(
+            bob, make_offer(offer_id="ob", provider_id="bob", bid=0.4)
+        ).txid(),
+        "ben": protocol.submit(
+            ben, make_offer(offer_id="oc", provider_id="ben", bid=0.6)
+        ).txid(),
+    }
+    return [alice, anna, ada, bob, ben], txids
+
+
+class TestFaultPlan:
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValidationError):
+            FaultPlan(drop_rate=1.0)
+        with pytest.raises(ValidationError):
+            FaultPlan(duplicate_rate=-0.1)
+        with pytest.raises(ValidationError):
+            FaultPlan(min_delay=2.0, max_delay=1.0)
+
+    def test_rejects_bad_windows(self):
+        with pytest.raises(ValidationError):
+            CrashSpec(node_id="m0", at=5.0, until=1.0)
+        with pytest.raises(ValidationError):
+            make_partition(("a",), ("a", "b"))  # overlapping groups
+        with pytest.raises(ValidationError):
+            make_partition(("a", "b"))  # one group is no partition
+
+    def test_equal_plans_equal_fault_streams(self):
+        draws_a = FaultPlan(seed=42).rng().random(8).tolist()
+        draws_b = FaultPlan(seed=42).rng().random(8).tolist()
+        assert draws_a == draws_b
+
+
+class TestUnreliableNetwork:
+    def _counting_net(self, plan):
+        net = UnreliableNetwork(plan=plan)
+        received = []
+        net.subscribe_node(
+            "n0", "t", lambda sender, payload: received.append(payload)
+        )
+        return net, received
+
+    def test_lossless_plan_delivers_everything(self):
+        net, received = self._counting_net(FaultPlan())
+        for i in range(10):
+            net.broadcast("t", i)
+        net.flush()
+        assert received == list(range(10))
+        assert net.dropped == 0
+
+    def test_drops_are_deterministic(self):
+        outcomes = []
+        for _ in range(2):
+            net, received = self._counting_net(FaultPlan(drop_rate=0.5, seed=7))
+            for i in range(50):
+                net.broadcast("t", i)
+            net.flush()
+            outcomes.append(tuple(received))
+        assert outcomes[0] == outcomes[1]
+        assert 0 < len(outcomes[0]) < 50  # actually lossy, not degenerate
+
+    def test_duplicates_delivered_twice(self):
+        net, received = self._counting_net(
+            FaultPlan(duplicate_rate=0.99, seed=1)
+        )
+        net.broadcast("t", "msg")
+        net.flush()
+        assert received == ["msg", "msg"]
+        assert net.duplicated == 1
+
+    def test_delay_reorders_across_broadcasts(self):
+        net, received = self._counting_net(
+            FaultPlan(min_delay=0.0, max_delay=1.0, seed=3)
+        )
+        for i in range(20):
+            net.broadcast("t", i)
+        net.flush()
+        assert sorted(received) == list(range(20))
+        assert received != list(range(20))  # delivery order != send order
+
+    def test_flush_until_holds_late_messages(self):
+        net, received = self._counting_net(
+            FaultPlan(min_delay=0.9, max_delay=1.0)
+        )
+        net.broadcast("t", "late")
+        assert net.flush(until=0.5) == 0
+        assert received == []
+        assert net.pending == 1
+        net.flush()
+        assert received == ["late"]
+
+    def test_crashed_node_receives_nothing(self):
+        net, received = self._counting_net(FaultPlan())
+        net.crash_node("n0")
+        net.broadcast("t", "lost")
+        net.flush()
+        assert received == []
+        assert net.censored == 1
+        net.recover_node("n0")
+        net.broadcast("t", "after")
+        net.flush()
+        assert received == ["after"]
+
+    def test_crashed_sender_is_silent(self):
+        net, received = self._counting_net(FaultPlan())
+        net.crash_node("chatty")
+        net.broadcast("t", "x", sender="chatty")
+        net.flush()
+        assert received == []
+
+    def test_scheduled_crash_from_plan(self):
+        plan = FaultPlan(
+            crashes=(CrashSpec(node_id="n0", at=1.0, until=2.0),),
+            min_delay=1.2,
+            max_delay=1.4,
+        )
+        net, received = self._counting_net(plan)
+        net.broadcast("t", "in-window")  # lands at ~1.3, inside the crash
+        net.flush()
+        assert received == []
+        net.broadcast("t", "recovered")  # lands past the recovery at 2.0
+        net.flush()
+        assert received == ["recovered"]
+
+    def test_partition_and_heal(self):
+        net = UnreliableNetwork(plan=FaultPlan())
+        inbox_a, inbox_b = [], []
+        net.subscribe_node("a", "t", lambda s, p: inbox_a.append(p))
+        net.subscribe_node("b", "t", lambda s, p: inbox_b.append(p))
+        net.partition(("a",), ("b",))
+        net.broadcast("t", "split", sender="a")
+        net.flush()
+        assert inbox_a == ["split"]  # own side still reachable
+        assert inbox_b == []
+        net.heal()
+        net.broadcast("t", "joined", sender="a")
+        net.flush()
+        assert inbox_b == ["joined"]
+
+    def test_messages_log_matches_broadcastnetwork_contract(self):
+        net = UnreliableNetwork(plan=FaultPlan(drop_rate=0.9, seed=0))
+        net.broadcast("topic-x", "payload", sender="s")
+        assert [m.payload for m in net.messages("topic-x")] == ["payload"]
+
+
+class TestBroadcastNetworkSnapshot:
+    def test_subscribe_during_delivery_not_delivered_current_message(self):
+        net = BroadcastNetwork()
+        late_inbox = []
+
+        def resubscriber(sender, payload):
+            net.subscribe("t", lambda s, p: late_inbox.append(p))
+
+        net.subscribe("t", resubscriber)
+        net.broadcast("t", "first")  # must not blow up nor reach late_inbox
+        assert late_inbox == []
+        net.broadcast("t", "second")
+        assert late_inbox == ["second"]
+
+
+class TestParticipantKeys:
+    def test_default_keypair_warns(self):
+        with pytest.warns(InsecureKeyWarning):
+            Participant(participant_id="naive")
+
+    def test_deterministic_optin_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", InsecureKeyWarning)
+            Participant(participant_id="sim", deterministic=True)
+
+    def test_fresh_key_is_silent_and_unforgeable(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", InsecureKeyWarning)
+            p = Participant(participant_id="real", fresh_key=True)
+        clone = Participant(participant_id="real", deterministic=True)
+        assert p.keypair.secret != clone.keypair.secret
+
+    def test_seal_seed_reproduces_txids(self):
+        txids = []
+        for _ in range(2):
+            p = Participant(
+                participant_id="alice", deterministic=True, seal_seed=b"s"
+            )
+            tx = p.seal(make_request(client_id="alice"))
+            txids.append(tx.txid())
+        assert txids[0] == txids[1]
+
+
+class TestDegradedRounds:
+    def test_acceptance_20pct_drop_one_withholder(self):
+        """The PR's acceptance gate: 20% drop + a withholding participant.
+
+        The round must complete, excluding exactly the withheld bid, and
+        two identical runs must produce identical outcomes.
+        """
+        fingerprints = []
+        for _ in range(2):
+            plan = FaultPlan(seed="acceptance", drop_rate=0.2)
+            protocol = _protocol(plan=plan)
+            participants, txids = _submit_market(
+                protocol, client_cls=WithholdingParticipant
+            )
+            result = protocol.run_round(participants)
+            assert result.excluded_txids == (txids["alice"],)
+            matched = {
+                m["request_id"]
+                for m in result.block.body.allocation["matches"]
+            }
+            assert "ra" not in matched  # the withheld bid
+            assert "rb" in matched  # the honest client still trades
+            assert len(result.accepted_by) == 3
+            fingerprints.append(
+                (result.block.hash(), str(result.block.body.allocation))
+            )
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_all_reveals_withheld_raises_typed_error(self):
+        protocol = _protocol()
+        alice = _participant("alice", WithholdingParticipant)
+        bob = _participant("bob", WithholdingParticipant)
+        protocol.submit(
+            alice, make_request(request_id="ra", client_id="alice")
+        )
+        protocol.submit(bob, make_offer(provider_id="bob"))
+        with pytest.raises(RevealTimeoutError):
+            protocol.run_round([alice, bob])
+
+    def test_tampered_reveal_excluded_with_evidence(self):
+        protocol = _protocol()
+        participants, txids = _submit_market(
+            protocol, client_cls=TamperingParticipant
+        )
+        result = protocol.run_round(participants)
+        assert result.excluded_txids == (txids["alice"],)
+        leader = protocol.miners[0]
+        reasons = [reason for _, reason in leader.rejected_reveals]
+        assert "commitment mismatch" in reasons
+
+    def test_equivocating_leader_falls_back_to_next_miner(self):
+        protocol = _protocol(leader_cls=EquivocatingMiner)
+        participants, _ = _submit_market(protocol)
+        result = protocol.run_round(participants)
+        assert result.failed_proposers == ("m0",)
+        assert result.block.body.miner_id == "m1"
+        # the honest body carries no Byzantine payload
+        assert "subsidy" not in result.block.body.allocation
+        assert len(result.accepted_by) >= protocol.quorum
+
+    def test_all_miners_byzantine_raises(self):
+        miners = [
+            EquivocatingMiner(
+                miner_id=f"m{i}",
+                allocate=DecloudAllocator(),
+                difficulty_bits=4,
+            )
+            for i in range(2)
+        ]
+        protocol = ExposureProtocol(miners=miners)
+        participants, _ = _submit_market(protocol)
+        with pytest.raises(ByzantineFaultError):
+            protocol.run_round(participants)
+
+    def test_crashed_majority_raises_quorum_error(self):
+        plan = FaultPlan()
+        protocol = _protocol(plan=plan)
+        network = protocol.network
+        network.crash_node("m0")
+        network.crash_node("m1")
+        with pytest.raises(QuorumError):
+            protocol.run_round([])
+
+    def test_partitioned_client_drops_out_of_preamble(self):
+        plan = FaultPlan(
+            partitions=(
+                make_partition(("alice",), ("m0", "m1", "m2")),
+            )
+        )
+        protocol = _protocol(plan=plan)
+        participants, txids = _submit_market(protocol)
+        result = protocol.run_round(participants)
+        block_txids = {
+            tx.txid() for tx in result.block.preamble.transactions
+        }
+        assert txids["alice"] not in block_txids  # never reached any miner
+        assert txids["anna"] in block_txids
+        assert txids["bob"] in block_txids
+
+    def test_detect_equivocation_from_conflicting_bodies(self):
+        miner = EquivocatingMiner(
+            miner_id="evil", allocate=DecloudAllocator(), difficulty_bits=4
+        )
+        alice = _participant("alice")
+        tx = alice.seal(make_request(client_id="alice"))
+        miner.accept_transaction(tx)
+        preamble = miner.build_preamble()
+        reveals = tuple(alice.reveals_for(preamble))
+        honest, doctored = miner.equivocate(preamble, reveals)
+        with pytest.raises(EquivocationError):
+            detect_equivocation(preamble, honest, doctored)
+        # a single consistent body is not equivocation
+        detect_equivocation(preamble, honest, honest)
+
+
+class TestGossipIngestion:
+    def _miner_with_preamble(self):
+        miner = Miner(
+            miner_id="m", allocate=DecloudAllocator(), difficulty_bits=4
+        )
+        alice = _participant("alice")
+        tx = alice.seal(make_request(client_id="alice"))
+        miner.accept_transaction(tx)
+        preamble = miner.build_preamble()
+        (reveal,) = alice.reveals_for(preamble)
+        return miner, preamble, reveal
+
+    def test_duplicate_preamble_is_idempotent(self):
+        miner, preamble, _ = self._miner_with_preamble()
+        assert miner.accept_preamble(preamble) is True
+        assert miner.accept_preamble(preamble) is False
+        assert len(miner.preamble_inbox) == 1
+
+    def test_duplicate_reveal_is_idempotent(self):
+        miner, preamble, reveal = self._miner_with_preamble()
+        miner.accept_preamble(preamble)
+        assert miner.accept_reveal(preamble.hash(), reveal) is True
+        assert miner.accept_reveal(preamble.hash(), reveal) is False
+        assert len(miner.reveal_inbox[preamble.hash()]) == 1
+
+    def test_reveal_before_preamble_is_screened_on_arrival(self):
+        miner, preamble, reveal = self._miner_with_preamble()
+        # reordered gossip: the reveal races ahead of its preamble
+        assert miner.accept_reveal(preamble.hash(), reveal) is False
+        assert miner.collected_reveals(preamble) == ()
+        miner.accept_preamble(preamble)
+        assert miner.collected_reveals(preamble) == (reveal,)
+
+
+class TestDuplicateDeliverySafety:
+    def test_settlement_is_idempotent_per_block(self):
+        class _Bid:
+            def __init__(self, **kw):
+                self.__dict__.update(kw)
+
+        match = _Bid(
+            request=_Bid(client_id="cli", request_id="req"),
+            offer=_Bid(provider_id="prov"),
+            payment=5.0,
+        )
+        processor = SettlementProcessor(ledger=TokenLedger())
+        first = processor.settle_block(
+            [match], auto_fund=True, block_hash="b1"
+        )
+        again = processor.settle_block(
+            [match], auto_fund=True, block_hash="b1"
+        )
+        assert first == again
+        assert len(processor.ledger.escrows) == 1
+        assert processor.ledger.total_supply() == 5.0
+
+    def test_void_block_releases_suggestions_without_penalty(self):
+        protocol = _protocol(num_miners=1)
+        participants, _ = _submit_market(protocol)
+        result = protocol.run_round(participants)
+        chain = protocol.miners[0].chain
+        contract = AllocationContract(chain=chain)
+        block_hash = result.block.hash()
+        contract.register_block(
+            block_hash, {m.request.request_id: m.request.client_id
+                         for m in result.outcome.matches}
+        )
+        suggested = contract.agreements(AgreementState.SUGGESTED)
+        assert suggested
+        client = suggested[0].client_id
+        before = contract.reputation.score(client)
+        voided = contract.void_block(block_hash)
+        assert voided
+        assert contract.reputation.score(client) == before  # no penalty
+        assert all(
+            a.state is AgreementState.VOID
+            for a in contract.agreements(AgreementState.VOID)
+        )
+
+
+class TestChaosHarness:
+    def test_sweep_is_deterministic(self):
+        spec = ChaosSpec(rounds=1, num_clients=4, withholding_clients=1)
+        sweep_a = run_chaos_sweep(spec, drop_rates=(0.0, 0.3))
+        sweep_b = run_chaos_sweep(spec, drop_rates=(0.0, 0.3))
+        for a, b in zip(sweep_a, sweep_b):
+            assert (a.welfare, a.excluded_bids, a.messages_dropped) == (
+                b.welfare,
+                b.excluded_bids,
+                b.messages_dropped,
+            )
+
+    def test_faultless_point_retains_all_welfare(self):
+        spec = ChaosSpec(rounds=1, num_clients=4)
+        (point,) = run_chaos_sweep(spec, drop_rates=(0.0,))
+        assert point.success_rate == 1.0
+        assert point.welfare_retention == pytest.approx(1.0)
+        assert point.integrity_failures == 0
+
+    def test_byzantine_point_completes_with_exclusions(self):
+        spec = ChaosSpec(
+            rounds=1,
+            num_clients=4,
+            withholding_clients=1,
+            equivocating_leader=True,
+        )
+        point = run_chaos_point(spec, 0.2)
+        assert point.success_rate == 1.0
+        assert point.excluded_bids >= 1
+        assert point.fallback_rounds == 1
+        assert point.integrity_failures == 0
