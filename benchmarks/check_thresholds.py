@@ -1,0 +1,75 @@
+"""Gate the CI benchmark smoke job on committed timing thresholds.
+
+Usage (mirrors .github/workflows/ci.yml):
+
+    pytest benchmarks/ --benchmark-only -k "fig5a or matching" \
+        --benchmark-json=bench.json
+    python benchmarks/check_thresholds.py bench.json --slack 4
+
+A benchmark fails the gate when its measured mean exceeds
+``baseline_seconds * max_regression * slack`` from ``thresholds.json``
+— i.e. a >2x regression against the recorded baseline, after
+discounting runner-speed variance via ``--slack``.  Benchmarks without
+a committed baseline only warn, so adding a bench does not break CI;
+commit a baseline in the same PR to put it under the gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_THRESHOLDS = Path(__file__).resolve().parent / "thresholds.json"
+
+
+def check(results_path: Path, thresholds_path: Path, slack: float) -> int:
+    results = json.loads(results_path.read_text())
+    thresholds = json.loads(thresholds_path.read_text())["benchmarks"]
+
+    failures = []
+    seen = set()
+    for bench in results.get("benchmarks", []):
+        name = bench["name"]
+        seen.add(name)
+        entry = thresholds.get(name)
+        if entry is None:
+            print(f"WARN: no committed threshold for {name}; not gated")
+            continue
+        limit = entry["baseline_seconds"] * entry["max_regression"] * slack
+        mean = bench["stats"]["mean"]
+        verdict = "ok" if mean <= limit else "REGRESSION"
+        print(
+            f"{name}: mean {mean:.4f}s, limit {limit:.4f}s "
+            f"(baseline {entry['baseline_seconds']}s x "
+            f"{entry['max_regression']} x slack {slack}) -> {verdict}"
+        )
+        if mean > limit:
+            failures.append(name)
+
+    for name in sorted(set(thresholds) - seen):
+        print(f"WARN: threshold for {name} matched no benchmark result")
+
+    if failures:
+        print(f"FAIL: {len(failures)} benchmark(s) regressed >2x: "
+              f"{', '.join(failures)}")
+        return 1
+    print("all gated benchmarks within thresholds")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("results", type=Path,
+                        help="--benchmark-json output file")
+    parser.add_argument("--thresholds", type=Path,
+                        default=DEFAULT_THRESHOLDS)
+    parser.add_argument("--slack", type=float, default=1.0,
+                        help="runner-speed factor applied to every limit")
+    args = parser.parse_args()
+    return check(args.results, args.thresholds, args.slack)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,16 +4,37 @@ Each benchmark regenerates one paper figure on a reduced sweep (so the
 suite completes in minutes) and asserts the figure's qualitative shape —
 the reproduction contract is the *shape*, not the authors' absolute
 numbers (their substrate was a testbed; ours is a simulator).
+
+The sweep sizes honour environment overrides so CI can run a reduced
+smoke pass (see ``.github/workflows/ci.yml``) without a parallel config:
+
+    DECLOUD_BENCH_SIZES="25 50"   # sweep sizes (space/comma separated)
+    DECLOUD_BENCH_SEEDS=2         # number of seeds per point
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.experiments.sweeps import run_similarity_sweep, run_size_sweep
 
-BENCH_SIZES = (25, 50, 100, 200)
-BENCH_SEEDS = range(3)
+
+def _env_sizes(name: str, default: tuple) -> tuple:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    return tuple(int(token) for token in raw.replace(",", " ").split())
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    return int(raw) if raw else default
+
+
+BENCH_SIZES = _env_sizes("DECLOUD_BENCH_SIZES", (25, 50, 100, 200))
+BENCH_SEEDS = range(_env_int("DECLOUD_BENCH_SEEDS", 3))
 BENCH_SIMILARITIES = (0.1, 0.5, 0.9)
 
 

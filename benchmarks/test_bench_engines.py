@@ -1,0 +1,49 @@
+"""Paired end-to-end engine benches: reference vs vectorized clearing.
+
+Unlike the kernel benches in ``test_bench_matching.py``, these time the
+*whole* pipeline — matching, clustering, trade reduction, mini-auctions,
+clearing — on identical markets, once per engine, and assert the
+differential contract on the produced outcomes.  The comparison in the
+benchmark report is the headline number in docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from repro.workloads.generators import generate_market
+
+from tests.differential.conftest import canonical_outcome
+
+N_REQUESTS = 200
+_OUTCOMES = {}
+
+
+def _run_engine(engine: str):
+    requests, offers = generate_market(N_REQUESTS, seed=0)
+    outcome = DecloudAuction(AuctionConfig(engine=engine)).run(
+        requests, offers, evidence=b"engine-bench"
+    )
+    _OUTCOMES[engine] = canonical_outcome(outcome)
+    return outcome
+
+
+def test_bench_engine_reference(benchmark):
+    outcome = benchmark.pedantic(
+        _run_engine, args=("reference",), rounds=1, iterations=1
+    )
+    assert outcome.matches
+
+
+def test_bench_engine_vectorized(benchmark):
+    outcome = benchmark.pedantic(
+        _run_engine, args=("vectorized",), rounds=1, iterations=1
+    )
+    assert outcome.matches
+
+
+def test_engines_agree_on_bench_market():
+    for engine in ("reference", "vectorized"):
+        if engine not in _OUTCOMES:
+            _run_engine(engine)
+    assert _OUTCOMES["vectorized"] == _OUTCOMES["reference"]

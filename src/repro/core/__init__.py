@@ -16,6 +16,12 @@ from repro.core.matching import (
     quality_of_match,
     rank_offers,
 )
+from repro.core.matching_vectorized import (
+    IncrementalMatcher,
+    best_offer_sets,
+    feasibility_matrix,
+    score_matrix,
+)
 from repro.core.miniauctions import (
     MiniAuction,
     build_mini_auctions,
@@ -63,6 +69,10 @@ __all__ = [
     "rank_offers",
     "best_offer_set",
     "block_maxima",
+    "IncrementalMatcher",
+    "best_offer_sets",
+    "feasibility_matrix",
+    "score_matrix",
     "MiniAuction",
     "build_mini_auctions",
     "price_compatible",

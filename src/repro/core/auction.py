@@ -35,6 +35,15 @@ class DecloudAuction:
 
     def __init__(self, config: Optional[AuctionConfig] = None) -> None:
         self.config = config or AuctionConfig()
+        self._matcher = None
+        if self.config.engine == "vectorized":
+            from repro.core.matching_vectorized import IncrementalMatcher
+
+            # One matcher per auction instance: the online simulator runs
+            # many overlapping blocks through the same instance, and the
+            # incremental cache then only recomputes rows touched by new
+            # bids.
+            self._matcher = IncrementalMatcher()
 
     def run(
         self,
@@ -52,7 +61,10 @@ class DecloudAuction:
         offer_by_id = _index_offers(offers)
 
         clusters, orphans = build_clusters(
-            list(request_by_id.values()), list(offer_by_id.values()), self.config
+            list(request_by_id.values()),
+            list(offer_by_id.values()),
+            self.config,
+            matcher=self._matcher,
         )
         allocations: List[ClusterAllocation] = []
         for cluster in clusters:
@@ -73,26 +85,44 @@ class DecloudAuction:
         auctions = build_mini_auctions(allocations, self.config)
 
         outcome = AuctionOutcome()
-        rng = block_evidence_rng(evidence)
         consumed_requests: Set[str] = set()
         consumed_offers: Set[str] = set()
-        for auction in auctions:
-            result = clear_mini_auction(
-                auction,
+        if self.config.miniauction_workers >= 1:
+            # Per-auction RNG streams; waves of independent auctions may
+            # clear in a process pool (see repro.core.parallel).
+            from repro.core.parallel import clear_auctions_scheduled
+
+            results = clear_auctions_scheduled(
+                auctions,
                 request_by_id,
                 offer_by_id,
                 consumed_requests,
                 consumed_offers,
                 self.config,
-                rng,
+                evidence,
             )
+        else:
+            rng = block_evidence_rng(evidence)
+            results = []
+            for auction in auctions:
+                result = clear_mini_auction(
+                    auction,
+                    request_by_id,
+                    offer_by_id,
+                    consumed_requests,
+                    consumed_offers,
+                    self.config,
+                    rng,
+                )
+                results.append(result)
+                consumed_requests |= result.participant_requests
+                consumed_offers |= result.participant_offers
+        for result in results:
             outcome.matches.extend(result.matches)
             outcome.reduced_requests.extend(result.reduced_requests)
             outcome.reduced_offers.extend(result.reduced_offers)
             if result.price is not None:
                 outcome.prices.append(result.price)
-            consumed_requests |= result.participant_requests
-            consumed_offers |= result.participant_offers
 
         matched_requests = {m.request.request_id for m in outcome.matches}
         # A participant reduced in one mini-auction may still have traded

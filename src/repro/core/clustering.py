@@ -11,11 +11,14 @@ mini-auction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from repro.core.config import AuctionConfig
 from repro.core.matching import best_offer_set, block_maxima
 from repro.market.bids import Offer, Request
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for hints only
+    from repro.core.matching_vectorized import IncrementalMatcher
 
 
 @dataclass
@@ -84,6 +87,7 @@ def build_clusters(
     requests: Sequence[Request],
     offers: Sequence[Offer],
     config: AuctionConfig,
+    matcher: Optional["IncrementalMatcher"] = None,
 ) -> tuple[List[Cluster], List[Request]]:
     """Run Alg. 2 over a block.
 
@@ -91,18 +95,48 @@ def build_clusters(
     offer at all (they are unmatched before the auction even starts).
     Requests are processed in submission order so the structure — like
     everything else in the mechanism — cannot be gamed by delaying.
+
+    ``config.engine`` picks how the per-request best-offer sets are
+    computed: the scalar reference, or the batched NumPy kernel (with an
+    optional :class:`~repro.core.matching_vectorized.IncrementalMatcher`
+    reusing rows across blocks).  Both produce bit-identical sets, so
+    the cluster structure is engine-invariant.
     """
     maxima = block_maxima(requests, offers)
+    ordered = sorted(requests, key=lambda r: (r.submit_time, r.request_id))
+    if config.engine == "vectorized":
+        best_sets = _vectorized_best_sets(ordered, offers, maxima, config, matcher)
+    else:
+        best_sets = [
+            best_offer_set(request, offers, maxima, config.cluster_breadth)
+            for request in ordered
+        ]
     clusters: List[Cluster] = []
     orphans: List[Request] = []
-    ordered = sorted(requests, key=lambda r: (r.submit_time, r.request_id))
-    for request in ordered:
-        best = best_offer_set(request, offers, maxima, config.cluster_breadth)
+    for request, best in zip(ordered, best_sets):
         if not best:
             orphans.append(request)
             continue
         update_clusters(clusters, request.request_id, best)
     return clusters, orphans
+
+
+def _vectorized_best_sets(
+    ordered: Sequence[Request],
+    offers: Sequence[Offer],
+    maxima,
+    config: AuctionConfig,
+    matcher: Optional["IncrementalMatcher"],
+) -> List[frozenset]:
+    from repro.core import matching_vectorized
+
+    if matcher is not None:
+        return matcher.best_offer_sets(
+            ordered, offers, maxima, config.cluster_breadth
+        )
+    return matching_vectorized.best_offer_sets(
+        ordered, offers, maxima, config.cluster_breadth
+    )
 
 
 def clusters_by_offer(clusters: Sequence[Cluster]) -> Dict[str, List[Cluster]]:

@@ -34,6 +34,20 @@ class AuctionConfig:
             non-truthful benchmark turns this off: it prices each pair
             separately and need not support a common price.
         price_epsilon: tolerance for floating-point price comparisons.
+        engine: ``"reference"`` runs the scalar pure-Python pipeline (the
+            oracle); ``"vectorized"`` computes the quality-of-match
+            matrix and best-offer sets with the NumPy kernel of
+            :mod:`repro.core.matching_vectorized`.  The two engines are
+            bit-identical by contract — ``tests/differential/`` is the
+            enforcement.
+        miniauction_workers: 0 (default) clears mini-auctions
+            sequentially from one evidence-seeded RNG stream, the
+            historical behaviour.  >= 1 switches to an independent
+            per-auction RNG stream (derived from the evidence and the
+            auction's position), which makes non-conflicting auctions
+            order-independent; > 1 additionally clears independent
+            auctions in a process pool of that many workers.  Results
+            for any N >= 1 are bit-identical to N = 1.
     """
 
     cluster_breadth: int = 3
@@ -45,12 +59,20 @@ class AuctionConfig:
     enable_randomization: bool = True
     enable_mini_auctions: bool = True
     price_epsilon: float = 1e-9
+    engine: str = "reference"
+    miniauction_workers: int = 0
 
     def __post_init__(self) -> None:
         if self.cluster_breadth < 1:
             raise ValidationError("cluster_breadth must be >= 1")
         if self.price_epsilon < 0:
             raise ValidationError("price_epsilon must be >= 0")
+        if self.engine not in ("reference", "vectorized"):
+            raise ValidationError(
+                f"engine must be 'reference' or 'vectorized', got {self.engine!r}"
+            )
+        if self.miniauction_workers < 0:
+            raise ValidationError("miniauction_workers must be >= 0")
 
     @classmethod
     def benchmark(cls, **overrides) -> "AuctionConfig":

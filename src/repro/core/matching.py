@@ -37,15 +37,23 @@ def block_maxima(
 def quality_of_match(
     request: Request, offer: Offer, maxima: Dict[str, float]
 ) -> float:
-    """Eq. (18) for one (request, offer) pair given block maxima."""
+    """Eq. (18) for one (request, offer) pair given block maxima.
+
+    Terms accumulate in sorted resource-type order: float addition is not
+    associative, so a hash-ordered set walk would make the low bits of the
+    score vary with ``PYTHONHASHSEED``.  The vectorized engine
+    (:mod:`repro.core.matching_vectorized`) accumulates in the same order,
+    which is what makes the two engines bit-identical.
+    """
     score = 0.0
-    for key in common_types(request.resources, offer.resources):
+    for key in sorted(common_types(request.resources, offer.resources)):
         top = maxima.get(key, 0.0)
         if top <= 0:
             continue
         rho_o = offer.resources[key] / top
         rho_r = request.resources[key] / top
-        score += request.sigma(key) * rho_o / ((rho_o - rho_r) ** 2 + 1.0)
+        gap = rho_o - rho_r
+        score += request.sigma(key) * rho_o / (gap * gap + 1.0)
     return score
 
 

@@ -47,6 +47,22 @@ class _TreeNode:
     children: List["_TreeNode"] = field(default_factory=list)
 
 
+def allocation_key(allocation: ClusterAllocation) -> tuple:
+    """Deterministic identity of a cluster: its sorted offer ids.
+
+    Every ordering decision over cluster allocations breaks float ties
+    with this key.  Sorting on a bare float key would leave exact ties
+    (duplicated bids produce them routinely) to Python's sort stability —
+    i.e. to whatever order the allocations happened to arrive in.
+    """
+    return tuple(sorted(allocation.cluster.offer_ids))
+
+
+def auction_key(auction: "MiniAuction") -> tuple:
+    """Deterministic identity of a mini-auction: its clusters' keys."""
+    return tuple(allocation_key(a) for a in auction.allocations)
+
+
 def price_compatible(
     a: ClusterAllocation, b: ClusterAllocation, epsilon: float = 1e-12
 ) -> bool:
@@ -80,7 +96,11 @@ def select_roots(
     ]
     if not intervals:
         return []
-    intervals.sort(key=lambda a: a.price_range[1])
+    # Explicit id-lexicographic tie-break: identical price ranges must
+    # not fall back to input order via sort stability.
+    intervals.sort(
+        key=lambda a: (a.price_range[1], a.price_range[0], allocation_key(a))
+    )
     n = len(intervals)
     # predecessor[i] = rightmost j < i whose interval ends before i starts
     predecessor: List[int] = []
@@ -159,7 +179,7 @@ def build_mini_auctions(
     trees = [_TreeNode(a) for a in roots]
     remaining = sorted(
         (a for a in trading if id(a) not in root_ids),
-        key=lambda a: -a.tentative_welfare,
+        key=lambda a: (-a.tentative_welfare, allocation_key(a)),
     )
     unattached: List[ClusterAllocation] = []
     for allocation in remaining:
@@ -170,5 +190,7 @@ def build_mini_auctions(
         MiniAuction(allocations=path) for tree in trees for path in _paths(tree)
     ]
     auctions.extend(MiniAuction(allocations=[a]) for a in unattached)
-    auctions.sort(key=lambda auction: -auction.tentative_welfare)
+    auctions.sort(
+        key=lambda auction: (-auction.tentative_welfare, auction_key(auction))
+    )
     return auctions

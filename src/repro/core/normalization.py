@@ -108,7 +108,19 @@ def compute_economics(
     maxima = virtual_maximum(offers, common)
     maxima_norm = l2_norm(maxima, common)
     if maxima_norm <= 0:
-        raise AuctionError("cluster virtual maximum has zero magnitude")
+        # Legal bids may declare zero amounts, so a cluster can end up
+        # with offers that are all zero-sized on its common types.
+        # Nothing is priceable there: every offer is infinitely
+        # expensive, every request worthless, and the cluster clears no
+        # trades — instead of aborting the whole block.
+        return ClusterEconomics(
+            common_types=frozenset(common),
+            virtual_maximum=dict(maxima),
+            nu_offers={o.offer_id: 0.0 for o in offers},
+            nu_requests={r.request_id: 0.0 for r in requests},
+            normalized_costs={o.offer_id: math.inf for o in offers},
+            normalized_values={r.request_id: 0.0 for r in requests},
+        )
 
     nu_offers: Dict[str, float] = {}
     normalized_costs: Dict[str, float] = {}

@@ -1,0 +1,162 @@
+"""Process-pool clearing of independent mini-auctions.
+
+Mini-auctions interact only through the participants they consume: an
+auction whose requests and offers are disjoint from every earlier
+auction's cannot observe whether those auctions ran before it.  That
+makes the sequential clearing loop of Alg. 1 parallelizable by *waves*:
+auction ``i`` is scheduled one level after the latest earlier auction it
+shares a participant with, and auctions on the same level clear
+concurrently.
+
+Sequential clearing draws all randomization from one evidence-seeded RNG
+stream, which serializes the auctions.  The scheduled path instead
+derives an independent stream per auction from the evidence and the
+auction's position (:func:`derive_auction_rng`) — still fully
+deterministic and miner-reproducible, and *identical whether the wave
+runs in-process or across a process pool*.  ``AuctionConfig`` gates the
+behaviour: ``miniauction_workers == 0`` keeps the historical shared
+stream; ``>= 1`` uses per-auction streams; ``> 1`` adds the pool.
+"""
+
+from __future__ import annotations
+
+import random
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.common.rng import block_evidence_rng
+from repro.core.config import AuctionConfig
+from repro.core.miniauctions import MiniAuction
+from repro.core.trade_reduction import ClearingResult, clear_mini_auction
+from repro.market.bids import Offer, Request
+
+
+def derive_auction_rng(evidence: bytes, index: int) -> random.Random:
+    """Independent verifiable stream for the ``index``-th mini-auction."""
+    return block_evidence_rng(evidence + b"/mini-auction/" + str(index).encode())
+
+
+def auction_participants(auction: MiniAuction) -> Set[str]:
+    """Tagged participant ids of an auction (requests and offers)."""
+    participants: Set[str] = set()
+    for allocation in auction.allocations:
+        cluster = allocation.cluster
+        participants.update(f"r:{rid}" for rid in cluster.request_ids)
+        participants.update(f"o:{oid}" for oid in cluster.offer_ids)
+    return participants
+
+
+def schedule_waves(auctions: Sequence[MiniAuction]) -> List[List[int]]:
+    """Level-schedule auction indices: same wave => disjoint participants.
+
+    Auction ``i`` lands one level below the deepest earlier auction it
+    conflicts with, so executing waves in order reproduces the sequential
+    consumed-participant evolution exactly.
+    """
+    participant_sets = [auction_participants(a) for a in auctions]
+    levels: List[int] = []
+    for i, participants in enumerate(participant_sets):
+        level = 0
+        for j in range(i):
+            if participants & participant_sets[j]:
+                level = max(level, levels[j] + 1)
+        levels.append(level)
+    waves: List[List[int]] = [[] for _ in range(max(levels, default=-1) + 1)]
+    for i, level in enumerate(levels):
+        waves[level].append(i)
+    return waves
+
+
+def _restrict(mapping: Dict[str, object], ids: Set[str]) -> Dict[str, object]:
+    return {key: value for key, value in mapping.items() if key in ids}
+
+
+def _clear_task(
+    args: Tuple[
+        MiniAuction,
+        Dict[str, Request],
+        Dict[str, Offer],
+        Set[str],
+        Set[str],
+        AuctionConfig,
+        bytes,
+        int,
+    ],
+) -> ClearingResult:
+    """Worker body: clear one auction with its derived RNG stream."""
+    (auction, requests, offers, consumed_requests, consumed_offers,
+     config, evidence, index) = args
+    return clear_mini_auction(
+        auction, requests, offers, consumed_requests, consumed_offers,
+        config, derive_auction_rng(evidence, index),
+    )
+
+
+def clear_auctions_scheduled(
+    auctions: Sequence[MiniAuction],
+    request_by_id: Dict[str, Request],
+    offer_by_id: Dict[str, Offer],
+    consumed_requests: Set[str],
+    consumed_offers: Set[str],
+    config: AuctionConfig,
+    evidence: bytes,
+) -> List[ClearingResult]:
+    """Clear every auction with per-auction RNG streams, wave by wave.
+
+    Mutates ``consumed_requests``/``consumed_offers`` exactly as the
+    sequential loop would; the returned results are in auction order.
+    With ``miniauction_workers > 1`` waves of two or more auctions run in
+    a process pool; if the platform refuses to spawn workers the wave
+    falls back to in-process execution, which is bit-identical.
+    """
+    results: List[ClearingResult] = [None] * len(auctions)  # type: ignore[list-item]
+    pool = None
+    try:
+        if config.miniauction_workers > 1 and len(auctions) > 1:
+            try:
+                pool = ProcessPoolExecutor(
+                    max_workers=config.miniauction_workers
+                )
+            except (OSError, PermissionError):  # pragma: no cover - sandboxed
+                pool = None
+        for wave in schedule_waves(auctions):
+            tasks = []
+            for index in wave:
+                auction = auctions[index]
+                request_ids = {
+                    rid
+                    for allocation in auction.allocations
+                    for rid in allocation.cluster.request_ids
+                }
+                offer_ids = {
+                    oid
+                    for allocation in auction.allocations
+                    for oid in allocation.cluster.offer_ids
+                }
+                tasks.append((
+                    auction,
+                    _restrict(request_by_id, request_ids),
+                    _restrict(offer_by_id, offer_ids),
+                    consumed_requests & request_ids,
+                    consumed_offers & offer_ids,
+                    config,
+                    evidence,
+                    index,
+                ))
+            if pool is not None and len(wave) > 1:
+                try:
+                    wave_results = list(pool.map(_clear_task, tasks))
+                except (OSError, PermissionError):  # pragma: no cover
+                    pool.shutdown(wait=False)
+                    pool = None
+                    wave_results = [_clear_task(task) for task in tasks]
+            else:
+                wave_results = [_clear_task(task) for task in tasks]
+            for index, result in zip(wave, wave_results):
+                results[index] = result
+                consumed_requests |= result.participant_requests
+                consumed_offers |= result.participant_offers
+    finally:
+        if pool is not None:
+            pool.shutdown()
+    return results

@@ -89,6 +89,12 @@ class Request:
         object.__setattr__(self, "resources", _frozen_mapping(self.resources))
         object.__setattr__(self, "significance", _frozen_mapping(significance))
 
+    def __reduce__(self):
+        # The frozen mappings are MappingProxyType, which pickle rejects;
+        # round-trip through the payload instead (process-pool clearing
+        # ships bids across worker boundaries).
+        return (Request.from_payload, (self.to_payload(),))
+
     def sigma(self, resource_type: str) -> float:
         """Significance of ``resource_type`` (defaults to 1.0 = strict)."""
         return self.significance.get(resource_type, 1.0)
@@ -189,6 +195,10 @@ class Offer:
                 "positive span"
             )
         object.__setattr__(self, "resources", _frozen_mapping(self.resources))
+
+    def __reduce__(self):
+        # See Request.__reduce__: MappingProxyType is not picklable.
+        return (Offer.from_payload, (self.to_payload(),))
 
     @property
     def span(self) -> float:

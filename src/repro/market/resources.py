@@ -44,11 +44,13 @@ def l2_norm(vector: ResourceVector, keys: Iterable[str] | None = None) -> float:
     """Euclidean magnitude of ``vector`` restricted to ``keys``.
 
     Missing keys contribute zero, matching the paper's treatment of a
-    resource absent from an offer/request as amount 0.
+    resource absent from an offer/request as amount 0.  Keys are walked
+    in sorted order so the (non-associative) float sum cannot vary with
+    set/dict iteration order across interpreter runs.
     """
     if keys is None:
         keys = vector.keys()
-    return math.sqrt(sum(vector.get(k, 0.0) ** 2 for k in keys))
+    return math.sqrt(sum(vector.get(k, 0.0) ** 2 for k in sorted(keys)))
 
 
 def elementwise_max(vectors: Iterable[ResourceVector]) -> Dict[str, float]:

@@ -1,0 +1,118 @@
+"""Shared helpers for the differential (reference vs vectorized) suite.
+
+The contract under test: for identical inputs (requests, offers,
+evidence, config-modulo-engine), the vectorized engine must produce an
+:class:`~repro.core.outcome.AuctionOutcome` *bit-identical* to the
+reference engine — same allocations, same prices and payments down to
+the last float bit, same reduced-trade sets, same welfare.
+
+``canonical_outcome`` reduces an outcome to a plain, order-independent
+structure in which every float is rendered with ``float.hex()`` so that
+equality is exact, diffable, and JSON-serializable (golden fixtures
+store exactly this structure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from repro.core.outcome import AuctionOutcome
+from repro.market.bids import Offer, Request
+
+
+def canonical_outcome(outcome: AuctionOutcome) -> Dict:
+    """Exact, order-independent, JSON-ready digest of an outcome."""
+    matches = sorted(
+        (
+            {
+                "request_id": m.request.request_id,
+                "offer_id": m.offer.offer_id,
+                "payment": m.payment.hex(),
+                "unit_price": m.unit_price.hex(),
+            }
+            for m in outcome.matches
+        ),
+        key=lambda row: (row["request_id"], row["offer_id"]),
+    )
+    welfare = sum(
+        (
+            m.welfare
+            for m in sorted(
+                outcome.matches,
+                key=lambda m: (m.request.request_id, m.offer.offer_id),
+            )
+        ),
+        0.0,
+    )
+    return {
+        "matches": matches,
+        "prices": [p.hex() for p in sorted(outcome.prices)],
+        "reduced_requests": sorted(r.request_id for r in outcome.reduced_requests),
+        "reduced_offers": sorted(o.offer_id for o in outcome.reduced_offers),
+        "unmatched_requests": sorted(
+            r.request_id for r in outcome.unmatched_requests
+        ),
+        "unmatched_offers": sorted(o.offer_id for o in outcome.unmatched_offers),
+        "welfare": welfare.hex(),
+    }
+
+
+def run_both_engines(
+    requests: Sequence[Request],
+    offers: Sequence[Offer],
+    evidence: bytes = b"differential-evidence",
+    config: AuctionConfig | None = None,
+) -> Tuple[Dict, Dict]:
+    """Clear the same block on both engines; return canonical digests."""
+    base = config or AuctionConfig()
+    reference = DecloudAuction(replace(base, engine="reference"))
+    vectorized = DecloudAuction(replace(base, engine="vectorized"))
+    return (
+        canonical_outcome(reference.run(requests, offers, evidence=evidence)),
+        canonical_outcome(vectorized.run(requests, offers, evidence=evidence)),
+    )
+
+
+def assert_engines_agree(
+    requests: Sequence[Request],
+    offers: Sequence[Offer],
+    evidence: bytes = b"differential-evidence",
+    config: AuctionConfig | None = None,
+) -> Dict:
+    """Assert bit-identical outcomes; return the (shared) digest."""
+    ref, vec = run_both_engines(requests, offers, evidence=evidence, config=config)
+    assert vec == ref, _first_divergence(ref, vec)
+    return ref
+
+
+def _first_divergence(ref: Dict, vec: Dict) -> str:
+    for key in ref:
+        if ref[key] != vec[key]:
+            return (
+                f"engines diverge on {key!r}:\n"
+                f"  reference:  {ref[key]!r}\n"
+                f"  vectorized: {vec[key]!r}"
+            )
+    return "engines diverge"
+
+
+def market_payload(
+    requests: Sequence[Request], offers: Sequence[Offer]
+) -> Dict[str, List[Dict]]:
+    """JSON-ready market (golden fixtures store bids as payloads)."""
+    return {
+        "requests": [r.to_payload() for r in requests],
+        "offers": [o.to_payload() for o in offers],
+    }
+
+
+def market_from_payload(
+    payload: Dict[str, List[Dict]],
+) -> Tuple[List[Request], List[Offer]]:
+    return (
+        [Request.from_payload(p) for p in payload["requests"]],
+        [Offer.from_payload(p) for p in payload["offers"]],
+    )

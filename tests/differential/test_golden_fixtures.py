@@ -1,0 +1,70 @@
+"""Replay the golden fixtures on both engines.
+
+The fixtures under ``tests/fixtures/golden/`` freeze six end-to-end
+auction outcomes (market, config, evidence, canonical outcome with every
+float in ``hex()``).  A future refactor that changes any allocation,
+price, payment, reduced-trade set, or welfare — even in the last bit —
+diffs here against a known-good outcome instead of hoping the property
+suite notices.  Regenerate deliberately with
+``tests/fixtures/golden/regenerate.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+
+from tests.differential.conftest import canonical_outcome, market_from_payload
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "fixtures" / "golden"
+FIXTURES = sorted(GOLDEN_DIR.glob("*.json"))
+
+
+def _load(path: Path):
+    fixture = json.loads(path.read_text())
+    requests, offers = market_from_payload(fixture["market"])
+    return fixture, requests, offers
+
+
+def test_fixture_inventory():
+    """The golden set is a deliberate artifact: exactly these six."""
+    assert [p.stem for p in FIXTURES] == [
+        "benchmark_config",
+        "degraded_round",
+        "ec2_small",
+        "flexible_market",
+        "no_mini_auctions",
+        "tied_scores",
+    ]
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+def test_golden_replay(path: Path, engine: str):
+    fixture, requests, offers = _load(path)
+    config = AuctionConfig(engine=engine, **fixture["config"])
+    outcome = DecloudAuction(config).run(
+        requests, offers, evidence=bytes.fromhex(fixture["evidence"])
+    )
+    assert canonical_outcome(outcome) == fixture["expected"], (
+        f"{path.stem} diverged from its golden outcome on the {engine} "
+        "engine; if this change is intended, regenerate via "
+        "tests/fixtures/golden/regenerate.py"
+    )
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_golden_fixture_is_nontrivial(path: Path):
+    """Fixtures must exercise the mechanism, not freeze empty outcomes."""
+    fixture, requests, offers = _load(path)
+    assert requests and offers
+    if path.stem != "tied_scores":
+        assert fixture["expected"]["matches"], (
+            f"{path.stem} froze an outcome with zero trades — regenerate "
+            "with a market that actually clears"
+        )

@@ -1,0 +1,135 @@
+"""Regenerate the golden end-to-end auction fixtures.
+
+Run from the repo root:
+
+    PYTHONPATH=src:. python tests/fixtures/golden/regenerate.py
+
+Each fixture freezes one small market (bid payloads), the auction
+configuration, the evidence bytes, and the *canonical outcome* produced
+by the reference engine — every float rendered with ``float.hex()`` so
+replay comparison is exact to the last bit.
+``tests/differential/test_golden_fixtures.py`` replays them on both
+engines; a diff there means a refactor changed mechanism behaviour, not
+just code shape.  Regenerate only when a behaviour change is intended,
+and say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.common.rng import make_generator
+from repro.common.timewindow import TimeWindow
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from repro.market.bids import Offer, Request
+from repro.workloads.generators import generate_market
+
+from tests.differential.conftest import canonical_outcome, market_payload
+
+GOLDEN_DIR = Path(__file__).resolve().parent
+
+#: Config knobs a fixture may pin (everything else stays at defaults —
+#: engine in particular is chosen by the replaying test, never stored).
+CONFIG_KEYS = (
+    "cluster_breadth",
+    "enable_trade_reduction",
+    "enable_randomization",
+    "enable_mini_auctions",
+    "enforce_price_consistency",
+)
+
+
+def _tied_market():
+    """Hand-built market with deliberate exact float ties everywhere:
+    equal resources, equal bids, equal submit times — only explicit
+    id-lexicographic tie-breaking makes its outcome well-defined."""
+    requests = [
+        Request(
+            request_id=f"tied-r{i}",
+            client_id=f"c{i}",
+            submit_time=0.0,
+            resources={"cpu": 2.0, "ram": 4.0},
+            window=TimeWindow(0, 8),
+            duration=2.0,
+            bid=1.0,
+        )
+        for i in range(6)
+    ]
+    offers = [
+        Offer(
+            offer_id=f"tied-o{j}",
+            provider_id=f"p{j}",
+            submit_time=0.0,
+            resources={"cpu": 4.0, "ram": 8.0},
+            window=TimeWindow(0, 16),
+            bid=0.5,
+        )
+        for j in range(4)
+    ]
+    return requests, offers
+
+
+def _degraded_market():
+    """A seeded market with a fault-injected reveal: a deterministic
+    subset of bids never reveals and is excluded before clearing."""
+    requests, offers = generate_market(24, seed=5)
+    rng = make_generator(b"golden-degraded")
+    dropped_r = set(rng.choice(len(requests), size=6, replace=False).tolist())
+    dropped_o = set(rng.choice(len(offers), size=3, replace=False).tolist())
+    return (
+        [r for i, r in enumerate(requests) if i not in dropped_r],
+        [o for j, o in enumerate(offers) if j not in dropped_o],
+    )
+
+
+def scenarios():
+    yield "ec2_small", generate_market(20, seed=1), AuctionConfig(), b"golden-ec2"
+    yield (
+        "flexible_market",
+        generate_market(16, seed=2, flexibility=0.7),
+        AuctionConfig(),
+        b"golden-flexible",
+    )
+    yield "tied_scores", _tied_market(), AuctionConfig(), b"golden-tied"
+    yield (
+        "benchmark_config",
+        generate_market(20, seed=3),
+        AuctionConfig.benchmark(),
+        b"golden-benchmark",
+    )
+    yield (
+        "no_mini_auctions",
+        generate_market(20, seed=4),
+        AuctionConfig(enable_mini_auctions=False),
+        b"golden-nomini",
+    )
+    yield "degraded_round", _degraded_market(), AuctionConfig(), b"golden-degraded"
+
+
+def main() -> None:
+    defaults = AuctionConfig()
+    for name, (requests, offers), config, evidence in scenarios():
+        outcome = DecloudAuction(config).run(requests, offers, evidence=evidence)
+        fixture = {
+            "name": name,
+            "config": {
+                key: getattr(config, key)
+                for key in CONFIG_KEYS
+                if getattr(config, key) != getattr(defaults, key)
+            },
+            "evidence": evidence.hex(),
+            "market": market_payload(requests, offers),
+            "expected": canonical_outcome(outcome),
+        }
+        path = GOLDEN_DIR / f"{name}.json"
+        path.write_text(json.dumps(fixture, indent=2, sort_keys=True) + "\n")
+        print(
+            f"wrote {path.name}: {len(requests)} requests, {len(offers)} "
+            f"offers, {len(outcome.matches)} trades"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,213 @@
+"""Mechanism invariants pinned on the *vectorized* engine (§IV-D, §V).
+
+The differential suite proves the vectorized engine equals the reference
+bit-for-bit; this file independently asserts the economic properties the
+paper claims, directly on the fast path, so a future divergence between
+the engines cannot silently take the guarantees with it:
+
+* **Individual rationality** — a truthful participant never ends up
+  worse off than not trading.  Client IR is exact: every matched client
+  pays at most its bid.  Provider IR is exact in *normalized* terms
+  (clearing price at or above every trading offer's normalized cost,
+  §IV-E); in the fraction-scaled monetary accounting of
+  ``utility_of_provider`` it is exact on homogeneous clusters and
+  epsilon-bounded on heterogeneous markets, where a request's virtual
+  fraction ``nu_r`` and its raw resource fraction can differ.
+* **Strong budget balance** — the auctioneer keeps nothing: client
+  payments are transferred to providers in full, per trade and in total.
+* **DSIC spot-checks** — in the exact single-cluster regime (homogeneous
+  machines, randomization off) a client misreport or provider cost
+  shading never gains.  The reference engine's deeper truthfulness
+  analysis lives in ``test_truthfulness.py``; these are the same checks
+  pointed at the fast path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from repro.core.outcome import utility_of_client, utility_of_provider
+from repro.workloads.generators import generate_market
+
+from tests.differential.test_engine_equivalence import markets
+from tests.property.test_truthfulness import _homogeneous_market
+
+VECTORIZED = AuctionConfig(engine="vectorized")
+VECTORIZED_NO_RANDOM = AuctionConfig(
+    engine="vectorized", enable_randomization=False
+)
+
+EPS = 1e-9
+
+bid_values = st.floats(min_value=0.05, max_value=5.0, allow_nan=False)
+
+
+class TestIndividualRationality:
+    @given(market=markets(), evidence=st.binary(min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_client_ir_is_exact(self, market, evidence):
+        requests, offers = market
+        outcome = DecloudAuction(VECTORIZED).run(
+            requests, offers, evidence=evidence
+        )
+        for match in outcome.matches:
+            assert match.payment <= match.request.bid + EPS
+            assert (
+                utility_of_client(
+                    outcome, match.request.request_id, match.request.bid
+                )
+                >= -EPS
+            ), (
+                f"client {match.request.request_id} pays {match.payment} "
+                f"against a bid of {match.request.bid}"
+            )
+        assert all(p >= 0 for p in outcome.prices)
+
+    @given(
+        request_bids=st.lists(bid_values, min_size=2, max_size=8),
+        offer_bids=st.lists(bid_values, min_size=1, max_size=3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_provider_ir_is_exact_on_homogeneous_clusters(
+        self, request_bids, offer_bids
+    ):
+        requests, offers = _homogeneous_market(request_bids, offer_bids)
+        outcome = DecloudAuction(VECTORIZED).run(
+            requests, offers, evidence=b"ir"
+        )
+        true_costs = {o.offer_id: o.bid for o in offers}
+        for provider_id in {o.provider_id for o in offers}:
+            assert (
+                utility_of_provider(outcome, provider_id, true_costs) >= -EPS
+            ), f"provider {provider_id} trades below declared cost"
+
+    def test_provider_ir_is_epsilon_bounded_on_heterogeneous_markets(self):
+        """Monetary provider IR over realistic markets: violations are
+        rare (the nu_r vs resource-fraction accounting gap) and
+        negligible against market-scale payments."""
+        shortfall = 0.0
+        payments = 0.0
+        negative = probed = 0
+        for seed in range(40):
+            requests, offers = generate_market(40, seed=seed)
+            outcome = DecloudAuction(VECTORIZED).run(
+                requests, offers, evidence=b"ir"
+            )
+            true_costs = {o.offer_id: o.bid for o in offers}
+            payments += outcome.total_payments
+            for provider_id in {o.provider_id for o in offers}:
+                utility = utility_of_provider(
+                    outcome, provider_id, true_costs
+                )
+                probed += 1
+                if utility < -EPS:
+                    negative += 1
+                    shortfall += -utility
+        assert probed > 500
+        assert negative / probed < 0.02, (
+            f"{negative}/{probed} providers traded below cost"
+        )
+        assert shortfall < 0.01 * payments
+
+
+class TestStrongBudgetBalance:
+    @given(market=markets(), evidence=st.binary(min_size=1, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_payments_equal_revenues(self, market, evidence):
+        requests, offers = market
+        outcome = DecloudAuction(VECTORIZED).run(
+            requests, offers, evidence=evidence
+        )
+        # Per-trade: the clearing transfers the client payment to the
+        # provider untouched — the revenue ledger is built from the very
+        # same payments, so totals agree up to summation reordering.
+        revenues = outcome.revenues()
+        total_revenue = sum(sorted(revenues.values()))
+        total_payment = outcome.total_payments
+        assert abs(total_payment - total_revenue) <= EPS * max(
+            1.0, abs(total_payment)
+        )
+        per_offer = {}
+        for match in outcome.matches:
+            per_offer[match.offer.offer_id] = (
+                per_offer.get(match.offer.offer_id, 0.0) + match.payment
+            )
+        assert per_offer == revenues
+
+    def test_no_payment_without_trade(self):
+        requests, offers = generate_market(30, seed=9)
+        outcome = DecloudAuction(VECTORIZED).run(
+            requests, offers, evidence=b"bb"
+        )
+        matched_offers = {m.offer.offer_id for m in outcome.matches}
+        assert set(outcome.revenues()) == matched_offers
+
+
+class TestDsicSpotChecks:
+    """Exact single-cluster DSIC, replayed on the fast path."""
+
+    @given(
+        request_bids=st.lists(bid_values, min_size=2, max_size=8),
+        offer_bids=st.lists(bid_values, min_size=1, max_size=3),
+        deviant=st.integers(min_value=0, max_value=7),
+        factor=st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_client_misreport_never_gains(
+        self, request_bids, offer_bids, deviant, factor
+    ):
+        deviant %= len(request_bids)
+        requests, offers = _homogeneous_market(request_bids, offer_bids)
+        auction = DecloudAuction(VECTORIZED_NO_RANDOM)
+        true_value = request_bids[deviant]
+        target_id = f"r{deviant}"
+
+        honest = utility_of_client(
+            auction.run(requests, offers, evidence=b"T"), target_id, true_value
+        )
+        deviated_requests = [
+            r if r.request_id != target_id else r.replace_bid(true_value * factor)
+            for r in requests
+        ]
+        deviated = utility_of_client(
+            auction.run(deviated_requests, offers, evidence=b"T"),
+            target_id,
+            true_value,
+        )
+        assert deviated <= honest + 1e-6
+
+    @given(
+        request_bids=st.lists(bid_values, min_size=2, max_size=8),
+        offer_bids=st.lists(bid_values, min_size=1, max_size=3),
+        deviant=st.integers(min_value=0, max_value=2),
+        factor=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    )
+    @settings(max_examples=75, deadline=None)
+    def test_provider_shading_never_gains(
+        self, request_bids, offer_bids, deviant, factor
+    ):
+        deviant %= len(offer_bids)
+        requests, offers = _homogeneous_market(request_bids, offer_bids)
+        auction = DecloudAuction(VECTORIZED_NO_RANDOM)
+        true_cost = offer_bids[deviant]
+        target_offer = f"o{deviant}"
+        target_provider = f"p{deviant}"
+
+        honest = utility_of_provider(
+            auction.run(requests, offers, evidence=b"T"),
+            target_provider,
+            {target_offer: true_cost},
+        )
+        deviated_offers = [
+            o if o.offer_id != target_offer else o.replace_bid(true_cost * factor)
+            for o in offers
+        ]
+        deviated = utility_of_provider(
+            auction.run(requests, deviated_offers, evidence=b"T"),
+            target_provider,
+            {target_offer: true_cost},
+        )
+        assert deviated <= honest + 1e-6

@@ -1,0 +1,172 @@
+"""Regression tests for explicit tie-breaking under exact float ties.
+
+Duplicated bids, grid-valued resources, and simultaneous submissions
+produce *exact* float ties throughout the pipeline: equal
+quality-of-match scores, equal cluster price ranges, equal tentative
+welfare.  Every ordering decision must then fall back to a deterministic
+identity key (submit time, then lexicographic id) — never to Python's
+sort stability, which silently depends on input order.
+
+These tests build markets that are tied on purpose and assert that the
+outcome is a pure function of the *set* of bids, not of the order the
+bids arrive in, on both engines.  They pin the fix for a latent
+fragility in which ``select_roots`` and mini-auction assembly ordered
+clusters by bare float keys.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.common.timewindow import TimeWindow
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from repro.core.matching import block_maxima, rank_offers
+from repro.core.matching_vectorized import best_offer_sets
+from repro.market.bids import Offer, Request
+
+from tests.differential.conftest import canonical_outcome
+
+
+def _tied_requests(n=6):
+    return [
+        Request(
+            request_id=f"tied-r{i}",
+            client_id=f"c{i}",
+            submit_time=0.0,
+            resources={"cpu": 2.0, "ram": 4.0},
+            window=TimeWindow(0, 8),
+            duration=2.0,
+            bid=1.0,
+        )
+        for i in range(n)
+    ]
+
+
+def _tied_offers(n=4, submit_time=0.0):
+    return [
+        Offer(
+            offer_id=f"tied-o{j}",
+            provider_id=f"p{j}",
+            submit_time=submit_time,
+            resources={"cpu": 4.0, "ram": 8.0},
+            window=TimeWindow(0, 16),
+            bid=0.5,
+        )
+        for j in range(n)
+    ]
+
+
+class TestRankOffersTieRule:
+    def test_identical_offers_rank_by_id(self):
+        """All scores exactly equal -> pure id-lexicographic order."""
+        request = _tied_requests(1)[0]
+        offers = _tied_offers(5)
+        maxima = block_maxima([request], offers)
+        ranked = rank_offers(request, list(reversed(offers)), maxima)
+        scores = [score for score, _ in ranked]
+        assert len(set(scores)) == 1, "fixture must produce exact ties"
+        assert [o.offer_id for _, o in ranked] == sorted(
+            o.offer_id for o in offers
+        )
+
+    def test_earlier_submission_beats_id(self):
+        """The paper's rule (§IV-D): submit time dominates the id."""
+        request = _tied_requests(1)[0]
+        early = _tied_offers(1, submit_time=0.0)[0].replace_bid(0.5)
+        late = Offer(
+            offer_id="tied-a-first-id",  # lexicographically before early
+            provider_id="px",
+            submit_time=1.0,
+            resources={"cpu": 4.0, "ram": 8.0},
+            window=TimeWindow(0, 16),
+            bid=0.5,
+        )
+        maxima = block_maxima([request], [early, late])
+        ranked = rank_offers(request, [late, early], maxima)
+        assert [o.offer_id for _, o in ranked] == [
+            early.offer_id,
+            late.offer_id,
+        ]
+
+    def test_vectorized_best_sets_apply_the_same_rule(self):
+        requests = _tied_requests(4)
+        offers = _tied_offers(6)
+        maxima = block_maxima(requests, offers)
+        for breadth in (1, 2, 3):
+            vectorized = best_offer_sets(
+                requests, list(reversed(offers)), maxima, breadth
+            )
+            for request, best in zip(requests, vectorized):
+                reference = frozenset(
+                    o.offer_id
+                    for _, o in rank_offers(request, offers, maxima)[:breadth]
+                )
+                assert best == reference
+
+
+class TestInputOrderInvariance:
+    """The cleared outcome is a function of the bid *set*."""
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_tied_market_is_order_invariant(self, engine):
+        requests = _tied_requests(5)
+        offers = _tied_offers(3)
+        config = AuctionConfig(engine=engine)
+        baseline = canonical_outcome(
+            DecloudAuction(config).run(requests, offers, evidence=b"ties")
+        )
+        assert baseline["matches"], "tied market must actually clear"
+        for perm_r in itertools.islice(itertools.permutations(requests), 8):
+            for perm_o in itertools.permutations(offers):
+                outcome = canonical_outcome(
+                    DecloudAuction(config).run(
+                        list(perm_r), list(perm_o), evidence=b"ties"
+                    )
+                )
+                assert outcome == baseline
+
+    @pytest.mark.parametrize("engine", ["reference", "vectorized"])
+    def test_tied_clusters_survive_reversal_with_mini_auctions(self, engine):
+        """Two disjoint resource pools forming identically-priced
+        clusters: root selection and mini-auction assembly see exact
+        interval ties and must order them by cluster identity."""
+        requests, offers = [], []
+        for pool, rtype in enumerate(("cpu", "gpu")):
+            for i in range(3):
+                requests.append(
+                    Request(
+                        request_id=f"p{pool}-r{i}",
+                        client_id=f"c{pool}{i}",
+                        submit_time=0.0,
+                        resources={rtype: 2.0},
+                        window=TimeWindow(0, 8),
+                        duration=2.0,
+                        bid=1.0,
+                    )
+                )
+            offers.append(
+                Offer(
+                    offer_id=f"p{pool}-o0",
+                    provider_id=f"pr{pool}",
+                    submit_time=0.0,
+                    resources={rtype: 4.0},
+                    window=TimeWindow(0, 16),
+                    bid=0.5,
+                )
+            )
+        config = AuctionConfig(engine=engine)
+        forward = canonical_outcome(
+            DecloudAuction(config).run(requests, offers, evidence=b"pools")
+        )
+        backward = canonical_outcome(
+            DecloudAuction(config).run(
+                list(reversed(requests)),
+                list(reversed(offers)),
+                evidence=b"pools",
+            )
+        )
+        assert forward["matches"]
+        assert forward == backward
