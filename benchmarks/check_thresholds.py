@@ -24,7 +24,34 @@ from pathlib import Path
 DEFAULT_THRESHOLDS = Path(__file__).resolve().parent / "thresholds.json"
 
 
-def check(results_path: Path, thresholds_path: Path, slack: float) -> int:
+def _print_phase_breakdown(phases_path: Path) -> None:
+    """Dump the per-phase timing split captured by the speedup bench
+    (``DECLOUD_PHASE_REPORT``), so a regression failure shows *which*
+    pipeline phase ate the budget without re-running anything."""
+    if not phases_path.exists():
+        print(f"(no phase report at {phases_path})")
+        return
+    document = json.loads(phases_path.read_text())
+    phases = document.get("phases", {})
+    total = sum(entry["seconds"] for entry in phases.values()) or 1.0
+    label = document.get("label", phases_path.name)
+    print(f"per-phase breakdown ({label}):")
+    for name, entry in sorted(
+        phases.items(), key=lambda kv: -kv[1]["seconds"]
+    ):
+        share = 100.0 * entry["seconds"] / total
+        print(
+            f"  {name}: {entry['seconds']:.4f}s ({share:.1f}%, "
+            f"x{entry['count']})"
+        )
+
+
+def check(
+    results_path: Path,
+    thresholds_path: Path,
+    slack: float,
+    phases_path: Path | None = None,
+) -> int:
     results = json.loads(results_path.read_text())
     thresholds = json.loads(thresholds_path.read_text())["benchmarks"]
 
@@ -54,6 +81,8 @@ def check(results_path: Path, thresholds_path: Path, slack: float) -> int:
     if failures:
         print(f"FAIL: {len(failures)} benchmark(s) regressed >2x: "
               f"{', '.join(failures)}")
+        if phases_path is not None:
+            _print_phase_breakdown(phases_path)
         return 1
     print("all gated benchmarks within thresholds")
     return 0
@@ -67,8 +96,11 @@ def main() -> int:
                         default=DEFAULT_THRESHOLDS)
     parser.add_argument("--slack", type=float, default=1.0,
                         help="runner-speed factor applied to every limit")
+    parser.add_argument("--phases", type=Path, default=None,
+                        help="phase-timing JSON (DECLOUD_PHASE_REPORT "
+                             "output) printed when the gate fails")
     args = parser.parse_args()
-    return check(args.results, args.thresholds, args.slack)
+    return check(args.results, args.thresholds, args.slack, args.phases)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,143 @@
+"""Zero-dependency phase timing for the round pipeline.
+
+A :class:`PhaseTimer` accumulates wall-clock seconds per named phase
+(``match``, ``cluster``, ``normalize``, ``clear``, ``seal``, ``mine``,
+``verify``, ...).  The auction, simulation, and exposure-protocol layers
+accept an optional timer and wrap their phases in ``timer.phase(name)``;
+benchmarks read the totals to report where a round spends its time.
+
+The default is :data:`NULL_TIMER`, a shared no-op whose context manager
+does nothing, so instrumented code pays (almost) nothing when nobody is
+measuring.  Only the standard library is used — no NumPy, no pytest.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, Iterator, Optional, Tuple
+
+
+class _Span:
+    """Context manager that adds its elapsed time to one phase."""
+
+    __slots__ = ("_timer", "_name", "_start")
+
+    def __init__(self, timer: "PhaseTimer", name: str) -> None:
+        self._timer = timer
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._timer.add(self._name, time.perf_counter() - self._start)
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class PhaseTimer:
+    """Accumulates seconds and entry counts per named phase.
+
+    Phases may nest and repeat; every ``phase(name)`` span adds to the
+    running total for ``name``.  Totals survive across rounds so a
+    multi-round benchmark reports the aggregate split.
+    """
+
+    __slots__ = ("totals", "counts")
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
+
+    def phase(self, name: str) -> _Span:
+        """Context manager timing one entry of phase ``name``."""
+        return _Span(self, name)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record ``seconds`` against phase ``name`` directly."""
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def merge(self, other: "PhaseTimer") -> None:
+        """Fold another timer's totals into this one."""
+        for name, seconds in other.totals.items():
+            self.totals[name] = self.totals.get(name, 0.0) + seconds
+            self.counts[name] = self.counts.get(name, 0) + other.counts[name]
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.totals.values())
+
+    def items(self) -> Iterator[Tuple[str, float]]:
+        """Phases sorted by descending total time."""
+        return iter(sorted(self.totals.items(), key=lambda kv: -kv[1]))
+
+    def to_dict(self) -> Dict[str, Dict[str, float]]:
+        """JSON-serializable snapshot (used by the CI phase artifact)."""
+        return {
+            name: {"seconds": seconds, "count": self.counts[name]}
+            for name, seconds in self.totals.items()
+        }
+
+    def to_json(self, label: Optional[str] = None) -> str:
+        document = {"phases": self.to_dict()}
+        if label is not None:
+            document["label"] = label
+        return json.dumps(document, sort_keys=True, indent=1)
+
+    def report(self, title: str = "phase timing") -> str:
+        """Human-readable aligned table of the per-phase split."""
+        total = self.total_seconds
+        lines = [f"{title} (total {total:.4f}s)"]
+        if not self.totals:
+            lines.append("  (no phases recorded)")
+            return "\n".join(lines)
+        width = max(len(name) for name in self.totals)
+        for name, seconds in self.items():
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            lines.append(
+                f"  {name:<{width}}  {seconds:9.4f}s  {share:5.1f}%"
+                f"  x{self.counts[name]}"
+            )
+        return "\n".join(lines)
+
+
+class NullTimer:
+    """No-op stand-in so callers never branch on ``timer is None``."""
+
+    __slots__ = ()
+
+    def phase(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def add(self, name: str, seconds: float) -> None:
+        return None
+
+    def merge(self, other: PhaseTimer) -> None:
+        return None
+
+
+NULL_TIMER = NullTimer()
+
+
+def resolve(timer: Optional[PhaseTimer]) -> "PhaseTimer | NullTimer":
+    """Map ``None`` to the shared null timer."""
+    return NULL_TIMER if timer is None else timer

@@ -33,6 +33,11 @@ from repro.core.normalization import (
     compute_economics,
     payment_for,
 )
+from repro.core.normalization_vectorized import compute_economics_batch
+from repro.core.pricing import (
+    pooled_price_vectorized,
+    pooled_prices_batch,
+)
 from repro.core.outcome import (
     AuctionOutcome,
     Match,
@@ -79,9 +84,12 @@ __all__ = [
     "select_roots",
     "ClusterEconomics",
     "compute_economics",
+    "compute_economics_batch",
     "payment_for",
     "clear_mini_auction",
     "pooled_price",
+    "pooled_prices_batch",
+    "pooled_price_vectorized",
     "pair_welfare",
     "resource_fraction",
     "total_welfare",

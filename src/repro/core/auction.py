@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Set
 
 from repro.common.errors import AuctionError
 from repro.common.rng import block_evidence_rng
+from repro.common.timing import PhaseTimer, resolve
 from repro.core.cluster_allocation import ClusterAllocation, allocate_cluster
 from repro.core.clustering import build_clusters
 from repro.core.config import AuctionConfig
@@ -50,13 +51,20 @@ class DecloudAuction:
         requests: Sequence[Request],
         offers: Sequence[Offer],
         evidence: bytes = b"decloud-default-evidence",
+        timer: Optional[PhaseTimer] = None,
     ) -> AuctionOutcome:
         """Clear one block of requests and offers.
 
         ``evidence`` is the block's preamble hash in the ledger-backed
         deployment: it seeds the verifiable randomization so that every
         miner recomputes the identical outcome.
+
+        ``timer`` (optional :class:`~repro.common.timing.PhaseTimer`)
+        accumulates per-phase wall time: ``match`` / ``cluster`` (inside
+        :func:`build_clusters`), ``normalize`` (§IV-C economics plus the
+        greedy fits), ``assemble`` (Alg. 3) and ``clear`` (Alg. 4).
         """
+        timer = resolve(timer)
         request_by_id = _index_requests(requests)
         offer_by_id = _index_offers(offers)
 
@@ -65,58 +73,81 @@ class DecloudAuction:
             list(offer_by_id.values()),
             self.config,
             matcher=self._matcher,
+            timer=timer,
         )
-        allocations: List[ClusterAllocation] = []
-        for cluster in clusters:
-            cluster_requests = [
-                request_by_id[rid] for rid in sorted(cluster.request_ids)
-            ]
-            cluster_offers = [
-                offer_by_id[oid] for oid in sorted(cluster.offer_ids)
-            ]
-            if not cluster_requests or not cluster_offers:
-                continue
-            allocations.append(
-                allocate_cluster(
-                    cluster, cluster_requests, cluster_offers, self.config
+        with timer.phase("normalize"):
+            populated = []
+            for cluster in clusters:
+                cluster_requests = [
+                    request_by_id[rid] for rid in sorted(cluster.request_ids)
+                ]
+                cluster_offers = [
+                    offer_by_id[oid] for oid in sorted(cluster.offer_ids)
+                ]
+                if not cluster_requests or not cluster_offers:
+                    continue
+                populated.append((cluster, cluster_requests, cluster_offers))
+            if self.config.engine == "vectorized" and populated:
+                # Batch §IV-C over every cluster of the block at once —
+                # bit-identical to per-cluster scalar normalization.
+                from repro.core.normalization_vectorized import (
+                    compute_economics_batch,
                 )
-            )
 
-        auctions = build_mini_auctions(allocations, self.config)
+                economics_list = list(
+                    compute_economics_batch(
+                        [(reqs, offs) for _, reqs, offs in populated],
+                        self.config,
+                    )
+                )
+            else:
+                economics_list = [None] * len(populated)
+            allocations: List[ClusterAllocation] = [
+                allocate_cluster(
+                    cluster, cluster_requests, cluster_offers, self.config,
+                    economics=economics,
+                )
+                for (cluster, cluster_requests, cluster_offers), economics
+                in zip(populated, economics_list)
+            ]
+
+        with timer.phase("assemble"):
+            auctions = build_mini_auctions(allocations, self.config)
 
         outcome = AuctionOutcome()
         consumed_requests: Set[str] = set()
         consumed_offers: Set[str] = set()
-        if self.config.miniauction_workers >= 1:
-            # Per-auction RNG streams; waves of independent auctions may
-            # clear in a process pool (see repro.core.parallel).
-            from repro.core.parallel import clear_auctions_scheduled
+        with timer.phase("clear"):
+            if self.config.miniauction_workers >= 1:
+                # Per-auction RNG streams; waves of independent auctions
+                # may clear in a process pool (see repro.core.parallel).
+                from repro.core.parallel import clear_auctions_scheduled
 
-            results = clear_auctions_scheduled(
-                auctions,
-                request_by_id,
-                offer_by_id,
-                consumed_requests,
-                consumed_offers,
-                self.config,
-                evidence,
-            )
-        else:
-            rng = block_evidence_rng(evidence)
-            results = []
-            for auction in auctions:
-                result = clear_mini_auction(
-                    auction,
+                results = clear_auctions_scheduled(
+                    auctions,
                     request_by_id,
                     offer_by_id,
                     consumed_requests,
                     consumed_offers,
                     self.config,
-                    rng,
+                    evidence,
                 )
-                results.append(result)
-                consumed_requests |= result.participant_requests
-                consumed_offers |= result.participant_offers
+            else:
+                rng = block_evidence_rng(evidence)
+                results = []
+                for auction in auctions:
+                    result = clear_mini_auction(
+                        auction,
+                        request_by_id,
+                        offer_by_id,
+                        consumed_requests,
+                        consumed_offers,
+                        self.config,
+                        rng,
+                    )
+                    results.append(result)
+                    consumed_requests |= result.participant_requests
+                    consumed_offers |= result.participant_offers
         for result in results:
             outcome.matches.extend(result.matches)
             outcome.reduced_requests.extend(result.reduced_requests)

@@ -214,9 +214,16 @@ def allocate_cluster(
     config: AuctionConfig,
     capacity: Optional[OfferCapacity] = None,
     taken_requests: Optional[Set[str]] = None,
+    economics: Optional[ClusterEconomics] = None,
 ) -> ClusterAllocation:
-    """Greedy-fit one cluster and derive its z / z' / z'+1 indices."""
-    economics = compute_economics(list(requests), list(offers), config)
+    """Greedy-fit one cluster and derive its z / z' / z'+1 indices.
+
+    ``economics`` may be precomputed — the vectorized engine batches
+    §IV-C over many clusters (``compute_economics_batch``) and passes
+    each cluster's result in; it is bit-identical to computing here.
+    """
+    if economics is None:
+        economics = compute_economics(list(requests), list(offers), config)
     request_order = sorted_requests(requests, economics)
     offer_order = sorted_offers(offers, economics)
     if capacity is None:

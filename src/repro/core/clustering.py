@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
+from repro.common.timing import PhaseTimer, resolve
 from repro.core.config import AuctionConfig
 from repro.core.matching import best_offer_set, block_maxima
 from repro.market.bids import Offer, Request
@@ -88,6 +89,7 @@ def build_clusters(
     offers: Sequence[Offer],
     config: AuctionConfig,
     matcher: Optional["IncrementalMatcher"] = None,
+    timer: Optional[PhaseTimer] = None,
 ) -> tuple[List[Cluster], List[Request]]:
     """Run Alg. 2 over a block.
 
@@ -101,23 +103,35 @@ def build_clusters(
     optional :class:`~repro.core.matching_vectorized.IncrementalMatcher`
     reusing rows across blocks).  Both produce bit-identical sets, so
     the cluster structure is engine-invariant.
+
+    ``timer`` (optional) records the ``match`` (best-offer sets) and
+    ``cluster`` (Alg. 2 insertion) phases.
     """
-    maxima = block_maxima(requests, offers)
-    ordered = sorted(requests, key=lambda r: (r.submit_time, r.request_id))
-    if config.engine == "vectorized":
-        best_sets = _vectorized_best_sets(ordered, offers, maxima, config, matcher)
-    else:
-        best_sets = [
-            best_offer_set(request, offers, maxima, config.cluster_breadth)
-            for request in ordered
-        ]
-    clusters: List[Cluster] = []
-    orphans: List[Request] = []
-    for request, best in zip(ordered, best_sets):
-        if not best:
-            orphans.append(request)
-            continue
-        update_clusters(clusters, request.request_id, best)
+    timer = resolve(timer)
+    with timer.phase("match"):
+        maxima = block_maxima(requests, offers)
+        ordered = sorted(
+            requests, key=lambda r: (r.submit_time, r.request_id)
+        )
+        if config.engine == "vectorized":
+            best_sets = _vectorized_best_sets(
+                ordered, offers, maxima, config, matcher
+            )
+        else:
+            best_sets = [
+                best_offer_set(
+                    request, offers, maxima, config.cluster_breadth
+                )
+                for request in ordered
+            ]
+    with timer.phase("cluster"):
+        clusters: List[Cluster] = []
+        orphans: List[Request] = []
+        for request, best in zip(ordered, best_sets):
+            if not best:
+                orphans.append(request)
+                continue
+            update_clusters(clusters, request.request_id, best)
     return clusters, orphans
 
 

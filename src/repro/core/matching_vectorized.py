@@ -41,10 +41,6 @@ import numpy as np
 
 from repro.market.bids import Offer, Request
 
-#: Row-chunk size for the (chunk, O, K) feasibility broadcast, bounding
-#: peak memory to a few MB regardless of market size.
-_FEASIBILITY_CHUNK = 256
-
 
 def _type_universe(
     requests: Sequence[Request], offers: Sequence[Offer]
@@ -116,21 +112,32 @@ def _score_from_arrays(
     maxima: Dict[str, float],
 ) -> np.ndarray:
     """Eq. (18) for all pairs, accumulated in sorted-type order."""
-    scores = np.zeros((req.amount.shape[0], off.amount.shape[0]))
+    shape = (req.amount.shape[0], off.amount.shape[0])
+    scores = np.zeros(shape)
+    # Two reusable (R, O) scratch buffers shared across all types: ``gap``
+    # is squared and offset in place to become the denominator, the
+    # numerator is divided in place, and the masked accumulation uses
+    # ``where=`` (skipping a pair leaves the sum untouched — the same
+    # result as adding the reference's exact ``+0.0``).  Reuse keeps the
+    # kernel from allocating two R x O temporaries per resource type.
+    gap = np.empty(shape)
+    term = np.empty(shape)
     for col, t in enumerate(types):
         top = maxima.get(t, 0.0)
         if top <= 0:
             continue
         rho_o = off.amount[:, col] / top
         rho_r = req.amount[:, col] / top
-        gap = rho_o[None, :] - rho_r[:, None]
-        term = (req.sigma[:, col][:, None] * rho_o[None, :]) / (
-            gap * gap + 1.0
-        )
+        np.subtract(rho_o[None, :], rho_r[:, None], out=gap)
+        np.multiply(gap, gap, out=gap)
+        np.add(gap, 1.0, out=gap)
+        np.multiply(req.sigma[:, col][:, None], rho_o[None, :], out=term)
+        np.divide(term, gap, out=term)
         # A type the request does not declare is outside K_(r,o): the
         # reference skips it entirely.  (Types absent from the *offer*
         # zero-fill to rho_o == 0, which already yields a 0.0 term.)
-        scores += np.where(req.present[:, col][:, None], term, 0.0)
+        np.add(scores, term, out=scores,
+               where=req.present[:, col][:, None])
     return scores
 
 
@@ -163,13 +170,18 @@ def _feasibility_from_arrays(
     feasible = temporal & shared & ~strict_missing
 
     # Constraint (8b): where the offer declares the type, its amount must
-    # cover the (flexibility-discounted) requirement.  Pairwise compare,
-    # chunked over request rows to bound the (chunk, O, K) broadcast.
-    for lo in range(0, n_req, _FEASIBILITY_CHUNK):
-        hi = min(lo + _FEASIBILITY_CHUNK, n_req)
-        short = off.amount[None, :, :] < req.needed[lo:hi, None, :]
-        relevant = req.positive[lo:hi, None, :] & off.present[None, :, :]
-        feasible[lo:hi] &= ~(short & relevant).any(axis=2)
+    # cover the (flexibility-discounted) requirement.  One (R, O)
+    # comparison per resource type: K is small (a handful of types), so
+    # K passes over an R x O matrix beat a single (R, O, K) broadcast —
+    # less peak memory and several times faster.  Pure boolean logic, so
+    # the mask is trivially identical to the 3-D formulation.
+    violated = np.zeros((n_req, n_off), dtype=bool)
+    k_types = req.amount.shape[1]
+    for col in range(k_types):
+        short = off.amount[:, col][None, :] < req.needed[:, col][:, None]
+        relevant = req.positive[:, col][:, None] & off.present[:, col][None, :]
+        violated |= short & relevant
+    feasible &= ~violated
     return feasible
 
 
@@ -219,9 +231,16 @@ def best_offer_sets(
     if feasible is None:
         feasible = feasibility_matrix(requests, offers)
 
-    # Secondary permutation: offers by (submit_time, offer_id).  A stable
-    # argsort over the permuted -scores then reproduces the reference's
-    # (-quality, submit_time, offer_id) total order exactly.
+    # Secondary permutation: offers by (submit_time, offer_id).  Under
+    # the permutation, the reference's (-quality, submit_time, offer_id)
+    # total order becomes (key, permuted column index) with
+    # key = -score (infeasible -> +inf): exactly what a stable argsort
+    # would produce.  ``best_r`` is a *set*, though, so the full argsort
+    # can be replaced by top-``breadth`` membership selection:
+    # ``np.partition`` yields each row's boundary value (the take-th
+    # smallest key), every key strictly below the boundary is in, and
+    # ties *at* the boundary are filled in ascending permuted index —
+    # the same elements the stable argsort prefix would select.
     perm = sorted(
         range(len(offers)),
         key=lambda j: (offers[j].submit_time, offers[j].offer_id),
@@ -229,15 +248,40 @@ def best_offer_sets(
     permuted_scores = scores[:, perm]
     permuted_feasible = feasible[:, perm]
     sort_key = np.where(permuted_feasible, -permuted_scores, np.inf)
-    order = np.argsort(sort_key, axis=1, kind="stable")
     counts = permuted_feasible.sum(axis=1)
+    take = np.minimum(breadth, counts)
+
+    n_req, n_off = sort_key.shape
+    if breadth >= n_off:
+        members = permuted_feasible
+    else:
+        part = np.partition(sort_key, np.arange(breadth), axis=1)
+        # Rows with no feasible offer have an all-inf key row; their
+        # boundary is inf and ``need`` is 0, selecting nothing.
+        boundary = part[np.arange(n_req), np.maximum(take, 1) - 1]
+        below = sort_key < boundary[:, None]
+        at = sort_key == boundary[:, None]
+        need = take - below.sum(axis=1)
+        # Fill the first ``need`` boundary ties per row in ascending
+        # permuted index.  ``np.nonzero`` walks the (sparse) tie mask in
+        # row-major order, so ranking ties by their position within the
+        # row replaces a full R x O cumsum with work linear in the number
+        # of ties.
+        at &= (need > 0)[:, None]
+        members = below
+        tie_rows, tie_cols = np.nonzero(at)
+        if len(tie_rows):
+            starts = np.searchsorted(tie_rows, np.arange(n_req))
+            rank = np.arange(len(tie_rows)) - starts[tie_rows]
+            keep = rank < need[tie_rows]
+            members[tie_rows[keep], tie_cols[keep]] = True
 
     ids = [offers[j].offer_id for j in perm]
-    out: List[frozenset] = []
-    for i in range(len(requests)):
-        take = min(breadth, int(counts[i]))
-        out.append(frozenset(ids[j] for j in order[i, :take]))
-    return out
+    out: List[List[str]] = [[] for _ in requests]
+    rows_idx, cols_idx = np.nonzero(members)
+    for i, j in zip(rows_idx.tolist(), cols_idx.tolist()):
+        out[i].append(ids[j])
+    return [frozenset(chosen) for chosen in out]
 
 
 def _request_fingerprint(request: Request) -> Tuple:
@@ -417,13 +461,17 @@ class IncrementalMatcher:
             [self._columns[o.offer_id] for o in offers], dtype=int
         )
         n_req, n_off = len(requests), len(offers)
-        out_scores = np.empty((n_req, n_off))
-        out_feasible = np.empty((n_req, n_off), dtype=bool)
-        for i, request in enumerate(requests):
-            entry = self._rows[request.request_id]
-            if n_off:
-                out_scores[i] = entry[1][cols]
-                out_feasible[i] = entry[2][cols]
+        if n_req == 0 or n_off == 0:
+            return (
+                np.empty((n_req, n_off)),
+                np.empty((n_req, n_off), dtype=bool),
+            )
+        # Every requested row was brought to full registry length above,
+        # so the rows stack into one matrix and the live columns are
+        # gathered with a single fancy index instead of one per row.
+        entries = [self._rows[r.request_id] for r in requests]
+        out_scores = np.stack([e[1] for e in entries])[:, cols]
+        out_feasible = np.stack([e[2] for e in entries])[:, cols]
         return out_scores, out_feasible
 
     def best_offer_sets(

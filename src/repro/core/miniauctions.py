@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.core.cluster_allocation import ClusterAllocation
 from repro.core.config import AuctionConfig
@@ -87,8 +87,21 @@ def _interval_weight(allocation: ClusterAllocation) -> float:
 
 def select_roots(
     allocations: Sequence[ClusterAllocation],
+    *,
+    vectorized: bool = False,
 ) -> List[ClusterAllocation]:
-    """Maximum-weight non-overlapping price intervals via classic DP."""
+    """Maximum-weight non-overlapping price intervals via classic DP.
+
+    With ``vectorized`` the predecessor table comes from one
+    ``np.searchsorted`` over the end-sorted intervals instead of the
+    O(n^2) backward scan, and the interval weights are computed as one
+    array expression.  Ends are sorted non-decreasing, so the rightmost
+    ``j`` with ``ends[j] <= start_i`` is ``searchsorted(ends, start_i,
+    "right") - 1`` clamped below ``i`` — including all-tie runs, where
+    any ``j < i`` with the same end qualifies exactly as in the scan.
+    The weights use the same elementwise operations as
+    :func:`_interval_weight`, so both paths are bit-identical.
+    """
     intervals = [
         a
         for a in allocations
@@ -102,18 +115,32 @@ def select_roots(
         key=lambda a: (a.price_range[1], a.price_range[0], allocation_key(a))
     )
     n = len(intervals)
-    # predecessor[i] = rightmost j < i whose interval ends before i starts
-    predecessor: List[int] = []
-    for i, alloc in enumerate(intervals):
-        start = alloc.price_range[0]
-        j = i - 1
-        while j >= 0 and intervals[j].price_range[1] > start:
-            j -= 1
-        predecessor.append(j)
+    if vectorized:
+        import numpy as np
+
+        starts = np.array([a.price_range[0] for a in intervals])
+        ends = np.array([a.price_range[1] for a in intervals])
+        pred = np.searchsorted(ends, starts, side="right") - 1
+        predecessor = np.minimum(pred, np.arange(n) - 1).tolist()
+        welfare = np.array([a.tentative_welfare for a in intervals])
+        weights = (
+            1.0 / (1.0 + np.maximum(0.0, ends - starts)) + 1e-9 * welfare
+        ).tolist()
+    else:
+        # predecessor[i] = rightmost j < i whose interval ends before i
+        # starts
+        predecessor = []
+        for i, alloc in enumerate(intervals):
+            start = alloc.price_range[0]
+            j = i - 1
+            while j >= 0 and intervals[j].price_range[1] > start:
+                j -= 1
+            predecessor.append(j)
+        weights = [_interval_weight(a) for a in intervals]
     best = [0.0] * (n + 1)
     take = [False] * n
     for i in range(1, n + 1):
-        weight = _interval_weight(intervals[i - 1])
+        weight = weights[i - 1]
         with_i = weight + best[predecessor[i - 1] + 1]
         without_i = best[i - 1]
         take[i - 1] = with_i >= without_i
@@ -131,15 +158,21 @@ def select_roots(
     return chosen
 
 
-def _attach(root: _TreeNode, allocation: ClusterAllocation) -> bool:
+def _attach(
+    root: _TreeNode,
+    allocation: ClusterAllocation,
+    compatible: Callable[
+        [ClusterAllocation, ClusterAllocation], bool
+    ] = price_compatible,
+) -> bool:
     """Attach under the deepest node whose whole root-path is compatible."""
-    if not price_compatible(allocation, root.allocation):
+    if not compatible(allocation, root.allocation):
         return False
     node = root
     while True:
         next_child: Optional[_TreeNode] = None
         for child in node.children:
-            if price_compatible(allocation, child.allocation):
+            if compatible(allocation, child.allocation):
                 next_child = child
                 break
         if next_child is None:
@@ -174,7 +207,25 @@ def build_mini_auctions(
     if not config.enable_mini_auctions:
         return [MiniAuction(allocations=[a]) for a in trading]
 
-    roots = select_roots(trading)
+    use_vectorized = config.engine == "vectorized" and len(trading) > 1
+    if use_vectorized:
+        # Precompute the pairwise compatibility matrix with the exact
+        # scalar comparison (v_z > c_z + 1e-12, elementwise); the attach
+        # walk then does O(1) lookups instead of float comparisons.
+        import numpy as np
+
+        v_z = np.array([a.v_z for a in trading])
+        c_eps = np.array([a.c_z for a in trading]) + 1e-12
+        comp = (v_z[:, None] > c_eps[None, :]) & (v_z[None, :] > c_eps[:, None])
+        position = {id(a): i for i, a in enumerate(trading)}
+
+        def compatible(a: ClusterAllocation, b: ClusterAllocation) -> bool:
+            return bool(comp[position[id(a)], position[id(b)]])
+
+    else:
+        compatible = price_compatible
+
+    roots = select_roots(trading, vectorized=use_vectorized)
     root_ids = {id(a) for a in roots}
     trees = [_TreeNode(a) for a in roots]
     remaining = sorted(
@@ -183,7 +234,7 @@ def build_mini_auctions(
     )
     unattached: List[ClusterAllocation] = []
     for allocation in remaining:
-        if not any(_attach(tree, allocation) for tree in trees):
+        if not any(_attach(tree, allocation, compatible) for tree in trees):
             unattached.append(allocation)
 
     auctions = [

@@ -1,0 +1,215 @@
+"""Batched per-cluster normalization (the fast path of paper §IV-C).
+
+:func:`compute_economics_batch` computes
+:class:`~repro.core.normalization.ClusterEconomics` for *many* clusters
+at once: the participants of all clusters are flattened into
+segment-indexed NumPy arrays over one sorted type universe, and the
+virtual maximum, critical-resource set, ``nu``, ``v_hat`` and ``c_hat``
+of every cluster fall out of masked segment reductions
+(``np.maximum.reduceat`` / ``np.logical_and.reduceat``) plus elementwise
+kernels.
+
+Bit-identity contract
+---------------------
+
+Like the matching kernel, every float must equal the scalar
+:func:`~repro.core.normalization.compute_economics` bit for bit
+(``tests/differential/`` and ``tests/property/`` enforce it):
+
+* l2 norms accumulate squares column-by-column in sorted-type order
+  (one elementwise add per type, never ``np.sum``), matching the scalar
+  ``sum(v[k] ** 2 for k in sorted(keys))``.  Types outside a cluster's
+  common set contribute an exact ``+0.0``.
+* squares use ``np.float_power(x, 2.0)``: CPython's scalar ``x ** 2``
+  goes through libm ``pow``, which is *not* correctly rounded and can
+  differ from ``x * x`` in the last bit — and NumPy lowers ``arr ** 2``
+  to ``arr * arr``.  ``np.float_power`` is the ufunc that reproduces the
+  scalar ``pow`` result exactly.
+* every division/multiplication keeps the scalar operand order:
+  ``l2 / maxima_norm``, ``bid / (nu * span)``, ``bid / (nu * duration)``.
+* ``nu_cr`` max-accumulates per-type ratios in sorted order from 0.0,
+  and the cap is ``min(max(nu, 0.0), 1.0)`` exactly as written.
+
+Degenerate clusters keep their PR 2 semantics: a zero-magnitude virtual
+maximum prices every offer at ``inf`` and values every request at 0.0
+instead of raising; a zero-``nu`` participant is unpriceable on its own.
+Validation errors (empty side, no common types) are raised for the first
+offending cluster in input order — the same error and order a scalar
+loop over the batch would produce.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.common.errors import AuctionError
+from repro.core.config import AuctionConfig
+from repro.core.normalization import ClusterEconomics, cluster_common_types
+from repro.market.bids import Offer, Request
+
+ClusterParticipants = Tuple[Sequence[Request], Sequence[Offer]]
+
+
+def _amount_matrix(
+    participants: Sequence, index: Dict[str, int], k_types: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(amounts, presence) rows over the type universe for one side."""
+    n = len(participants)
+    amount = np.zeros((n, k_types))
+    present = np.zeros((n, k_types), dtype=bool)
+    for i, participant in enumerate(participants):
+        for t, value in participant.resources.items():
+            col = index.get(t)
+            if col is not None:
+                amount[i, col] = value
+                present[i, col] = True
+    return amount, present
+
+
+def compute_economics_batch(
+    clusters: Sequence[ClusterParticipants],
+    config: AuctionConfig,
+) -> List[ClusterEconomics]:
+    """``compute_economics`` for every ``(requests, offers)`` pair at once."""
+    if not clusters:
+        return []
+
+    # Validation and common-type sets, cluster by cluster in input order
+    # (a scalar loop reports the first offending cluster; so do we).
+    commons: List[Set[str]] = []
+    for requests, offers in clusters:
+        if not requests or not offers:
+            raise AuctionError(
+                "cluster economics need at least one of each side"
+            )
+        common = cluster_common_types(requests, offers)
+        if not common:
+            raise AuctionError("cluster has no common resource types")
+        commons.append(common)
+
+    # One sorted type universe over every cluster's common set.  Types a
+    # participant declares outside it are never read by the scalar path.
+    types = sorted(set().union(*commons))
+    index = {t: k for k, t in enumerate(types)}
+    k_types = len(types)
+    n_clusters = len(clusters)
+
+    flat_requests: List[Request] = []
+    flat_offers: List[Offer] = []
+    req_starts = np.empty(n_clusters, dtype=np.intp)
+    off_starts = np.empty(n_clusters, dtype=np.intp)
+    for c, (requests, offers) in enumerate(clusters):
+        req_starts[c] = len(flat_requests)
+        off_starts[c] = len(flat_offers)
+        flat_requests.extend(requests)
+        flat_offers.extend(offers)
+    req_cluster = np.repeat(
+        np.arange(n_clusters),
+        [len(requests) for requests, _ in clusters],
+    )
+    off_cluster = np.repeat(
+        np.arange(n_clusters),
+        [len(offers) for _, offers in clusters],
+    )
+
+    req_amount, req_present = _amount_matrix(flat_requests, index, k_types)
+    off_amount, _ = _amount_matrix(flat_offers, index, k_types)
+
+    common_mask = np.zeros((n_clusters, k_types), dtype=bool)
+    for c, common in enumerate(commons):
+        for t in common:
+            common_mask[c, index[t]] = True
+
+    # M_CL: per-type max over the cluster's offers, masked to the common
+    # set.  Amounts are non-negative, so the segment max equals the
+    # scalar's "grow from 0.0" accumulation (only positive values end up
+    # in the dict; zeros read back via .get(k, 0.0) identically).
+    maxima = np.maximum.reduceat(off_amount, off_starts, axis=0)
+    np.copyto(maxima, 0.0, where=~common_mask)
+
+    # ||M_CL||_2 with squares and accumulation order exactly as scalar.
+    maxima_sq = np.float_power(maxima, 2.0)
+    acc = np.zeros(n_clusters)
+    for col in range(k_types):
+        acc = acc + maxima_sq[:, col]
+    maxima_norm = np.sqrt(acc)
+    degenerate = maxima_norm <= 0
+
+    # Offer side: nu_o = ||rho_o||_2 / ||M_CL||_2, c_hat = c / (nu * span).
+    off_sq = np.float_power(off_amount, 2.0)
+    off_common = common_mask[off_cluster]
+    acc = np.zeros(len(flat_offers))
+    for col in range(k_types):
+        acc = acc + np.where(off_common[:, col], off_sq[:, col], 0.0)
+    off_l2 = np.sqrt(acc)
+    safe_norm = np.where(degenerate, 1.0, maxima_norm)
+    nu_off = off_l2 / safe_norm[off_cluster]
+    off_span = np.array([o.span for o in flat_offers])
+    off_bid = np.array([o.bid for o in flat_offers])
+    off_ok = (nu_off > 0) & (off_span > 0) & ~degenerate[off_cluster]
+    denom = np.where(off_ok, nu_off * off_span, 1.0)
+    cost = np.where(off_ok, off_bid / denom, math.inf)
+    nu_off = np.where(off_ok, nu_off, 0.0)
+
+    # K_CR: configured criticals plus types shared by every request.
+    configured = np.array(
+        [t in config.critical_resources for t in types], dtype=bool
+    )
+    shared = np.logical_and.reduceat(req_present, req_starts, axis=0)
+    criticals = (configured[None, :] | shared) & common_mask
+
+    # Request side: nu_cr, nu_r, v_hat.
+    req_sq = np.float_power(req_amount, 2.0)
+    req_common = common_mask[req_cluster]
+    acc = np.zeros(len(flat_requests))
+    nu_cr = np.zeros(len(flat_requests))
+    req_criticals = criticals[req_cluster]
+    req_maxima = maxima[req_cluster]
+    for col in range(k_types):
+        acc = acc + np.where(req_common[:, col], req_sq[:, col], 0.0)
+        top = req_maxima[:, col]
+        ratio_mask = req_criticals[:, col] & (top > 0)
+        ratio = req_amount[:, col] / np.where(ratio_mask, top, 1.0)
+        nu_cr = np.maximum(nu_cr, np.where(ratio_mask, ratio, 0.0))
+    req_l2 = np.sqrt(acc)
+    nu_req = np.maximum(nu_cr, req_l2 / safe_norm[req_cluster])
+    nu_req = np.minimum(np.maximum(nu_req, 0.0), 1.0)
+    req_duration = np.array([r.duration for r in flat_requests])
+    req_bid = np.array([r.bid for r in flat_requests])
+    req_ok = (nu_req > 0) & (req_duration > 0) & ~degenerate[req_cluster]
+    denom = np.where(req_ok, nu_req * req_duration, 1.0)
+    value = np.where(req_ok, req_bid / denom, 0.0)
+    nu_req = np.where(req_ok, nu_req, 0.0)
+
+    # Slice the flat arrays back into per-cluster ClusterEconomics.
+    results: List[ClusterEconomics] = []
+    req_ends = np.append(req_starts[1:], len(flat_requests))
+    off_ends = np.append(off_starts[1:], len(flat_offers))
+    nu_off_list = nu_off.tolist()
+    cost_list = cost.tolist()
+    nu_req_list = nu_req.tolist()
+    value_list = value.tolist()
+    for c, (requests, offers) in enumerate(clusters):
+        r0, r1 = int(req_starts[c]), int(req_ends[c])
+        o0, o1 = int(off_starts[c]), int(off_ends[c])
+        virtual_max = {
+            t: float(maxima[c, index[t]])
+            for t in commons[c]
+            if maxima[c, index[t]] > 0
+        }
+        request_ids = [r.request_id for r in requests]
+        offer_ids = [o.offer_id for o in offers]
+        results.append(
+            ClusterEconomics(
+                common_types=frozenset(commons[c]),
+                virtual_maximum=virtual_max,
+                nu_offers=dict(zip(offer_ids, nu_off_list[o0:o1])),
+                nu_requests=dict(zip(request_ids, nu_req_list[r0:r1])),
+                normalized_costs=dict(zip(offer_ids, cost_list[o0:o1])),
+                normalized_values=dict(zip(request_ids, value_list[r0:r1])),
+            )
+        )
+    return results

@@ -27,7 +27,12 @@ from typing import Dict, List, Sequence, Set, Tuple
 from repro.common.rng import block_evidence_rng
 from repro.core.config import AuctionConfig
 from repro.core.miniauctions import MiniAuction
-from repro.core.trade_reduction import ClearingResult, clear_mini_auction
+from repro.core.pricing import pooled_prices_batch
+from repro.core.trade_reduction import (
+    ClearingResult,
+    _live_allocations,
+    clear_mini_auction,
+)
 from repro.market.bids import Offer, Request
 
 
@@ -92,6 +97,28 @@ def _clear_task(
     )
 
 
+def _clear_wave_batched(tasks: Sequence[tuple]) -> List[ClearingResult]:
+    """In-process wave clearing with SBBA pricing batched over the wave.
+
+    Auctions in a wave are participant-disjoint, so their live re-fits
+    and Eq. (20) prices are independent: the vectorized engine computes
+    every auction's pooled price in one :func:`pooled_prices_batch`
+    call, then clears each auction with its precomputed price.
+    Bit-identical to clearing the wave one auction at a time.
+    """
+    lives = [
+        _live_allocations(t[0], t[1], t[2], t[3], t[4], t[5]) for t in tasks
+    ]
+    pooled = pooled_prices_batch(lives)
+    return [
+        clear_mini_auction(
+            t[0], t[1], t[2], t[3], t[4], t[5],
+            derive_auction_rng(t[6], t[7]), live=live, pooled=price,
+        )
+        for t, live, price in zip(tasks, lives, pooled)
+    ]
+
+
 def clear_auctions_scheduled(
     auctions: Sequence[MiniAuction],
     request_by_id: Dict[str, Request],
@@ -150,6 +177,12 @@ def clear_auctions_scheduled(
                     pool.shutdown(wait=False)
                     pool = None
                     wave_results = [_clear_task(task) for task in tasks]
+            elif (
+                config.engine == "vectorized"
+                and config.enable_trade_reduction
+                and tasks
+            ):
+                wave_results = _clear_wave_batched(tasks)
             else:
                 wave_results = [_clear_task(task) for task in tasks]
             for index, result in zip(wave, wave_results):

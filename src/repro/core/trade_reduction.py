@@ -15,10 +15,9 @@ wins by shading bids (paper §IV-D).
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.cluster_allocation import (
     ClusterAllocation,
@@ -28,7 +27,11 @@ from repro.core.cluster_allocation import (
 )
 from repro.core.config import AuctionConfig
 from repro.core.miniauctions import MiniAuction
-from repro.core.normalization import payment_for
+from repro.core.normalization import ClusterEconomics, payment_for
+
+# Pricing moved to repro.core.pricing; re-exported here because public
+# API and tests import it from this module.
+from repro.core.pricing import PriceResult, pooled_price  # noqa: F401
 from repro.core.outcome import Match
 from repro.market.bids import Offer, Request
 
@@ -60,9 +63,7 @@ def _live_allocations(
     clusters: an offer appearing in two nested clusters exposes one pool
     of capacity, and a request wins at most once (Const. 5).
     """
-    live: List[ClusterAllocation] = []
-    capacity: Optional[OfferCapacity] = None
-    taken: Set[str] = set()
+    survivors = []
     for allocation in auction.allocations:
         cluster = allocation.cluster
         requests = [
@@ -77,6 +78,31 @@ def _live_allocations(
         ]
         if not requests or not offers:
             continue
+        survivors.append((cluster, requests, offers))
+
+    economics_list: List[Optional[ClusterEconomics]]
+    if config.engine == "vectorized" and survivors:
+        # Batch §IV-C over the auction's surviving clusters at once —
+        # bit-identical to the per-cluster scalar computation.
+        from repro.core.normalization_vectorized import (
+            compute_economics_batch,
+        )
+
+        economics_list = list(
+            compute_economics_batch(
+                [(requests, offers) for _, requests, offers in survivors],
+                config,
+            )
+        )
+    else:
+        economics_list = [None] * len(survivors)
+
+    live: List[ClusterAllocation] = []
+    capacity: Optional[OfferCapacity] = None
+    taken: Set[str] = set()
+    for (cluster, requests, offers), economics in zip(
+        survivors, economics_list
+    ):
         if capacity is None:
             capacity = OfferCapacity(offers)
         else:
@@ -85,50 +111,10 @@ def _live_allocations(
         live.append(
             allocate_cluster(
                 cluster, requests, offers, config, capacity=capacity,
-                taken_requests=taken,
+                taken_requests=taken, economics=economics,
             )
         )
     return live
-
-
-def pooled_price(
-    allocations: Sequence[ClusterAllocation],
-    epsilon: float = 1e-9,
-) -> Tuple[Optional[float], Optional[Request], Optional[Offer]]:
-    """Eq. (20) pooled over the auction's clusters.
-
-    Returns ``(price, z_request, z_plus_1_offer)`` where exactly one of
-    the two participants is the price-determiner (the other is ``None``).
-
-    A common price must be *feasible for every cluster*: at least the
-    highest used cost (``c_hat_z'``) and at most the lowest winning value
-    (``v_hat_z``) across the auction — pairwise price compatibility
-    (Alg. 3) guarantees this band is non-empty.  An unused offer
-    ``z'+1`` cheaper than another cluster's traded offers therefore
-    cannot determine the price (its cost lies outside the band and would
-    void that cluster's trades); the qualifying ``c_hat_{z'+1}``
-    candidates are those at or above the band floor.  On an exact tie
-    the offer side wins — excluding a non-trading offer costs no welfare,
-    excluding a winning request does.
-    """
-    trading = [a for a in allocations if a.has_trades]
-    if not trading:
-        return None, None, None
-    v_candidates = [(a.v_z, a.z_request) for a in trading]
-    min_v, z_request = min(v_candidates, key=lambda item: item[0])
-    band_floor = max(a.c_z for a in trading)
-    c_candidates = [
-        (a.c_z_plus_1, a.z_plus_1_offer)
-        for a in allocations
-        if a.z_plus_1_offer is not None
-        and math.isfinite(a.c_z_plus_1)
-        and a.c_z_plus_1 >= band_floor - epsilon
-    ]
-    if c_candidates:
-        min_c, z1_offer = min(c_candidates, key=lambda item: item[0])
-        if min_c <= min_v:
-            return min_c, None, z1_offer
-    return min_v, z_request, None
 
 
 def _final_fit(
@@ -225,13 +211,22 @@ def clear_mini_auction(
     consumed_offers: Set[str],
     config: AuctionConfig,
     rng: random.Random,
+    live: Optional[List[ClusterAllocation]] = None,
+    pooled: Optional[PriceResult] = None,
 ) -> ClearingResult:
-    """Run Alg. 4 for one mini-auction against live participants."""
+    """Run Alg. 4 for one mini-auction against live participants.
+
+    ``live``/``pooled`` may be precomputed by the wave scheduler: within
+    a wave the auctions are participant-disjoint, so the vectorized
+    engine re-fits all their clusters and prices every auction in one
+    batched pass (``pooled_prices_batch``) before clearing each one.
+    """
     result = ClearingResult()
-    live = _live_allocations(
-        auction, request_by_id, offer_by_id, consumed_requests,
-        consumed_offers, config,
-    )
+    if live is None:
+        live = _live_allocations(
+            auction, request_by_id, offer_by_id, consumed_requests,
+            consumed_offers, config,
+        )
     tentative: List[Tuple[ClusterAllocation, Request, Offer]] = [
         (allocation, request, offer)
         for allocation in live
@@ -266,7 +261,9 @@ def clear_mini_auction(
         )
         return result
 
-    price, z_request, z1_offer = pooled_price(live)
+    if pooled is None:
+        pooled = pooled_price(live)
+    price, z_request, z1_offer = pooled
     assert price is not None  # tentative trades exist, so v_candidates did
     result.price = price
     excluded_client = z_request.client_id if z_request is not None else None

@@ -50,19 +50,34 @@ class BlockPreamble:
     pow_nonce: int = 0
 
     def pow_payload(self) -> bytes:
-        """Bytes the proof-of-work commits to (everything but the nonce)."""
-        return hashing.hash_concat(
-            self.height.to_bytes(8, "big"),
-            self.parent_hash.encode("ascii"),
-            repr(self.timestamp).encode("ascii"),
-            *[tx.signing_payload() for tx in self.transactions],
-        )
+        """Bytes the proof-of-work commits to (everything but the nonce).
+
+        Cached per instance (all fields are immutable); ``with_nonce``
+        carries the cache over because the payload excludes the nonce.
+        """
+        cached = self.__dict__.get("_pow_payload_cache")
+        if cached is None:
+            cached = hashing.hash_concat(
+                self.height.to_bytes(8, "big"),
+                self.parent_hash.encode("ascii"),
+                repr(self.timestamp).encode("ascii"),
+                *[tx.signing_payload() for tx in self.transactions],
+            )
+            object.__setattr__(self, "_pow_payload_cache", cached)
+        return cached
+
+    @property
+    def canonical_bytes(self) -> bytes:
+        """Cached canonical byte encoding (payload plus nonce bytes)."""
+        return self.pow_payload() + self.pow_nonce.to_bytes(8, "big")
 
     def hash(self) -> str:
         """Preamble hash (includes the PoW nonce)."""
-        return hashing.sha256_hex(
-            self.pow_payload() + self.pow_nonce.to_bytes(8, "big")
-        )
+        cached = self.__dict__.get("_hash_cache")
+        if cached is None:
+            cached = hashing.sha256_hex(self.canonical_bytes)
+            object.__setattr__(self, "_hash_cache", cached)
+        return cached
 
     def evidence(self) -> bytes:
         """Block evidence bytes seeding verifiable randomization."""
@@ -72,13 +87,20 @@ class BlockPreamble:
         return pow_mod.check(self.pow_payload(), self.pow_nonce, difficulty_bits)
 
     def with_nonce(self, nonce: int) -> "BlockPreamble":
-        return BlockPreamble(
+        preamble = BlockPreamble(
             height=self.height,
             parent_hash=self.parent_hash,
             transactions=self.transactions,
             timestamp=self.timestamp,
             pow_nonce=nonce,
         )
+        # The PoW payload does not cover the nonce, so the fresh instance
+        # may reuse an already-computed payload; its hash cache stays
+        # empty and is recomputed with the new nonce on demand.
+        cached = self.__dict__.get("_pow_payload_cache")
+        if cached is not None:
+            object.__setattr__(preamble, "_pow_payload_cache", cached)
+        return preamble
 
 
 @dataclass(frozen=True)
@@ -96,8 +118,28 @@ class BlockBody:
     miner_public: int
     signature: Tuple[int, int] = (0, 0)
 
+    def allocation_bytes(self) -> bytes:
+        """Cached canonical JSON encoding of the allocation payload.
+
+        ``allocation`` is a plain dict for JSON round-tripping, but the
+        body is a frozen value object: the payload is fixed when the body
+        is built, and "mutation" means building a new body (via
+        ``dataclasses.replace`` or ``signed_by``), which re-canonicalizes.
+        Serializing the allocation dominates body hashing for real
+        rounds, and each body used to re-serialize it on every hash,
+        signature check, and chain export.
+        """
+        cached = self.__dict__.get("_allocation_cache")
+        if cached is None:
+            cached = hashing.canonical_json(self.allocation)
+            object.__setattr__(self, "_allocation_cache", cached)
+        return cached
+
     def signing_payload(self, preamble_hash: str) -> bytes:
-        return hashing.hash_concat(
+        cached = self.__dict__.get("_signing_cache")
+        if cached is not None and cached[0] == preamble_hash:
+            return cached[1]
+        payload = hashing.hash_concat(
             preamble_hash.encode("ascii"),
             *[
                 hashing.hash_concat(
@@ -108,9 +150,11 @@ class BlockBody:
                 )
                 for reveal in self.reveals
             ],
-            hashing.canonical_json(self.allocation),
+            self.allocation_bytes(),
             self.miner_id.encode("utf-8"),
         )
+        object.__setattr__(self, "_signing_cache", (preamble_hash, payload))
+        return payload
 
     def signed_by(
         self, keypair: schnorr.KeyPair, preamble_hash: str
@@ -118,13 +162,20 @@ class BlockBody:
         signature = schnorr.sign(
             keypair.secret, self.signing_payload(preamble_hash)
         )
-        return BlockBody(
+        body = BlockBody(
             reveals=self.reveals,
             allocation=self.allocation,
             miner_id=self.miner_id,
             miner_public=self.miner_public,
             signature=signature,
         )
+        # Same reveals and allocation: the canonical allocation bytes and
+        # the signed payload stay valid for the fresh instance.
+        object.__setattr__(body, "_allocation_cache", self.allocation_bytes())
+        object.__setattr__(
+            body, "_signing_cache", (preamble_hash, self.signing_payload(preamble_hash))
+        )
+        return body
 
     def verify_signature(self, preamble_hash: str) -> bool:
         return schnorr.verify(
@@ -149,12 +200,17 @@ class Block:
         """Full block hash: preamble hash chained with the body digest."""
         if self.body is None:
             return self.preamble.hash()
-        return hashing.sha256_hex(
-            hashing.hash_concat(
-                self.preamble.hash().encode("ascii"),
-                self.body.signing_payload(self.preamble.hash()),
+        cached = self.__dict__.get("_hash_cache")
+        if cached is None:
+            preamble_hash = self.preamble.hash()
+            cached = hashing.sha256_hex(
+                hashing.hash_concat(
+                    preamble_hash.encode("ascii"),
+                    self.body.signing_payload(preamble_hash),
+                )
             )
-        )
+            object.__setattr__(self, "_hash_cache", cached)
+        return cached
 
     def require_complete(self) -> BlockBody:
         if self.body is None:

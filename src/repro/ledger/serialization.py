@@ -5,6 +5,15 @@ carries the sealed bids, the disclosed keys, and the allocation — enough
 to re-derive and re-verify everything.  This module serializes a
 :class:`~repro.ledger.chain.Blockchain` to a portable JSON document and
 back, preserving hashes bit-for-bit (round-trip is asserted on import).
+
+Hashing here leans on the canonical-bytes caches of the ledger value
+objects: ``block.hash()`` reuses the preamble payload, the transactions'
+signed payloads, and the body's canonical allocation JSON, each computed
+at most once per instance (see ``repro.ledger.block`` /
+``repro.ledger.transaction``).  Exporting or verifying a chain therefore
+serializes every allocation once instead of once per hash/signature/
+audit pass.  The outer ``json.dumps(..., sort_keys=True, indent=1)``
+below is the *wire format* and is unchanged.
 """
 
 from __future__ import annotations
@@ -141,11 +150,12 @@ def chain_from_json(document: str, verify: bool = True) -> Blockchain:
     for entry in data["blocks"]:
         block = _block_from_dict(entry)
         if verify:
-            if block.hash() != entry["hash"]:
+            recomputed = block.hash()
+            if recomputed != entry["hash"]:
                 raise LedgerError(
                     f"hash mismatch at height {block.height}: recorded "
                     f"{entry['hash'][:12]}..., recomputed "
-                    f"{block.hash()[:12]}..."
+                    f"{recomputed[:12]}..."
                 )
             chain.append(block)
         else:

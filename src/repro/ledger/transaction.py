@@ -29,12 +29,29 @@ class SealedBidTransaction:
     signature: Tuple[int, int]
 
     def signing_payload(self) -> bytes:
-        """The bytes the sender signed."""
-        return hashing.hash_concat(
-            self.sender_id.encode("utf-8"),
-            self.box.to_bytes(),
-            self.key_commitment.digest,
-        )
+        """The bytes the sender signed.
+
+        Cached per instance: every field is immutable, so the canonical
+        bytes can only change by building a new transaction (e.g. via
+        ``dataclasses.replace``), which starts with a fresh cache.  The
+        ledger hashes transactions many times per round (txid lookups,
+        preamble payloads, chain serialization) — without the cache each
+        hash re-serializes the sealed box.
+        """
+        cached = self.__dict__.get("_payload_cache")
+        if cached is None:
+            cached = hashing.hash_concat(
+                self.sender_id.encode("utf-8"),
+                self.box.to_bytes(),
+                self.key_commitment.digest,
+            )
+            object.__setattr__(self, "_payload_cache", cached)
+        return cached
+
+    @property
+    def canonical_bytes(self) -> bytes:
+        """Cached canonical byte encoding (the signed payload)."""
+        return self.signing_payload()
 
     def verify_signature(self) -> bool:
         """Check the Schnorr signature over the sealed payload."""
@@ -50,7 +67,11 @@ class SealedBidTransaction:
 
     def txid(self) -> str:
         """Deterministic transaction identifier (hash of the payload)."""
-        return hashing.sha256_hex(self.signing_payload())
+        cached = self.__dict__.get("_txid_cache")
+        if cached is None:
+            cached = hashing.sha256_hex(self.signing_payload())
+            object.__setattr__(self, "_txid_cache", cached)
+        return cached
 
     @classmethod
     def create(

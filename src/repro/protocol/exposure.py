@@ -29,6 +29,7 @@ from repro.common.errors import (
     ReproError,
     RevealTimeoutError,
 )
+from repro.common.timing import PhaseTimer, resolve
 from repro.core.config import AuctionConfig
 from repro.core.outcome import AuctionOutcome
 from repro.cryptosim import schnorr
@@ -209,6 +210,7 @@ class ExposureProtocol:
         max_reveal_retries: int = 2,
         reveal_deadline: Optional[float] = None,
         reveal_backoff: float = 2.0,
+        timer: Optional[PhaseTimer] = None,
     ) -> None:
         if not miners:
             raise ProtocolError("at least one miner is required")
@@ -221,6 +223,9 @@ class ExposureProtocol:
         self.max_reveal_retries = max_reveal_retries
         self.reveal_deadline = reveal_deadline
         self.reveal_backoff = reveal_backoff
+        #: optional phase timer: seal / mine / reveal / propose / verify /
+        #: commit accumulate across every round this protocol drives
+        self.timer = resolve(timer)
         self._round = 0
         for miner in self.miners:
             self._subscribe_miner(miner)
@@ -291,21 +296,22 @@ class ExposureProtocol:
         ``submit_retries`` times until every live miner's mempool holds
         it (the redundancy a real gossip overlay provides for free).
         """
-        tx = participant.seal(bid)
-        if self.registry is not None:
-            self.registry.check_or_register(
-                tx.sender_id, tx.sender_public
-            )
-        txid = tx.txid()
-        for _attempt in range(self.submit_retries + 1):
-            self.network.broadcast(
-                messages.TOPIC_BIDS,
-                messages.BidSubmission(transaction=tx),
-                sender=participant.participant_id,
-            )
-            self._flush()
-            if all(txid in m.mempool for m in self._live_miners()):
-                break
+        with self.timer.phase("seal"):
+            tx = participant.seal(bid)
+            if self.registry is not None:
+                self.registry.check_or_register(
+                    tx.sender_id, tx.sender_public
+                )
+            txid = tx.txid()
+            for _attempt in range(self.submit_retries + 1):
+                self.network.broadcast(
+                    messages.TOPIC_BIDS,
+                    messages.BidSubmission(transaction=tx),
+                    sender=participant.participant_id,
+                )
+                self._flush()
+                if all(txid in m.mempool for m in self._live_miners()):
+                    break
         return tx
 
     # ------------------------------------------------------------------
@@ -373,7 +379,8 @@ class ExposureProtocol:
         leader = next(m for m in rotation if not self._is_down(m.miner_id))
 
         # Phase 1 completion: leader mines the preamble over sealed bids.
-        preamble = leader.build_preamble()
+        with self.timer.phase("mine"):
+            preamble = leader.build_preamble()
         leader.accept_preamble(preamble)  # local knowledge, no gossip needed
         self.network.broadcast(
             messages.TOPIC_PREAMBLE,
@@ -390,7 +397,8 @@ class ExposureProtocol:
                 raise ProtocolError("preamble failed proof-of-work check")
 
         # Phase 2: collect screened reveals; excluded bids stay sealed.
-        reveals = self._collect_reveals(leader, preamble, participants)
+        with self.timer.phase("reveal"):
+            reveals = self._collect_reveals(leader, preamble, participants)
         revealed = {r.txid for r in reveals}
         excluded = tuple(
             tx.txid()
@@ -411,32 +419,35 @@ class ExposureProtocol:
         for proposer in rotation:
             if self._is_down(proposer.miner_id):
                 continue
-            body = proposer.build_body(preamble, reveals)
-            block = Block(preamble=preamble, body=body)
-            self.network.broadcast(
-                messages.TOPIC_BLOCK,
-                messages.BlockProposal(
-                    block=block, miner_id=proposer.miner_id
-                ),
-                sender=proposer.miner_id,
-            )
-            self._flush()
+            with self.timer.phase("propose"):
+                body = proposer.build_body(preamble, reveals)
+                block = Block(preamble=preamble, body=body)
+                self.network.broadcast(
+                    messages.TOPIC_BLOCK,
+                    messages.BlockProposal(
+                        block=block, miner_id=proposer.miner_id
+                    ),
+                    sender=proposer.miner_id,
+                )
+                self._flush()
 
             # Collective verification: every live miner re-executes the
             # allocation; commit happens only after quorum agrees, so a
             # rejected proposal leaves no chain diverged.
             approving: List[Miner] = []
-            for miner in self._live_miners():
-                try:
-                    miner.verify_block(block)
-                except ReproError:
-                    continue
-                approving.append(miner)
+            with self.timer.phase("verify"):
+                for miner in self._live_miners():
+                    try:
+                        miner.verify_block(block)
+                    except ReproError:
+                        continue
+                    approving.append(miner)
             if len(approving) < self.quorum:
                 failed.append(proposer.miner_id)
                 continue
-            for miner in approving:
-                miner.commit_block(block)
+            with self.timer.phase("commit"):
+                for miner in approving:
+                    miner.commit_block(block)
 
             allocator = proposer.allocate
             outcome = (

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.baselines.greedy import GreedyBenchmark
+from repro.common.timing import PhaseTimer
 from repro.core.auction import DecloudAuction
 from repro.core.config import AuctionConfig
 from repro.core.outcome import AuctionOutcome
@@ -46,10 +47,17 @@ def replay_fault_free(
 
 @dataclass
 class MarketSimulator:
-    """Runs paired DeCloud/benchmark clearings over blocks of bids."""
+    """Runs paired DeCloud/benchmark clearings over blocks of bids.
+
+    ``timer`` (optional) accumulates the auction's per-phase wall time
+    (match / cluster / normalize / assemble / clear) across every block
+    the simulator clears — benchmarks read it to report where rounds
+    spend their time.
+    """
 
     config: AuctionConfig = field(default_factory=AuctionConfig)
     seed: int = 0
+    timer: Optional[PhaseTimer] = None
     _block_index: int = 0
 
     def __post_init__(self) -> None:
@@ -66,7 +74,9 @@ class MarketSimulator:
         if evidence is None:
             evidence = _evidence_for(self.seed, self._block_index)
         self._block_index += 1
-        decloud = self._auction.run(requests, offers, evidence=evidence)
+        decloud = self._auction.run(
+            requests, offers, evidence=evidence, timer=self.timer
+        )
         benchmark = self._benchmark.run(requests, offers)
         metrics = compare_outcomes(
             len(requests), len(offers), decloud, benchmark

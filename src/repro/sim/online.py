@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.common.errors import ValidationError
+from repro.common.timing import PhaseTimer
 from repro.core.auction import DecloudAuction
 from repro.core.config import AuctionConfig
 from repro.core.outcome import AuctionOutcome
@@ -77,12 +78,15 @@ class OnlineSimulator:
         config: Optional[AuctionConfig] = None,
         block_interval: float = 1.0,
         seed: int = 0,
+        timer: Optional[PhaseTimer] = None,
     ) -> None:
         if block_interval <= 0:
             raise ValidationError("block_interval must be positive")
         self.config = config or AuctionConfig()
         self.block_interval = block_interval
         self.seed = seed
+        #: accumulates auction phase timings across every round
+        self.timer = timer
         self._auction = DecloudAuction(self.config)
 
     def _evidence(self, round_index: int) -> bytes:
@@ -136,6 +140,7 @@ class OnlineSimulator:
                 pending_requests,
                 pending_offers,
                 evidence=self._evidence(round_index),
+                timer=self.timer,
             )
             result.rounds.append(
                 RoundRecord(

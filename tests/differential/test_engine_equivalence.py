@@ -117,6 +117,118 @@ CONFIGS = (
 )
 
 
+def _chain_market(num_bands=14, band_step=0.25, band_width=1.2):
+    """Ladder of price-compatible clusters (exercises Alg. 3's DP/trees).
+
+    Band ``k`` lives on its own resource type, so it forms its own
+    cluster, with price range roughly ``[k*step, k*step + width]`` —
+    consecutive bands overlap, so the bands chain into long
+    price-compatible mini-auction paths.  Three offers against two
+    requests per band leave an unused offer, giving every cluster a
+    finite ``c_hat_{z'+1}`` pricing candidate.
+    """
+    requests_, offers_ = [], []
+    for k in range(num_bands):
+        rtype = f"t{k:02d}"
+        low = band_step * k
+        high = low + band_width
+        for j in range(3):
+            offers_.append(
+                Offer(
+                    offer_id=f"ch-o{k:02d}-{j}",
+                    provider_id=f"chp-{k}-{j}",
+                    submit_time=0.0,
+                    resources={rtype: 1.0},
+                    window=TimeWindow(0.0, 1.0),
+                    bid=low + 0.05 * j,
+                )
+            )
+        for i in range(2):
+            requests_.append(
+                Request(
+                    request_id=f"ch-r{k:02d}-{i}",
+                    client_id=f"chc-{k}-{i}",
+                    submit_time=0.0,
+                    resources={rtype: 1.0},
+                    window=TimeWindow(0.0, 1.0),
+                    duration=1.0,
+                    bid=high - 0.05 * i,
+                )
+            )
+    return requests_, offers_
+
+
+def _single_trade_market(num_bands=8):
+    """Isolated one-trade clusters: price ranges far apart, no chains.
+
+    Every mini-auction holds exactly one tentative trade and no unused
+    offer; the SBBA price comes from the winning request, whose client
+    is then excluded — the whole auction reduces away.  The all-reduced
+    edge is where sloppy pricing/reduction vectorization would diverge.
+    """
+    requests_, offers_ = [], []
+    for k in range(num_bands):
+        rtype = f"s{k:02d}"
+        offers_.append(
+            Offer(
+                offer_id=f"st-o{k:02d}",
+                provider_id=f"stp-{k}",
+                submit_time=0.0,
+                resources={rtype: 1.0},
+                window=TimeWindow(0.0, 1.0),
+                bid=10.0 * k + 1.0,
+            )
+        )
+        requests_.append(
+            Request(
+                request_id=f"st-r{k:02d}",
+                client_id=f"stc-{k}",
+                submit_time=0.0,
+                resources={rtype: 1.0},
+                window=TimeWindow(0.0, 1.0),
+                duration=1.0,
+                bid=10.0 * k + 1.5,
+            )
+        )
+    return requests_, offers_
+
+
+def _tied_pricing_market():
+    """Exact v_hat/c_hat ties everywhere, with surplus tied z'+1 offers.
+
+    Two clusters with *identical* price ranges (so root selection and
+    attachment tie on floats and must fall back to id-lexicographic
+    keys), each with more identical offers than demand so the
+    ``c_hat_{z'+1}`` pricing candidates tie across clusters too.
+    """
+    requests_, offers_ = [], []
+    for rtype in ("tx", "ty"):
+        for j in range(4):
+            offers_.append(
+                Offer(
+                    offer_id=f"tp-o-{rtype}{j}",
+                    provider_id=f"tpp-{rtype}{j}",
+                    submit_time=0.0,
+                    resources={rtype: 2.0},
+                    window=TimeWindow(0.0, 4.0),
+                    bid=1.0,
+                )
+            )
+        for i in range(2):
+            requests_.append(
+                Request(
+                    request_id=f"tp-r-{rtype}{i}",
+                    client_id=f"tpc-{rtype}{i}",
+                    submit_time=0.0,
+                    resources={rtype: 2.0},
+                    window=TimeWindow(0.0, 4.0),
+                    duration=4.0,
+                    bid=6.0,
+                )
+            )
+    return requests_, offers_
+
+
 class TestHypothesisMarkets:
     @given(market=markets(), evidence=st.binary(min_size=1, max_size=8))
     @settings(max_examples=120, deadline=None)
@@ -174,6 +286,68 @@ class TestSeededMarkets:
     def test_config_sweep_on_seeded_market(self, config):
         requests_, offers_ = generate_market(80, seed=7)
         assert_engines_agree(requests_, offers_, config=config)
+
+
+class TestBackHalfMarkets:
+    """Cluster-chain-heavy and pricing-edge markets for the back-half
+    kernels (batched normalization, vectorized Alg. 3, batched SBBA
+    pricing).  ``workers=0`` exercises the sequential shared-RNG path,
+    ``workers=1`` the wave scheduler with its batched pricing pass."""
+
+    @pytest.mark.parametrize("workers", [0, 1])
+    def test_chain_heavy_market(self, workers):
+        requests_, offers_ = _chain_market()
+        digest = assert_engines_agree(
+            requests_,
+            offers_,
+            evidence=b"chains",
+            config=AuctionConfig(miniauction_workers=workers),
+        )
+        assert digest["matches"]  # chains actually trade
+
+    @pytest.mark.parametrize(
+        "band_step,band_width", [(0.1, 2.0), (0.5, 0.6), (0.25, 0.11)]
+    )
+    def test_chain_overlap_regimes(self, band_step, band_width):
+        """From one giant chain to hairline intervals (the greedy fit
+        shaves 0.1 off the width, so 0.11 leaves near-zero intervals —
+        maximal 1/(1+width) DP weights and predecessor ties)."""
+        requests_, offers_ = _chain_market(
+            band_step=band_step, band_width=band_width
+        )
+        assert_engines_agree(requests_, offers_, evidence=b"overlap")
+
+    @pytest.mark.parametrize("workers", [0, 1])
+    def test_single_trade_all_reduced(self, workers):
+        requests_, offers_ = _single_trade_market()
+        digest = assert_engines_agree(
+            requests_,
+            offers_,
+            evidence=b"single-trade",
+            config=AuctionConfig(miniauction_workers=workers),
+        )
+        # One-trade auctions price off their only winner, whose client
+        # is excluded: everything reduces, nothing clears.
+        assert digest["matches"] == []
+        assert digest["reduced_requests"]
+
+    @pytest.mark.parametrize("workers", [0, 1])
+    def test_tied_virtual_bids(self, workers):
+        requests_, offers_ = _tied_pricing_market()
+        assert_engines_agree(
+            requests_,
+            offers_,
+            evidence=b"tied-pricing",
+            config=AuctionConfig(miniauction_workers=workers),
+        )
+
+    def test_mixed_chain_and_seeded(self):
+        """Chains grafted onto a realistic seeded market."""
+        chain_r, chain_o = _chain_market(num_bands=8)
+        seeded_r, seeded_o = generate_market(40, seed=13)
+        assert_engines_agree(
+            chain_r + seeded_r, chain_o + seeded_o, evidence=b"mixed"
+        )
 
 
 class TestParallelClearing:

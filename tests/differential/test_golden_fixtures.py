@@ -32,9 +32,10 @@ def _load(path: Path):
 
 
 def test_fixture_inventory():
-    """The golden set is a deliberate artifact: exactly these six."""
+    """The golden set is a deliberate artifact: exactly these seven."""
     assert [p.stem for p in FIXTURES] == [
         "benchmark_config",
+        "chain_pricing",
         "degraded_round",
         "ec2_small",
         "flexible_market",

@@ -71,6 +71,42 @@ def _tied_market():
     return requests, offers
 
 
+def _chain_pricing_market():
+    """Ladder of price-compatible single-type clusters plus surplus
+    offers: long mini-auction chains, finite ``c_hat_{z'+1}`` pricing
+    candidates in every cluster, and exact ties on the cheapest unused
+    offers — the back-half (Alg. 3 + Alg. 4) edge cases in one market."""
+    requests = []
+    offers = []
+    for k in range(10):
+        rtype = f"t{k:02d}"
+        low = 0.25 * k
+        for j in range(3):
+            offers.append(
+                Offer(
+                    offer_id=f"ch-o{k:02d}-{j}",
+                    provider_id=f"chp-{k}-{j}",
+                    submit_time=0.0,
+                    resources={rtype: 1.0},
+                    window=TimeWindow(0.0, 1.0),
+                    bid=low + 0.05 * min(j, 1),  # two cheapest offers tie
+                )
+            )
+        for i in range(2):
+            requests.append(
+                Request(
+                    request_id=f"ch-r{k:02d}-{i}",
+                    client_id=f"chc-{k}-{i}",
+                    submit_time=0.0,
+                    resources={rtype: 1.0},
+                    window=TimeWindow(0.0, 1.0),
+                    duration=1.0,
+                    bid=low + 1.2 - 0.05 * i,
+                )
+            )
+    return requests, offers
+
+
 def _degraded_market():
     """A seeded market with a fault-injected reveal: a deterministic
     subset of bids never reveals and is excluded before clearing."""
@@ -106,6 +142,12 @@ def scenarios():
         b"golden-nomini",
     )
     yield "degraded_round", _degraded_market(), AuctionConfig(), b"golden-degraded"
+    yield (
+        "chain_pricing",
+        _chain_pricing_market(),
+        AuctionConfig(),
+        b"golden-chains",
+    )
 
 
 def main() -> None:

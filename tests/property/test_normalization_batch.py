@@ -1,0 +1,274 @@
+"""Batched §IV-C normalization == scalar normalization, bit for bit.
+
+``compute_economics_batch`` pads every cluster of a block into one set
+of masked NumPy arrays; these properties drive it with adversarial
+cluster mixes — zero-magnitude virtual maxima, single-bid clusters,
+exact grid ties, clusters with disjoint type universes side by side —
+and require the result to match per-cluster ``compute_economics``
+float-for-float (compared via ``float.hex``).  The batched SBBA pricing
+kernel gets the same treatment against scalar ``pooled_price``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import AuctionError
+from repro.common.timewindow import TimeWindow
+from repro.core.auction import DecloudAuction
+from repro.core.cluster_allocation import allocate_cluster
+from repro.core.clustering import Cluster, build_clusters
+from repro.core.config import AuctionConfig
+from repro.core.normalization import compute_economics
+from repro.core.normalization_vectorized import compute_economics_batch
+from repro.core.pricing import (
+    pooled_price,
+    pooled_price_vectorized,
+    pooled_prices_batch,
+)
+from repro.market.bids import Offer, Request
+
+TYPES = ("cpu", "ram", "disk", "gpu")
+AMOUNTS = (0.0, 0.5, 1.0, 2.0, 8.0)
+BIDS = (0.25, 1.0, 3.0)
+
+
+@st.composite
+def _cluster(draw, index: int):
+    """One (requests, offers) cluster; may be degenerate on purpose.
+
+    ``zero_maximum`` zeroes every offer amount on the cluster's types —
+    the virtual maximum has zero magnitude and the scalar path prices
+    every offer at ``inf`` and values every request at 0.0; the batch
+    must do exactly the same.  Single-bid clusters (one request, one
+    offer) exercise the reduceat segments of length one.
+    """
+    n_types = draw(st.integers(min_value=1, max_value=3))
+    types = draw(
+        st.lists(
+            st.sampled_from(TYPES),
+            min_size=n_types,
+            max_size=n_types,
+            unique=True,
+        )
+    )
+    single_bid = draw(st.booleans())
+    n_req = 1 if single_bid else draw(st.integers(min_value=1, max_value=4))
+    n_off = 1 if single_bid else draw(st.integers(min_value=1, max_value=4))
+    zero_maximum = draw(st.booleans())
+
+    offers = []
+    for j in range(n_off):
+        amounts = {
+            t: 0.0 if zero_maximum else draw(st.sampled_from(AMOUNTS))
+            for t in types
+        }
+        offers.append(
+            Offer(
+                offer_id=f"c{index}-o{j}",
+                provider_id=f"c{index}-p{j}",
+                submit_time=0.0,
+                resources=amounts,
+                window=TimeWindow(0.0, draw(st.sampled_from((2.0, 8.0)))),
+                bid=draw(st.sampled_from(BIDS)),
+            )
+        )
+    requests = []
+    for i in range(n_req):
+        requests.append(
+            Request(
+                request_id=f"c{index}-r{i}",
+                client_id=f"c{index}-c{i}",
+                submit_time=0.0,
+                resources={t: draw(st.sampled_from(AMOUNTS)) for t in types},
+                significance={
+                    t: 0.9 for t in types if draw(st.booleans())
+                },
+                window=TimeWindow(0.0, 4.0),
+                duration=draw(st.sampled_from((1.0, 2.0))),
+                bid=draw(st.sampled_from(BIDS)),
+            )
+        )
+    return requests, offers
+
+
+@st.composite
+def _cluster_batches(draw, max_clusters: int = 5):
+    n = draw(st.integers(min_value=1, max_value=max_clusters))
+    return [draw(_cluster(index=i)) for i in range(n)]
+
+
+def _hexed(economics):
+    """ClusterEconomics reduced to an exactly-comparable structure."""
+
+    def hex_map(mapping):
+        return {k: float(v).hex() for k, v in mapping.items()}
+
+    return {
+        "common_types": sorted(economics.common_types),
+        "virtual_maximum": hex_map(economics.virtual_maximum),
+        "nu_offers": hex_map(economics.nu_offers),
+        "nu_requests": hex_map(economics.nu_requests),
+        "normalized_costs": hex_map(economics.normalized_costs),
+        "normalized_values": hex_map(economics.normalized_values),
+    }
+
+
+class TestBatchedNormalization:
+    @given(clusters=_cluster_batches())
+    @settings(max_examples=150, deadline=None)
+    def test_batch_matches_scalar_bitwise(self, clusters):
+        config = AuctionConfig()
+        batched = compute_economics_batch(clusters, config)
+        for (requests, offers), result in zip(clusters, batched):
+            scalar = compute_economics(requests, offers, config)
+            assert _hexed(result) == _hexed(scalar)
+
+    @given(clusters=_cluster_batches(max_clusters=3))
+    @settings(max_examples=30, deadline=None)
+    def test_single_cluster_batches(self, clusters):
+        """Each cluster batched alone must equal the full batch — the
+        shared type universe and padding never leak between clusters."""
+        config = AuctionConfig()
+        full = compute_economics_batch(clusters, config)
+        for cluster, from_full in zip(clusters, full):
+            alone = compute_economics_batch([cluster], config)[0]
+            assert _hexed(alone) == _hexed(from_full)
+
+    def test_empty_batch(self):
+        assert compute_economics_batch([], AuctionConfig()) == []
+
+    def test_empty_side_raises_like_scalar(self):
+        config = AuctionConfig()
+        good = (
+            [
+                Request(
+                    request_id="r0",
+                    client_id="c0",
+                    submit_time=0.0,
+                    resources={"cpu": 1.0},
+                    window=TimeWindow(0.0, 4.0),
+                    duration=1.0,
+                    bid=1.0,
+                )
+            ],
+            [
+                Offer(
+                    offer_id="o0",
+                    provider_id="p0",
+                    submit_time=0.0,
+                    resources={"cpu": 1.0},
+                    window=TimeWindow(0.0, 4.0),
+                    bid=1.0,
+                )
+            ],
+        )
+        with pytest.raises(AuctionError, match="at least one of each side"):
+            compute_economics_batch([good, ([], good[1])], config)
+
+    def test_no_common_types_raises_like_scalar(self):
+        config = AuctionConfig()
+        requests = [
+            Request(
+                request_id="r0",
+                client_id="c0",
+                submit_time=0.0,
+                resources={"cpu": 1.0},
+                window=TimeWindow(0.0, 4.0),
+                duration=1.0,
+                bid=1.0,
+            )
+        ]
+        offers = [
+            Offer(
+                offer_id="o0",
+                provider_id="p0",
+                submit_time=0.0,
+                resources={"gpu": 1.0},
+                window=TimeWindow(0.0, 4.0),
+                bid=1.0,
+            )
+        ]
+        with pytest.raises(AuctionError, match="no common resource types"):
+            compute_economics_batch([(requests, offers)], config)
+
+
+def _allocations_from_market(size: int, seed: int):
+    """Real cluster allocations straight out of the front half."""
+    from repro.workloads.generators import generate_market
+
+    config = AuctionConfig()
+    requests, offers = generate_market(size, seed=seed)
+    request_by_id = {r.request_id: r for r in requests}
+    offer_by_id = {o.offer_id: o for o in offers}
+    clusters, _ = build_clusters(requests, offers, config)
+    allocations = []
+    for cluster in clusters:
+        cluster_requests = [
+            request_by_id[rid] for rid in sorted(cluster.request_ids)
+        ]
+        cluster_offers = [
+            offer_by_id[oid] for oid in sorted(cluster.offer_ids)
+        ]
+        if cluster_requests and cluster_offers:
+            allocations.append(
+                allocate_cluster(
+                    cluster, cluster_requests, cluster_offers, config
+                )
+            )
+    return allocations
+
+
+class TestBatchedPricing:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_batch_matches_scalar_on_real_clusters(self, seed):
+        allocations = _allocations_from_market(60, seed)
+        scalar = pooled_price(allocations)
+        batched = pooled_price_vectorized(allocations)
+        assert _price_hex(batched) == _price_hex(scalar)
+
+    @pytest.mark.parametrize("seed", [4, 5])
+    def test_batch_over_partitions(self, seed):
+        """Many segments at once: every partition of the allocation list
+        must price each part exactly as a scalar call on that part."""
+        allocations = _allocations_from_market(60, seed)
+        if len(allocations) < 3:
+            pytest.skip("market produced too few clusters to partition")
+        thirds = [
+            allocations[0::3], allocations[1::3], allocations[2::3], []
+        ]
+        batched = pooled_prices_batch(thirds)
+        for part, result in zip(thirds, batched):
+            assert _price_hex(result) == _price_hex(pooled_price(part))
+
+    def test_empty_inputs(self):
+        assert pooled_prices_batch([]) == []
+        assert pooled_prices_batch([[]]) == [(None, None, None)]
+
+
+def _price_hex(result):
+    price, z_request, z1_offer = result
+    return (
+        None if price is None else float(price).hex(),
+        None if z_request is None else z_request.request_id,
+        None if z1_offer is None else z1_offer.offer_id,
+    )
+
+
+class TestPhaseTimerIntegration:
+    def test_auction_reports_all_phases(self):
+        from repro.common.timing import PhaseTimer
+        from repro.workloads.generators import generate_market
+
+        requests, offers = generate_market(40, seed=9)
+        timer = PhaseTimer()
+        DecloudAuction(AuctionConfig(engine="vectorized")).run(
+            requests, offers, timer=timer
+        )
+        phases = set(timer.to_dict())
+        assert {"match", "cluster", "normalize", "assemble", "clear"} <= phases
+        assert timer.total_seconds > 0.0

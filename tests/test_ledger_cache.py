@@ -1,0 +1,141 @@
+"""Regression tests for the canonical-bytes caches on ledger objects.
+
+The contract: cached bytes are byte-identical to a cold recomputation
+(the wire/hash format is unchanged), and "mutation" — which for frozen
+value objects means building a new instance via ``dataclasses.replace``
+/ ``with_nonce`` / ``signed_by`` — never serves stale bytes.
+"""
+
+import dataclasses
+
+from repro.cryptosim import hashing, schnorr
+from repro.cryptosim.commitments import Commitment
+from repro.cryptosim.symmetric import SealedBox
+from repro.ledger.block import Block, BlockBody, BlockPreamble, KeyReveal
+from repro.ledger.transaction import SealedBidTransaction
+
+
+def make_tx(sender: str = "alice", payload: bytes = b"ciphertext") -> SealedBidTransaction:
+    keypair = schnorr.KeyPair.generate(seed=sender.encode("utf-8"))
+    box = SealedBox(nonce=b"n" * 16, ciphertext=payload, tag=b"t" * 32)
+    commitment = Commitment(digest=hashing.sha256(sender.encode()))
+    return SealedBidTransaction.create(sender, keypair, box, commitment)
+
+
+def fresh_copy(tx: SealedBidTransaction) -> SealedBidTransaction:
+    """Field-identical instance with an empty cache."""
+    return SealedBidTransaction(
+        sender_id=tx.sender_id,
+        sender_public=tx.sender_public,
+        box=tx.box,
+        key_commitment=tx.key_commitment,
+        signature=tx.signature,
+    )
+
+
+class TestTransactionCache:
+    def test_cached_payload_matches_cold_computation(self):
+        tx = make_tx()
+        cold = fresh_copy(tx).signing_payload()
+        assert tx.signing_payload() == cold
+        # second read serves the cache, still identical
+        assert tx.signing_payload() == cold
+        assert tx.canonical_bytes == cold
+
+    def test_txid_cached_and_format_stable(self):
+        tx = make_tx()
+        assert tx.txid() == hashing.sha256_hex(fresh_copy(tx).signing_payload())
+        assert tx.txid() is tx.txid()  # served from cache
+
+    def test_replace_mutation_invalidates(self):
+        tx = make_tx()
+        _ = tx.signing_payload()  # warm the cache
+        other_box = SealedBox(nonce=b"m" * 16, ciphertext=b"other", tag=b"t" * 32)
+        mutated = dataclasses.replace(tx, box=other_box)
+        assert mutated.signing_payload() != tx.signing_payload()
+        assert mutated.signing_payload() == fresh_copy(mutated).signing_payload()
+        assert mutated.txid() != tx.txid()
+
+
+class TestPreambleCache:
+    def make_preamble(self, nonce: int = 0) -> BlockPreamble:
+        return BlockPreamble(
+            height=3,
+            parent_hash="ab" * 32,
+            transactions=(make_tx("alice"), make_tx("bob")),
+            timestamp=12.5,
+            pow_nonce=nonce,
+        )
+
+    def test_payload_and_hash_match_cold_computation(self):
+        preamble = self.make_preamble()
+        cold = self.make_preamble()
+        assert preamble.pow_payload() == cold.pow_payload()
+        assert preamble.hash() == cold.hash()
+        assert preamble.hash() is preamble.hash()
+
+    def test_with_nonce_reuses_payload_but_not_hash(self):
+        preamble = self.make_preamble()
+        _ = preamble.pow_payload()
+        _ = preamble.hash()
+        renonced = preamble.with_nonce(41)
+        assert renonced.pow_payload() == preamble.pow_payload()
+        assert renonced.hash() != preamble.hash()
+        assert renonced.hash() == self.make_preamble(nonce=41).hash()
+
+    def test_canonical_bytes_cover_nonce(self):
+        preamble = self.make_preamble(nonce=7)
+        assert preamble.canonical_bytes == (
+            preamble.pow_payload() + (7).to_bytes(8, "big")
+        )
+
+
+class TestBodyAndBlockCache:
+    def make_body(self, allocation=None, miner_public: int = 5) -> BlockBody:
+        reveal = KeyReveal(
+            sender_id="alice", txid="ff" * 32, temp_key=b"k" * 32, blind=b"b" * 16
+        )
+        return BlockBody(
+            reveals=(reveal,),
+            allocation=allocation or {"matches": [{"request_id": "r1"}]},
+            miner_id="miner-0",
+            miner_public=miner_public,
+        )
+
+    def test_signing_payload_matches_cold_per_preamble_hash(self):
+        body = self.make_body()
+        cold = self.make_body()
+        phash_a, phash_b = "aa" * 32, "bb" * 32
+        assert body.signing_payload(phash_a) == cold.signing_payload(phash_a)
+        # a different preamble hash must not be served from the cache
+        assert body.signing_payload(phash_b) == cold.signing_payload(phash_b)
+        assert body.signing_payload(phash_a) != body.signing_payload(phash_b)
+
+    def test_allocation_replace_invalidates(self):
+        body = self.make_body()
+        phash = "aa" * 32
+        _ = body.signing_payload(phash)
+        mutated = dataclasses.replace(body, allocation={"matches": []})
+        assert mutated.signing_payload(phash) != body.signing_payload(phash)
+        assert (
+            mutated.allocation_bytes()
+            == hashing.canonical_json({"matches": []})
+        )
+
+    def test_signed_by_carries_valid_cache(self):
+        keypair = schnorr.KeyPair.generate(seed=b"miner-seed")
+        phash = "cc" * 32
+        body = self.make_body(miner_public=keypair.public)
+        signed = body.signed_by(keypair, phash)
+        cold = self.make_body(miner_public=keypair.public)
+        assert signed.signing_payload(phash) == cold.signing_payload(phash)
+        assert signed.verify_signature(phash)
+
+    def test_block_hash_matches_cold_computation(self):
+        preamble = TestPreambleCache().make_preamble()
+        block = Block(preamble=preamble, body=self.make_body())
+        cold = Block(
+            preamble=TestPreambleCache().make_preamble(), body=self.make_body()
+        )
+        assert block.hash() == cold.hash()
+        assert block.hash() is block.hash()

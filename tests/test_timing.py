@@ -1,0 +1,84 @@
+"""Unit tests for the zero-dependency phase timer."""
+
+import json
+
+from repro.common.timing import NULL_TIMER, PhaseTimer, resolve
+
+
+class TestPhaseTimer:
+    def test_phase_accumulates(self):
+        timer = PhaseTimer()
+        with timer.phase("match"):
+            pass
+        with timer.phase("match"):
+            pass
+        with timer.phase("clear"):
+            pass
+        assert set(timer.totals) == {"match", "clear"}
+        assert timer.counts == {"match": 2, "clear": 1}
+        assert timer.totals["match"] >= 0.0
+        assert timer.total_seconds == sum(timer.totals.values())
+
+    def test_add_and_merge(self):
+        a = PhaseTimer()
+        a.add("mine", 1.0)
+        b = PhaseTimer()
+        b.add("mine", 0.5)
+        b.add("seal", 0.25)
+        a.merge(b)
+        assert a.totals == {"mine": 1.5, "seal": 0.25}
+        assert a.counts == {"mine": 2, "seal": 1}
+
+    def test_items_sorted_by_time(self):
+        timer = PhaseTimer()
+        timer.add("small", 0.1)
+        timer.add("big", 2.0)
+        assert [name for name, _ in timer.items()] == ["big", "small"]
+
+    def test_reset(self):
+        timer = PhaseTimer()
+        timer.add("x", 1.0)
+        timer.reset()
+        assert timer.totals == {}
+        assert timer.total_seconds == 0.0
+
+    def test_report_mentions_every_phase(self):
+        timer = PhaseTimer()
+        timer.add("normalize", 0.75)
+        timer.add("clear", 0.25)
+        report = timer.report("round split")
+        assert "round split" in report
+        assert "normalize" in report and "clear" in report
+        assert "75.0%" in report
+        # empty timers still render
+        assert "no phases" in PhaseTimer().report()
+
+    def test_json_snapshot(self):
+        timer = PhaseTimer()
+        timer.add("verify", 0.5)
+        document = json.loads(timer.to_json(label="bench"))
+        assert document["label"] == "bench"
+        assert document["phases"]["verify"] == {"seconds": 0.5, "count": 1}
+
+    def test_exception_still_records(self):
+        timer = PhaseTimer()
+        try:
+            with timer.phase("boom"):
+                raise ValueError("x")
+        except ValueError:
+            pass
+        assert timer.counts["boom"] == 1
+
+
+class TestNullTimer:
+    def test_null_timer_is_inert(self):
+        with NULL_TIMER.phase("anything"):
+            pass
+        NULL_TIMER.add("anything", 1.0)
+        NULL_TIMER.merge(PhaseTimer())
+        assert not hasattr(NULL_TIMER, "totals")
+
+    def test_resolve(self):
+        assert resolve(None) is NULL_TIMER
+        timer = PhaseTimer()
+        assert resolve(timer) is timer
