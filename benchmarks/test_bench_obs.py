@@ -1,0 +1,133 @@
+"""Observability overhead benches: instrumentation must be free when off.
+
+The contract from the obs work: every layer threads an
+:class:`~repro.obs.Observability` through the hot path, but the default
+is the shared null bundle — so a round cleared *without* a live
+registry must cost what it cost before the instrumentation landed.
+
+Three measurements on the n=800 vectorized engine bench market (size
+reducible via ``DECLOUD_OBS_N`` / ``DECLOUD_SPEEDUP_N`` for CI smoke):
+
+* ``test_bench_obs_disabled`` — the gated bench: a full round with the
+  default (null) observability.  Its committed threshold equals the
+  plain vectorized engine baseline, so CI fails if the disabled path
+  regresses past the usual gate.
+* ``test_bench_obs_enabled`` — the same round with a live registry and
+  tracer attached (informative: what turning observability on costs).
+* ``test_disabled_overhead_within_bound`` — interleaved best-of paired
+  runs, default path vs explicit ``NULL_OBS``; the ratio must stay
+  within ``DECLOUD_OBS_CEILING`` (default 1.05, the <=5% requirement).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig
+from repro.obs import NULL_OBS, Observability
+from repro.workloads.generators import generate_market
+
+OBS_N = int(
+    os.environ.get(
+        "DECLOUD_OBS_N", os.environ.get("DECLOUD_SPEEDUP_N", "800")
+    )
+)
+#: Allowed disabled-path overhead ratio (paired best-of comparison).
+OBS_CEILING = float(os.environ.get("DECLOUD_OBS_CEILING", "1.05"))
+EVIDENCE = b"obs-bench"
+
+
+def _market():
+    return generate_market(OBS_N, seed=0)
+
+
+def _run_round(requests, offers, obs=None):
+    auction = DecloudAuction(AuctionConfig(engine="vectorized"))
+    if obs is None:
+        return auction.run(requests, offers, evidence=EVIDENCE)
+    return auction.run(requests, offers, evidence=EVIDENCE, obs=obs)
+
+
+def test_bench_obs_disabled(benchmark):
+    requests, offers = _market()
+    outcome = benchmark.pedantic(
+        _run_round, args=(requests, offers), rounds=3, iterations=1
+    )
+    assert outcome.matches
+
+
+def test_bench_obs_enabled(benchmark):
+    requests, offers = _market()
+
+    def run():
+        return _run_round(requests, offers, obs=Observability("bench"))
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert outcome.matches
+
+
+def test_disabled_overhead_within_bound():
+    """Paired interleaved best-of: default path vs explicit NULL_OBS.
+
+    Both are the disabled path — the comparison pins the cost of
+    threading the null bundle through every layer (`resolve`, null
+    spans, `obs.enabled` guards) at <= OBS_CEILING of the default.
+    Interleaving and best-of-k make the ratio robust to runner noise.
+    """
+    requests, offers = _market()
+    # warm both paths (matcher caches, numpy JIT-ish first-touch costs)
+    _run_round(requests, offers)
+    _run_round(requests, offers, obs=NULL_OBS)
+
+    best_default = float("inf")
+    best_null = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        _run_round(requests, offers)
+        best_default = min(best_default, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        _run_round(requests, offers, obs=NULL_OBS)
+        best_null = min(best_null, time.perf_counter() - start)
+
+    ratio = best_null / max(best_default, 1e-9)
+    print(
+        f"\ndisabled-obs overhead at n={OBS_N}: default {best_default:.4f}s, "
+        f"null-obs {best_null:.4f}s, ratio {ratio:.3f} "
+        f"(ceiling {OBS_CEILING})"
+    )
+    assert ratio <= OBS_CEILING, (
+        f"threading NULL_OBS costs {ratio:.3f}x the default path at "
+        f"n={OBS_N}; the disabled path must stay within {OBS_CEILING}x"
+    )
+
+
+def test_enabled_overhead_is_bounded():
+    """Turning observability on must not dominate the round (generous
+    bound — the enabled path allocates a per-round PhaseTimer, spans,
+    and ~25 registry writes, all O(1) per round)."""
+    requests, offers = _market()
+    _run_round(requests, offers)
+
+    best_off = float("inf")
+    best_on = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        _run_round(requests, offers)
+        best_off = min(best_off, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        _run_round(requests, offers, obs=Observability("bench"))
+        best_on = min(best_on, time.perf_counter() - start)
+
+    ratio = best_on / max(best_off, 1e-9)
+    print(
+        f"\nenabled-obs overhead at n={OBS_N}: off {best_off:.4f}s, "
+        f"on {best_on:.4f}s, ratio {ratio:.3f}"
+    )
+    assert ratio <= 2.0, (
+        f"enabled observability costs {ratio:.3f}x a dark round — "
+        "per-round instrumentation must stay O(1), not O(market)"
+    )

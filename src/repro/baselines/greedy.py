@@ -17,6 +17,7 @@ from repro.core.auction import DecloudAuction
 from repro.core.config import AuctionConfig
 from repro.core.outcome import AuctionOutcome
 from repro.market.bids import Offer, Request
+from repro.obs import ObservabilityLike
 
 
 class GreedyBenchmark:
@@ -36,9 +37,12 @@ class GreedyBenchmark:
         self._auction = DecloudAuction(config)
 
     def run(
-        self, requests: Sequence[Request], offers: Sequence[Offer]
+        self,
+        requests: Sequence[Request],
+        offers: Sequence[Offer],
+        obs: Optional[ObservabilityLike] = None,
     ) -> AuctionOutcome:
-        return self._auction.run(requests, offers)
+        return self._auction.run(requests, offers, obs=obs)
 
 
 def benchmark_welfare(

@@ -32,8 +32,16 @@ class _Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        self._timer.add(self._name, time.perf_counter() - self._start)
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        # A phase that dies mid-flight still flushes its partial elapsed
+        # time — but tagged, so failed rounds are distinguishable from
+        # clean ones in every report/snapshot instead of silently
+        # blending in.
+        self._timer.add(
+            self._name,
+            time.perf_counter() - self._start,
+            aborted=exc_type is not None,
+        )
 
 
 class _NullSpan:
@@ -57,30 +65,44 @@ class PhaseTimer:
     multi-round benchmark reports the aggregate split.
     """
 
-    __slots__ = ("totals", "counts")
+    __slots__ = ("totals", "counts", "aborted")
 
     def __init__(self) -> None:
         self.totals: Dict[str, float] = {}
         self.counts: Dict[str, int] = {}
+        #: phases whose span exited via an exception (or were explicitly
+        #: marked), by name — partial timings of failed rounds are kept,
+        #: not dropped, and carry this marker
+        self.aborted: Dict[str, int] = {}
 
     def phase(self, name: str) -> _Span:
         """Context manager timing one entry of phase ``name``."""
         return _Span(self, name)
 
-    def add(self, name: str, seconds: float) -> None:
+    def add(self, name: str, seconds: float, aborted: bool = False) -> None:
         """Record ``seconds`` against phase ``name`` directly."""
         self.totals[name] = self.totals.get(name, 0.0) + seconds
         self.counts[name] = self.counts.get(name, 0) + 1
+        if aborted:
+            self.aborted[name] = self.aborted.get(name, 0) + 1
+
+    def mark_aborted(self, name: str) -> None:
+        """Flag ``name`` as aborted without adding time (round-level
+        marker: the driver calls this when a round dies between phases)."""
+        self.aborted[name] = self.aborted.get(name, 0) + 1
 
     def merge(self, other: "PhaseTimer") -> None:
         """Fold another timer's totals into this one."""
         for name, seconds in other.totals.items():
             self.totals[name] = self.totals.get(name, 0.0) + seconds
             self.counts[name] = self.counts.get(name, 0) + other.counts[name]
+        for name, count in other.aborted.items():
+            self.aborted[name] = self.aborted.get(name, 0) + count
 
     def reset(self) -> None:
         self.totals.clear()
         self.counts.clear()
+        self.aborted.clear()
 
     @property
     def total_seconds(self) -> float:
@@ -91,11 +113,21 @@ class PhaseTimer:
         return iter(sorted(self.totals.items(), key=lambda kv: -kv[1]))
 
     def to_dict(self) -> Dict[str, Dict[str, float]]:
-        """JSON-serializable snapshot (used by the CI phase artifact)."""
-        return {
-            name: {"seconds": seconds, "count": self.counts[name]}
-            for name, seconds in self.totals.items()
-        }
+        """JSON-serializable snapshot (used by the CI phase artifact).
+
+        Phases that only ever aborted (no time recorded) still appear,
+        with zero seconds, so a failed round leaves visible evidence.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for name in set(self.totals) | set(self.aborted):
+            entry: Dict[str, float] = {
+                "seconds": self.totals.get(name, 0.0),
+                "count": self.counts.get(name, 0),
+            }
+            if name in self.aborted:
+                entry["aborted"] = self.aborted[name]
+            out[name] = entry
+        return out
 
     def to_json(self, label: Optional[str] = None) -> str:
         document = {"phases": self.to_dict()}
@@ -113,10 +145,18 @@ class PhaseTimer:
         width = max(len(name) for name in self.totals)
         for name, seconds in self.items():
             share = 100.0 * seconds / total if total > 0 else 0.0
+            marker = (
+                f"  (aborted x{self.aborted[name]})"
+                if name in self.aborted
+                else ""
+            )
             lines.append(
                 f"  {name:<{width}}  {seconds:9.4f}s  {share:5.1f}%"
-                f"  x{self.counts[name]}"
+                f"  x{self.counts[name]}{marker}"
             )
+        for name, count in sorted(self.aborted.items()):
+            if name not in self.totals:
+                lines.append(f"  {name:<{width}}  (aborted x{count}, no time)")
         return "\n".join(lines)
 
 
@@ -128,7 +168,10 @@ class NullTimer:
     def phase(self, name: str) -> _NullSpan:
         return _NULL_SPAN
 
-    def add(self, name: str, seconds: float) -> None:
+    def add(self, name: str, seconds: float, aborted: bool = False) -> None:
+        return None
+
+    def mark_aborted(self, name: str) -> None:
         return None
 
     def merge(self, other: PhaseTimer) -> None:

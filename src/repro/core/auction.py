@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Set
 from repro.common.errors import AuctionError
 from repro.common.rng import block_evidence_rng
 from repro.common.timing import PhaseTimer, resolve
+from repro.obs import ObservabilityLike, resolve as resolve_obs
 from repro.core.cluster_allocation import ClusterAllocation, allocate_cluster
 from repro.core.clustering import build_clusters
 from repro.core.config import AuctionConfig
@@ -52,6 +53,7 @@ class DecloudAuction:
         offers: Sequence[Offer],
         evidence: bytes = b"decloud-default-evidence",
         timer: Optional[PhaseTimer] = None,
+        obs: Optional[ObservabilityLike] = None,
     ) -> AuctionOutcome:
         """Clear one block of requests and offers.
 
@@ -63,19 +65,51 @@ class DecloudAuction:
         accumulates per-phase wall time: ``match`` / ``cluster`` (inside
         :func:`build_clusters`), ``normalize`` (§IV-C economics plus the
         greedy fits), ``assemble`` (Alg. 3) and ``clear`` (Alg. 4).
+
+        ``obs`` (optional :class:`~repro.obs.Observability`) records the
+        round's metrics (bids in/matched/clustered, trades before/after
+        reduction, welfare, surplus, per-phase durations) and an
+        ``auction`` span with ``match``/``normalize``/``assemble``/
+        ``clear`` children.  Instrumentation is read-only: outcomes are
+        bit-identical with observability on or off (enforced by the
+        differential suite, which runs with it on).
         """
-        timer = resolve(timer)
+        obs = resolve_obs(obs)
+        with obs.tracer.span(
+            "auction",
+            requests=len(requests),
+            offers=len(offers),
+            engine=self.config.engine,
+        ):
+            return self._run(requests, offers, evidence, timer, obs)
+
+    def _run(
+        self,
+        requests: Sequence[Request],
+        offers: Sequence[Offer],
+        evidence: bytes,
+        caller_timer: Optional[PhaseTimer],
+        obs: ObservabilityLike,
+    ) -> AuctionOutcome:
+        if obs.enabled:
+            # Phase times are measured round-locally so they can be
+            # folded into the registry per round, then merged into the
+            # caller's timer and the bundle's cumulative timer.
+            timer: "PhaseTimer | object" = PhaseTimer()
+        else:
+            timer = resolve(caller_timer)
         request_by_id = _index_requests(requests)
         offer_by_id = _index_offers(offers)
 
-        clusters, orphans = build_clusters(
-            list(request_by_id.values()),
-            list(offer_by_id.values()),
-            self.config,
-            matcher=self._matcher,
-            timer=timer,
-        )
-        with timer.phase("normalize"):
+        with obs.tracer.span("match"):
+            clusters, orphans = build_clusters(
+                list(request_by_id.values()),
+                list(offer_by_id.values()),
+                self.config,
+                matcher=self._matcher,
+                timer=timer,
+            )
+        with timer.phase("normalize"), obs.tracer.span("normalize"):
             populated = []
             for cluster in clusters:
                 cluster_requests = [
@@ -111,13 +145,13 @@ class DecloudAuction:
                 in zip(populated, economics_list)
             ]
 
-        with timer.phase("assemble"):
+        with timer.phase("assemble"), obs.tracer.span("assemble"):
             auctions = build_mini_auctions(allocations, self.config)
 
         outcome = AuctionOutcome()
         consumed_requests: Set[str] = set()
         consumed_offers: Set[str] = set()
-        with timer.phase("clear"):
+        with timer.phase("clear"), obs.tracer.span("clear"):
             if self.config.miniauction_workers >= 1:
                 # Per-auction RNG streams; waves of independent auctions
                 # may clear in a process pool (see repro.core.parallel).
@@ -196,7 +230,90 @@ class DecloudAuction:
             for oid, offer in offer_by_id.items()
             if oid not in matched_offers and oid not in reduced_offers
         ]
+        if obs.enabled:
+            self._record_round(
+                obs, timer, caller_timer,
+                len(requests), len(offers),
+                len(clusters), len(orphans), len(auctions),
+                outcome,
+            )
         return outcome
+
+    def _record_round(
+        self,
+        obs: ObservabilityLike,
+        round_timer: PhaseTimer,
+        caller_timer: Optional[PhaseTimer],
+        n_requests: int,
+        n_offers: int,
+        n_clusters: int,
+        n_orphans: int,
+        n_auctions: int,
+        outcome: AuctionOutcome,
+    ) -> None:
+        """Fold one cleared round into the registry (enabled path only).
+
+        Everything recorded here is *derived from* the outcome — the
+        metrics-accuracy suite cross-checks each series against the same
+        value recomputed independently from :class:`AuctionOutcome`.
+        """
+        n_trades = len(outcome.matches)
+        n_reduced = len(outcome.reduced_requests)
+        welfare = outcome.welfare
+        payments = outcome.total_payments
+        revenues = sum(outcome.revenues().values())
+
+        reg = obs.registry
+        reg.inc("auction_rounds_total")
+        reg.inc("auction_bids_total", n_requests, side="request")
+        reg.inc("auction_bids_total", n_offers, side="offer")
+        reg.inc("auction_clusters_total", n_clusters)
+        reg.inc("auction_orphans_total", n_orphans)
+        reg.inc("auction_mini_auctions_total", n_auctions)
+        reg.inc("auction_trades_total", n_trades)
+        reg.inc("auction_reduced_total", n_reduced)
+        reg.inc("auction_reduced_offers_total", len(outcome.reduced_offers))
+        reg.inc("auction_welfare_total", welfare)
+
+        # Exact per-round values live in gauges (no accumulated float
+        # error) — the evaluation's BlockMetrics read these directly.
+        reg.set("auction_last_bids", n_requests, side="request")
+        reg.set("auction_last_bids", n_offers, side="offer")
+        reg.set("auction_last_trades", n_trades)
+        reg.set("auction_last_trades_pre_reduction", n_trades + n_reduced)
+        reg.set("auction_last_reduced", n_reduced)
+        reg.set("auction_last_welfare", welfare)
+        reg.set("auction_last_payments", payments)
+        reg.set("auction_last_revenues", revenues)
+        reg.set("auction_last_surplus", payments - revenues)
+        reg.set("auction_last_satisfaction", outcome.satisfaction)
+        reg.set(
+            "auction_last_unmatched",
+            len(outcome.unmatched_requests),
+            side="request",
+        )
+        reg.set(
+            "auction_last_unmatched",
+            len(outcome.unmatched_offers),
+            side="offer",
+        )
+        for price in outcome.prices:
+            reg.observe("auction_trade_price", price)
+        for name, seconds in round_timer.totals.items():
+            reg.observe("auction_phase_seconds", seconds, phase=name)
+
+        obs.tracer.event(
+            "auction.cleared",
+            trades=n_trades,
+            reduced=n_reduced,
+            clusters=n_clusters,
+            mini_auctions=n_auctions,
+        )
+
+        resolved_caller = resolve(caller_timer)
+        resolved_caller.merge(round_timer)
+        if obs.timer is not resolved_caller:
+            obs.timer.merge(round_timer)
 
 
 def _dedupe_requests(requests) -> List[Request]:

@@ -11,9 +11,10 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import AuctionConfig
+from repro.obs import Observability, ObservabilityLike
 from repro.sim.engine import MarketSimulator
 from repro.sim.metrics import BlockMetrics
 from repro.workloads.divergence import DivergenceScenario, tilt_for_similarity
@@ -51,8 +52,16 @@ def run_size_sweep(
     seeds: Iterable[int] = range(5),
     offers_per_request: float = 0.5,
     config: AuctionConfig | None = None,
+    obs: Optional[ObservabilityLike] = None,
 ) -> List[SizePoint]:
-    """Clear one block per (size, seed) with DeCloud and the benchmark."""
+    """Clear one block per (size, seed) with DeCloud and the benchmark.
+
+    Each point's :class:`BlockMetrics` is read back from the metrics
+    registry (``auction_last_*`` gauges): every point clears under an
+    :class:`~repro.obs.Observability`, a fresh one per point unless a
+    shared ``obs`` is passed in.  Registry-derived series are
+    bit-identical to the direct outcome comparison.
+    """
     config = config or eval_config()
     seeds = list(seeds)
     points: List[SizePoint] = []
@@ -64,7 +73,12 @@ def run_size_sweep(
                 seed=seed,
             )
             requests, offers = scenario.generate()
-            simulator = MarketSimulator(config=config, seed=seed)
+            point_obs = obs if obs is not None else Observability(
+                run_id=f"size-{n_requests}-{seed}"
+            )
+            simulator = MarketSimulator(
+                config=config, seed=seed, obs=point_obs
+            )
             metrics, _, _ = simulator.run_block(requests, offers)
             points.append(
                 SizePoint(
@@ -94,12 +108,14 @@ def run_similarity_sweep(
     n_requests: int = 150,
     n_offers: int = 75,
     config: AuctionConfig | None = None,
+    obs: Optional[ObservabilityLike] = None,
 ) -> List[SimilarityPoint]:
     """Clear one block per (similarity, flexibility, seed).
 
     Scenarios differing only in flexibility sample identical markets
     (paired comparison), mirroring the paper's flexible-vs-inflexible
-    panels.
+    panels.  As in :func:`run_size_sweep`, per-point metrics come off
+    the registry's ``auction_last_*`` gauges.
     """
     config = config or eval_config()
     seeds = list(seeds)
@@ -116,7 +132,12 @@ def run_similarity_sweep(
                     seed=seed,
                 )
                 requests, offers = scenario.generate()
-                simulator = MarketSimulator(config=config, seed=seed)
+                point_obs = obs if obs is not None else Observability(
+                    run_id=f"sim-{target}-{flexibility}-{seed}"
+                )
+                simulator = MarketSimulator(
+                    config=config, seed=seed, obs=point_obs
+                )
                 metrics, _, _ = simulator.run_block(requests, offers)
                 points.append(
                     SimilarityPoint(

@@ -1,0 +1,116 @@
+"""``repro.obs`` — zero-dependency market observability.
+
+One :class:`Observability` object bundles the three instruments every
+layer shares:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — labeled counters,
+  gauges, and histograms (``obs.registry``);
+* :class:`~repro.obs.trace.Tracer` — the structured per-round span/event
+  trace with deterministic JSONL export (``obs.tracer``);
+* :class:`~repro.common.timing.PhaseTimer` — wall-clock phase totals
+  (``obs.timer``), folded into the registry as
+  ``auction_phase_seconds{phase=...}`` histograms per round.
+
+The default everywhere is :data:`NULL_OBS`: every write is a no-op, so
+instrumented code costs (nearly) nothing until a caller opts in by
+passing a live ``Observability()``.  Instrumentation is read-only by
+contract — it must never change an auction outcome; the differential
+suite runs with observability enabled on both engines to enforce it.
+
+See docs/OBSERVABILITY.md for the metric catalog and trace schema, and
+``python -m repro.obs.report`` for the trace summary CLI.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.common.timing import NULL_TIMER, NullTimer, PhaseTimer
+from repro.obs.registry import (
+    LabeledRegistry,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+    snapshot_diff,
+)
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Observability",
+    "NullObservability",
+    "NULL_OBS",
+    "resolve",
+    "MetricsRegistry",
+    "LabeledRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "snapshot_diff",
+]
+
+
+class Observability:
+    """Live instrument bundle handed down through the layers."""
+
+    enabled = True
+
+    __slots__ = ("run_id", "registry", "tracer", "timer")
+
+    def __init__(self, run_id: str = "run") -> None:
+        self.run_id = run_id
+        self.registry: MetricsRegistry = MetricsRegistry()
+        self.tracer: Tracer = Tracer()
+        self.timer: PhaseTimer = PhaseTimer()
+
+    def scoped(self, **labels: object) -> "Observability":
+        """A view sharing this tracer/timer but stamping ``labels`` on
+        every metric series (e.g. ``mechanism="decloud"``)."""
+        view = Observability.__new__(Observability)
+        view.run_id = self.run_id
+        view.registry = self.registry.labeled(**labels)  # type: ignore[assignment]
+        view.tracer = self.tracer
+        view.timer = self.timer
+        return view
+
+    def trace_jsonl(self, strip_wall: bool = False) -> str:
+        return self.tracer.to_jsonl(strip_wall=strip_wall)
+
+    def prometheus_text(self) -> str:
+        base = self.registry
+        while isinstance(base, LabeledRegistry):
+            base = base._base
+        return base.to_prometheus_text()
+
+
+class NullObservability:
+    """Shared inert bundle: the off-by-default path."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    run_id = "null"
+    registry: NullRegistry = NULL_REGISTRY
+    tracer: NullTracer = NULL_TRACER
+    timer: NullTimer = NULL_TIMER
+
+    def scoped(self, **labels: object) -> "NullObservability":
+        return self
+
+    def trace_jsonl(self, strip_wall: bool = False) -> str:
+        return ""
+
+    def prometheus_text(self) -> str:
+        return ""
+
+
+NULL_OBS = NullObservability()
+
+ObservabilityLike = Union[Observability, NullObservability]
+
+
+def resolve(obs: Optional[ObservabilityLike]) -> ObservabilityLike:
+    """Map ``None`` to the shared no-op bundle."""
+    return NULL_OBS if obs is None else obs

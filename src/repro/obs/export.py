@@ -1,0 +1,71 @@
+"""Exporters: Prometheus text format and JSONL trace files.
+
+The registry and tracer own their in-memory state; this module renders
+it for the outside world — a scrape endpoint, a workflow artifact, or
+the ``repro.obs.report`` CLI.  Everything is plain text and standard
+library only.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Mapping
+
+from repro.obs.registry import MetricsRegistry, snapshot_diff  # noqa: F401
+
+_LABEL_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+
+def _prom_series(key: str) -> str:
+    """``name{a=b}`` -> ``name{a="b"}`` (Prometheus quoting)."""
+    match = _LABEL_RE.match(key)
+    if match is None or not match.group("labels"):
+        return key
+    pairs = []
+    for token in match.group("labels").split(","):
+        label, _, value = token.partition("=")
+        pairs.append(f'{label}="{value}"')
+    return f"{match.group('name')}{{{', '.join(pairs)}}}"
+
+
+def to_prometheus_text(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus exposition text format.
+
+    Counters and gauges emit one sample per series; histograms emit the
+    conventional ``_count`` / ``_sum`` pair (bucket detail stays in the
+    JSON snapshot — the simulator's consumers read exact values, not
+    quantile estimates).
+    """
+    snapshot = registry.snapshot()
+    lines = []
+    for key, value in snapshot["counters"].items():
+        lines.append(f"{_prom_series(key)} {value!r}")
+    for key, value in snapshot["gauges"].items():
+        lines.append(f"{_prom_series(key)} {value!r}")
+    for key, stats in snapshot["histograms"].items():
+        match = _LABEL_RE.match(key)
+        name = match.group("name") if match else key
+        labels = f"{{{match.group('labels')}}}" if match and match.group("labels") else ""
+        lines.append(f"{_prom_series(name + '_count' + labels)} {stats['count']}")
+        lines.append(f"{_prom_series(name + '_sum' + labels)} {stats['sum']!r}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_prometheus_text(registry))
+
+
+def format_snapshot_diff(diff: Mapping[str, Mapping[str, Any]]) -> str:
+    """Human-readable rendering of a :func:`snapshot_diff` result."""
+    lines = []
+    for kind in ("counters", "gauges", "histograms"):
+        for key, value in diff.get(kind, {}).items():
+            if kind == "histograms":
+                value = f"+{value['count']} obs (sum {value['sum']:+g})"
+            elif kind == "counters":
+                value = f"{value:+g}"
+            else:
+                value = f"-> {value:g}"
+            lines.append(f"  {key}  {value}")
+    return "\n".join(lines) if lines else "  (no changes)"

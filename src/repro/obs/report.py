@@ -1,0 +1,190 @@
+"""Round/run summary CLI for exported traces.
+
+Usage::
+
+    python -m repro.obs.report trace.jsonl            # summary table
+    python -m repro.obs.report trace.jsonl --tree     # plus span tree
+    python -m repro.obs.report trace.jsonl --metrics metrics.prom
+
+Reads a JSONL trace written by :meth:`repro.obs.Tracer.write_jsonl`
+(wall-clock fields optional — a stripped deterministic trace still
+summarizes, just without durations) and renders:
+
+* a per-span-name table: count, error count, total wall seconds;
+* a per-event-name table: count;
+* with ``--tree``, the indented span tree with per-span events.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.trace import load_jsonl
+
+
+def build_tree(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Reassemble span nodes (with children/events) from flat records.
+
+    Returns the list of root spans; each node is a dict with ``name``,
+    ``attrs``, ``status``, ``seconds`` (None without wall fields),
+    ``children``, and ``events``.
+    """
+    nodes: Dict[int, Dict[str, Any]] = {}
+    roots: List[Dict[str, Any]] = []
+    for record in records:
+        kind = record.get("type")
+        if kind == "span_start":
+            node = {
+                "span": record["span"],
+                "name": record["name"],
+                "attrs": record.get("attrs", {}),
+                "status": "open",
+                "seconds": None,
+                "_wall_start": record.get("wall"),
+                "children": [],
+                "events": [],
+            }
+            nodes[record["span"]] = node
+            parent = nodes.get(record.get("parent"))
+            (parent["children"] if parent else roots).append(node)
+        elif kind == "span_end":
+            node = nodes.get(record["span"])
+            if node is None:
+                continue
+            node["status"] = record.get("status", "ok")
+            start = node.pop("_wall_start", None)
+            wall = record.get("wall")
+            if start is not None and wall is not None:
+                node["seconds"] = wall - start
+        elif kind == "event":
+            parent = nodes.get(record.get("span"))
+            event = {"name": record["name"], "attrs": record.get("attrs", {})}
+            if parent is not None:
+                parent["events"].append(event)
+            else:
+                roots.append({"name": record["name"], "attrs": event["attrs"],
+                              "status": "event", "seconds": None,
+                              "children": [], "events": [], "span": None})
+    for node in nodes.values():
+        node.pop("_wall_start", None)
+    return roots
+
+
+def _walk(nodes: List[Dict[str, Any]]):
+    for node in nodes:
+        yield node
+        yield from _walk(node["children"])
+
+
+def summarize(records: List[Dict[str, Any]]) -> str:
+    """The summary table the CLI prints (also used by tests)."""
+    spans: Dict[str, Dict[str, float]] = {}
+    events: Dict[str, int] = {}
+    tree = build_tree(records)
+    for node in _walk(tree):
+        if node.get("status") == "event":
+            events[node["name"]] = events.get(node["name"], 0) + 1
+            continue
+        stat = spans.setdefault(
+            node["name"], {"count": 0, "errors": 0, "seconds": 0.0, "timed": 0}
+        )
+        stat["count"] += 1
+        if node["status"] == "error":
+            stat["errors"] += 1
+        if node["seconds"] is not None:
+            stat["seconds"] += node["seconds"]
+            stat["timed"] += 1
+        for event in node["events"]:
+            events[event["name"]] = events.get(event["name"], 0) + 1
+
+    lines = [
+        f"trace summary: {len(records)} records, "
+        f"{sum(s['count'] for s in spans.values())} spans, "
+        f"{sum(events.values())} events"
+    ]
+    if spans:
+        width = max(len(n) for n in spans)
+        lines.append("")
+        lines.append(f"  {'span':<{width}}  {'count':>5}  {'errors':>6}  seconds")
+        for name in sorted(spans):
+            stat = spans[name]
+            seconds = (
+                f"{stat['seconds']:9.4f}" if stat["timed"] else "        -"
+            )
+            lines.append(
+                f"  {name:<{width}}  {int(stat['count']):>5}  "
+                f"{int(stat['errors']):>6}  {seconds}"
+            )
+    if events:
+        width = max(len(n) for n in events)
+        lines.append("")
+        lines.append(f"  {'event':<{width}}  count")
+        for name in sorted(events):
+            lines.append(f"  {name:<{width}}  {events[name]:>5}")
+    return "\n".join(lines)
+
+
+def render_tree(records: List[Dict[str, Any]]) -> str:
+    """Indented span tree with inline events."""
+    lines: List[str] = []
+
+    def emit(node: Dict[str, Any], depth: int) -> None:
+        indent = "  " * depth
+        if node.get("status") == "event":
+            lines.append(f"{indent}* {node['name']} {node['attrs'] or ''}".rstrip())
+            return
+        seconds = (
+            f" ({node['seconds']:.4f}s)" if node["seconds"] is not None else ""
+        )
+        flag = " [error]" if node["status"] == "error" else ""
+        attrs = f" {node['attrs']}" if node["attrs"] else ""
+        lines.append(f"{indent}- {node['name']}{attrs}{seconds}{flag}")
+        for event in node["events"]:
+            lines.append(
+                f"{indent}  * {event['name']} {event['attrs'] or ''}".rstrip()
+            )
+        for child in node["children"]:
+            emit(child, depth + 1)
+
+    for root in build_tree(records):
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.report",
+        description="Summarize an exported DeCloud round trace.",
+    )
+    parser.add_argument("trace", help="JSONL trace file (Tracer.write_jsonl)")
+    parser.add_argument(
+        "--tree", action="store_true", help="also print the span tree"
+    )
+    parser.add_argument(
+        "--metrics", help="optional Prometheus text file to append verbatim"
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.trace, "r", encoding="utf-8") as handle:
+        records = load_jsonl(handle.read())
+    print(summarize(records))
+    if args.tree:
+        print()
+        print(render_tree(records))
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            print()
+            print("metrics:")
+            for line in handle.read().splitlines():
+                print(f"  {line}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout piped into head/less that exited early; not an error
+        sys.exit(0)

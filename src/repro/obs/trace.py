@@ -1,0 +1,206 @@
+"""Structured round tracing: spans and events over a deterministic clock.
+
+A :class:`Tracer` records what a protocol round *did* — the span tree
+``seal -> round(mine, reveal, propose, verify, commit)`` plus point
+events (reveal retries, exclusions, Byzantine rejections, commits) — as
+an append-only list of flat records exportable to JSONL.
+
+Determinism contract: record ordering, span ids, and the logical ``seq``
+clock are pure functions of the control flow, so two seeded runs of the
+same market emit **byte-identical** JSONL once wall-clock fields are
+stripped (``to_jsonl(strip_wall=True)``).  The property suite enforces
+this.  Wall-clock timestamps ride along under the single key ``wall`` so
+humans can still see real durations in a live trace.
+
+Record schema (one JSON object per line, keys sorted):
+
+``span_start``
+    ``{"type", "seq", "span", "parent", "name", "attrs", "wall"}``
+``span_end``
+    ``{"type", "seq", "span", "name", "status", "wall"}``
+``event``
+    ``{"type", "seq", "span", "name", "attrs", "wall"}``
+
+``seq`` is the monotonic sim clock (one tick per record), ``span`` the
+id of the span being opened/closed (for events: the innermost open span,
+or ``null`` at top level), ``parent`` the enclosing span id, ``status``
+``"ok"`` or ``"error"``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+
+class _TraceSpan:
+    """Context manager recording one span's start/end records."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_span_id")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._span_id = 0
+
+    def __enter__(self) -> "_TraceSpan":
+        self._span_id = self._tracer._open_span(self._name, self._attrs)
+        return self
+
+    def __exit__(self, exc_type: object, *exc_info: object) -> None:
+        self._tracer._close_span(
+            self._span_id, self._name, "ok" if exc_type is None else "error"
+        )
+
+
+class _NullSpan:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Deterministic span/event recorder with JSONL export."""
+
+    enabled = True
+
+    __slots__ = ("records", "_seq", "_next_span", "_stack")
+
+    def __init__(self) -> None:
+        self.records: List[Dict[str, Any]] = []
+        self._seq = 0
+        self._next_span = 1
+        self._stack: List[int] = []
+
+    def _tick(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    @property
+    def current_span(self) -> Optional[int]:
+        return self._stack[-1] if self._stack else None
+
+    def span(self, name: str, **attrs: Any) -> _TraceSpan:
+        """Open a span; nest freely, exceptions mark it ``error``."""
+        return _TraceSpan(self, name, attrs)
+
+    def event(self, name: str, **attrs: Any) -> None:
+        """Record a point event under the innermost open span."""
+        self.records.append(
+            {
+                "type": "event",
+                "seq": self._tick(),
+                "span": self.current_span,
+                "name": name,
+                "attrs": attrs,
+                "wall": time.time(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Span plumbing (called by _TraceSpan)
+    # ------------------------------------------------------------------
+    def _open_span(self, name: str, attrs: Dict[str, Any]) -> int:
+        span_id = self._next_span
+        self._next_span += 1
+        self.records.append(
+            {
+                "type": "span_start",
+                "seq": self._tick(),
+                "span": span_id,
+                "parent": self.current_span,
+                "name": name,
+                "attrs": attrs,
+                "wall": time.time(),
+            }
+        )
+        self._stack.append(span_id)
+        return span_id
+
+    def _close_span(self, span_id: int, name: str, status: str) -> None:
+        # Pop back to (and including) this span even if an exception
+        # skipped inner __exit__ calls — the trace must never wedge.
+        while self._stack and self._stack[-1] != span_id:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        self.records.append(
+            {
+                "type": "span_end",
+                "seq": self._tick(),
+                "span": span_id,
+                "name": name,
+                "status": status,
+                "wall": time.time(),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_jsonl(self, strip_wall: bool = False) -> str:
+        """One sorted-key JSON object per line; trailing newline.
+
+        ``strip_wall=True`` removes every wall-clock field, leaving the
+        deterministic projection two seeded runs agree on byte for byte.
+        """
+        lines = []
+        for record in self.records:
+            if strip_wall:
+                record = {k: v for k, v in record.items() if k != "wall"}
+            lines.append(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+            )
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_jsonl(self, path: str, strip_wall: bool = False) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_jsonl(strip_wall=strip_wall))
+
+
+class NullTracer:
+    """Inert tracer for the disabled path."""
+
+    enabled = False
+
+    __slots__ = ()
+
+    records: List[Dict[str, Any]] = []
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def to_jsonl(self, strip_wall: bool = False) -> str:
+        return ""
+
+    def write_jsonl(self, path: str, strip_wall: bool = False) -> None:
+        return None
+
+
+NULL_TRACER = NullTracer()
+
+
+def load_jsonl(text: str) -> List[Dict[str, Any]]:
+    """Parse trace JSONL text back into records (blank lines skipped)."""
+    return [json.loads(line) for line in text.splitlines() if line.strip()]
+
+
+def strip_wall(text: str) -> str:
+    """Drop wall-clock fields from exported JSONL (for byte comparison)."""
+    lines = []
+    for record in load_jsonl(text):
+        record.pop("wall", None)
+        lines.append(json.dumps(record, sort_keys=True, separators=(",", ":")))
+    return "\n".join(lines) + ("\n" if lines else "")

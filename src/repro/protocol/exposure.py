@@ -31,6 +31,7 @@ from repro.common.errors import (
 )
 from repro.common.timing import PhaseTimer, resolve
 from repro.core.config import AuctionConfig
+from repro.obs import ObservabilityLike, resolve as resolve_obs
 from repro.core.outcome import AuctionOutcome
 from repro.cryptosim import schnorr
 from repro.ledger.block import Block, BlockPreamble, KeyReveal
@@ -211,6 +212,7 @@ class ExposureProtocol:
         reveal_deadline: Optional[float] = None,
         reveal_backoff: float = 2.0,
         timer: Optional[PhaseTimer] = None,
+        obs: Optional[ObservabilityLike] = None,
     ) -> None:
         if not miners:
             raise ProtocolError("at least one miner is required")
@@ -223,9 +225,19 @@ class ExposureProtocol:
         self.max_reveal_retries = max_reveal_retries
         self.reveal_deadline = reveal_deadline
         self.reveal_backoff = reveal_backoff
+        #: optional observability bundle: the protocol emits the round
+        #: span tree (seal -> round(mine, reveal, propose, verify,
+        #: commit)), retry/exclusion/Byzantine events, and the ledger
+        #: metrics (blocks mined, PoW iterations, block sizes)
+        self.obs = resolve_obs(obs)
         #: optional phase timer: seal / mine / reveal / propose / verify /
-        #: commit accumulate across every round this protocol drives
-        self.timer = resolve(timer)
+        #: commit accumulate across every round this protocol drives.
+        #: With observability on and no explicit timer, the bundle's
+        #: timer is used so phases land in one place.
+        if timer is None and self.obs.enabled:
+            self.timer: "PhaseTimer | object" = self.obs.timer
+        else:
+            self.timer = resolve(timer)
         self._round = 0
         for miner in self.miners:
             self._subscribe_miner(miner)
@@ -296,14 +308,18 @@ class ExposureProtocol:
         ``submit_retries`` times until every live miner's mempool holds
         it (the redundancy a real gossip overlay provides for free).
         """
-        with self.timer.phase("seal"):
+        with self.timer.phase("seal"), self.obs.tracer.span(
+            "seal", participant=participant.participant_id
+        ):
             tx = participant.seal(bid)
             if self.registry is not None:
                 self.registry.check_or_register(
                     tx.sender_id, tx.sender_public
                 )
             txid = tx.txid()
+            attempts = 0
             for _attempt in range(self.submit_retries + 1):
+                attempts += 1
                 self.network.broadcast(
                     messages.TOPIC_BIDS,
                     messages.BidSubmission(transaction=tx),
@@ -312,6 +328,12 @@ class ExposureProtocol:
                 self._flush()
                 if all(txid in m.mempool for m in self._live_miners()):
                     break
+        if self.obs.enabled:
+            self.obs.registry.inc("protocol_seals_total")
+            if attempts > 1:
+                self.obs.registry.inc(
+                    "protocol_submit_retries_total", attempts - 1
+                )
         return tx
 
     # ------------------------------------------------------------------
@@ -331,6 +353,11 @@ class ExposureProtocol:
             missing = included - set(inbox)
             if not missing:
                 break
+            if attempt > 0 and self.obs.enabled:
+                self.obs.tracer.event(
+                    "reveal.retry", attempt=attempt, missing=len(missing)
+                )
+                self.obs.registry.inc("protocol_reveal_retries_total")
             for participant in participants:
                 if self._is_down(participant.participant_id):
                     continue
@@ -364,7 +391,41 @@ class ExposureProtocol:
         the underlying consensus).  Crashed miners are skipped; if fewer
         live miners remain than the verification quorum the round aborts
         with :class:`~repro.common.errors.QuorumError`.
+
+        With observability attached the round emits a ``round`` span
+        containing ``mine``/``reveal``/``propose``/``verify``/``commit``
+        children plus the degradation events (retries, exclusions,
+        Byzantine rejections, fallbacks).  A round that aborts flushes
+        its partial phase timings with an ``aborted`` marker instead of
+        dropping them.
         """
+        round_index = self._round
+        with self.obs.tracer.span("round", index=round_index):
+            try:
+                return self._run_round(participants, round_index)
+            except ReproError as exc:
+                # Partial phase timings are already in the timer; mark
+                # the round itself so reports show the abort instead of
+                # silently blending failed rounds into the totals.
+                self.timer.mark_aborted("round")
+                if self.obs.enabled:
+                    self.obs.tracer.event(
+                        "round.aborted", error=type(exc).__name__
+                    )
+                    self.obs.registry.inc(
+                        "protocol_rounds_aborted_total",
+                        reason=type(exc).__name__,
+                    )
+                raise
+
+    def _run_round(
+        self, participants: Sequence[Participant], round_index: int
+    ) -> RoundResult:
+        obs = self.obs
+        tracer = obs.tracer
+        reg = obs.registry
+        if obs.enabled:
+            reg.inc("protocol_rounds_total")
         rotation = (
             self.miners[self._round % len(self.miners):]
             + self.miners[: self._round % len(self.miners)]
@@ -379,8 +440,18 @@ class ExposureProtocol:
         leader = next(m for m in rotation if not self._is_down(m.miner_id))
 
         # Phase 1 completion: leader mines the preamble over sealed bids.
-        with self.timer.phase("mine"):
+        with self.timer.phase("mine"), tracer.span(
+            "mine", leader=leader.miner_id
+        ):
             preamble = leader.build_preamble()
+        if obs.enabled:
+            # Ledger-side metrics: what the miner committed and what the
+            # proof-of-work cost (deterministic PoW scans from nonce 0,
+            # so the winning nonce counts the iterations).
+            reg.inc("ledger_blocks_mined_total")
+            reg.inc("ledger_pow_iterations_total", preamble.pow_nonce + 1)
+            reg.observe("ledger_block_txs", len(preamble.transactions))
+            reg.observe("ledger_block_bytes", len(preamble.canonical_bytes))
         leader.accept_preamble(preamble)  # local knowledge, no gossip needed
         self.network.broadcast(
             messages.TOPIC_PREAMBLE,
@@ -397,7 +468,8 @@ class ExposureProtocol:
                 raise ProtocolError("preamble failed proof-of-work check")
 
         # Phase 2: collect screened reveals; excluded bids stay sealed.
-        with self.timer.phase("reveal"):
+        rejected_before = [len(m.rejected_reveals) for m in self.miners]
+        with self.timer.phase("reveal"), tracer.span("reveal"):
             reveals = self._collect_reveals(leader, preamble, participants)
         revealed = {r.txid for r in reveals}
         excluded = tuple(
@@ -405,7 +477,36 @@ class ExposureProtocol:
             for tx in preamble.transactions
             if tx.txid() not in revealed
         )
+        if obs.enabled:
+            reg.inc("protocol_reveals_total", len(reveals))
+            # Byzantine evidence accumulated during this reveal phase:
+            # reveals the miners screened out (forged keys, unknown
+            # txids, undecryptable boxes) — one event per rejection.
+            for miner, before in zip(self.miners, rejected_before):
+                for reveal, reason in miner.rejected_reveals[before:]:
+                    tracer.event(
+                        "byzantine.reveal_rejected",
+                        miner=miner.miner_id,
+                        sender=reveal.sender_id,
+                        txid=reveal.txid,
+                        reason=reason,
+                    )
+                    reg.inc(
+                        "protocol_byzantine_reveals_total", reason=reason
+                    )
+            # Exactly one exclusion event per bid whose key never
+            # (validly) arrived — the trace-based suite pins this down.
+            for txid in excluded:
+                tracer.event("reveal.excluded", txid=txid)
+            reg.inc("protocol_excluded_bids_total", len(excluded))
         if preamble.transactions and not reveals:
+            if obs.enabled:
+                tracer.event(
+                    "reveal.timeout",
+                    sealed=len(preamble.transactions),
+                    retries=self.max_reveal_retries,
+                )
+                reg.inc("protocol_reveal_timeouts_total")
             raise RevealTimeoutError(
                 f"no valid key reveal arrived for any of the "
                 f"{len(preamble.transactions)} sealed bids after "
@@ -419,7 +520,11 @@ class ExposureProtocol:
         for proposer in rotation:
             if self._is_down(proposer.miner_id):
                 continue
-            with self.timer.phase("propose"):
+            if failed and obs.enabled:
+                tracer.event("round.fallback", proposer=proposer.miner_id)
+            with self.timer.phase("propose"), tracer.span(
+                "propose", proposer=proposer.miner_id
+            ):
                 body = proposer.build_body(preamble, reveals)
                 block = Block(preamble=preamble, body=body)
                 self.network.broadcast(
@@ -430,12 +535,14 @@ class ExposureProtocol:
                     sender=proposer.miner_id,
                 )
                 self._flush()
+            if obs.enabled:
+                reg.inc("protocol_proposals_total")
 
             # Collective verification: every live miner re-executes the
             # allocation; commit happens only after quorum agrees, so a
             # rejected proposal leaves no chain diverged.
             approving: List[Miner] = []
-            with self.timer.phase("verify"):
+            with self.timer.phase("verify"), tracer.span("verify"):
                 for miner in self._live_miners():
                     try:
                         miner.verify_block(block)
@@ -444,10 +551,29 @@ class ExposureProtocol:
                     approving.append(miner)
             if len(approving) < self.quorum:
                 failed.append(proposer.miner_id)
+                if obs.enabled:
+                    tracer.event(
+                        "proposal.rejected",
+                        proposer=proposer.miner_id,
+                        approvals=len(approving),
+                        quorum=self.quorum,
+                    )
+                    reg.inc("protocol_proposals_rejected_total")
                 continue
-            with self.timer.phase("commit"):
+            with self.timer.phase("commit"), tracer.span("commit"):
                 for miner in approving:
                     miner.commit_block(block)
+            if obs.enabled:
+                reg.inc("protocol_commits_total")
+                reg.set("protocol_last_quorum", len(approving))
+                if failed:
+                    reg.inc("protocol_fallbacks_total")
+                tracer.event(
+                    "round.committed",
+                    height=block.preamble.height,
+                    approvals=len(approving),
+                    excluded=len(excluded),
+                )
 
             allocator = proposer.allocate
             outcome = (
@@ -473,6 +599,7 @@ def build_miner_network(
     num_miners: int,
     config: Optional[AuctionConfig] = None,
     difficulty_bits: int = 8,
+    obs: Optional[ObservabilityLike] = None,
 ) -> ExposureProtocol:
     """Convenience factory: ``num_miners`` DeCloud miners on one bus."""
     miners = [
@@ -483,4 +610,4 @@ def build_miner_network(
         )
         for i in range(num_miners)
     ]
-    return ExposureProtocol(miners=miners)
+    return ExposureProtocol(miners=miners, obs=obs)

@@ -17,9 +17,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.common.errors import ContractError
+from repro.obs import ObservabilityLike, resolve as resolve_obs
 
 
 class EscrowState(enum.Enum):
@@ -136,11 +137,22 @@ class TokenLedger:
 
 @dataclass
 class SettlementProcessor:
-    """Drives settlement for a block's matches through the token ledger."""
+    """Drives settlement for a block's matches through the token ledger.
+
+    With an :class:`~repro.obs.Observability` attached, settlement
+    outcomes land in the registry as
+    ``settlement_escrows_total{outcome=opened|released|refunded}`` plus
+    per-block counters, so a running market can answer "how much value
+    settled, how much was refunded" without replaying the ledger.
+    """
 
     ledger: TokenLedger
+    obs: Optional[ObservabilityLike] = None
     #: settlements already processed, by block hash — duplicate-delivery safe
     _settled_blocks: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.obs = resolve_obs(self.obs)
 
     def settle_block(
         self,
@@ -156,9 +168,13 @@ class SettlementProcessor:
         that redelivers an already-settled block returns the original
         escrow ids instead of locking the client's funds twice.
         """
+        obs = self.obs
         if block_hash and block_hash in self._settled_blocks:
+            if obs.enabled:
+                obs.registry.inc("settlement_duplicate_blocks_total")
             return dict(self._settled_blocks[block_hash])
         escrow_ids: Dict[str, str] = {}
+        escrowed = 0.0
         for match in matches:
             client = match.request.client_id
             if auto_fund and self.ledger.balance(client) < match.payment:
@@ -170,12 +186,38 @@ class SettlementProcessor:
                 provider_id=match.offer.provider_id,
                 amount=match.payment,
             )
+            escrowed += match.payment
         if block_hash:
             self._settled_blocks[block_hash] = dict(escrow_ids)
+        if obs.enabled:
+            obs.registry.inc("settlement_blocks_total")
+            obs.registry.inc(
+                "settlement_escrows_total", len(escrow_ids), outcome="opened"
+            )
+            obs.registry.inc("settlement_value_total", escrowed,
+                             outcome="opened")
         return escrow_ids
 
     def complete(self, escrow_id: str) -> None:
+        amount = self.ledger.escrows[escrow_id].amount \
+            if escrow_id in self.ledger.escrows else 0.0
         self.ledger.release(escrow_id)
+        if self.obs.enabled:
+            self.obs.registry.inc(
+                "settlement_escrows_total", outcome="released"
+            )
+            self.obs.registry.inc(
+                "settlement_value_total", amount, outcome="released"
+            )
 
     def default(self, escrow_id: str) -> None:
+        amount = self.ledger.escrows[escrow_id].amount \
+            if escrow_id in self.ledger.escrows else 0.0
         self.ledger.refund(escrow_id)
+        if self.obs.enabled:
+            self.obs.registry.inc(
+                "settlement_escrows_total", outcome="refunded"
+            )
+            self.obs.registry.inc(
+                "settlement_value_total", amount, outcome="refunded"
+            )

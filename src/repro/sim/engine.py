@@ -20,7 +20,13 @@ from repro.core.auction import DecloudAuction
 from repro.core.config import AuctionConfig
 from repro.core.outcome import AuctionOutcome
 from repro.market.bids import Offer, Request
-from repro.sim.metrics import BlockMetrics, RunMetrics, compare_outcomes
+from repro.obs import ObservabilityLike, resolve as resolve_obs
+from repro.sim.metrics import (
+    BlockMetrics,
+    RunMetrics,
+    block_metrics_from_registry,
+    compare_outcomes,
+)
 
 
 def _evidence_for(seed: int, index: int) -> bytes:
@@ -53,14 +59,24 @@ class MarketSimulator:
     (match / cluster / normalize / assemble / clear) across every block
     the simulator clears — benchmarks read it to report where rounds
     spend their time.
+
+    ``obs`` (optional :class:`~repro.obs.Observability`) records both
+    mechanisms' rounds under ``mechanism=decloud`` / ``=benchmark``
+    label scopes.  When attached, :meth:`run_block` builds its
+    :class:`BlockMetrics` *from the registry* (see
+    :func:`~repro.sim.metrics.block_metrics_from_registry`) — the
+    values are bit-identical to the direct outcome comparison, which
+    the metrics-accuracy suite asserts.
     """
 
     config: AuctionConfig = field(default_factory=AuctionConfig)
     seed: int = 0
     timer: Optional[PhaseTimer] = None
+    obs: Optional[ObservabilityLike] = None
     _block_index: int = 0
 
     def __post_init__(self) -> None:
+        self.obs = resolve_obs(self.obs)
         self._auction = DecloudAuction(self.config)
         self._benchmark = GreedyBenchmark(self.config)
 
@@ -74,13 +90,27 @@ class MarketSimulator:
         if evidence is None:
             evidence = _evidence_for(self.seed, self._block_index)
         self._block_index += 1
-        decloud = self._auction.run(
-            requests, offers, evidence=evidence, timer=self.timer
-        )
-        benchmark = self._benchmark.run(requests, offers)
-        metrics = compare_outcomes(
-            len(requests), len(offers), decloud, benchmark
-        )
+        obs = self.obs
+        if obs.enabled:
+            decloud = self._auction.run(
+                requests,
+                offers,
+                evidence=evidence,
+                timer=self.timer,
+                obs=obs.scoped(mechanism="decloud"),
+            )
+            benchmark = self._benchmark.run(
+                requests, offers, obs=obs.scoped(mechanism="benchmark")
+            )
+            metrics = block_metrics_from_registry(obs.registry)
+        else:
+            decloud = self._auction.run(
+                requests, offers, evidence=evidence, timer=self.timer
+            )
+            benchmark = self._benchmark.run(requests, offers)
+            metrics = compare_outcomes(
+                len(requests), len(offers), decloud, benchmark
+            )
         return metrics, decloud, benchmark
 
     def run_stream(

@@ -19,6 +19,7 @@ from repro.core.auction import DecloudAuction
 from repro.core.config import AuctionConfig
 from repro.core.outcome import AuctionOutcome
 from repro.market.bids import Offer, Request
+from repro.obs import ObservabilityLike, resolve as resolve_obs
 
 
 @dataclass
@@ -79,6 +80,7 @@ class OnlineSimulator:
         block_interval: float = 1.0,
         seed: int = 0,
         timer: Optional[PhaseTimer] = None,
+        obs: Optional[ObservabilityLike] = None,
     ) -> None:
         if block_interval <= 0:
             raise ValidationError("block_interval must be positive")
@@ -87,6 +89,10 @@ class OnlineSimulator:
         self.seed = seed
         #: accumulates auction phase timings across every round
         self.timer = timer
+        #: optional observability: per-epoch queue depth, arrival/expiry
+        #: counters, and trade-ratio gauges (plus the auction's own
+        #: round instrumentation)
+        self.obs = resolve_obs(obs)
         self._auction = DecloudAuction(self.config)
 
     def _evidence(self, round_index: int) -> bytes:
@@ -113,16 +119,21 @@ class OnlineSimulator:
         arrivals_o = sorted(offers, key=lambda o: o.submit_time)
         first_seen: Dict[str, int] = {}
 
+        obs = self.obs
         round_index = 0
         now = self.block_interval
         while now <= horizon + 1e-9:
             # Admit new arrivals.
+            arrived_r = 0
+            arrived_o = 0
             while arrivals_r and arrivals_r[0].submit_time <= now:
                 request = arrivals_r.pop(0)
                 first_seen[request.request_id] = round_index
                 pending_requests.append(request)
+                arrived_r += 1
             while arrivals_o and arrivals_o[0].submit_time <= now:
                 pending_offers.append(arrivals_o.pop(0))
+                arrived_o += 1
 
             # Expire what can no longer run.
             still_alive: List[Request] = []
@@ -131,16 +142,42 @@ class OnlineSimulator:
                     still_alive.append(request)
                 else:
                     result.expired_requests.append(request.request_id)
+            expired = len(pending_requests) - len(still_alive)
             pending_requests = still_alive
+            n_offers_before = len(pending_offers)
             pending_offers = [
                 offer for offer in pending_offers if offer.window.end > now
             ]
+            expired_offers = n_offers_before - len(pending_offers)
+
+            if obs.enabled:
+                obs.registry.inc("online_rounds_total")
+                obs.registry.inc(
+                    "online_arrivals_total", arrived_r, side="request"
+                )
+                obs.registry.inc(
+                    "online_arrivals_total", arrived_o, side="offer"
+                )
+                obs.registry.inc(
+                    "online_expired_total", expired, side="request"
+                )
+                obs.registry.inc(
+                    "online_expired_total", expired_offers, side="offer"
+                )
+                obs.registry.set(
+                    "online_queue_depth", len(pending_requests),
+                    side="request",
+                )
+                obs.registry.set(
+                    "online_queue_depth", len(pending_offers), side="offer"
+                )
 
             outcome = self._auction.run(
                 pending_requests,
                 pending_offers,
                 evidence=self._evidence(round_index),
                 timer=self.timer,
+                obs=obs,
             )
             result.rounds.append(
                 RoundRecord(
@@ -169,6 +206,22 @@ class OnlineSimulator:
             pending_offers = [
                 o for o in pending_offers if o.offer_id not in matched_offers
             ]
+
+            if obs.enabled:
+                obs.registry.inc("online_trades_total", outcome.num_trades)
+                queued = outcome.num_trades + len(pending_requests)
+                obs.registry.set(
+                    "online_last_trade_ratio",
+                    outcome.num_trades / queued if queued else 0.0,
+                )
+                obs.tracer.event(
+                    "online.round",
+                    index=round_index,
+                    trades=outcome.num_trades,
+                    queued_requests=len(pending_requests),
+                    queued_offers=len(pending_offers),
+                    expired=expired,
+                )
 
             round_index += 1
             now += self.block_interval

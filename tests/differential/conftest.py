@@ -21,6 +21,7 @@ from repro.core.auction import DecloudAuction
 from repro.core.config import AuctionConfig
 from repro.core.outcome import AuctionOutcome
 from repro.market.bids import Offer, Request
+from repro.obs import Observability
 
 
 def canonical_outcome(outcome: AuctionOutcome) -> Dict:
@@ -66,13 +67,28 @@ def run_both_engines(
     evidence: bytes = b"differential-evidence",
     config: AuctionConfig | None = None,
 ) -> Tuple[Dict, Dict]:
-    """Clear the same block on both engines; return canonical digests."""
+    """Clear the same block on both engines; return canonical digests.
+
+    Both engines run with a live :class:`~repro.obs.Observability`
+    attached — the differential contract therefore also enforces that
+    instrumentation never perturbs outcomes.
+    """
     base = config or AuctionConfig()
     reference = DecloudAuction(replace(base, engine="reference"))
     vectorized = DecloudAuction(replace(base, engine="vectorized"))
     return (
-        canonical_outcome(reference.run(requests, offers, evidence=evidence)),
-        canonical_outcome(vectorized.run(requests, offers, evidence=evidence)),
+        canonical_outcome(
+            reference.run(
+                requests, offers, evidence=evidence,
+                obs=Observability("diff-reference"),
+            )
+        ),
+        canonical_outcome(
+            vectorized.run(
+                requests, offers, evidence=evidence,
+                obs=Observability("diff-vectorized"),
+            )
+        ),
     )
 
 

@@ -1,0 +1,216 @@
+"""Trace-based integration tests: what a protocol round *did*.
+
+The exposure protocol runs with a live Observability attached and the
+exported trace is asserted structurally — the span tree
+``seal -> round(mine, reveal, propose, verify, commit)``, event counts,
+and the registry's protocol/ledger series.  The degraded-round tests pin
+the failure semantics: an excluded bid emits ``reveal.excluded`` exactly
+once, a fully-withheld round emits ``reveal.timeout`` and aborts with
+partial phase timings tagged ``aborted``.
+"""
+
+import pytest
+
+from repro.common.errors import RevealTimeoutError
+from repro.faults.actors import WithholdingParticipant
+from repro.ledger.miner import Miner
+from repro.obs import Observability
+from repro.obs.report import build_tree
+from repro.obs.trace import load_jsonl
+from repro.protocol.allocator import DecloudAllocator
+from repro.protocol.exposure import ExposureProtocol, Participant
+from tests.conftest import make_offer, make_request
+
+
+def _network(n=3, bits=6):
+    return [
+        Miner(
+            miner_id=f"m{i}",
+            allocate=DecloudAllocator(),
+            difficulty_bits=bits,
+        )
+        for i in range(n)
+    ]
+
+
+def _market(protocol, alice_cls=Participant):
+    """Five participants, enough buyer/seller pairs to actually trade."""
+    alice = alice_cls(participant_id="alice", deterministic=True)
+    anna = Participant(participant_id="anna", deterministic=True)
+    ada = Participant(participant_id="ada", deterministic=True)
+    bob = Participant(participant_id="bob", deterministic=True)
+    ben = Participant(participant_id="ben", deterministic=True)
+    alice_txid = protocol.submit(
+        alice, make_request(request_id="ra", client_id="alice", bid=2.0)
+    ).txid()
+    protocol.submit(
+        anna, make_request(request_id="rb", client_id="anna", bid=1.5)
+    )
+    protocol.submit(
+        ada, make_request(request_id="rc", client_id="ada", bid=1.0)
+    )
+    protocol.submit(
+        bob, make_offer(offer_id="ob", provider_id="bob", bid=0.4)
+    )
+    protocol.submit(
+        ben, make_offer(offer_id="oc", provider_id="ben", bid=0.6)
+    )
+    return [alice, anna, ada, bob, ben], alice_txid
+
+
+def _events(obs, name):
+    return [
+        r
+        for r in obs.tracer.records
+        if r["type"] == "event" and r["name"] == name
+    ]
+
+
+def _span_names(node):
+    return [child["name"] for child in node["children"]]
+
+
+class TestHealthyRoundTrace:
+    def _run(self):
+        obs = Observability("healthy-round")
+        protocol = ExposureProtocol(miners=_network(), obs=obs)
+        participants, _ = _market(protocol)
+        result = protocol.run_round(participants)
+        return obs, result
+
+    def test_span_tree_seal_mine_reveal_propose_verify_commit(self):
+        obs, _ = self._run()
+        roots = build_tree(load_jsonl(obs.trace_jsonl()))
+        names = [r["name"] for r in roots]
+        # five seals (one per submitted bid), then the round span
+        assert names == ["seal"] * 5 + ["round"]
+        round_node = roots[-1]
+        assert round_node["status"] == "ok"
+        assert _span_names(round_node) == [
+            "mine", "reveal", "propose", "verify", "commit",
+        ]
+        assert all(
+            child["status"] == "ok" for child in round_node["children"]
+        )
+
+    def test_round_committed_event_exactly_once(self):
+        obs, result = self._run()
+        committed = _events(obs, "round.committed")
+        assert len(committed) == 1
+        assert committed[0]["attrs"]["height"] == result.block.height
+        assert committed[0]["attrs"]["excluded"] == 0
+
+    def test_registry_counts_match_round(self):
+        obs, result = self._run()
+        reg = obs.registry
+        assert reg.counter_value("protocol_seals_total") == 5.0
+        assert reg.counter_value("protocol_rounds_total") == 1.0
+        assert reg.counter_value("protocol_reveals_total") == 5.0
+        assert reg.counter_value("protocol_commits_total") == 1.0
+        assert reg.counter_value("protocol_excluded_bids_total") == 0.0
+        assert reg.gauge_value("protocol_last_quorum") == float(
+            len(result.accepted_by)
+        )
+
+    def test_ledger_metrics_recorded(self):
+        obs, result = self._run()
+        reg = obs.registry
+        assert reg.counter_value("ledger_blocks_mined_total") == 1.0
+        assert reg.counter_value("ledger_pow_iterations_total") == float(
+            result.block.preamble.pow_nonce + 1
+        )
+        txs = reg.histogram_stats("ledger_block_txs")
+        assert txs["count"] == 1
+        assert txs["sum"] == len(result.block.preamble.transactions)
+        assert reg.histogram_stats("ledger_block_bytes")["sum"] == len(
+            result.block.preamble.canonical_bytes
+        )
+
+    def test_no_degradation_events_in_clean_round(self):
+        obs, _ = self._run()
+        for name in (
+            "reveal.retry",
+            "reveal.excluded",
+            "reveal.timeout",
+            "round.aborted",
+            "round.fallback",
+            "proposal.rejected",
+        ):
+            assert _events(obs, name) == [], name
+
+    def test_phase_timer_covers_protocol_phases(self):
+        obs, _ = self._run()
+        assert {
+            "seal", "mine", "reveal", "propose", "verify", "commit",
+        } <= set(obs.timer.totals)
+        assert obs.timer.aborted == {}
+
+
+class TestDegradedRoundTrace:
+    def test_excluded_bid_emits_exactly_one_exclusion_event(self):
+        obs = Observability("degraded-round")
+        protocol = ExposureProtocol(miners=_network(), obs=obs)
+        participants, alice_txid = _market(
+            protocol, alice_cls=WithholdingParticipant
+        )
+        result = protocol.run_round(participants)
+        assert result.excluded_txids == (alice_txid,)
+
+        excluded_events = _events(obs, "reveal.excluded")
+        assert [e["attrs"]["txid"] for e in excluded_events] == [alice_txid]
+        assert obs.registry.counter_value(
+            "protocol_excluded_bids_total"
+        ) == 1.0
+        # the withheld reveal forces retry sweeps before exclusion
+        assert len(_events(obs, "reveal.retry")) >= 1
+        assert obs.registry.counter_value(
+            "protocol_reveal_retries_total"
+        ) >= 1.0
+        # the degraded round still commits, and says so
+        committed = _events(obs, "round.committed")
+        assert len(committed) == 1
+        assert committed[0]["attrs"]["excluded"] == 1
+
+    def test_fully_withheld_round_aborts_with_tagged_timings(self):
+        obs = Observability("timeout-round")
+        protocol = ExposureProtocol(miners=_network(), obs=obs)
+        alice = WithholdingParticipant(
+            participant_id="alice", deterministic=True
+        )
+        protocol.submit(alice, make_request(client_id="alice"))
+        with pytest.raises(RevealTimeoutError):
+            protocol.run_round([alice])
+
+        assert len(_events(obs, "reveal.timeout")) == 1
+        aborted = _events(obs, "round.aborted")
+        assert len(aborted) == 1
+        assert aborted[0]["attrs"]["error"] == "RevealTimeoutError"
+        assert obs.registry.counter_value(
+            "protocol_rounds_aborted_total", reason="RevealTimeoutError"
+        ) == 1.0
+        assert obs.registry.counter_value("protocol_commits_total") == 0.0
+
+        # satellite: partial phase timings are flushed and tagged, not
+        # dropped — mine/reveal ran, the round carries the abort marker
+        assert obs.timer.aborted.get("round") == 1
+        assert "mine" in obs.timer.totals
+        assert "reveal" in obs.timer.totals
+        assert "commit" not in obs.timer.totals
+
+        # the round span closed with status=error despite the raise
+        roots = build_tree(load_jsonl(obs.trace_jsonl()))
+        round_node = next(r for r in roots if r["name"] == "round")
+        assert round_node["status"] == "error"
+        assert _span_names(round_node) == ["mine", "reveal"]
+
+
+class TestTraceExportDeterminism:
+    def test_two_seeded_rounds_export_identical_stripped_traces(self):
+        def run():
+            obs = Observability("repro-round")
+            protocol = ExposureProtocol(miners=_network(), obs=obs)
+            participants, _ = _market(protocol)
+            protocol.run_round(participants)
+            return obs.trace_jsonl(strip_wall=True)
+
+        assert run() == run()

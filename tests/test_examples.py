@@ -20,6 +20,7 @@ FAST_EXAMPLES = [
     "private_enclave_market.py",
     "challenge_and_settlement.py",
     "edge_federation.py",
+    "observability_demo.py",
 ]
 
 SLOW_EXAMPLES = [

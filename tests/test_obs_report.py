@@ -1,0 +1,102 @@
+"""Tests for the trace summary CLI (python -m repro.obs.report)."""
+
+from repro.obs import Observability, Tracer
+from repro.obs.export import write_prometheus
+from repro.obs.report import build_tree, main, render_tree, summarize
+from repro.obs.trace import load_jsonl
+
+
+def sample_tracer():
+    tracer = Tracer()
+    with tracer.span("round", index=0):
+        with tracer.span("mine", leader="m0"):
+            pass
+        with tracer.span("reveal"):
+            tracer.event("reveal.excluded", txid="t1")
+    return tracer
+
+
+class TestBuildTree:
+    def test_structure(self):
+        records = load_jsonl(sample_tracer().to_jsonl())
+        roots = build_tree(records)
+        assert len(roots) == 1
+        round_node = roots[0]
+        assert round_node["name"] == "round"
+        assert [c["name"] for c in round_node["children"]] == [
+            "mine", "reveal",
+        ]
+        reveal = round_node["children"][1]
+        assert reveal["events"] == [
+            {"name": "reveal.excluded", "attrs": {"txid": "t1"}}
+        ]
+        assert round_node["seconds"] is not None
+
+    def test_stripped_trace_has_no_seconds(self):
+        records = load_jsonl(sample_tracer().to_jsonl(strip_wall=True))
+        roots = build_tree(records)
+        assert roots[0]["seconds"] is None
+
+    def test_top_level_event_becomes_root(self):
+        tracer = Tracer()
+        tracer.event("lonely")
+        roots = build_tree(load_jsonl(tracer.to_jsonl()))
+        assert roots[0]["name"] == "lonely"
+        assert roots[0]["status"] == "event"
+
+
+class TestSummarize:
+    def test_counts_spans_and_events(self):
+        records = load_jsonl(sample_tracer().to_jsonl())
+        text = summarize(records)
+        assert "3 spans" in text
+        assert "1 events" in text
+        for name in ("round", "mine", "reveal", "reveal.excluded"):
+            assert name in text
+
+    def test_error_span_counted(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError
+        except RuntimeError:
+            pass
+        text = summarize(load_jsonl(tracer.to_jsonl()))
+        assert "boom" in text
+
+
+class TestRenderTree:
+    def test_indentation_and_events(self):
+        text = render_tree(load_jsonl(sample_tracer().to_jsonl()))
+        lines = text.splitlines()
+        assert lines[0].startswith("- round")
+        assert any(line.startswith("  - mine") for line in lines)
+        assert any("* reveal.excluded" in line for line in lines)
+
+
+class TestCli:
+    def test_main_summary(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        sample_tracer().write_jsonl(str(path))
+        assert main([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out
+        assert "round" in out
+
+    def test_main_tree_flag(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        sample_tracer().write_jsonl(str(path))
+        assert main([str(path), "--tree"]) == 0
+        assert "- round" in capsys.readouterr().out
+
+    def test_main_with_metrics_file(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        sample_tracer().write_jsonl(str(trace))
+        obs = Observability("cli")
+        obs.registry.inc("rounds")
+        prom = tmp_path / "metrics.prom"
+        write_prometheus(obs.registry, str(prom))
+        assert main([str(trace), "--metrics", str(prom)]) == 0
+        out = capsys.readouterr().out
+        assert "metrics:" in out
+        assert "rounds" in out

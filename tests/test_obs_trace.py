@@ -1,0 +1,129 @@
+"""Unit tests for the deterministic span/event tracer (repro.obs.trace)."""
+
+import json
+
+import pytest
+
+from repro.obs import NULL_TRACER, Tracer
+from repro.obs.trace import load_jsonl, strip_wall
+
+
+def record_types(tracer):
+    return [r["type"] for r in tracer.records]
+
+
+class TestSpans:
+    def test_span_start_end_pair(self):
+        tracer = Tracer()
+        with tracer.span("round", index=3):
+            pass
+        assert record_types(tracer) == ["span_start", "span_end"]
+        start, end = tracer.records
+        assert start["name"] == end["name"] == "round"
+        assert start["attrs"] == {"index": 3}
+        assert start["span"] == end["span"] == 1
+        assert start["parent"] is None
+        assert end["status"] == "ok"
+
+    def test_nesting_sets_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        starts = [r for r in tracer.records if r["type"] == "span_start"]
+        assert starts[0]["parent"] is None
+        assert starts[1]["parent"] == starts[0]["span"]
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("x")
+        end = tracer.records[-1]
+        assert end["type"] == "span_end"
+        assert end["status"] == "error"
+
+    def test_stack_recovers_after_error(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("a"):
+                raise ValueError
+        except ValueError:
+            pass
+        assert tracer.current_span is None
+        with tracer.span("b"):
+            assert tracer.current_span is not None
+
+
+class TestEvents:
+    def test_event_attaches_to_innermost_span(self):
+        tracer = Tracer()
+        with tracer.span("round"):
+            tracer.event("reveal.excluded", txid="t1")
+        event = tracer.records[1]
+        assert event["type"] == "event"
+        assert event["span"] == 1
+        assert event["attrs"] == {"txid": "t1"}
+
+    def test_top_level_event_has_null_span(self):
+        tracer = Tracer()
+        tracer.event("note")
+        assert tracer.records[0]["span"] is None
+
+
+class TestDeterminism:
+    def _run(self):
+        tracer = Tracer()
+        with tracer.span("auction", requests=4):
+            with tracer.span("match"):
+                pass
+            tracer.event("auction.cleared", trades=2)
+        return tracer
+
+    def test_seq_is_monotonic_per_record(self):
+        tracer = self._run()
+        assert [r["seq"] for r in tracer.records] == [1, 2, 3, 4, 5]
+
+    def test_stripped_jsonl_is_byte_identical_across_runs(self):
+        a = self._run().to_jsonl(strip_wall=True)
+        b = self._run().to_jsonl(strip_wall=True)
+        assert a == b
+        assert "wall" not in a
+
+    def test_unstripped_jsonl_carries_wall(self):
+        text = self._run().to_jsonl()
+        assert all("wall" in r for r in load_jsonl(text))
+
+    def test_strip_wall_helper_matches_export_flag(self):
+        tracer = self._run()
+        assert strip_wall(tracer.to_jsonl()) == tracer.to_jsonl(
+            strip_wall=True
+        )
+
+    def test_jsonl_lines_have_sorted_keys(self):
+        for line in self._run().to_jsonl(strip_wall=True).splitlines():
+            record = json.loads(line)
+            assert line == json.dumps(
+                record, sort_keys=True, separators=(",", ":")
+            )
+
+
+class TestExport:
+    def test_write_jsonl_roundtrips(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("round"):
+            tracer.event("x")
+        path = tmp_path / "trace.jsonl"
+        tracer.write_jsonl(str(path))
+        assert load_jsonl(path.read_text()) == tracer.records
+
+    def test_empty_tracer_exports_empty(self):
+        assert Tracer().to_jsonl() == ""
+
+
+class TestNullTracer:
+    def test_inert(self):
+        with NULL_TRACER.span("anything", a=1):
+            NULL_TRACER.event("nothing")
+        assert NULL_TRACER.records == []
+        assert NULL_TRACER.to_jsonl() == ""

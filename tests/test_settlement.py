@@ -133,3 +133,64 @@ class TestSettlementProcessor:
         processor.default(escrow_ids["r1"])
         assert ledger.balance("c1") == 2.0
         assert ledger.balance("p1") == 0.0
+
+    def test_duplicate_block_hash_is_idempotent(self):
+        ledger = TokenLedger()
+        processor = SettlementProcessor(ledger=ledger)
+        first = processor.settle_block(
+            self._matches(), auto_fund=True, block_hash="b1"
+        )
+        again = processor.settle_block(
+            self._matches(), auto_fund=True, block_hash="b1"
+        )
+        assert again == first
+        assert len(ledger.escrows) == 1
+
+
+class TestSettlementObservability:
+    def _matches(self):
+        request = make_request(request_id="r1", client_id="c1", bid=3.0)
+        offer = make_offer(offer_id="o1", provider_id="p1", bid=1.0)
+        return [Match(request=request, offer=offer, payment=2.0, unit_price=0.5)]
+
+    def test_settlement_outcomes_reach_registry(self):
+        from repro.obs import Observability
+
+        obs = Observability("settle")
+        processor = SettlementProcessor(ledger=TokenLedger(), obs=obs)
+        escrow_ids = processor.settle_block(
+            self._matches(), auto_fund=True, block_hash="b1"
+        )
+        processor.settle_block(
+            self._matches(), auto_fund=True, block_hash="b1"
+        )
+        processor.complete(escrow_ids["r1"])
+        reg = obs.registry
+        assert reg.counter_value("settlement_blocks_total") == 1.0
+        assert reg.counter_value("settlement_duplicate_blocks_total") == 1.0
+        assert reg.counter_value(
+            "settlement_escrows_total", outcome="opened"
+        ) == 1.0
+        assert reg.counter_value(
+            "settlement_value_total", outcome="opened"
+        ) == 2.0
+        assert reg.counter_value(
+            "settlement_escrows_total", outcome="released"
+        ) == 1.0
+        assert reg.counter_value(
+            "settlement_value_total", outcome="released"
+        ) == 2.0
+
+    def test_default_counts_refund(self):
+        from repro.obs import Observability
+
+        obs = Observability("settle-default")
+        processor = SettlementProcessor(ledger=TokenLedger(), obs=obs)
+        escrow_ids = processor.settle_block(self._matches(), auto_fund=True)
+        processor.default(escrow_ids["r1"])
+        assert obs.registry.counter_value(
+            "settlement_escrows_total", outcome="refunded"
+        ) == 1.0
+        assert obs.registry.counter_value(
+            "settlement_value_total", outcome="refunded"
+        ) == 2.0

@@ -156,6 +156,58 @@ class TestOnlineSimulator:
         with pytest.raises(ValidationError):
             OnlineSimulator(block_interval=0.0)
 
+    def test_observability_counts_arrivals_expiry_and_trades(self):
+        from repro.obs import Observability
+
+        requests, offers = self._stream()
+        obs = Observability("online")
+        result = OnlineSimulator(
+            config=eval_config(), block_interval=2.0, seed=3, obs=obs
+        ).run(requests, offers, horizon=12)
+        reg = obs.registry
+        assert reg.counter_value("online_rounds_total") == float(
+            len(result.rounds)
+        )
+        assert reg.counter_value("online_trades_total") == float(
+            result.total_trades
+        )
+        # every request that arrived before the horizon was admitted
+        admitted = sum(1 for r in requests if r.submit_time <= 12)
+        assert reg.counter_value(
+            "online_arrivals_total", side="request"
+        ) == float(admitted)
+        assert reg.counter_value(
+            "online_expired_total", side="request"
+        ) == float(len(result.expired_requests))
+        # queue-depth gauges hold the last round's pool sizes
+        assert reg.gauge_value("online_queue_depth", side="request") >= 0.0
+        # one online.round event per cleared round
+        events = [
+            r
+            for r in obs.tracer.records
+            if r["type"] == "event" and r["name"] == "online.round"
+        ]
+        assert len(events) == len(result.rounds)
+        assert [e["attrs"]["index"] for e in events] == [
+            record.index for record in result.rounds
+        ]
+
+    def test_observability_does_not_change_results(self):
+        from repro.obs import Observability
+
+        requests, offers = self._stream()
+
+        def run(obs):
+            return OnlineSimulator(
+                config=eval_config(), block_interval=2.0, seed=3, obs=obs
+            ).run(requests, offers, horizon=12)
+
+        plain, observed = run(None), run(Observability("check"))
+        assert observed.total_trades == plain.total_trades
+        assert observed.total_welfare == plain.total_welfare
+        assert observed.allocation_delay == plain.allocation_delay
+        assert observed.expired_requests == plain.expired_requests
+
 
 class TestReputationResource:
     def test_reputation_annotation_and_floor(self):

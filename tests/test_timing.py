@@ -70,6 +70,75 @@ class TestPhaseTimer:
         assert timer.counts["boom"] == 1
 
 
+class TestAbortedPhases:
+    """Failed rounds must flush partial timings, tagged — not drop them."""
+
+    def test_exception_tags_phase_aborted(self):
+        timer = PhaseTimer()
+        try:
+            with timer.phase("reveal"):
+                raise ValueError("withheld")
+        except ValueError:
+            pass
+        assert timer.aborted == {"reveal": 1}
+        # the partial elapsed time is kept alongside the marker
+        assert timer.counts["reveal"] == 1
+        assert timer.totals["reveal"] >= 0.0
+
+    def test_clean_phase_not_tagged(self):
+        timer = PhaseTimer()
+        with timer.phase("mine"):
+            pass
+        assert timer.aborted == {}
+
+    def test_mark_aborted_without_time(self):
+        timer = PhaseTimer()
+        timer.mark_aborted("round")
+        assert timer.aborted == {"round": 1}
+        assert "round" not in timer.totals
+
+    def test_to_dict_carries_marker_only_when_aborted(self):
+        timer = PhaseTimer()
+        timer.add("mine", 0.5)
+        timer.add("reveal", 0.1, aborted=True)
+        timer.mark_aborted("round")
+        snapshot = timer.to_dict()
+        assert snapshot["mine"] == {"seconds": 0.5, "count": 1}
+        assert snapshot["reveal"] == {
+            "seconds": 0.1, "count": 1, "aborted": 1,
+        }
+        # a phase that only ever aborted still leaves visible evidence
+        assert snapshot["round"] == {"seconds": 0.0, "count": 0, "aborted": 1}
+
+    def test_merge_folds_aborted(self):
+        a = PhaseTimer()
+        a.add("reveal", 0.1, aborted=True)
+        b = PhaseTimer()
+        b.add("reveal", 0.2, aborted=True)
+        b.mark_aborted("round")
+        a.merge(b)
+        assert a.aborted == {"reveal": 2, "round": 1}
+
+    def test_reset_clears_aborted(self):
+        timer = PhaseTimer()
+        timer.mark_aborted("round")
+        timer.reset()
+        assert timer.aborted == {}
+
+    def test_report_mentions_aborted(self):
+        timer = PhaseTimer()
+        timer.add("reveal", 0.1, aborted=True)
+        timer.mark_aborted("round")
+        report = timer.report()
+        assert "(aborted x1)" in report
+        assert "round" in report
+
+    def test_null_timer_accepts_markers(self):
+        NULL_TIMER.add("x", 1.0, aborted=True)
+        NULL_TIMER.mark_aborted("x")
+        assert not hasattr(NULL_TIMER, "aborted")
+
+
 class TestNullTimer:
     def test_null_timer_is_inert(self):
         with NULL_TIMER.phase("anything"):
