@@ -14,9 +14,16 @@ reducible via ``DECLOUD_OBS_N`` / ``DECLOUD_SPEEDUP_N`` for CI smoke):
   regresses past the usual gate.
 * ``test_bench_obs_enabled`` — the same round with a live registry and
   tracer attached (informative: what turning observability on costs).
+* ``test_bench_obs_monitored`` — the enabled round with the full
+  :class:`~repro.obs.monitors.MonitorSuite` checking every outcome; its
+  committed threshold sits <=10% over the enabled baseline, so CI fails
+  if the monitors grow past "a handful of O(matches) passes".
 * ``test_disabled_overhead_within_bound`` — interleaved best-of paired
   runs, default path vs explicit ``NULL_OBS``; the ratio must stay
   within ``DECLOUD_OBS_CEILING`` (default 1.05, the <=5% requirement).
+* ``test_monitored_overhead_within_bound`` — the same paired protocol
+  for monitors: enabled+monitors vs plain enabled must stay within
+  ``DECLOUD_MONITOR_CEILING`` (default 1.10).
 """
 
 from __future__ import annotations
@@ -27,6 +34,7 @@ import time
 from repro.core.auction import DecloudAuction
 from repro.core.config import AuctionConfig
 from repro.obs import NULL_OBS, Observability
+from repro.obs.monitors import MonitorSuite
 from repro.workloads.generators import generate_market
 
 OBS_N = int(
@@ -36,6 +44,8 @@ OBS_N = int(
 )
 #: Allowed disabled-path overhead ratio (paired best-of comparison).
 OBS_CEILING = float(os.environ.get("DECLOUD_OBS_CEILING", "1.05"))
+#: Allowed monitor-suite overhead over the plain enabled path.
+MONITOR_CEILING = float(os.environ.get("DECLOUD_MONITOR_CEILING", "1.10"))
 EVIDENCE = b"obs-bench"
 
 
@@ -63,6 +73,20 @@ def test_bench_obs_enabled(benchmark):
 
     def run():
         return _run_round(requests, offers, obs=Observability("bench"))
+
+    outcome = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert outcome.matches
+
+
+def test_bench_obs_monitored(benchmark):
+    requests, offers = _market()
+
+    def run():
+        return _run_round(
+            requests,
+            offers,
+            obs=Observability("bench-mon", monitors=MonitorSuite()),
+        )
 
     outcome = benchmark.pedantic(run, rounds=3, iterations=1)
     assert outcome.matches
@@ -130,4 +154,45 @@ def test_enabled_overhead_is_bounded():
     assert ratio <= 2.0, (
         f"enabled observability costs {ratio:.3f}x a dark round — "
         "per-round instrumentation must stay O(1), not O(market)"
+    )
+
+
+def test_monitored_overhead_within_bound():
+    """Paired interleaved best-of: enabled obs vs enabled obs + monitors.
+
+    The monitor suite replays the outcome (budget regrouping, IR per
+    match, capacity replay, bucket checks) — all O(matches) work, tiny
+    next to clearing itself.  The paired ratio pins that at
+    <= MONITOR_CEILING (default 1.10, the <=10% requirement).
+    """
+    requests, offers = _market()
+    _run_round(requests, offers, obs=Observability("warm"))
+    _run_round(
+        requests, offers, obs=Observability("warm", monitors=MonitorSuite())
+    )
+
+    best_plain = float("inf")
+    best_monitored = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        _run_round(requests, offers, obs=Observability("bench"))
+        best_plain = min(best_plain, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        _run_round(
+            requests,
+            offers,
+            obs=Observability("bench", monitors=MonitorSuite()),
+        )
+        best_monitored = min(best_monitored, time.perf_counter() - start)
+
+    ratio = best_monitored / max(best_plain, 1e-9)
+    print(
+        f"\nmonitor overhead at n={OBS_N}: enabled {best_plain:.4f}s, "
+        f"monitored {best_monitored:.4f}s, ratio {ratio:.3f} "
+        f"(ceiling {MONITOR_CEILING})"
+    )
+    assert ratio <= MONITOR_CEILING, (
+        f"the monitor suite costs {ratio:.3f}x an enabled round at "
+        f"n={OBS_N}; monitors must stay within {MONITOR_CEILING}x"
     )

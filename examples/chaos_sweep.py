@@ -8,7 +8,10 @@ round-robin leader equivocates.  For each fault level it reports:
 * auction success rate (rounds that produced a quorum-verified block),
 * welfare retention versus the identical fault-free market,
 * how many sealed bids were excluded (the paper's denial path),
-* how often peers rejected a leader and fell back to the next miner.
+* how often peers rejected a leader and fell back to the next miner,
+* runtime monitor alerts — every completed block is checked by the
+  mechanism monitors (budget balance, IR, resource conservation, ...),
+  so any non-zero count means a block violated a §IV invariant.
 
 The sweep is fully deterministic: rerunning this script reproduces the
 exact same curve.
@@ -47,19 +50,23 @@ def main() -> None:
     print(f"{rounds} rounds per point, 3 miners, quorum = 2\n")
     header = (
         f"{'drop':>5}  {'success':>8}  {'retention':>9}  "
-        f"{'excluded':>8}  {'fallbacks':>9}  {'msgs lost':>9}"
+        f"{'excluded':>8}  {'fallbacks':>9}  {'msgs lost':>9}  "
+        f"{'alerts':>6}"
     )
     print(header)
     print("-" * len(header))
-    for point in run_chaos_sweep(spec, drop_rates=DROP_RATES):
+    alerts = 0
+    for point in run_chaos_sweep(spec, drop_rates=DROP_RATES, monitored=True):
         print(
             f"{point.drop_rate:>5.2f}  "
             f"{point.success_rate:>8.2f}  "
             f"{point.welfare_retention:>9.2f}  "
             f"{point.excluded_bids:>8d}  "
             f"{point.fallback_rounds:>9d}  "
-            f"{point.messages_dropped:>9d}"
+            f"{point.messages_dropped:>9d}  "
+            f"{point.monitor_alerts:>6d}"
         )
+        alerts += point.monitor_alerts
         if point.integrity_failures:
             raise SystemExit(
                 "mechanism integrity violated under faults — "
@@ -68,10 +75,15 @@ def main() -> None:
             )
         for error in point.errors:
             print(f"        degraded: {error}")
+    if alerts:
+        raise SystemExit(
+            f"mechanism monitors raised {alerts} alert(s) — a completed "
+            "block violated a §IV invariant"
+        )
     print(
         "\nevery completed block matched a fault-free replay on its "
-        "surviving bid set — faults shrink the market, never corrupt "
-        "the mechanism"
+        "surviving bid set and passed all mechanism monitors — faults "
+        "shrink the market, never corrupt the mechanism"
     )
 
 

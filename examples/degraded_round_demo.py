@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Flight recorder walkthrough: a seeded degraded round, post-mortem included.
+
+Two protocol rounds over a lossy network (25% drops, 20% duplicates,
+20% reorders) with one Byzantine client that never reveals its sealing
+key:
+
+* **Round 0** completes despite the faults — the withholding client's
+  sealed bid is excluded (the paper's denial path) and the block clears
+  on the surviving bids.  The flight recorder archives the round's
+  causal trace as a frame.
+* **Round 1** loses two of the three miners mid-round, so no proposal
+  can reach quorum.  The resulting ``QuorumError`` makes the flight
+  recorder dump everything it has — the archived round-0 frame plus the
+  failing round's records — into a self-contained JSONL bundle.
+
+The script then renders the bundle exactly like
+``python -m repro.obs.report --flight <bundle>`` would: the causal tree
+across every actor with the failing path marked by ``!``, naming the
+excluded bidder and the dropped/duplicated messages that caused it.
+
+Everything is seeded, so the bundle is identical on every run.
+
+Run:  python examples/degraded_round_demo.py [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+
+from repro.common.errors import QuorumError
+from repro.common.timewindow import TimeWindow
+from repro.faults.actors import WithholdingParticipant
+from repro.faults.network import UnreliableNetwork
+from repro.faults.plan import FaultPlan
+from repro.ledger.miner import Miner
+from repro.market.bids import Offer, Request
+from repro.obs import Observability
+from repro.obs.flight import FlightRecorder, load_flight
+from repro.obs.monitors import MonitorSuite
+from repro.obs.report import render_flight
+from repro.protocol.allocator import DecloudAllocator
+from repro.protocol.exposure import ExposureProtocol, Participant
+
+SEED = "flight-demo"
+
+
+def submit_market(protocol, clients, provider, round_index: int) -> None:
+    for i, client in enumerate(clients):
+        protocol.submit(
+            client,
+            Request(
+                request_id=f"req-{round_index}-{i}",
+                client_id=client.participant_id,
+                submit_time=0.1 * i,
+                resources={"cpu": 2, "ram": 4, "disk": 10},
+                window=TimeWindow(0, 10),
+                duration=4.0,
+                bid=2.0 + 0.5 * i,
+            ),
+        )
+    protocol.submit(
+        provider,
+        Offer(
+            offer_id=f"off-{round_index}",
+            provider_id=provider.participant_id,
+            submit_time=0.0,
+            resources={"cpu": 8, "ram": 32, "disk": 500},
+            window=TimeWindow(0, 24),
+            bid=0.5,
+        ),
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out", default=None,
+        help="directory for the flight bundle (default: a temp dir)",
+    )
+    args = parser.parse_args()
+    out_dir = args.out or tempfile.mkdtemp(prefix="decloud-flight-")
+
+    plan = FaultPlan(
+        seed=SEED,
+        drop_rate=0.25,
+        duplicate_rate=0.2,
+        reorder_rate=0.2,
+        max_delay=0.05,
+    )
+    network = UnreliableNetwork(plan=plan)
+    obs = Observability(
+        run_id="degraded-demo",
+        monitors=MonitorSuite(),
+        flight=FlightRecorder(capacity=4, out_dir=out_dir),
+    )
+    miners = [
+        Miner(
+            miner_id=f"miner-{m}",
+            allocate=DecloudAllocator(),
+            difficulty_bits=4,
+        )
+        for m in range(3)
+    ]
+    protocol = ExposureProtocol(miners=miners, network=network, obs=obs)
+
+    seal_seed = SEED.encode("ascii")
+    byzantine = WithholdingParticipant(
+        participant_id="cli-0", deterministic=True, seal_seed=seal_seed
+    )
+    honest = Participant(
+        participant_id="cli-1", deterministic=True, seal_seed=seal_seed
+    )
+    provider = Participant(
+        participant_id="prov-0", deterministic=True, seal_seed=seal_seed
+    )
+    participants = [byzantine, honest, provider]
+
+    print(f"flight bundles -> {out_dir}\n")
+    print("round 0: lossy network + withholding client cli-0 ...")
+    submit_market(protocol, [byzantine, honest], provider, 0)
+    result = protocol.run_round(participants)
+    print(
+        f"  completed: {result.outcome.num_trades} trade(s), "
+        f"{len(result.excluded_txids)} sealed bid(s) excluded"
+    )
+
+    print("round 1: two of three miners crash -> no quorum ...")
+    submit_market(protocol, [byzantine, honest], provider, 1)
+    network.crash_node("miner-1")
+    network.crash_node("miner-2")
+    try:
+        protocol.run_round(participants)
+    except QuorumError as exc:
+        print(f"  failed as designed: {exc}")
+    else:
+        raise SystemExit("expected the quorum to fail")
+
+    bundle = obs.flight.dumps[-1]
+    print(f"  flight recorder dumped {bundle}\n")
+    with open(bundle, "r", encoding="utf-8") as handle:
+        meta, records, headers = load_flight(handle.read())
+    report = render_flight(meta, records, headers)
+    print(report)
+
+    if "cli-0" not in report:
+        raise SystemExit("bundle does not name the excluded bidder")
+    print("\nOK")
+
+
+if __name__ == "__main__":
+    main()

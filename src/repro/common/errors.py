@@ -84,5 +84,17 @@ class AuctionError(ReproError):
     """The auction mechanism was driven with inconsistent inputs."""
 
 
+class MonitorViolationError(ReproError):
+    """A runtime mechanism monitor found a violated invariant (strict mode).
+
+    Carries the :class:`repro.obs.monitors.Violation` records that
+    triggered it in ``violations``.
+    """
+
+    def __init__(self, message: str, violations=()):
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
 class InfeasibleMatchError(AuctionError):
     """An allocation pairing violates feasibility constraints."""

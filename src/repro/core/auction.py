@@ -237,6 +237,11 @@ class DecloudAuction:
                 len(clusters), len(orphans), len(auctions),
                 outcome,
             )
+            # Runtime mechanism monitors guard the *truthful* mechanism's
+            # §IV invariants; the greedy benchmark switches the reduction
+            # off and deliberately breaks them, so it is not checked.
+            if self.config.enable_trade_reduction:
+                obs.check_outcome(outcome, source="auction")
         return outcome
 
     def _record_round(

@@ -15,6 +15,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import AuctionConfig
 from repro.obs import Observability, ObservabilityLike
+from repro.obs.timeseries import TimeSeriesStore
 from repro.sim.engine import MarketSimulator
 from repro.sim.metrics import BlockMetrics
 from repro.workloads.divergence import DivergenceScenario, tilt_for_similarity
@@ -53,6 +54,7 @@ def run_size_sweep(
     offers_per_request: float = 0.5,
     config: AuctionConfig | None = None,
     obs: Optional[ObservabilityLike] = None,
+    history: Optional[TimeSeriesStore] = None,
 ) -> List[SizePoint]:
     """Clear one block per (size, seed) with DeCloud and the benchmark.
 
@@ -60,7 +62,10 @@ def run_size_sweep(
     registry (``auction_last_*`` gauges): every point clears under an
     :class:`~repro.obs.Observability`, a fresh one per point unless a
     shared ``obs`` is passed in.  Registry-derived series are
-    bit-identical to the direct outcome comparison.
+    bit-identical to the direct outcome comparison.  An optional
+    ``history`` store accumulates one registry snapshot per point — the
+    cross-run series :mod:`repro.obs.timeseries` drift-checks (e.g.
+    clear-phase latency p95 across sweep points).
     """
     config = config or eval_config()
     seeds = list(seeds)
@@ -77,7 +82,8 @@ def run_size_sweep(
                 run_id=f"size-{n_requests}-{seed}"
             )
             simulator = MarketSimulator(
-                config=config, seed=seed, obs=point_obs
+                config=config, seed=seed, obs=point_obs,
+                history=history,
             )
             metrics, _, _ = simulator.run_block(requests, offers)
             points.append(

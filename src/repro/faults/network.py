@@ -15,6 +15,17 @@ boundaries, so messages delayed past a phase deadline are genuinely
 Node-scoped subscriptions (:meth:`subscribe_node`) opt a handler into
 crash and partition semantics; plain :meth:`subscribe` handlers behave
 like BroadcastNetwork subscribers that merely suffer message faults.
+
+Causal observability: after :meth:`attach_obs`, any payload carrying a
+:class:`~repro.obs.trace.TraceContext` (``payload.trace``) gets its fate
+recorded — drops, duplications, and reorder jitter as events *on the
+sender's span* at send time, censorship (crash/partition) at delivery
+time, and exactly one ``deliver`` span per unique (message, node) pair
+parented on the sender's span.  A duplicated copy still reaches the
+handlers (inboxes are idempotent by design) but is traced as a
+``net.duplicate_delivery`` event instead of a second span.  None of
+this touches the fault RNG stream: seeded outcomes are identical with
+observability on, off, or absent.
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.faults.plan import FaultPlan, PartitionSpec
 from repro.ledger.network import Message
+from repro.obs import NULL_OBS, ObservabilityLike
 
 Handler = Callable[[str, Any], None]
 
@@ -42,6 +54,9 @@ class _Delivery:
     topic: str = field(compare=False)
     payload: Any = field(compare=False)
     sender: str = field(compare=False)
+    #: broadcast index (position in the traffic log) — identifies which
+    #: send this copy belongs to, so duplicates share a message id
+    message_id: int = field(compare=False, default=-1)
 
 
 @dataclass
@@ -64,6 +79,14 @@ class UnreliableNetwork:
         self.dropped = 0
         self.duplicated = 0
         self.censored = 0  # undeliverable: crashed node or severed link
+        self._obs: ObservabilityLike = NULL_OBS
+        #: (message_id, node_id) pairs that already produced a delivery
+        #: span — later copies are traced as duplicate events instead
+        self._delivered_keys: Set[Tuple[int, str]] = set()
+
+    def attach_obs(self, obs: Optional[ObservabilityLike]) -> None:
+        """Opt the bus into causal tracing (no effect on fault sampling)."""
+        self._obs = NULL_OBS if obs is None else obs
 
     # ------------------------------------------------------------------
     # Subscription (BroadcastNetwork-compatible plus node-scoped form)
@@ -128,10 +151,13 @@ class UnreliableNetwork:
         fault stream depends only on the plan seed and the call sequence —
         never on wall-clock or payload contents.
         """
+        message_id = len(self.log)
         self.log.append(Message(topic=topic, payload=payload, sender=sender))
         if self.is_down(sender):
             return
         plan = self.plan
+        obs = self._obs
+        trace = getattr(payload, "trace", None) if obs.enabled else None
         for node_id in self._nodes:
             if (node_id, topic) not in self._subscribers:
                 continue
@@ -139,13 +165,31 @@ class UnreliableNetwork:
             if plan.duplicate_rate and self._rng.random() < plan.duplicate_rate:
                 copies = 2
                 self.duplicated += 1
+                if trace is not None:
+                    obs.tracer.event_at(
+                        trace, "net.duplicate",
+                        topic=topic, node=node_id, sender=sender,
+                    )
+                    obs.registry.inc("net_duplicates_total", topic=topic)
             for _ in range(copies):
                 if plan.drop_rate and self._rng.random() < plan.drop_rate:
                     self.dropped += 1
+                    if trace is not None:
+                        obs.tracer.event_at(
+                            trace, "net.drop",
+                            topic=topic, node=node_id, sender=sender,
+                        )
+                        obs.registry.inc("net_dropped_total", topic=topic)
                     continue
                 delay = self._rng.uniform(plan.min_delay, plan.max_delay)
                 if plan.reorder_rate and self._rng.random() < plan.reorder_rate:
                     delay += self._rng.uniform(0.0, plan.reorder_jitter)
+                    if trace is not None:
+                        obs.tracer.event_at(
+                            trace, "net.reorder",
+                            topic=topic, node=node_id, sender=sender,
+                        )
+                        obs.registry.inc("net_reorders_total", topic=topic)
                 heapq.heappush(
                     self._queue,
                     _Delivery(
@@ -155,6 +199,7 @@ class UnreliableNetwork:
                         topic=topic,
                         payload=payload,
                         sender=sender,
+                        message_id=message_id,
                     ),
                 )
 
@@ -168,19 +213,63 @@ class UnreliableNetwork:
         """
         horizon = math.inf if until is None else until
         count = 0
+        obs = self._obs
         while self._queue and self._queue[0].time <= horizon:
             delivery = heapq.heappop(self._queue)
             self.now = max(self.now, delivery.time)
+            trace = (
+                getattr(delivery.payload, "trace", None)
+                if obs.enabled
+                else None
+            )
             if self.is_down(delivery.node_id) or self._severed(
                 delivery.sender, delivery.node_id
             ):
                 self.censored += 1
+                if trace is not None:
+                    obs.tracer.event_at(
+                        trace, "net.censored",
+                        topic=delivery.topic,
+                        node=delivery.node_id,
+                        sender=delivery.sender,
+                    )
+                    obs.registry.inc(
+                        "net_censored_total", topic=delivery.topic
+                    )
                 continue
             handlers = self._subscribers.get(
                 (delivery.node_id, delivery.topic), ()
             )
-            for handler in list(handlers):
-                handler(delivery.sender, delivery.payload)
+            if trace is not None:
+                key = (delivery.message_id, delivery.node_id)
+                if key in self._delivered_keys:
+                    # A duplicated copy: the handlers still run (inboxes
+                    # are idempotent) but the causal tree keeps exactly
+                    # one delivery span per (message, node).
+                    obs.tracer.event_at(
+                        trace, "net.duplicate_delivery",
+                        topic=delivery.topic,
+                        node=delivery.node_id,
+                        sender=delivery.sender,
+                    )
+                    for handler in list(handlers):
+                        handler(delivery.sender, delivery.payload)
+                else:
+                    self._delivered_keys.add(key)
+                    obs.registry.inc(
+                        "net_delivered_total", topic=delivery.topic
+                    )
+                    with obs.tracer.from_context(
+                        trace, "deliver",
+                        topic=delivery.topic,
+                        node=delivery.node_id,
+                        sender=delivery.sender,
+                    ):
+                        for handler in list(handlers):
+                            handler(delivery.sender, delivery.payload)
+            else:
+                for handler in list(handlers):
+                    handler(delivery.sender, delivery.payload)
             self.delivered += 1
             count += 1
         if until is not None:

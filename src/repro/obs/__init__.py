@@ -23,9 +23,10 @@ See docs/OBSERVABILITY.md for the metric catalog and trace schema, and
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Any, List, Optional, Union
 
 from repro.common.timing import NULL_TIMER, NullTimer, PhaseTimer
+from repro.obs.monitors import MonitorSuite, Violation
 from repro.obs.registry import (
     LabeledRegistry,
     MetricsRegistry,
@@ -33,7 +34,7 @@ from repro.obs.registry import (
     NullRegistry,
     snapshot_diff,
 )
-from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+from repro.obs.trace import NULL_TRACER, NullTracer, TraceContext, Tracer
 
 __all__ = [
     "Observability",
@@ -47,6 +48,9 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "TraceContext",
+    "MonitorSuite",
+    "Violation",
     "snapshot_diff",
 ]
 
@@ -56,13 +60,26 @@ class Observability:
 
     enabled = True
 
-    __slots__ = ("run_id", "registry", "tracer", "timer")
+    __slots__ = ("run_id", "registry", "tracer", "timer", "monitors", "flight")
 
-    def __init__(self, run_id: str = "run") -> None:
+    def __init__(
+        self,
+        run_id: str = "run",
+        monitors: Optional[MonitorSuite] = None,
+        flight: Optional[Any] = None,
+    ) -> None:
         self.run_id = run_id
         self.registry: MetricsRegistry = MetricsRegistry()
         self.tracer: Tracer = Tracer()
         self.timer: PhaseTimer = PhaseTimer()
+        #: optional runtime invariant checks (repro.obs.monitors),
+        #: evaluated via :meth:`check_outcome` after every cleared block
+        self.monitors = monitors
+        #: optional repro.obs.flight.FlightRecorder — bound to this
+        #: bundle so protocol drivers can frame rounds and dump on abort
+        self.flight = flight
+        if flight is not None:
+            flight.bind(self)
 
     def scoped(self, **labels: object) -> "Observability":
         """A view sharing this tracer/timer but stamping ``labels`` on
@@ -72,7 +89,50 @@ class Observability:
         view.registry = self.registry.labeled(**labels)  # type: ignore[assignment]
         view.tracer = self.tracer
         view.timer = self.timer
+        view.monitors = self.monitors
+        view.flight = self.flight
         return view
+
+    def check_outcome(
+        self,
+        outcome: Any,
+        source: str = "auction",
+        round_index: Optional[int] = None,
+    ) -> List[Violation]:
+        """Run the attached monitor suite against one cleared outcome.
+
+        Emits one ``monitor.violation`` event plus a
+        ``monitor_violations_total{monitor=...}`` increment per finding,
+        bumps ``monitor_checks_total`` per monitor evaluated, triggers a
+        flight-recorder dump when anything fired, and finally escalates
+        in strict mode.  No-op without a suite attached.
+        """
+        suite = self.monitors
+        if suite is None:
+            return []
+        violations = suite.check_outcome(outcome)
+        for monitor in suite.monitors:
+            self.registry.inc("monitor_checks_total", monitor=monitor.name)
+        for violation in violations:
+            self.tracer.event(
+                "monitor.violation",
+                monitor=violation.monitor,
+                source=source,
+                message=violation.message,
+                **dict(violation.details),
+            )
+            self.registry.inc(
+                "monitor_violations_total", monitor=violation.monitor
+            )
+        if violations:
+            if self.flight is not None:
+                self.flight.dump(
+                    trigger="monitor",
+                    error=violations[0].message,
+                    round_index=round_index,
+                )
+            suite.escalate(violations)
+        return violations
 
     def trace_jsonl(self, strip_wall: bool = False) -> str:
         return self.tracer.to_jsonl(strip_wall=strip_wall)
@@ -95,9 +155,19 @@ class NullObservability:
     registry: NullRegistry = NULL_REGISTRY
     tracer: NullTracer = NULL_TRACER
     timer: NullTimer = NULL_TIMER
+    monitors = None
+    flight = None
 
     def scoped(self, **labels: object) -> "NullObservability":
         return self
+
+    def check_outcome(
+        self,
+        outcome: Any,
+        source: str = "auction",
+        round_index: Optional[int] = None,
+    ) -> List[Violation]:
+        return []
 
     def trace_jsonl(self, strip_wall: bool = False) -> str:
         return ""

@@ -8,24 +8,35 @@ library only.
 
 from __future__ import annotations
 
-import re
-from typing import Any, Dict, Mapping
+from typing import Any, Mapping
 
-from repro.obs.registry import MetricsRegistry, snapshot_diff  # noqa: F401
+from repro.obs.registry import (  # noqa: F401
+    LabelItems,
+    MetricsRegistry,
+    snapshot_diff,
+)
 
-_LABEL_RE = re.compile(r"^(?P<name>[^{]+)(?:\{(?P<labels>.*)\})?$")
+
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash, double quote, and line feed are the three characters the
+    format requires escaping inside quoted label values; order matters
+    (backslash first, or the other escapes get double-escaped).
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
 
 
-def _prom_series(key: str) -> str:
-    """``name{a=b}`` -> ``name{a="b"}`` (Prometheus quoting)."""
-    match = _LABEL_RE.match(key)
-    if match is None or not match.group("labels"):
-        return key
-    pairs = []
-    for token in match.group("labels").split(","):
-        label, _, value = token.partition("=")
-        pairs.append(f'{label}="{value}"')
-    return f"{match.group('name')}{{{', '.join(pairs)}}}"
+def _prom_series(name: str, labels: LabelItems) -> str:
+    """One series in exposition syntax: ``name{a="b", c="d"}``."""
+    if not labels:
+        return name
+    pairs = ", ".join(
+        f'{label}="{_escape_label_value(value)}"' for label, value in labels
+    )
+    return f"{name}{{{pairs}}}"
 
 
 def to_prometheus_text(registry: MetricsRegistry) -> str:
@@ -34,20 +45,29 @@ def to_prometheus_text(registry: MetricsRegistry) -> str:
     Counters and gauges emit one sample per series; histograms emit the
     conventional ``_count`` / ``_sum`` pair (bucket detail stays in the
     JSON snapshot — the simulator's consumers read exact values, not
-    quantile estimates).
+    quantile estimates).  Label values are escaped per the exposition
+    format (``\\`` -> ``\\\\``, ``"`` -> ``\\"``, newline -> ``\\n``), so
+    hostile participant ids cannot corrupt the scrape — the registry's
+    structured ``(name, labels)`` keys are rendered directly, never
+    re-parsed from their flattened snapshot form.
     """
-    snapshot = registry.snapshot()
+    base = registry
+    while hasattr(base, "_base"):
+        base = base._base
     lines = []
-    for key, value in snapshot["counters"].items():
-        lines.append(f"{_prom_series(key)} {value!r}")
-    for key, value in snapshot["gauges"].items():
-        lines.append(f"{_prom_series(key)} {value!r}")
-    for key, stats in snapshot["histograms"].items():
-        match = _LABEL_RE.match(key)
-        name = match.group("name") if match else key
-        labels = f"{{{match.group('labels')}}}" if match and match.group("labels") else ""
-        lines.append(f"{_prom_series(name + '_count' + labels)} {stats['count']}")
-        lines.append(f"{_prom_series(name + '_sum' + labels)} {stats['sum']!r}")
+    # getattr defaults keep NullRegistry (no series storage) rendering
+    # as the empty exposition, matching its own to_prometheus_text.
+    for (name, labels), value in sorted(getattr(base, "counters", {}).items()):
+        lines.append(f"{_prom_series(name, labels)} {value!r}")
+    for (name, labels), value in sorted(getattr(base, "gauges", {}).items()):
+        lines.append(f"{_prom_series(name, labels)} {value!r}")
+    for (name, labels), series in sorted(
+        getattr(base, "histograms", {}).items()
+    ):
+        lines.append(
+            f"{_prom_series(name + '_count', labels)} {series.count}"
+        )
+        lines.append(f"{_prom_series(name + '_sum', labels)} {series.sum!r}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

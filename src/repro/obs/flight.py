@@ -1,0 +1,226 @@
+"""Round flight recorder: bounded history, dumped on failure.
+
+A :class:`FlightRecorder` rides inside an
+:class:`~repro.obs.Observability` bundle and frames the tracer/registry
+stream into protocol rounds: :meth:`begin_round` marks where a round's
+records start, :meth:`end_round` archives the completed frame (records
+plus the registry delta) into a bounded ring buffer.  When a round dies
+— ``RevealTimeoutError`` / ``QuorumError`` / ``ByzantineFaultError``
+from the exposure protocol, or any monitor violation — :meth:`dump`
+writes a self-contained JSONL bundle ``flight_<round>.jsonl``: the
+recent archived frames for context plus everything recorded in the
+failing round, ready for
+``python -m repro.obs.report --flight <file>``.
+
+Bundle format (one JSON object per line, keys sorted):
+
+``{"type": "flight_meta", ...}``
+    First line: run id, failing round, trigger, error text, frame count.
+``{"type": "round_frame", "round": i, "status": ..., "records": n}``
+    Frame header, followed by its ``n`` trace records verbatim
+    (``span_start`` / ``span_end`` / ``event`` — the report CLI feeds
+    these straight into the tree builder).
+``{"type": "metrics_delta", "round": i, "delta": {...}}``
+    The registry delta the frame's round produced
+    (:func:`~repro.obs.registry.snapshot_diff` shape).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.registry import snapshot_diff
+
+_EMPTY_SNAPSHOT: Dict[str, Dict[str, Any]] = {
+    "counters": {},
+    "gauges": {},
+    "histograms": {},
+}
+
+
+class _Frame:
+    __slots__ = ("round_index", "status", "records", "delta")
+
+    def __init__(
+        self,
+        round_index: int,
+        status: str,
+        records: List[Dict[str, Any]],
+        delta: Dict[str, Any],
+    ) -> None:
+        self.round_index = round_index
+        self.status = status
+        self.records = records
+        self.delta = delta
+
+
+class FlightRecorder:
+    """Ring buffer of recent round frames with JSONL crash dumps."""
+
+    def __init__(self, capacity: int = 4, out_dir: str = ".") -> None:
+        if capacity < 1:
+            raise ValueError("flight recorder capacity must be >= 1")
+        self.capacity = capacity
+        self.out_dir = out_dir
+        #: paths of every bundle written, newest last
+        self.dumps: List[str] = []
+        self._obs: Any = None
+        self._frames: "deque[_Frame]" = deque(maxlen=capacity)
+        self._mark = 0
+        self._snapshot: Dict[str, Any] = _EMPTY_SNAPSHOT
+        self._round: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # Wiring (called by Observability)
+    # ------------------------------------------------------------------
+    def bind(self, obs: Any) -> None:
+        self._obs = obs
+
+    @property
+    def frames(self) -> Tuple[_Frame, ...]:
+        return tuple(self._frames)
+
+    def _registry_snapshot(self) -> Dict[str, Any]:
+        if self._obs is None:
+            return _EMPTY_SNAPSHOT
+        registry = self._obs.registry
+        base = registry
+        while hasattr(base, "_base"):
+            base = base._base
+        snapshot = getattr(base, "snapshot", None)
+        return snapshot() if snapshot is not None else _EMPTY_SNAPSHOT
+
+    def _records_since_mark(self) -> List[Dict[str, Any]]:
+        if self._obs is None:
+            return []
+        return list(self._obs.tracer.records[self._mark:])
+
+    # ------------------------------------------------------------------
+    # Round framing
+    # ------------------------------------------------------------------
+    def begin_round(self, round_index: int) -> None:
+        """Name the round the next frame belongs to.
+
+        The frame's records start where the previous frame ended, not
+        here — bid submissions (seal spans, their network fates) happen
+        *before* the round driver starts and belong causally to the
+        round they feed.
+        """
+        self._round = round_index
+
+    def end_round(self, round_index: Optional[int] = None) -> None:
+        """Archive the completed round's frame into the ring buffer."""
+        if self._obs is None:
+            return
+        index = self._round if round_index is None else round_index
+        self._frames.append(
+            _Frame(
+                round_index=index if index is not None else 0,
+                status="ok",
+                records=self._records_since_mark(),
+                delta=snapshot_diff(
+                    self._snapshot, self._registry_snapshot()
+                ),
+            )
+        )
+        self._mark = len(self._obs.tracer.records)
+        self._snapshot = self._registry_snapshot()
+        self._round = None
+
+    # ------------------------------------------------------------------
+    # The crash dump
+    # ------------------------------------------------------------------
+    def dump(
+        self,
+        trigger: str,
+        error: Optional[str] = None,
+        round_index: Optional[int] = None,
+    ) -> str:
+        """Write ``flight_<round>.jsonl`` and return its path.
+
+        The failing round's frame (everything since the last mark) is
+        written last, preceded by the archived frames still in the ring.
+        Dumping does not consume the ring — a later failure still sees
+        the same context.
+        """
+        index = round_index if round_index is not None else self._round
+        if index is None:
+            index = 0
+        failing = _Frame(
+            round_index=index,
+            status=trigger,
+            records=self._records_since_mark(),
+            delta=snapshot_diff(self._snapshot, self._registry_snapshot()),
+        )
+        frames = list(self._frames) + [failing]
+        run_id = getattr(self._obs, "run_id", None)
+        lines = [
+            {
+                "type": "flight_meta",
+                "run_id": run_id,
+                "round": index,
+                "trigger": trigger,
+                "error": error,
+                "capacity": self.capacity,
+                "frames": len(frames),
+            }
+        ]
+        for frame in frames:
+            lines.append(
+                {
+                    "type": "round_frame",
+                    "round": frame.round_index,
+                    "status": frame.status,
+                    "records": len(frame.records),
+                }
+            )
+            lines.extend(frame.records)
+            lines.append(
+                {
+                    "type": "metrics_delta",
+                    "round": frame.round_index,
+                    "delta": frame.delta,
+                }
+            )
+        os.makedirs(self.out_dir, exist_ok=True)
+        path = os.path.join(self.out_dir, f"flight_{index}.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            for line in lines:
+                handle.write(
+                    json.dumps(line, sort_keys=True, separators=(",", ":"))
+                )
+                handle.write("\n")
+        self.dumps.append(path)
+        if self._obs is not None and getattr(self._obs, "enabled", False):
+            self._obs.registry.inc("flight_dumps_total", trigger=trigger)
+        return path
+
+
+def load_flight(
+    text: str,
+) -> Tuple[Dict[str, Any], List[Dict[str, Any]], List[Dict[str, Any]]]:
+    """Parse a flight bundle into ``(meta, trace_records, frame_headers)``.
+
+    ``trace_records`` concatenates every frame's span/event records in
+    order (the report CLI's tree builder takes them as-is);
+    ``frame_headers`` holds the ``round_frame`` and ``metrics_delta``
+    lines for the per-round summary.
+    """
+    meta: Dict[str, Any] = {}
+    records: List[Dict[str, Any]] = []
+    headers: List[Dict[str, Any]] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        obj = json.loads(line)
+        kind = obj.get("type")
+        if kind == "flight_meta":
+            meta = obj
+        elif kind in ("round_frame", "metrics_delta"):
+            headers.append(obj)
+        else:
+            records.append(obj)
+    return meta, records, headers

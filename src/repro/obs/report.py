@@ -5,6 +5,8 @@ Usage::
     python -m repro.obs.report trace.jsonl            # summary table
     python -m repro.obs.report trace.jsonl --tree     # plus span tree
     python -m repro.obs.report trace.jsonl --metrics metrics.prom
+    python -m repro.obs.report --flight flight_3.jsonl
+    python -m repro.obs.report --snapshot-diff before.json after.json
 
 Reads a JSONL trace written by :meth:`repro.obs.Tracer.write_jsonl`
 (wall-clock fields optional — a stripped deterministic trace still
@@ -13,15 +15,36 @@ summarizes, just without durations) and renders:
 * a per-span-name table: count, error count, total wall seconds;
 * a per-event-name table: count;
 * with ``--tree``, the indented span tree with per-span events.
+
+``--flight`` renders a flight-recorder bundle instead: the bundle's
+frame summary plus the causal tree across every actor, with the failing
+path (error spans, fault and exclusion events, and their ancestors)
+highlighted by a leading ``!``.  ``--snapshot-diff`` pretty-prints the
+:func:`~repro.obs.registry.snapshot_diff` between two exported registry
+snapshot JSON files.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Any, Dict, Iterable, List, Optional
 
 from repro.obs.trace import load_jsonl
+
+#: events that mark a node as part of the failing path
+_FAILING_EVENTS = {
+    "net.drop",
+    "net.censored",
+    "reveal.excluded",
+    "reveal.timeout",
+    "proposal.rejected",
+    "round.aborted",
+    "round.fallback",
+    "monitor.violation",
+}
+_FAILING_PREFIXES = ("byzantine.",)
 
 
 def build_tree(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
@@ -153,19 +176,139 @@ def render_tree(records: List[Dict[str, Any]]) -> str:
     return "\n".join(lines)
 
 
+def _event_is_failing(name: str) -> bool:
+    return name in _FAILING_EVENTS or name.startswith(_FAILING_PREFIXES)
+
+
+def _mark_failing(node: Dict[str, Any]) -> bool:
+    """Flag ``node`` (and return True) if its subtree holds a failure.
+
+    A node fails directly when its span errored or it carries a failing
+    event; ancestors of a failing node are flagged too so the rendered
+    tree shows the whole causal path from root to fault.
+    """
+    direct = node.get("status") == "error" or (
+        node.get("status") == "event" and _event_is_failing(node["name"])
+    ) or any(
+        _event_is_failing(event["name"]) for event in node["events"]
+    )
+    in_subtree = False
+    for child in node["children"]:
+        in_subtree = _mark_failing(child) or in_subtree
+    node["_failing"] = direct or in_subtree
+    return node["_failing"]
+
+
+def render_failing_tree(records: List[Dict[str, Any]]) -> str:
+    """The causal tree with every failing path prefixed by ``!``."""
+    lines: List[str] = []
+
+    def emit(node: Dict[str, Any], depth: int) -> None:
+        mark = "!" if node.get("_failing") else " "
+        indent = "  " * depth
+        if node.get("status") == "event":
+            flag = "!" if _event_is_failing(node["name"]) else " "
+            lines.append(
+                f"{flag}{indent}* {node['name']} {node['attrs'] or ''}".rstrip()
+            )
+            return
+        status = f" [{node['status']}]" if node["status"] != "ok" else ""
+        attrs = f" {node['attrs']}" if node["attrs"] else ""
+        lines.append(f"{mark}{indent}- {node['name']}{attrs}{status}")
+        for event in node["events"]:
+            flag = "!" if _event_is_failing(event["name"]) else " "
+            lines.append(
+                f"{flag}{indent}  * {event['name']} "
+                f"{event['attrs'] or ''}".rstrip()
+            )
+        for child in node["children"]:
+            emit(child, depth + 1)
+
+    roots = build_tree(records)
+    for root in roots:
+        _mark_failing(root)
+    for root in roots:
+        emit(root, 0)
+    return "\n".join(lines)
+
+
+def render_flight(
+    meta: Dict[str, Any],
+    records: List[Dict[str, Any]],
+    headers: List[Dict[str, Any]],
+) -> str:
+    """Full flight-bundle report: header, frame table, causal tree."""
+    lines = [
+        f"flight recorder bundle: round {meta.get('round')} "
+        f"triggered by {meta.get('trigger')} "
+        f"(run {meta.get('run_id')}, {meta.get('frames')} frames)"
+    ]
+    if meta.get("error"):
+        lines.append(f"  error: {meta['error']}")
+    frame_rows = [h for h in headers if h.get("type") == "round_frame"]
+    if frame_rows:
+        lines.append("")
+        lines.append("  round  status             records")
+        for row in frame_rows:
+            lines.append(
+                f"  {row['round']:>5}  {row['status']:<17}  "
+                f"{row['records']:>7}"
+            )
+    lines.append("")
+    lines.append("causal tree (failing path marked with '!'):")
+    lines.append(render_failing_tree(records))
+    return "\n".join(lines)
+
+
+def _print_snapshot_diff(before_path: str, after_path: str) -> None:
+    from repro.obs.export import format_snapshot_diff
+    from repro.obs.registry import snapshot_diff
+
+    with open(before_path, "r", encoding="utf-8") as handle:
+        before = json.load(handle)
+    with open(after_path, "r", encoding="utf-8") as handle:
+        after = json.load(handle)
+    print(f"snapshot diff: {before_path} -> {after_path}")
+    print(format_snapshot_diff(snapshot_diff(before, after)))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.report",
         description="Summarize an exported DeCloud round trace.",
     )
-    parser.add_argument("trace", help="JSONL trace file (Tracer.write_jsonl)")
+    parser.add_argument(
+        "trace", nargs="?",
+        help="JSONL trace file (Tracer.write_jsonl)",
+    )
     parser.add_argument(
         "--tree", action="store_true", help="also print the span tree"
     )
     parser.add_argument(
         "--metrics", help="optional Prometheus text file to append verbatim"
     )
+    parser.add_argument(
+        "--flight", metavar="BUNDLE",
+        help="render a flight-recorder bundle (flight_<round>.jsonl)",
+    )
+    parser.add_argument(
+        "--snapshot-diff", nargs=2, metavar=("BEFORE", "AFTER"),
+        help="pretty-print the diff between two registry snapshot JSONs",
+    )
     args = parser.parse_args(argv)
+
+    if args.snapshot_diff:
+        _print_snapshot_diff(*args.snapshot_diff)
+        return 0
+    if args.flight:
+        from repro.obs.flight import load_flight
+
+        with open(args.flight, "r", encoding="utf-8") as handle:
+            meta, records, headers = load_flight(handle.read())
+        print(render_flight(meta, records, headers))
+        return 0
+    if not args.trace:
+        parser.error("a trace file, --flight, or --snapshot-diff is required")
 
     with open(args.trace, "r", encoding="utf-8") as handle:
         records = load_jsonl(handle.read())

@@ -25,28 +25,75 @@ Record schema (one JSON object per line, keys sorted):
 id of the span being opened/closed (for events: the innermost open span,
 or ``null`` at top level), ``parent`` the enclosing span id, ``status``
 ``"ok"`` or ``"error"``.
+
+Causal propagation: :meth:`Tracer.child_context` captures the current
+position as a :class:`TraceContext` — a value small enough to ride on a
+network message — and :meth:`Tracer.from_context` /
+:meth:`Tracer.event_at` re-anchor work (possibly on another actor, after
+the originating span already closed) under that context.  The ``seq``
+clock is a Lamport clock: consuming a context advances the local clock
+past the sender's, so causally-ordered records always carry increasing
+``seq`` even across actors.
 """
 
 from __future__ import annotations
 
 import json
 import time
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional
+
+#: sentinel: "parent this span on the innermost open span"
+_FROM_STACK = object()
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """A portable causal position: attach to messages, restore elsewhere.
+
+    ``trace_id`` names the originating tracer, ``span`` the sender's
+    innermost open span at capture time (the causal parent for whatever
+    handles the message), ``clock`` the sender's logical clock (merged
+    Lamport-style on receipt), ``actor`` the sending actor's id so the
+    causal tree renders per-actor lanes.
+    """
+
+    trace_id: str
+    span: Optional[int]
+    clock: int
+    actor: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span": self.span,
+            "clock": self.clock,
+            "actor": self.actor,
+        }
 
 
 class _TraceSpan:
     """Context manager recording one span's start/end records."""
 
-    __slots__ = ("_tracer", "_name", "_attrs", "_span_id")
+    __slots__ = ("_tracer", "_name", "_attrs", "_span_id", "_parent")
 
-    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        attrs: Dict[str, Any],
+        parent: Any = _FROM_STACK,
+    ):
         self._tracer = tracer
         self._name = name
         self._attrs = attrs
         self._span_id = 0
+        self._parent = parent
 
     def __enter__(self) -> "_TraceSpan":
-        self._span_id = self._tracer._open_span(self._name, self._attrs)
+        self._span_id = self._tracer._open_span(
+            self._name, self._attrs, parent=self._parent
+        )
         return self
 
     def __exit__(self, exc_type: object, *exc_info: object) -> None:
@@ -73,9 +120,10 @@ class Tracer:
 
     enabled = True
 
-    __slots__ = ("records", "_seq", "_next_span", "_stack")
+    __slots__ = ("trace_id", "records", "_seq", "_next_span", "_stack")
 
-    def __init__(self) -> None:
+    def __init__(self, trace_id: str = "trace") -> None:
+        self.trace_id = trace_id
         self.records: List[Dict[str, Any]] = []
         self._seq = 0
         self._next_span = 1
@@ -84,6 +132,12 @@ class Tracer:
     def _tick(self) -> int:
         self._seq += 1
         return self._seq
+
+    def _merge_clock(self, ctx: "TraceContext") -> None:
+        # Lamport merge: the next local tick lands after everything the
+        # context's sender had already recorded.
+        if ctx.clock > self._seq:
+            self._seq = ctx.clock
 
     @property
     def current_span(self) -> Optional[int]:
@@ -107,9 +161,65 @@ class Tracer:
         )
 
     # ------------------------------------------------------------------
+    # Causal propagation
+    # ------------------------------------------------------------------
+    def child_context(self, actor: Optional[str] = None) -> TraceContext:
+        """Capture the current causal position for a message in flight."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span=self.current_span,
+            clock=self._seq,
+            actor=actor,
+        )
+
+    def from_context(
+        self, ctx: Optional[TraceContext], name: str, **attrs: Any
+    ) -> _TraceSpan:
+        """Open a span whose *causal* parent is ``ctx``'s span.
+
+        The parent may belong to another actor and may already be closed
+        (a delivery handled after the sender's phase ended) — the tree
+        builder still attaches the child where causality says it belongs.
+        With ``ctx=None`` this degrades to a plain :meth:`span`.
+        """
+        if ctx is None:
+            return _TraceSpan(self, name, attrs)
+        self._merge_clock(ctx)
+        parent = ctx.span if ctx.trace_id == self.trace_id else None
+        if ctx.trace_id != self.trace_id:
+            attrs.setdefault("remote_trace", ctx.trace_id)
+        return _TraceSpan(self, name, attrs, parent=parent)
+
+    def event_at(
+        self, ctx: Optional[TraceContext], name: str, **attrs: Any
+    ) -> None:
+        """Record an event on ``ctx``'s (possibly closed) span.
+
+        Used for fault evidence that belongs to the *sender's* span — a
+        drop or duplication happens to the sender's message, wherever the
+        network thread happens to be when it notices.
+        """
+        if ctx is None or ctx.trace_id != self.trace_id:
+            self.event(name, **attrs)
+            return
+        self._merge_clock(ctx)
+        self.records.append(
+            {
+                "type": "event",
+                "seq": self._tick(),
+                "span": ctx.span,
+                "name": name,
+                "attrs": attrs,
+                "wall": time.time(),
+            }
+        )
+
+    # ------------------------------------------------------------------
     # Span plumbing (called by _TraceSpan)
     # ------------------------------------------------------------------
-    def _open_span(self, name: str, attrs: Dict[str, Any]) -> int:
+    def _open_span(
+        self, name: str, attrs: Dict[str, Any], parent: Any = _FROM_STACK
+    ) -> int:
         span_id = self._next_span
         self._next_span += 1
         self.records.append(
@@ -117,7 +227,9 @@ class Tracer:
                 "type": "span_start",
                 "seq": self._tick(),
                 "span": span_id,
-                "parent": self.current_span,
+                "parent": (
+                    self.current_span if parent is _FROM_STACK else parent
+                ),
                 "name": name,
                 "attrs": attrs,
                 "wall": time.time(),
@@ -175,11 +287,27 @@ class NullTracer:
     __slots__ = ()
 
     records: List[Dict[str, Any]] = []
+    trace_id = "null"
 
     def span(self, name: str, **attrs: Any) -> _NullSpan:
         return _NULL_SPAN
 
     def event(self, name: str, **attrs: Any) -> None:
+        return None
+
+    def child_context(self, actor: Optional[str] = None) -> None:
+        # Messages carry no context on the disabled path — obs-off runs
+        # stay byte-identical to the pre-tracing protocol.
+        return None
+
+    def from_context(
+        self, ctx: Optional[TraceContext], name: str, **attrs: Any
+    ) -> _NullSpan:
+        return _NULL_SPAN
+
+    def event_at(
+        self, ctx: Optional[TraceContext], name: str, **attrs: Any
+    ) -> None:
         return None
 
     def to_jsonl(self, strip_wall: bool = False) -> str:

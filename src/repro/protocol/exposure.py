@@ -239,6 +239,11 @@ class ExposureProtocol:
         else:
             self.timer = resolve(timer)
         self._round = 0
+        # A fault-injecting bus that can trace deliveries causally gets
+        # the same bundle, so message fates land in the round's tree.
+        attach_obs = getattr(self.network, "attach_obs", None)
+        if attach_obs is not None and self.obs.enabled:
+            attach_obs(self.obs)
         for miner in self.miners:
             self._subscribe_miner(miner)
 
@@ -322,7 +327,12 @@ class ExposureProtocol:
                 attempts += 1
                 self.network.broadcast(
                     messages.TOPIC_BIDS,
-                    messages.BidSubmission(transaction=tx),
+                    messages.BidSubmission(
+                        transaction=tx,
+                        trace=self.obs.tracer.child_context(
+                            actor=participant.participant_id
+                        ),
+                    ),
                     sender=participant.participant_id,
                 )
                 self._flush()
@@ -369,7 +379,11 @@ class ExposureProtocol:
                     self.network.broadcast(
                         messages.TOPIC_REVEALS,
                         messages.RevealMessage(
-                            reveal=reveal, preamble_hash=phash
+                            reveal=reveal,
+                            preamble_hash=phash,
+                            trace=self.obs.tracer.child_context(
+                                actor=participant.participant_id
+                            ),
                         ),
                         sender=participant.participant_id,
                     )
@@ -400,23 +414,41 @@ class ExposureProtocol:
         dropping them.
         """
         round_index = self._round
-        with self.obs.tracer.span("round", index=round_index):
-            try:
-                return self._run_round(participants, round_index)
-            except ReproError as exc:
-                # Partial phase timings are already in the timer; mark
-                # the round itself so reports show the abort instead of
-                # silently blending failed rounds into the totals.
-                self.timer.mark_aborted("round")
-                if self.obs.enabled:
-                    self.obs.tracer.event(
-                        "round.aborted", error=type(exc).__name__
-                    )
-                    self.obs.registry.inc(
-                        "protocol_rounds_aborted_total",
-                        reason=type(exc).__name__,
-                    )
-                raise
+        flight = self.obs.flight if self.obs.enabled else None
+        if flight is not None:
+            flight.begin_round(round_index)
+        try:
+            with self.obs.tracer.span("round", index=round_index):
+                try:
+                    result = self._run_round(participants, round_index)
+                except ReproError as exc:
+                    # Partial phase timings are already in the timer;
+                    # mark the round itself so reports show the abort
+                    # instead of silently blending failed rounds into
+                    # the totals.
+                    self.timer.mark_aborted("round")
+                    if self.obs.enabled:
+                        self.obs.tracer.event(
+                            "round.aborted", error=type(exc).__name__
+                        )
+                        self.obs.registry.inc(
+                            "protocol_rounds_aborted_total",
+                            reason=type(exc).__name__,
+                        )
+                    raise
+        except ReproError as exc:
+            # Dump after the round span closed so the bundle carries the
+            # complete failing frame, error status included.
+            if flight is not None:
+                flight.dump(
+                    trigger=type(exc).__name__,
+                    error=str(exc),
+                    round_index=round_index,
+                )
+            raise
+        if flight is not None:
+            flight.end_round(round_index)
+        return result
 
     def _run_round(
         self, participants: Sequence[Participant], round_index: int
@@ -456,7 +488,9 @@ class ExposureProtocol:
         self.network.broadcast(
             messages.TOPIC_PREAMBLE,
             messages.PreambleAnnouncement(
-                preamble=preamble, miner_id=leader.miner_id
+                preamble=preamble,
+                miner_id=leader.miner_id,
+                trace=tracer.child_context(actor=leader.miner_id),
             ),
             sender=leader.miner_id,
         )
@@ -496,8 +530,15 @@ class ExposureProtocol:
                     )
             # Exactly one exclusion event per bid whose key never
             # (validly) arrived — the trace-based suite pins this down.
+            # Naming the sender makes the flight recorder's causal tree
+            # point at the excluded *bidder*, not just an opaque txid.
+            sender_of = {
+                tx.txid(): tx.sender_id for tx in preamble.transactions
+            }
             for txid in excluded:
-                tracer.event("reveal.excluded", txid=txid)
+                tracer.event(
+                    "reveal.excluded", txid=txid, sender=sender_of[txid]
+                )
             reg.inc("protocol_excluded_bids_total", len(excluded))
         if preamble.transactions and not reveals:
             if obs.enabled:
@@ -530,7 +571,9 @@ class ExposureProtocol:
                 self.network.broadcast(
                     messages.TOPIC_BLOCK,
                     messages.BlockProposal(
-                        block=block, miner_id=proposer.miner_id
+                        block=block,
+                        miner_id=proposer.miner_id,
+                        trace=tracer.child_context(actor=proposer.miner_id),
                     ),
                     sender=proposer.miner_id,
                 )
@@ -581,6 +624,12 @@ class ExposureProtocol:
                 if isinstance(allocator, DecloudAllocator)
                 and allocator.last_outcome is not None
                 else AuctionOutcome()
+            )
+            # Runtime mechanism monitors audit the committed block's
+            # outcome — in strict mode a violated §IV invariant aborts
+            # the round (caught above, traced, and flight-dumped).
+            obs.check_outcome(
+                outcome, source="protocol", round_index=round_index
             )
             return RoundResult(
                 block=block,

@@ -1,11 +1,22 @@
-"""Protocol message types carried over the broadcast network (Fig. 2)."""
+"""Protocol message types carried over the broadcast network (Fig. 2).
+
+Every message optionally carries a :class:`~repro.obs.trace.TraceContext`
+captured from the sender's tracer at broadcast time.  The fault-injecting
+network and the receiving inboxes use it to anchor delivery spans and
+fault events on the *sender's* span, so one protocol round renders as a
+single causal tree across clients, providers, and miners.  With
+observability off the field stays ``None`` and the wire format is
+unchanged.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.ledger.block import Block, BlockPreamble, KeyReveal
 from repro.ledger.transaction import SealedBidTransaction
+from repro.obs.trace import TraceContext
 
 TOPIC_BIDS = "bids"
 TOPIC_PREAMBLE = "preamble"
@@ -18,6 +29,7 @@ class BidSubmission:
     """A participant posts a sealed bid to the miner network."""
 
     transaction: SealedBidTransaction
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -26,6 +38,7 @@ class PreambleAnnouncement:
 
     preamble: BlockPreamble
     miner_id: str
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -34,6 +47,7 @@ class RevealMessage:
 
     reveal: KeyReveal
     preamble_hash: str
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -42,3 +56,4 @@ class BlockProposal:
 
     block: Block
     miner_id: str
+    trace: Optional[TraceContext] = None

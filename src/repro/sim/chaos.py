@@ -34,6 +34,9 @@ from repro.faults.network import UnreliableNetwork
 from repro.faults.plan import FaultPlan
 from repro.ledger.miner import Miner
 from repro.market.bids import Offer, Request
+from repro.obs import Observability, ObservabilityLike
+from repro.obs.monitors import MonitorSuite, violation_total
+from repro.obs.timeseries import TimeSeriesStore
 from repro.protocol.allocator import DecloudAllocator, decode_round
 from repro.protocol.exposure import ExposureProtocol, Participant
 from repro.sim.engine import replay_fault_free
@@ -78,6 +81,9 @@ class ChaosPoint:
     messages_dropped: int
     messages_delivered: int
     integrity_failures: int
+    #: runtime monitor alerts raised while clearing this point's rounds
+    #: (always 0 unless the point ran with a monitored ``obs`` bundle)
+    monitor_alerts: int = 0
     errors: List[str] = field(default_factory=list)
 
     @property
@@ -153,7 +159,10 @@ def _build_participants(
 
 
 def _build_protocol(
-    spec: ChaosSpec, plan: FaultPlan, byzantine: bool
+    spec: ChaosSpec,
+    plan: FaultPlan,
+    byzantine: bool,
+    obs: Optional[ObservabilityLike] = None,
 ) -> Tuple[ExposureProtocol, UnreliableNetwork]:
     miners: List[Miner] = []
     for m in range(spec.num_miners):
@@ -170,14 +179,27 @@ def _build_protocol(
             )
         )
     network = UnreliableNetwork(plan=plan)
-    protocol = ExposureProtocol(miners=miners, network=network)
+    protocol = ExposureProtocol(miners=miners, network=network, obs=obs)
     return protocol, network
 
 
 def run_chaos_point(
-    spec: ChaosSpec, drop_rate: float, byzantine: bool = True
+    spec: ChaosSpec,
+    drop_rate: float,
+    byzantine: bool = True,
+    obs: Optional[ObservabilityLike] = None,
+    monitored: bool = False,
+    history: Optional[TimeSeriesStore] = None,
 ) -> ChaosPoint:
-    """Run ``spec.rounds`` protocol rounds at one message-drop level."""
+    """Run ``spec.rounds`` protocol rounds at one message-drop level.
+
+    ``monitored=True`` builds a fresh observability bundle with the
+    default :class:`~repro.obs.monitors.MonitorSuite` attached (unless an
+    explicit ``obs`` is given) and reports the alert count in
+    :attr:`ChaosPoint.monitor_alerts`.  ``history`` appends the
+    registry snapshot after each completed round — the time-series the
+    drift detectors consume.
+    """
     plan = FaultPlan(
         seed=f"chaos-net-{spec.seed}-{drop_rate}",
         drop_rate=drop_rate,
@@ -186,7 +208,12 @@ def run_chaos_point(
         max_delay=spec.max_delay,
         reorder_rate=spec.reorder_rate,
     )
-    protocol, network = _build_protocol(spec, plan, byzantine)
+    if obs is None and monitored:
+        obs = Observability(
+            run_id=f"chaos-{spec.seed}-{drop_rate}",
+            monitors=MonitorSuite(),
+        )
+    protocol, network = _build_protocol(spec, plan, byzantine, obs=obs)
     clients, providers = _build_participants(spec, byzantine)
     participants = list(clients.values()) + list(providers.values())
 
@@ -233,8 +260,17 @@ def run_chaos_point(
         )
         if expected != body.allocation:
             point.integrity_failures += 1
+        if history is not None and obs is not None and obs.enabled:
+            history.append(
+                obs.registry.snapshot(),
+                round=round_index,
+                drop_rate=drop_rate,
+                seed=spec.seed,
+            )
     point.messages_dropped = network.dropped
     point.messages_delivered = network.delivered
+    if obs is not None and obs.enabled:
+        point.monitor_alerts = int(violation_total(obs.registry))
     return point
 
 
@@ -242,12 +278,19 @@ def run_chaos_sweep(
     spec: ChaosSpec,
     drop_rates: Sequence[float] = DEFAULT_DROP_RATES,
     byzantine: bool = True,
+    monitored: bool = False,
+    history: Optional[TimeSeriesStore] = None,
 ) -> List[ChaosPoint]:
     """Sweep message-drop levels; each point also gets a fault-free baseline.
 
     The baseline run shares the market seed but switches off every fault
     (and every Byzantine actor), so ``welfare_retention`` isolates what
     the *faults* cost — not seed-to-seed market variation.
+
+    ``monitored`` / ``history`` are forwarded to every fault-level point
+    (a fresh monitored bundle per level; the shared ``history`` file
+    accumulates each level's rounds); the baseline stays unmonitored so
+    its behaviour matches earlier releases byte for byte.
     """
     baseline_spec = replace(
         spec,
@@ -260,7 +303,13 @@ def run_chaos_sweep(
     baseline = run_chaos_point(baseline_spec, 0.0, byzantine=False)
     points: List[ChaosPoint] = []
     for drop_rate in drop_rates:
-        point = run_chaos_point(spec, drop_rate, byzantine=byzantine)
+        point = run_chaos_point(
+            spec,
+            drop_rate,
+            byzantine=byzantine,
+            monitored=monitored,
+            history=history,
+        )
         point.baseline_welfare = baseline.welfare
         points.append(point)
     return points

@@ -21,6 +21,7 @@ from repro.core.config import AuctionConfig
 from repro.core.outcome import AuctionOutcome
 from repro.market.bids import Offer, Request
 from repro.obs import ObservabilityLike, resolve as resolve_obs
+from repro.obs.timeseries import TimeSeriesStore
 from repro.sim.metrics import (
     BlockMetrics,
     RunMetrics,
@@ -66,13 +67,21 @@ class MarketSimulator:
     :class:`BlockMetrics` *from the registry* (see
     :func:`~repro.sim.metrics.block_metrics_from_registry`) — the
     values are bit-identical to the direct outcome comparison, which
-    the metrics-accuracy suite asserts.
+    the metrics-accuracy suite asserts.  A monitor suite attached to
+    the bundle is evaluated on every DeCloud outcome (the benchmark
+    deliberately breaks the §IV invariants and is skipped).
+
+    ``history`` (optional
+    :class:`~repro.obs.timeseries.TimeSeriesStore`) appends the
+    registry snapshot after every block, building the cross-run JSONL
+    history the drift detectors read.  Requires ``obs``.
     """
 
     config: AuctionConfig = field(default_factory=AuctionConfig)
     seed: int = 0
     timer: Optional[PhaseTimer] = None
     obs: Optional[ObservabilityLike] = None
+    history: Optional["TimeSeriesStore"] = None
     _block_index: int = 0
 
     def __post_init__(self) -> None:
@@ -103,6 +112,12 @@ class MarketSimulator:
                 requests, offers, obs=obs.scoped(mechanism="benchmark")
             )
             metrics = block_metrics_from_registry(obs.registry)
+            if self.history is not None:
+                self.history.append(
+                    obs.registry.snapshot(),
+                    block=self._block_index - 1,
+                    seed=self.seed,
+                )
         else:
             decloud = self._auction.run(
                 requests, offers, evidence=evidence, timer=self.timer

@@ -13,6 +13,8 @@ import pytest
 
 from repro.common.errors import RevealTimeoutError
 from repro.faults.actors import WithholdingParticipant
+from repro.faults.network import UnreliableNetwork
+from repro.faults.plan import FaultPlan
 from repro.ledger.miner import Miner
 from repro.obs import Observability
 from repro.obs.report import build_tree
@@ -202,6 +204,131 @@ class TestDegradedRoundTrace:
         round_node = next(r for r in roots if r["name"] == "round")
         assert round_node["status"] == "error"
         assert _span_names(round_node) == ["mine", "reveal"]
+
+
+class TestCausalPropagationUnderFaults:
+    """Message faults land on the *sender's* span; deliveries stay unique.
+
+    Every bid broadcast crosses an UnreliableNetwork with observability
+    attached: each (message, node) pair must produce exactly one
+    ``deliver`` span parented on the sender's ``seal`` span, with
+    duplication and reorder jitter recorded as events — never as extra
+    delivery spans.
+    """
+
+    def _run(self, **plan_kwargs):
+        obs = Observability("faulty-round")
+        network = UnreliableNetwork(
+            plan=FaultPlan(seed="causal", **plan_kwargs)
+        )
+        protocol = ExposureProtocol(
+            miners=_network(), network=network, obs=obs
+        )
+        participants, _ = _market(protocol)
+        result = protocol.run_round(participants)
+        return obs, network, result
+
+    def _bid_deliver_spans(self, obs):
+        return [
+            r
+            for r in obs.tracer.records
+            if r["type"] == "span_start"
+            and r["name"] == "deliver"
+            and r["attrs"]["topic"] == "bids"
+        ]
+
+    def test_duplicated_message_yields_exactly_one_delivery_span(self):
+        obs, network, result = self._run(duplicate_rate=0.999)
+        assert network.duplicated > 0
+        assert result.excluded_txids == ()
+
+        spans = self._bid_deliver_spans(obs)
+        # 5 sealed bids x 3 miners, duplicates or not: one span each
+        assert len(spans) == 15
+        pairs = {(s["attrs"]["sender"], s["attrs"]["node"]) for s in spans}
+        assert len(pairs) == 15
+        # with no drops, every duplicated copy (flagged at send time)
+        # shows up as exactly one duplicate-delivery event, never a span
+        dup_sent = [
+            e
+            for e in _events(obs, "net.duplicate")
+            if e["attrs"]["topic"] == "bids"
+        ]
+        dup_delivered = [
+            e
+            for e in _events(obs, "net.duplicate_delivery")
+            if e["attrs"]["topic"] == "bids"
+        ]
+        assert len(dup_sent) >= 1
+        assert len(dup_delivered) == len(dup_sent)
+        assert obs.registry.counter_value(
+            "net_delivered_total", topic="bids"
+        ) == 15.0
+
+    def test_reordered_message_yields_exactly_one_delivery_span(self):
+        obs, network, result = self._run(
+            reorder_rate=0.999, max_delay=0.01
+        )
+        assert result.excluded_txids == ()
+        spans = self._bid_deliver_spans(obs)
+        assert len(spans) == 15
+        reorders = [
+            e
+            for e in _events(obs, "net.reorder")
+            if e["attrs"]["topic"] == "bids"
+        ]
+        assert len(reorders) >= 1
+        assert _events(obs, "net.duplicate_delivery") == []
+
+    def test_delivery_spans_parent_on_the_senders_seal_span(self):
+        obs, _, _ = self._run(duplicate_rate=0.999)
+        seal_participant = {
+            r["span"]: r["attrs"]["participant"]
+            for r in obs.tracer.records
+            if r["type"] == "span_start" and r["name"] == "seal"
+        }
+        spans = self._bid_deliver_spans(obs)
+        assert spans
+        for span in spans:
+            assert seal_participant[span["parent"]] == span["attrs"]["sender"]
+
+    def test_fault_events_attach_to_the_senders_seal_span(self):
+        obs, network, _ = self._run(drop_rate=0.3)
+        assert network.dropped > 0
+        seal_participant = {
+            r["span"]: r["attrs"]["participant"]
+            for r in obs.tracer.records
+            if r["type"] == "span_start" and r["name"] == "seal"
+        }
+        drops = [
+            e for e in _events(obs, "net.drop")
+            if e["attrs"]["topic"] == "bids"
+        ]
+        assert drops
+        for event in drops:
+            assert seal_participant[event["span"]] == event["attrs"]["sender"]
+
+    def test_fault_sampling_identical_with_observability_off(self):
+        def run(obs):
+            network = UnreliableNetwork(
+                plan=FaultPlan(
+                    seed="causal", drop_rate=0.2, duplicate_rate=0.3,
+                    reorder_rate=0.2, max_delay=0.02,
+                )
+            )
+            protocol = ExposureProtocol(
+                miners=_network(), network=network, obs=obs
+            )
+            participants, _ = _market(protocol)
+            result = protocol.run_round(participants)
+            return network, result
+
+        net_on, res_on = run(Observability("on"))
+        net_off, res_off = run(None)
+        assert net_on.dropped == net_off.dropped
+        assert net_on.duplicated == net_off.duplicated
+        assert net_on.delivered == net_off.delivered
+        assert res_on.outcome.to_payload() == res_off.outcome.to_payload()
 
 
 class TestTraceExportDeterminism:

@@ -21,6 +21,7 @@ FAST_EXAMPLES = [
     "challenge_and_settlement.py",
     "edge_federation.py",
     "observability_demo.py",
+    "degraded_round_demo.py",
 ]
 
 SLOW_EXAMPLES = [
@@ -29,13 +30,17 @@ SLOW_EXAMPLES = [
 ]
 
 
-def _run(name, timeout=240):
+def _run(name, timeout=240, env=None):
     path = os.path.join(EXAMPLES_DIR, name)
+    merged = dict(os.environ)
+    if env:
+        merged.update(env)
     return subprocess.run(
         [sys.executable, path],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=merged,
     )
 
 
@@ -51,3 +56,34 @@ def test_slow_example_runs(name):
     result = _run(name, timeout=600)
     assert result.returncode == 0, result.stderr[-2000:]
     assert "OK" in result.stdout or "Reading:" in result.stdout
+
+
+def test_degraded_round_demo_renders_flight_bundle(tmp_path):
+    result = _run(
+        "degraded_round_demo.py", env={"PYTHONHASHSEED": "0"}
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "triggered by QuorumError" in result.stdout
+    assert "cli-0" in result.stdout
+    assert result.stdout.rstrip().endswith("OK")
+
+
+def test_chaos_sweep_reports_monitor_alert_column():
+    result = _run("chaos_sweep.py", timeout=600, env={"CHAOS_ROUNDS": "1"})
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "alerts" in result.stdout
+    assert "passed all mechanism monitors" in result.stdout
+
+
+def test_fault_free_chaos_sweep_produces_zero_monitor_alerts():
+    from repro.sim.chaos import ChaosSpec, run_chaos_sweep
+
+    spec = ChaosSpec(
+        num_clients=4, num_providers=2, num_miners=3,
+        rounds=1, seed=11, difficulty_bits=4,
+    )
+    points = run_chaos_sweep(
+        spec, drop_rates=(0.0,), byzantine=False, monitored=True
+    )
+    assert [point.monitor_alerts for point in points] == [0]
+    assert points[0].rounds_completed == 1

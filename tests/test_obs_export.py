@@ -1,0 +1,80 @@
+"""Prometheus exposition rendering, including hostile label values.
+
+Label values come from participant-controlled strings (ids, topics), so
+the exporter must escape backslash, double quote, and newline per the
+exposition format — otherwise a crafted participant id corrupts the
+whole scrape.
+"""
+
+from __future__ import annotations
+
+from repro.obs import Observability
+from repro.obs.export import (
+    _escape_label_value,
+    to_prometheus_text,
+)
+from repro.obs.registry import MetricsRegistry, NULL_REGISTRY
+
+
+class TestEscaping:
+    def test_escape_rules(self):
+        assert _escape_label_value("plain") == "plain"
+        assert _escape_label_value('say "hi"') == 'say \\"hi\\"'
+        assert _escape_label_value("a\\b") == "a\\\\b"
+        assert _escape_label_value("line1\nline2") == "line1\\nline2"
+        # backslash first: an embedded \n sequence must not double-escape
+        assert _escape_label_value("\\n") == "\\\\n"
+
+    def test_hostile_label_values_stay_on_one_line(self):
+        registry = MetricsRegistry()
+        hostile = 'evil"} fake_metric 99\ninjected 1'
+        registry.inc("seals_total", participant=hostile)
+        registry.set("depth", 2.0, node="back\\slash")
+        text = to_prometheus_text(registry)
+        lines = text.splitlines()
+        # injection stays inside one quoted label value per series
+        assert len(lines) == 2
+        # counters render before gauges
+        assert (
+            'seals_total{participant="evil\\"} fake_metric 99\\ninjected 1"}'
+            in lines[0]
+        )
+        assert 'depth{node="back\\\\slash"} 2.0' == lines[1]
+
+    def test_each_line_parses_as_name_labels_value(self):
+        registry = MetricsRegistry()
+        registry.inc("c", topic='with"quote')
+        registry.observe("h", 0.5, phase="a\nb")
+        for line in to_prometheus_text(registry).splitlines():
+            series, _, value = line.rpartition(" ")
+            float(value)  # the sample value is numeric
+            assert series.count("{") == 1
+            assert series.endswith('"}')
+
+
+class TestRendering:
+    def test_plain_series_unquoted_names(self):
+        registry = MetricsRegistry()
+        registry.inc("rounds_total", 3)
+        registry.set("last_welfare", 1.25)
+        text = to_prometheus_text(registry)
+        assert "rounds_total 3.0" in text
+        assert "last_welfare 1.25" in text
+
+    def test_histograms_emit_count_and_sum(self):
+        registry = MetricsRegistry()
+        registry.observe("phase_seconds", 0.25, phase="clear")
+        text = to_prometheus_text(registry)
+        assert 'phase_seconds_count{phase="clear"} 1' in text
+        assert 'phase_seconds_sum{phase="clear"} 0.25' in text
+
+    def test_labeled_view_unwraps_to_base(self):
+        obs = Observability("export")
+        obs.scoped(mechanism="decloud").registry.inc("trades_total")
+        text = to_prometheus_text(obs.registry.labeled(mechanism="decloud"))
+        assert text == obs.prometheus_text()
+        assert 'trades_total{mechanism="decloud"} 1.0' in text
+
+    def test_empty_and_null_registries_render_empty(self):
+        assert to_prometheus_text(MetricsRegistry()) == ""
+        assert to_prometheus_text(NULL_REGISTRY) == ""

@@ -1,8 +1,18 @@
 """Tests for the trace summary CLI (python -m repro.obs.report)."""
 
+import json
+
+import pytest
+
 from repro.obs import Observability, Tracer
 from repro.obs.export import write_prometheus
-from repro.obs.report import build_tree, main, render_tree, summarize
+from repro.obs.report import (
+    build_tree,
+    main,
+    render_failing_tree,
+    render_tree,
+    summarize,
+)
 from repro.obs.trace import load_jsonl
 
 
@@ -100,3 +110,66 @@ class TestCli:
         out = capsys.readouterr().out
         assert "metrics:" in out
         assert "rounds" in out
+
+    def test_main_requires_some_input(self, capsys):
+        with pytest.raises(SystemExit):
+            main([])
+        assert "required" in capsys.readouterr().err
+
+
+class TestRenderFailingTree:
+    def test_failing_path_marked_to_the_root(self):
+        tracer = Tracer()
+        with tracer.span("round", index=0):
+            with tracer.span("reveal"):
+                tracer.event("reveal.excluded", txid="t1", sender="mallory")
+            with tracer.span("commit"):
+                tracer.event("round.committed", height=0)
+        text = render_failing_tree(load_jsonl(tracer.to_jsonl()))
+        lines = text.splitlines()
+        # the exclusion, its span, and the round ancestor are all marked
+        assert any(l.startswith("!") and "round {" in l for l in lines)
+        assert any(l.startswith("!") and "- reveal" in l for l in lines)
+        assert any(l.startswith("!") and "reveal.excluded" in l for l in lines)
+        # the healthy commit branch is not
+        assert any(l.startswith(" ") and "- commit" in l for l in lines)
+
+    def test_error_status_marks_without_failing_events(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("round"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        text = render_failing_tree(load_jsonl(tracer.to_jsonl()))
+        assert text.splitlines()[0].startswith("!")
+        assert "[error]" in text
+
+
+class TestSnapshotDiffCli:
+    def test_main_snapshot_diff(self, tmp_path, capsys):
+        obs = Observability("diff")
+        obs.registry.inc("trades_total", 2)
+        obs.registry.set("welfare", 1.0)
+        before = tmp_path / "before.json"
+        before.write_text(json.dumps(obs.registry.snapshot()))
+        obs.registry.inc("trades_total", 3)
+        obs.registry.set("welfare", 4.5)
+        obs.registry.observe("phase_seconds", 0.25, phase="clear")
+        after = tmp_path / "after.json"
+        after.write_text(json.dumps(obs.registry.snapshot()))
+
+        assert main(["--snapshot-diff", str(before), str(after)]) == 0
+        out = capsys.readouterr().out
+        assert "snapshot diff" in out
+        assert "trades_total  +3" in out
+        assert "welfare  -> 4.5" in out
+        assert "phase_seconds{phase=clear}  +1 obs" in out
+
+    def test_identical_snapshots_report_no_changes(self, tmp_path, capsys):
+        obs = Observability("diff")
+        obs.registry.inc("trades_total")
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(obs.registry.snapshot()))
+        assert main(["--snapshot-diff", str(path), str(path)]) == 0
+        assert "(no changes)" in capsys.readouterr().out

@@ -1,0 +1,207 @@
+"""Time-series store and drift detection (repro.obs.timeseries)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.timeseries import (
+    TimeSeriesStore,
+    counter_series,
+    detect_drift,
+    gauge_series,
+    latency_p95_drift,
+    latency_series,
+    least_squares_slope,
+    main as timeseries_main,
+    p95,
+    revenue_drift,
+)
+from repro.sim.engine import MarketSimulator
+from repro.workloads.generators import MarketScenario
+
+
+def _rows_from_registry(tmp_path, updates):
+    """Append one row per update batch through a live registry."""
+    store = TimeSeriesStore(str(tmp_path / "history.jsonl"))
+    obs = Observability("ts")
+    for i, batch in enumerate(updates):
+        batch(obs.registry)
+        store.append(obs.registry.snapshot(), round=i)
+    return store, TimeSeriesStore.load(store.path)
+
+
+class TestStore:
+    def test_append_load_roundtrip(self, tmp_path):
+        store, rows = _rows_from_registry(
+            tmp_path,
+            [
+                lambda reg: (reg.inc("trades_total", 3), reg.set("w", 1.5)),
+                lambda reg: (reg.inc("trades_total", 2), reg.set("w", 2.5)),
+            ],
+        )
+        assert store.appended == 2
+        assert len(rows) == 2
+        assert rows[0]["meta"] == {"round": 0}
+        assert rows[1]["counters"]["trades_total"] == 5.0
+        assert rows[1]["gauges"]["w"] == 2.5
+
+    def test_rows_are_compact_sorted_json(self, tmp_path):
+        store, _ = _rows_from_registry(
+            tmp_path, [lambda reg: reg.inc("a", 1)]
+        )
+        line = open(store.path).read().splitlines()[0]
+        assert line == json.dumps(
+            json.loads(line), sort_keys=True, separators=(",", ":")
+        )
+
+
+class TestSeriesExtraction:
+    def test_counter_series_diffs_cumulative_rows(self, tmp_path):
+        _, rows = _rows_from_registry(
+            tmp_path,
+            [lambda reg, k=k: reg.inc("n", k) for k in (1, 4, 2)],
+        )
+        assert counter_series(rows, "n") == [1.0, 4.0, 2.0]
+        assert counter_series(rows, "n", delta=False) == [1.0, 5.0, 7.0]
+
+    def test_gauge_series_reads_values_directly(self, tmp_path):
+        _, rows = _rows_from_registry(
+            tmp_path,
+            [lambda reg, v=v: reg.set("g", v) for v in (1.0, 3.0)],
+        )
+        assert gauge_series(rows, "g") == [1.0, 3.0]
+        assert gauge_series(rows, "missing") == []
+
+    def test_latency_series_is_delta_mean_per_row(self, tmp_path):
+        _, rows = _rows_from_registry(
+            tmp_path,
+            [
+                lambda reg: reg.observe("lat", 2.0),
+                lambda reg: (reg.observe("lat", 4.0), reg.observe("lat", 6.0)),
+            ],
+        )
+        assert latency_series(rows, "lat") == [2.0, 5.0]
+
+
+class TestDriftDetection:
+    def test_stable_series_does_not_drift(self):
+        report = detect_drift([1.0] * 10, window=5)
+        assert not report.drifting
+        assert report.relative_change == 0.0
+
+    def test_sustained_rise_drifts(self):
+        values = [1.0] * 5 + [1.5, 1.6, 1.7, 1.8, 1.9]
+        report = detect_drift(values, window=5, threshold=0.2)
+        assert report.drifting
+        assert report.relative_change > 0.2
+        assert report.slope > 0
+        assert "DRIFT" in report.describe()
+
+    def test_single_spike_does_not_drift(self):
+        # the mean moves but the trailing slope is flat-to-negative
+        values = [1.0] * 5 + [5.0, 1.0, 1.0, 1.0, 1.0]
+        report = detect_drift(values, window=5, threshold=0.2)
+        assert not report.drifting
+
+    def test_short_history_never_drifts(self):
+        assert not detect_drift([1.0, 100.0], window=5).drifting
+
+    def test_p95_statistic(self):
+        assert p95([]) == 0.0
+        assert p95(list(range(1, 101))) == 95
+        report = detect_drift(
+            [1.0] * 5 + [2.0] * 5, window=5, statistic="p95"
+        )
+        assert report.baseline == 1.0
+        assert report.recent == 2.0
+
+    def test_rejects_unknown_statistic_and_bad_window(self):
+        with pytest.raises(ValueError):
+            detect_drift([1.0], statistic="median")
+        with pytest.raises(ValueError):
+            detect_drift([1.0], window=0)
+
+    def test_least_squares_slope(self):
+        assert least_squares_slope([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+        assert least_squares_slope([2.0]) == 0.0
+
+
+class TestCannedDetectors:
+    def _history(self, tmp_path, revenues):
+        store = TimeSeriesStore(str(tmp_path / "h.jsonl"))
+        obs = Observability("canned")
+        for i, rev in enumerate(revenues):
+            obs.registry.set("auction_last_revenues", rev)
+            obs.registry.observe(
+                "auction_phase_seconds", 0.01, phase="clear"
+            )
+            store.append(obs.registry.snapshot(), round=i)
+        return TimeSeriesStore.load(store.path)
+
+    def test_revenue_drift_detects_quiet_decline(self, tmp_path):
+        rows = self._history(
+            tmp_path, [10.0] * 5 + [7.0, 6.5, 6.0, 5.5, 5.0]
+        )
+        report = revenue_drift(rows)
+        assert report.drifting
+        assert report.relative_change < -0.2
+
+    def test_latency_p95_drift_stable_on_constant_history(self, tmp_path):
+        rows = self._history(tmp_path, [10.0] * 10)
+        assert not latency_p95_drift(rows, phase="clear").drifting
+
+
+class TestSimulatorWiring:
+    def test_market_simulator_appends_one_row_per_block(self, tmp_path):
+        store = TimeSeriesStore(str(tmp_path / "sim.jsonl"))
+        simulator = MarketSimulator(
+            obs=Observability("sim"), history=store, seed=1
+        )
+        for _ in range(3):
+            requests, offers = MarketScenario(
+                n_requests=10, seed=1
+            ).generate()
+            simulator.run_block(requests, offers)
+        rows = TimeSeriesStore.load(store.path)
+        assert [row["meta"]["block"] for row in rows] == [0, 1, 2]
+        assert gauge_series(
+            rows, "auction_last_welfare{mechanism=decloud}"
+        )
+
+
+class TestCLI:
+    def _write_history(self, tmp_path):
+        store = TimeSeriesStore(str(tmp_path / "cli.jsonl"))
+        obs = Observability("cli")
+        values = [10.0] * 5 + [7.0, 6.5, 6.0, 5.5, 5.0]
+        for value in values:
+            obs.registry.set("auction_last_revenues", value)
+            obs.registry.inc("auction_trades_total", 2)
+            store.append(obs.registry.snapshot())
+        return store.path
+
+    def test_list_mode(self, tmp_path, capsys):
+        path = self._write_history(tmp_path)
+        assert timeseries_main([path, "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "10 rows" in out
+        assert "auction_last_revenues" in out
+
+    def test_drifting_gauge_exits_nonzero(self, tmp_path, capsys):
+        path = self._write_history(tmp_path)
+        code = timeseries_main(
+            [path, "--gauge", "auction_last_revenues", "--window", "5"]
+        )
+        assert code == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_stable_counter_exits_zero(self, tmp_path, capsys):
+        path = self._write_history(tmp_path)
+        code = timeseries_main(
+            [path, "--counter", "auction_trades_total", "--window", "5"]
+        )
+        assert code == 0
+        assert "stable" in capsys.readouterr().out
