@@ -76,6 +76,37 @@ class InsecureKeyWarning(UserWarning):
     """A participant fell back to a forgeable id-derived keypair."""
 
 
+class StoreError(ReproError):
+    """Durable-store failure (write-ahead log, snapshot, or backend)."""
+
+
+class CorruptRecordError(StoreError):
+    """A WAL frame failed framing or CRC32 validation.
+
+    Carries the byte ``offset`` of the bad frame and a short ``reason``
+    (``"torn header"``, ``"torn payload"``, ``"bad magic"``, ``"crc
+    mismatch"``, ``"bad envelope"``).  Recovery treats the first corrupt
+    frame as the start of a torn tail and truncates from ``offset``; the
+    error is only *raised* when a caller asks for ``strict`` scanning.
+    """
+
+    def __init__(self, message: str, offset: int = 0, reason: str = ""):
+        super().__init__(message)
+        self.offset = offset
+        self.reason = reason
+
+
+class RecoveryError(StoreError):
+    """Replaying the log + snapshot could not produce a consistent state.
+
+    Unlike :class:`CorruptRecordError` (damage confined to the log tail,
+    handled by truncation), this means the *valid* record sequence is
+    itself inconsistent — e.g. a block that no longer validates against
+    the recovered chain, or an escrow transition for an escrow the log
+    never opened.
+    """
+
+
 class ContractError(ReproError):
     """Smart-contract method invoked in an invalid state or with bad args."""
 

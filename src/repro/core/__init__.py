@@ -41,6 +41,7 @@ from repro.core.pricing import (
 from repro.core.outcome import (
     AuctionOutcome,
     Match,
+    canonical_outcome,
     utility_of_client,
     utility_of_provider,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "AuctionConfig",
     "AuctionOutcome",
     "Match",
+    "canonical_outcome",
     "utility_of_client",
     "utility_of_provider",
     "Cluster",

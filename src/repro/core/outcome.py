@@ -128,6 +128,53 @@ class AuctionOutcome:
         return [(match.request, match.offer) for match in self.matches]
 
 
+def canonical_outcome(outcome: AuctionOutcome) -> Dict:
+    """Exact, order-independent, JSON-ready digest of an outcome.
+
+    Every float is rendered with ``float.hex()`` so equality is bitwise,
+    diffable, and serialization-stable.  The differential engine suite,
+    the golden fixtures, and the crash-matrix recovery harness all
+    compare outcomes through exactly this structure.
+    """
+    matches = sorted(
+        (
+            {
+                "request_id": m.request.request_id,
+                "offer_id": m.offer.offer_id,
+                "payment": m.payment.hex(),
+                "unit_price": m.unit_price.hex(),
+            }
+            for m in outcome.matches
+        ),
+        key=lambda row: (row["request_id"], row["offer_id"]),
+    )
+    welfare = sum(
+        (
+            m.welfare
+            for m in sorted(
+                outcome.matches,
+                key=lambda m: (m.request.request_id, m.offer.offer_id),
+            )
+        ),
+        0.0,
+    )
+    return {
+        "matches": matches,
+        "prices": [p.hex() for p in sorted(outcome.prices)],
+        "reduced_requests": sorted(
+            r.request_id for r in outcome.reduced_requests
+        ),
+        "reduced_offers": sorted(o.offer_id for o in outcome.reduced_offers),
+        "unmatched_requests": sorted(
+            r.request_id for r in outcome.unmatched_requests
+        ),
+        "unmatched_offers": sorted(
+            o.offer_id for o in outcome.unmatched_offers
+        ),
+        "welfare": welfare.hex(),
+    }
+
+
 def utility_of_client(
     outcome: AuctionOutcome, request_id: str, true_value: float
 ) -> float:

@@ -22,6 +22,12 @@ from repro.faults.actors import (
     WithholdingParticipant,
     detect_equivocation,
 )
+from repro.faults.crash import (
+    CRASH_MODES,
+    CrashPlan,
+    CrashPoint,
+    SimulatedCrashError,
+)
 from repro.faults.network import GLOBAL_NODE, UnreliableNetwork
 from repro.faults.plan import (
     LOSSLESS,
@@ -32,7 +38,11 @@ from repro.faults.plan import (
 )
 
 __all__ = [
+    "CRASH_MODES",
+    "CrashPlan",
+    "CrashPoint",
     "CrashSpec",
+    "SimulatedCrashError",
     "EquivocatingMiner",
     "FaultPlan",
     "GLOBAL_NODE",

@@ -1,0 +1,159 @@
+"""Deterministic crash-point injection at WAL record boundaries.
+
+A :class:`CrashPoint` arms one simulated process death: it watches every
+append a :class:`~repro.store.wal.WriteAheadLog` attempts and, at the
+chosen boundary, decides what actually reached the disk before the
+process died —
+
+* ``"clean"``   — the full frame persisted; the crash hit *after* the
+  record boundary (the classic fsync-then-die point);
+* ``"torn"``    — only a prefix of the frame persisted (the write died
+  mid-sector), leaving a torn tail for recovery to truncate;
+* ``"corrupt"`` — the full frame persisted but one byte flipped (media
+  corruption), so the CRC catches it on scan.
+
+The death itself is :class:`SimulatedCrashError` — deliberately *not* a
+:class:`~repro.common.errors.ReproError` subclass, because the protocol
+layer swallows ``ReproError`` at gossip handlers and round boundaries
+(that is its graceful-degradation contract).  A process death must
+propagate to the supervisor, not be absorbed as a protocol fault.
+
+A :class:`CrashPlan` enumerates every (boundary, mode) pair for a run of
+known append count — the crash matrix the differential harness in
+``repro.sim.chaos`` sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from repro.common.errors import ValidationError
+
+#: crash modes a point can simulate at its boundary
+CRASH_MODES = ("clean", "torn", "corrupt")
+
+
+class SimulatedCrashError(Exception):
+    """The simulated process died mid-append (injected, not a bug).
+
+    Intentionally a plain :class:`Exception`: a ``ReproError`` would be
+    swallowed by the protocol's fault-degradation paths, but nothing
+    survives a process death except the bytes already on disk.
+    """
+
+    def __init__(
+        self,
+        node_id: str,
+        record_type: str,
+        seq: int,
+        mode: str,
+    ) -> None:
+        super().__init__(
+            f"simulated crash of {node_id} at WAL append seq={seq} "
+            f"({record_type!r}, mode={mode})"
+        )
+        self.node_id = node_id
+        self.record_type = record_type
+        self.seq = seq
+        self.mode = mode
+
+
+@dataclass
+class CrashPoint:
+    """Kill the process at the ``at_append``-th WAL append (0-based).
+
+    Stateful by design: the point counts the appends it observes, fires
+    exactly once, and records what it saw — the harness reads
+    :attr:`fired` to tell "crashed as planned" from "run finished before
+    the boundary was reached".
+    """
+
+    at_append: int
+    mode: str = "clean"
+    #: fraction of the final frame that reaches disk in ``"torn"`` mode
+    #: (0.0 = nothing persisted, i.e. the crash hit *before* the boundary)
+    torn_fraction: float = 0.5
+    node_id: str = "node-0"
+    _seen: int = field(default=0, repr=False)
+    fired: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.at_append < 0:
+            raise ValidationError("at_append must be non-negative")
+        if self.mode not in CRASH_MODES:
+            raise ValidationError(
+                f"unknown crash mode {self.mode!r}; expected one of "
+                f"{CRASH_MODES}"
+            )
+        if not 0.0 <= self.torn_fraction <= 1.0:
+            raise ValidationError("torn_fraction must be in [0, 1]")
+
+    def on_append(self, frame: bytes) -> Optional[bytes]:
+        """Called by the WAL before each append completes.
+
+        Returns ``None`` to let the append proceed, or the bytes that
+        "reached the disk" when the point fires (the WAL persists them
+        and then raises :meth:`crash_error`).
+        """
+        if self.fired:
+            return None
+        index = self._seen
+        self._seen += 1
+        if index != self.at_append:
+            return None
+        self.fired = True
+        if self.mode == "clean":
+            return frame
+        if self.mode == "torn":
+            # clamp so a high fraction still leaves the frame incomplete
+            cut = min(int(len(frame) * self.torn_fraction), len(frame) - 1)
+            return frame[:cut]
+        # "corrupt": full length on disk, one byte flipped mid-frame
+        pos = len(frame) // 2
+        return frame[:pos] + bytes([frame[pos] ^ 0xFF]) + frame[pos + 1:]
+
+    def crash_error(self, record_type: str, seq: int) -> SimulatedCrashError:
+        return SimulatedCrashError(
+            node_id=self.node_id,
+            record_type=record_type,
+            seq=seq,
+            mode=self.mode,
+        )
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """Every (WAL boundary, crash mode) pair for a run of known size.
+
+    ``append_count`` comes from a prior uninterrupted run of the same
+    seeded scenario (``WriteAheadLog.append_count``), so the plan covers
+    *every* record boundary the real run will hit — the exhaustiveness
+    the crash-matrix differential guarantee rests on.
+    """
+
+    append_count: int
+    modes: Tuple[str, ...] = CRASH_MODES
+    torn_fraction: float = 0.5
+    node_id: str = "node-0"
+
+    def __post_init__(self) -> None:
+        if self.append_count < 0:
+            raise ValidationError("append_count must be non-negative")
+        for mode in self.modes:
+            if mode not in CRASH_MODES:
+                raise ValidationError(f"unknown crash mode {mode!r}")
+
+    def __len__(self) -> int:
+        return self.append_count * len(self.modes)
+
+    def points(self) -> Iterator[CrashPoint]:
+        """Fresh, un-fired crash points in (boundary, mode) order."""
+        for index in range(self.append_count):
+            for mode in self.modes:
+                yield CrashPoint(
+                    at_append=index,
+                    mode=mode,
+                    torn_fraction=self.torn_fraction,
+                    node_id=self.node_id,
+                )

@@ -20,6 +20,10 @@ class Blockchain:
     def __init__(self, difficulty_bits: int = DEFAULT_DIFFICULTY_BITS) -> None:
         self.difficulty_bits = difficulty_bits
         self._blocks: List[Block] = []
+        #: optional write-ahead journal (``repro.store.NodeStore`` duck
+        #: type): every append is logged *before* it takes effect, so a
+        #: crashed node recovers exactly the blocks it durably committed
+        self.journal = None
 
     def __len__(self) -> int:
         return len(self._blocks)
@@ -69,8 +73,10 @@ class Blockchain:
             raise InvalidBlockError("miner signature on block body is invalid")
 
     def append(self, block: Block) -> None:
-        """Validate and append ``block``."""
+        """Validate and append ``block`` (journaled first when attached)."""
         self.validate_candidate(block)
+        if self.journal is not None:
+            self.journal.log("chain.append", block=block)
         self._blocks.append(block)
 
     def find_block(self, block_hash: str) -> Optional[Block]:

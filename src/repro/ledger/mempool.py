@@ -21,6 +21,10 @@ class Mempool:
     def __init__(self, max_size: int = 100_000) -> None:
         self.max_size = max_size
         self._pending: "OrderedDict[str, SealedBidTransaction]" = OrderedDict()
+        #: optional write-ahead journal (``repro.store.NodeStore`` duck
+        #: type): admissions are logged before insertion so a crashed
+        #: node's pending bids survive a restart
+        self.journal = None
 
     def __len__(self) -> int:
         return len(self._pending)
@@ -38,6 +42,8 @@ class Mempool:
         if txid not in self._pending:
             if len(self._pending) >= self.max_size:
                 raise SignatureError("mempool full")  # pragma: no cover
+            if self.journal is not None:
+                self.journal.log("mempool.admit", tx=tx)
             self._pending[txid] = tx
         return txid
 

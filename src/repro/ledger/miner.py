@@ -51,6 +51,10 @@ class Miner:
     rejected_reveals: List[Tuple[KeyReveal, str]] = field(default_factory=list)
     #: reveals for preambles this node has not seen yet (reordered gossip)
     _unscreened: Dict[str, Dict[str, KeyReveal]] = field(default_factory=dict)
+    #: optional durable store (``repro.store.NodeStore``): chain appends
+    #: and mempool admissions journal through it, making this node
+    #: crash-recoverable via ``store.recover()``
+    store: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.keypair is None:
@@ -59,6 +63,8 @@ class Miner:
             )
         if self.chain is None:
             self.chain = Blockchain(difficulty_bits=self.difficulty_bits)
+        if self.store is not None:
+            self.store.attach(chain=self.chain, mempool=self.mempool)
 
     # ------------------------------------------------------------------
     # Bidding phase

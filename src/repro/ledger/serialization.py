@@ -31,7 +31,7 @@ from repro.ledger.transaction import SealedBidTransaction
 FORMAT_VERSION = 1
 
 
-def _tx_to_dict(tx: SealedBidTransaction) -> Dict[str, Any]:
+def tx_to_dict(tx: SealedBidTransaction) -> Dict[str, Any]:
     return {
         "sender_id": tx.sender_id,
         "sender_public": hex(tx.sender_public),
@@ -41,7 +41,7 @@ def _tx_to_dict(tx: SealedBidTransaction) -> Dict[str, Any]:
     }
 
 
-def _tx_from_dict(data: Dict[str, Any]) -> SealedBidTransaction:
+def tx_from_dict(data: Dict[str, Any]) -> SealedBidTransaction:
     return SealedBidTransaction(
         sender_id=data["sender_id"],
         sender_public=int(data["sender_public"], 16),
@@ -56,7 +56,7 @@ def _tx_from_dict(data: Dict[str, Any]) -> SealedBidTransaction:
     )
 
 
-def _block_to_dict(block: Block) -> Dict[str, Any]:
+def block_to_dict(block: Block) -> Dict[str, Any]:
     preamble = block.preamble
     body = block.body
     out: Dict[str, Any] = {
@@ -65,7 +65,7 @@ def _block_to_dict(block: Block) -> Dict[str, Any]:
             "parent_hash": preamble.parent_hash,
             "timestamp": preamble.timestamp,
             "pow_nonce": preamble.pow_nonce,
-            "transactions": [_tx_to_dict(tx) for tx in preamble.transactions],
+            "transactions": [tx_to_dict(tx) for tx in preamble.transactions],
         },
     }
     if body is not None:
@@ -87,12 +87,12 @@ def _block_to_dict(block: Block) -> Dict[str, Any]:
     return out
 
 
-def _block_from_dict(data: Dict[str, Any]) -> Block:
+def block_from_dict(data: Dict[str, Any]) -> Block:
     pre = data["preamble"]
     preamble = BlockPreamble(
         height=pre["height"],
         parent_hash=pre["parent_hash"],
-        transactions=tuple(_tx_from_dict(t) for t in pre["transactions"]),
+        transactions=tuple(tx_from_dict(t) for t in pre["transactions"]),
         timestamp=pre["timestamp"],
         pow_nonce=pre["pow_nonce"],
     )
@@ -126,7 +126,7 @@ def chain_to_json(chain: Blockchain) -> str:
         "format_version": FORMAT_VERSION,
         "difficulty_bits": chain.difficulty_bits,
         "blocks": [
-            {"hash": block.hash(), **_block_to_dict(block)} for block in chain
+            {"hash": block.hash(), **block_to_dict(block)} for block in chain
         ],
     }
     return json.dumps(document, sort_keys=True, indent=1)
@@ -148,7 +148,7 @@ def chain_from_json(document: str, verify: bool = True) -> Blockchain:
         )
     chain = Blockchain(difficulty_bits=data["difficulty_bits"])
     for entry in data["blocks"]:
-        block = _block_from_dict(entry)
+        block = block_from_dict(entry)
         if verify:
             recomputed = block.hash()
             if recomputed != entry["hash"]:

@@ -213,6 +213,8 @@ class ExposureProtocol:
         reveal_backoff: float = 2.0,
         timer: Optional[PhaseTimer] = None,
         obs: Optional[ObservabilityLike] = None,
+        store: Optional[object] = None,
+        start_round: int = 0,
     ) -> None:
         if not miners:
             raise ProtocolError("at least one miner is required")
@@ -238,7 +240,12 @@ class ExposureProtocol:
             self.timer: "PhaseTimer | object" = self.obs.timer
         else:
             self.timer = resolve(timer)
-        self._round = 0
+        #: optional durable store (``repro.store.NodeStore``): round phase
+        #: transitions are journaled through it so recovery knows exactly
+        #: how far an in-flight round progressed before a crash.
+        #: ``start_round`` resumes the leader rotation after a restart.
+        self.store = store
+        self._round = start_round
         # A fault-injecting bus that can trace deliveries causally gets
         # the same bundle, so message fates land in the round's tree.
         attach_obs = getattr(self.network, "attach_obs", None)
@@ -292,6 +299,13 @@ class ExposureProtocol:
 
     def _live_miners(self) -> List[Miner]:
         return [m for m in self.miners if not self._is_down(m.miner_id)]
+
+    def _journal_phase(self, round_index: int, phase: str, **extra) -> None:
+        """Write one ``round.phase`` marker ahead of the transition."""
+        if self.store is not None:
+            self.store.log(
+                "round.phase", round=round_index, phase=phase, **extra
+            )
 
     @property
     def quorum(self) -> int:
@@ -427,6 +441,9 @@ class ExposureProtocol:
                     # instead of silently blending failed rounds into
                     # the totals.
                     self.timer.mark_aborted("round")
+                    self._journal_phase(
+                        round_index, "aborted", error=type(exc).__name__
+                    )
                     if self.obs.enabled:
                         self.obs.tracer.event(
                             "round.aborted", error=type(exc).__name__
@@ -470,8 +487,10 @@ class ExposureProtocol:
                 f"reachable; quorum needs {self.quorum}"
             )
         leader = next(m for m in rotation if not self._is_down(m.miner_id))
+        self._journal_phase(round_index, "seal", leader=leader.miner_id)
 
         # Phase 1 completion: leader mines the preamble over sealed bids.
+        self._journal_phase(round_index, "mine", leader=leader.miner_id)
         with self.timer.phase("mine"), tracer.span(
             "mine", leader=leader.miner_id
         ):
@@ -502,6 +521,8 @@ class ExposureProtocol:
                 raise ProtocolError("preamble failed proof-of-work check")
 
         # Phase 2: collect screened reveals; excluded bids stay sealed.
+        self._journal_phase(round_index, "preamble", hash=preamble.hash())
+        self._journal_phase(round_index, "reveal")
         rejected_before = [len(m.rejected_reveals) for m in self.miners]
         with self.timer.phase("reveal"), tracer.span("reveal"):
             reveals = self._collect_reveals(leader, preamble, participants)
@@ -563,6 +584,9 @@ class ExposureProtocol:
                 continue
             if failed and obs.enabled:
                 tracer.event("round.fallback", proposer=proposer.miner_id)
+            self._journal_phase(
+                round_index, "propose", proposer=proposer.miner_id
+            )
             with self.timer.phase("propose"), tracer.span(
                 "propose", proposer=proposer.miner_id
             ):
@@ -585,6 +609,7 @@ class ExposureProtocol:
             # allocation; commit happens only after quorum agrees, so a
             # rejected proposal leaves no chain diverged.
             approving: List[Miner] = []
+            self._journal_phase(round_index, "verify")
             with self.timer.phase("verify"), tracer.span("verify"):
                 for miner in self._live_miners():
                     try:
@@ -603,9 +628,13 @@ class ExposureProtocol:
                     )
                     reg.inc("protocol_proposals_rejected_total")
                 continue
+            self._journal_phase(round_index, "commit")
             with self.timer.phase("commit"), tracer.span("commit"):
                 for miner in approving:
                     miner.commit_block(block)
+            self._journal_phase(
+                round_index, "committed", hash=block.hash()
+            )
             if obs.enabled:
                 reg.inc("protocol_commits_total")
                 reg.set("protocol_last_quorum", len(approving))

@@ -42,11 +42,107 @@ class Escrow:
 
 @dataclass
 class TokenLedger:
-    """Minimal account-model token ledger with escrow support."""
+    """Minimal account-model token ledger with escrow support.
+
+    With a ``journal`` attached (``repro.store.NodeStore`` duck type)
+    every state transition is written ahead: the public operations log a
+    typed record first, then delegate to the private ``_apply_*``
+    primitives.  Recovery replays records through the same primitives,
+    so the replayed ledger is bit-identical to the pre-crash one.
+    """
 
     balances: Dict[str, float] = field(default_factory=dict)
     escrows: Dict[str, Escrow] = field(default_factory=dict)
     _escrow_counter: int = 0
+    #: optional write-ahead journal; set via ``NodeStore.attach``
+    journal: Optional[object] = None
+
+    # ------------------------------------------------------------------
+    # Unjournaled apply primitives (the write path *after* the journal,
+    # and the replay path during recovery)
+    # ------------------------------------------------------------------
+    def _apply_mint(self, account: str, amount: float) -> None:
+        self.balances[account] = self.balances.get(account, 0.0) + amount
+
+    def _apply_transfer(
+        self, sender: str, recipient: str, amount: float
+    ) -> None:
+        self.balances[sender] = self.balance(sender) - amount
+        self.balances[recipient] = self.balance(recipient) + amount
+
+    def _apply_open(
+        self,
+        escrow_id: str,
+        client_id: str,
+        provider_id: str,
+        amount: float,
+    ) -> None:
+        if self.balance(client_id) < amount - 1e-12:
+            raise ContractError(
+                f"client {client_id} cannot cover escrow of {amount:.6f}"
+            )
+        if escrow_id in self.escrows:
+            raise ContractError(f"escrow {escrow_id} already exists")
+        self.balances[client_id] = self.balance(client_id) - amount
+        self.escrows[escrow_id] = Escrow(
+            escrow_id=escrow_id,
+            client_id=client_id,
+            provider_id=provider_id,
+            amount=amount,
+        )
+        # keep the id counter ahead of every id ever materialized, so
+        # replayed and freshly-reserved ids can never collide
+        prefix, _, suffix = escrow_id.rpartition("-")
+        if prefix == "esc" and suffix.isdigit():
+            self._escrow_counter = max(self._escrow_counter, int(suffix) + 1)
+
+    def _apply_transition(self, escrow_id: str, to: str) -> None:
+        escrow = self._held(escrow_id)
+        if to == EscrowState.RELEASED.value:
+            escrow.state = EscrowState.RELEASED
+            self.balances[escrow.provider_id] = (
+                self.balance(escrow.provider_id) + escrow.amount
+            )
+        elif to == EscrowState.REFUNDED.value:
+            escrow.state = EscrowState.REFUNDED
+            self.balances[escrow.client_id] = (
+                self.balance(escrow.client_id) + escrow.amount
+            )
+        else:
+            raise ContractError(f"unknown escrow transition {to!r}")
+
+    def _restore_escrow(
+        self,
+        escrow_id: str,
+        client_id: str,
+        provider_id: str,
+        amount: float,
+        state: EscrowState,
+    ) -> None:
+        """Snapshot-load path: re-materialize an escrow in any state
+        without touching balances (the snapshot's balances already
+        reflect it)."""
+        self.escrows[escrow_id] = Escrow(
+            escrow_id=escrow_id,
+            client_id=client_id,
+            provider_id=provider_id,
+            amount=amount,
+            state=state,
+        )
+        prefix, _, suffix = escrow_id.rpartition("-")
+        if prefix == "esc" and suffix.isdigit():
+            self._escrow_counter = max(self._escrow_counter, int(suffix) + 1)
+
+    def reserve_escrow_ids(self, count: int) -> List[str]:
+        """The ids the next ``count`` escrow opens will be assigned.
+
+        Pure read — the counter advances only when the opens apply — so
+        a settlement intent can journal its ids before any state
+        changes.
+        """
+        return [
+            f"esc-{self._escrow_counter + i:06d}" for i in range(count)
+        ]
 
     # ------------------------------------------------------------------
     # Basic accounting
@@ -55,7 +151,9 @@ class TokenLedger:
         """Credit new tokens (the miners' emission reward in DeCloud)."""
         if amount < 0:
             raise ContractError("cannot mint a negative amount")
-        self.balances[account] = self.balances.get(account, 0.0) + amount
+        if self.journal is not None:
+            self.journal.log("token.mint", account=account, amount=amount)
+        self._apply_mint(account, amount)
 
     def balance(self, account: str) -> float:
         return self.balances.get(account, 0.0)
@@ -74,8 +172,14 @@ class TokenLedger:
             raise ContractError(
                 f"{sender} has {self.balance(sender):.6f}, needs {amount:.6f}"
             )
-        self.balances[sender] = self.balance(sender) - amount
-        self.balances[recipient] = self.balance(recipient) + amount
+        if self.journal is not None:
+            self.journal.log(
+                "token.transfer",
+                sender=sender,
+                recipient=recipient,
+                amount=amount,
+            )
+        self._apply_transfer(sender, recipient, amount)
 
     # ------------------------------------------------------------------
     # Escrow lifecycle
@@ -90,15 +194,16 @@ class TokenLedger:
             raise ContractError(
                 f"client {client_id} cannot cover escrow of {amount:.6f}"
             )
-        self.balances[client_id] = self.balance(client_id) - amount
         escrow_id = f"esc-{self._escrow_counter:06d}"
-        self._escrow_counter += 1
-        self.escrows[escrow_id] = Escrow(
-            escrow_id=escrow_id,
-            client_id=client_id,
-            provider_id=provider_id,
-            amount=amount,
-        )
+        if self.journal is not None:
+            self.journal.log(
+                "escrow.open",
+                escrow_id=escrow_id,
+                client_id=client_id,
+                provider_id=provider_id,
+                amount=amount,
+            )
+        self._apply_open(escrow_id, client_id, provider_id, amount)
         return escrow_id
 
     def _held(self, escrow_id: str) -> Escrow:
@@ -113,19 +218,25 @@ class TokenLedger:
 
     def release(self, escrow_id: str) -> None:
         """Service completed: pay the provider."""
-        escrow = self._held(escrow_id)
-        escrow.state = EscrowState.RELEASED
-        self.balances[escrow.provider_id] = (
-            self.balance(escrow.provider_id) + escrow.amount
-        )
+        self._held(escrow_id)
+        if self.journal is not None:
+            self.journal.log(
+                "escrow.transition",
+                escrow_id=escrow_id,
+                to=EscrowState.RELEASED.value,
+            )
+        self._apply_transition(escrow_id, EscrowState.RELEASED.value)
 
     def refund(self, escrow_id: str) -> None:
         """Provider defaulted: return funds to the client."""
-        escrow = self._held(escrow_id)
-        escrow.state = EscrowState.REFUNDED
-        self.balances[escrow.client_id] = (
-            self.balance(escrow.client_id) + escrow.amount
-        )
+        self._held(escrow_id)
+        if self.journal is not None:
+            self.journal.log(
+                "escrow.transition",
+                escrow_id=escrow_id,
+                to=EscrowState.REFUNDED.value,
+            )
+        self._apply_transition(escrow_id, EscrowState.REFUNDED.value)
 
     def held_for(self, provider_id: str) -> List[Escrow]:
         return [
@@ -133,6 +244,30 @@ class TokenLedger:
             for e in self.escrows.values()
             if e.provider_id == provider_id and e.state is EscrowState.HELD
         ]
+
+
+def apply_settlement_intent(
+    ledger: TokenLedger,
+    entries: List[Dict],
+    auto_fund: bool,
+) -> Dict[str, str]:
+    """Apply one block's settlement intent through the ledger primitives.
+
+    Shared by the live write path (after the intent record is journaled)
+    and recovery replay, so both produce bit-identical ledger state.
+    Returns request id -> escrow id.
+    """
+    escrow_ids: Dict[str, str] = {}
+    for entry in entries:
+        client = entry["client_id"]
+        amount = entry["amount"]
+        if auto_fund and ledger.balance(client) < amount:
+            ledger._apply_mint(client, amount - ledger.balance(client))
+        ledger._apply_open(
+            entry["escrow_id"], client, entry["provider_id"], amount
+        )
+        escrow_ids[entry["request_id"]] = entry["escrow_id"]
+    return escrow_ids
 
 
 @dataclass
@@ -173,20 +308,31 @@ class SettlementProcessor:
             if obs.enabled:
                 obs.registry.inc("settlement_duplicate_blocks_total")
             return dict(self._settled_blocks[block_hash])
-        escrow_ids: Dict[str, str] = {}
-        escrowed = 0.0
-        for match in matches:
-            client = match.request.client_id
-            if auto_fund and self.ledger.balance(client) < match.payment:
-                self.ledger.mint(
-                    client, match.payment - self.ledger.balance(client)
-                )
-            escrow_ids[match.request.request_id] = self.ledger.open_escrow(
-                client_id=client,
-                provider_id=match.offer.provider_id,
-                amount=match.payment,
+        matches = list(matches)
+        reserved = self.ledger.reserve_escrow_ids(len(matches))
+        entries = [
+            {
+                "escrow_id": escrow_id,
+                "request_id": match.request.request_id,
+                "client_id": match.request.client_id,
+                "provider_id": match.offer.provider_id,
+                "amount": match.payment,
+            }
+            for escrow_id, match in zip(reserved, matches)
+        ]
+        # One intent record covers the whole block: the mints and escrow
+        # opens below are deliberately *not* journaled individually, so a
+        # crash mid-settlement replays the block atomically (all entries
+        # or none) instead of resurrecting a partial settlement.
+        if self.ledger.journal is not None:
+            self.ledger.journal.log(
+                "settlement.block",
+                block_hash=block_hash,
+                auto_fund=auto_fund,
+                entries=entries,
             )
-            escrowed += match.payment
+        escrow_ids = apply_settlement_intent(self.ledger, entries, auto_fund)
+        escrowed = sum(entry["amount"] for entry in entries)
         if block_hash:
             self._settled_blocks[block_hash] = dict(escrow_ids)
         if obs.enabled:

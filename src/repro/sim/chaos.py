@@ -24,7 +24,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.common.errors import ReproError
 from repro.common.rng import make_generator
 from repro.common.timewindow import TimeWindow
+from repro.core.auction import DecloudAuction
 from repro.core.config import AuctionConfig
+from repro.core.outcome import AuctionOutcome, canonical_outcome
+from repro.faults.crash import CrashPlan, CrashPoint, SimulatedCrashError
 from repro.faults.actors import (
     EquivocatingMiner,
     TamperingParticipant,
@@ -39,7 +42,9 @@ from repro.obs.monitors import MonitorSuite, violation_total
 from repro.obs.timeseries import TimeSeriesStore
 from repro.protocol.allocator import DecloudAllocator, decode_round
 from repro.protocol.exposure import ExposureProtocol, Participant
+from repro.protocol.settlement import SettlementProcessor, TokenLedger
 from repro.sim.engine import replay_fault_free
+from repro.store import NodeStore
 
 DEFAULT_DROP_RATES: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.4)
 
@@ -131,10 +136,19 @@ def _market_for_round(
 
 
 def _build_participants(
-    spec: ChaosSpec, byzantine: bool
+    spec: ChaosSpec,
+    byzantine: bool,
+    seal_seed: Optional[bytes] = None,
 ) -> Tuple[Dict[str, Participant], Dict[str, Participant]]:
-    """Clients and providers keyed by id, Byzantine actors included."""
-    seal_seed = f"chaos-{spec.seed}".encode("ascii")
+    """Clients and providers keyed by id, Byzantine actors included.
+
+    ``seal_seed`` overrides the default derivation — the durable-round
+    supervisor builds *fresh* participants per round with a per-round
+    seed, so an abort-and-replay after a crash re-seals byte-identical
+    transactions (a restarted participant's seal counter restarts too).
+    """
+    if seal_seed is None:
+        seal_seed = f"chaos-{spec.seed}".encode("ascii")
     clients: Dict[str, Participant] = {}
     for i in range(spec.num_clients):
         cls: type = Participant
@@ -313,3 +327,437 @@ def run_chaos_sweep(
         point.baseline_welfare = baseline.welfare
         points.append(point)
     return points
+
+
+# ======================================================================
+# Durable nodes under crash injection: supervision + the crash matrix
+# ======================================================================
+#
+# The runs below give every miner its own ``repro.store.NodeStore`` (the
+# deterministic in-memory backends) and drive the same seeded degraded
+# scenario as ``run_chaos_point`` — Byzantine actors included — over a
+# *deterministic* network.  Node-0 additionally journals the shared
+# settlement ledger and the round phase markers; a
+# :class:`~repro.faults.crash.CrashPoint` armed on its WAL kills the
+# whole simulated process at one chosen record boundary.  The
+# supervision loop then restarts the node fleet from their stores:
+# recover every store, sync lagging chains from the longest recovered
+# one, resume any settlement the crash interrupted, and either credit
+# the in-flight round (its ``chain.append`` record beat the crash) or
+# abort-and-replay it through the PR-1 degradation machinery.
+#
+# ``run_crash_matrix`` proves the durability contract: for EVERY record
+# boundary of the reference run, in every crash mode (clean / torn /
+# corrupt tail), the recovered run's committed outcomes are bit-identical
+# (``canonical_outcome``) to the uninterrupted run — same chain tip, same
+# ledger digest, zero monitor violations.
+
+
+@dataclass
+class DurableRunResult:
+    """Everything one supervised durable scenario produced."""
+
+    #: per-round canonical outcome digests (None: the round aborted)
+    outcomes: List[Optional[Dict]] = field(default_factory=list)
+    tip_hash: str = ""
+    #: exact digest of node-0's durable state at the end of the run
+    state_digest: str = ""
+    rounds_completed: int = 0
+    crashes: int = 0
+    recoveries: int = 0
+    truncated_bytes: int = 0
+    #: rounds re-driven from scratch after a crash (abort-and-replay)
+    replayed_rounds: int = 0
+    #: rounds credited from the recovered chain (decided before the crash)
+    resumed_rounds: int = 0
+    #: blocks whose settlement recovery had to finish
+    resumed_settlements: int = 0
+    monitor_alerts: int = 0
+    #: node-0 WAL appends observed (sizes the crash matrix)
+    append_count: int = 0
+    errors: List[str] = field(default_factory=list)
+    #: node-0's full materialized state (only with ``keep_state=True``)
+    final_state: Optional[Dict] = None
+
+
+def _durable_seal_seed(spec: ChaosSpec, round_index: int) -> bytes:
+    return f"durable-{spec.seed}-round-{round_index}".encode("ascii")
+
+
+def _durable_network(
+    spec: ChaosSpec, drop_rate: float, round_index: int
+) -> UnreliableNetwork:
+    """A fresh per-round bus so a replayed round sees the identical
+    fault stream the first attempt saw."""
+    return UnreliableNetwork(
+        plan=FaultPlan(
+            seed=f"durable-net-{spec.seed}-{drop_rate}-{round_index}",
+            drop_rate=drop_rate,
+            duplicate_rate=spec.duplicate_rate,
+            min_delay=spec.min_delay,
+            max_delay=spec.max_delay,
+            reorder_rate=spec.reorder_rate,
+        )
+    )
+
+
+def _derive_block_outcome(block, config) -> AuctionOutcome:
+    """Deterministically re-run the auction a committed block encodes.
+
+    Recovery uses this when a round's block survived the crash but the
+    in-memory :class:`AuctionOutcome` died with the process: decrypt the
+    revealed bids, re-run the mechanism on the block's own evidence.
+    Collective verification already proved the block's payload equals
+    exactly this re-execution, so the derived outcome *is* the round's
+    outcome.
+    """
+    body = block.require_complete()
+    plaintexts = Miner._open_transactions(block.preamble, body.reveals)
+    live_requests, live_offers = decode_round(plaintexts)
+    auction = DecloudAuction(config or AuctionConfig())
+    return auction.run(
+        live_requests, live_offers, evidence=block.preamble.evidence()
+    )
+
+
+def _build_durable_miners(
+    spec: ChaosSpec, byzantine: bool, stores: Sequence[NodeStore]
+) -> List[Miner]:
+    miners: List[Miner] = []
+    for m in range(spec.num_miners):
+        cls = (
+            EquivocatingMiner
+            if byzantine and spec.equivocating_leader and m == 0
+            else Miner
+        )
+        miners.append(
+            cls(
+                miner_id=f"miner-{m}",
+                allocate=DecloudAllocator(spec.config),
+                difficulty_bits=spec.difficulty_bits,
+                store=stores[m],
+            )
+        )
+    return miners
+
+
+def _resume_settlement(
+    chain,
+    settlement: SettlementProcessor,
+    spec: ChaosSpec,
+    result: DurableRunResult,
+) -> None:
+    """Finish settling any committed block the crash interrupted."""
+    for block in chain:
+        block_hash = block.hash()
+        if block_hash in settlement._settled_blocks:
+            continue
+        outcome = _derive_block_outcome(block, spec.config)
+        settlement.settle_block(
+            outcome.matches, auto_fund=True, block_hash=block_hash
+        )
+        result.resumed_settlements += 1
+
+
+def _restart_fleet(
+    spec: ChaosSpec,
+    byzantine: bool,
+    stores: Sequence[NodeStore],
+    obs: Optional[ObservabilityLike],
+    result: DurableRunResult,
+) -> Tuple[List[Miner], SettlementProcessor]:
+    """The supervisor's restart path: recover, sync chains, resume
+    settlement.
+
+    Every store is recovered from (snapshot, valid log prefix) alone;
+    lagging miners catch up to the longest recovered chain through the
+    ordinary ``accept_block`` validation path (which re-journals into
+    their own stores), so the fleet converges without trusting any
+    surviving in-memory state.
+    """
+    recovered = [
+        store.recover(difficulty_bits=spec.difficulty_bits)
+        for store in stores
+    ]
+    result.recoveries += len(recovered)
+    result.truncated_bytes += sum(r.truncated_bytes for r in recovered)
+    miners: List[Miner] = []
+    for m, rec in enumerate(recovered):
+        cls = (
+            EquivocatingMiner
+            if byzantine and spec.equivocating_leader and m == 0
+            else Miner
+        )
+        miners.append(
+            cls(
+                miner_id=f"miner-{m}",
+                allocate=DecloudAllocator(spec.config),
+                difficulty_bits=rec.chain.difficulty_bits,
+                chain=rec.chain,
+                mempool=rec.mempool,
+                store=stores[m],
+            )
+        )
+    best = max(recovered, key=lambda r: r.committed_height)
+    for miner, rec in zip(miners, recovered):
+        for height in range(rec.committed_height, best.committed_height):
+            miner.accept_block(best.chain[height])
+    settlement = recovered[0].make_settlement(store=stores[0], obs=obs)
+    _resume_settlement(best.chain, settlement, spec, result)
+    return miners, settlement
+
+
+def _drive_durable_round(
+    spec: ChaosSpec,
+    drop_rate: float,
+    round_index: int,
+    byzantine: bool,
+    miners: Sequence[Miner],
+    store: NodeStore,
+    obs: Optional[ObservabilityLike],
+):
+    """Submit one round's seeded market and run the protocol round."""
+    network = _durable_network(spec, drop_rate, round_index)
+    protocol = ExposureProtocol(
+        miners=miners,
+        network=network,
+        obs=obs,
+        store=store,
+        start_round=round_index,
+    )
+    clients, providers = _build_participants(
+        spec, byzantine, seal_seed=_durable_seal_seed(spec, round_index)
+    )
+    participants = list(clients.values()) + list(providers.values())
+    requests, offers = _market_for_round(spec, round_index)
+    for request in requests:
+        protocol.submit(clients[request.client_id], request)
+    for offer in offers:
+        protocol.submit(providers[offer.provider_id], offer)
+    return protocol.run_round(participants)
+
+
+def run_durable_scenario(
+    spec: ChaosSpec,
+    drop_rate: float = 0.0,
+    byzantine: bool = True,
+    crash_point: Optional[CrashPoint] = None,
+    monitored: bool = True,
+    snapshot_every: int = 0,
+    keep_state: bool = False,
+    obs: Optional[ObservabilityLike] = None,
+) -> DurableRunResult:
+    """Run ``spec.rounds`` durable protocol rounds under supervision.
+
+    Every miner journals into its own in-memory :class:`NodeStore`;
+    node-0 also journals the settlement ledger and round phases, and
+    carries ``crash_point`` (if given) on its WAL.  When the simulated
+    process dies mid-append, the supervision loop restarts the fleet
+    from the stores and continues the schedule — crediting the
+    interrupted round if its block proved durable, replaying it
+    otherwise.  ``snapshot_every`` > 0 snapshots + compacts every store
+    after that many committed rounds, putting the snapshot/compaction
+    path inside the crash blast radius too.
+
+    The differential contract (see :func:`run_crash_matrix`): for any
+    crash point, the result's ``outcomes``, ``tip_hash`` and
+    ``state_digest`` equal the uninterrupted run's.
+    """
+    stores = [
+        NodeStore.in_memory(crash_point=crash_point if m == 0 else None)
+        for m in range(spec.num_miners)
+    ]
+    if obs is None and monitored:
+        # callers may pass their own bundle instead (e.g. one carrying a
+        # flight recorder, so a recovery mismatch leaves evidence behind)
+        obs = Observability(
+            run_id=f"durable-{spec.seed}-{drop_rate}",
+            monitors=MonitorSuite(),
+        )
+    ledger = TokenLedger()
+    settlement = SettlementProcessor(ledger=ledger, obs=obs)
+    stores[0].attach(ledger=ledger, settlement=settlement)
+    miners = _build_durable_miners(spec, byzantine, stores)
+
+    result = DurableRunResult()
+    round_index = 0
+    committed_before = 0
+    while round_index < spec.rounds:
+        try:
+            round_result = _drive_durable_round(
+                spec, drop_rate, round_index, byzantine,
+                miners, stores[0], obs,
+            )
+            settlement.settle_block(
+                round_result.outcome.matches,
+                auto_fund=True,
+                block_hash=round_result.block.hash(),
+            )
+            result.outcomes.append(canonical_outcome(round_result.outcome))
+            result.rounds_completed += 1
+        except SimulatedCrashError as exc:
+            result.crashes += 1
+            result.errors.append(f"round {round_index}: {exc}")
+            miners, settlement = _restart_fleet(
+                spec, byzantine, stores, obs, result
+            )
+            if len(miners[0].chain) > committed_before:
+                # The round was decided before the crash: its block is
+                # durable (and settlement was just resumed).  Credit it
+                # from the chain instead of re-running the protocol, and
+                # close it durably — the terminal phase marker may have
+                # died with the process.
+                block = miners[0].chain[committed_before]
+                result.outcomes.append(
+                    canonical_outcome(
+                        _derive_block_outcome(block, spec.config)
+                    )
+                )
+                stores[0].log(
+                    "round.phase",
+                    round=round_index,
+                    phase="committed",
+                    hash=block.hash(),
+                )
+                result.rounds_completed += 1
+                result.resumed_rounds += 1
+            else:
+                # Nothing durable decided the round: abort-and-replay.
+                result.replayed_rounds += 1
+                continue
+        except ReproError as exc:
+            result.errors.append(f"round {round_index}: {exc}")
+            result.outcomes.append(None)
+        committed_before = len(miners[0].chain)
+        round_index += 1
+        if snapshot_every and round_index % snapshot_every == 0:
+            try:
+                for store in stores:
+                    store.snapshot()
+            except SimulatedCrashError as exc:
+                # Dying inside snapshot/compaction loses no state: the
+                # rounds are already durable, so recovery just resumes
+                # the schedule.
+                result.crashes += 1
+                result.errors.append(f"snapshot after round {round_index}: {exc}")
+                miners, settlement = _restart_fleet(
+                    spec, byzantine, stores, obs, result
+                )
+                committed_before = len(miners[0].chain)
+
+    result.tip_hash = miners[0].chain.tip_hash
+    result.state_digest = stores[0].state_digest()
+    result.append_count = stores[0].wal.append_count
+    if keep_state:
+        result.final_state = stores[0].state_dict()
+    if obs is not None and obs.enabled:
+        result.monitor_alerts = int(violation_total(obs.registry))
+    for store in stores:
+        store.close()
+    return result
+
+
+@dataclass
+class CrashMatrixPoint:
+    """One cell of the crash matrix: a boundary × mode, compared."""
+
+    at_append: int
+    mode: str
+    fired: bool
+    matches_reference: bool
+    detail: str = ""
+    crashes: int = 0
+    replayed_rounds: int = 0
+    resumed_rounds: int = 0
+    resumed_settlements: int = 0
+    truncated_bytes: int = 0
+
+
+@dataclass
+class CrashMatrixResult:
+    """The full differential sweep over every crash point."""
+
+    reference: DurableRunResult
+    points: List[CrashMatrixPoint] = field(default_factory=list)
+
+    @property
+    def mismatches(self) -> List[CrashMatrixPoint]:
+        return [p for p in self.points if not p.matches_reference]
+
+    @property
+    def all_match(self) -> bool:
+        return not self.mismatches
+
+
+def _compare_to_reference(
+    reference: DurableRunResult, run: DurableRunResult
+) -> str:
+    """Empty string when ``run`` matches the uninterrupted reference."""
+    if run.outcomes != reference.outcomes:
+        return "committed outcomes diverge from the uninterrupted run"
+    if run.tip_hash != reference.tip_hash:
+        return "chain tip hash diverges"
+    if run.state_digest != reference.state_digest:
+        return "durable state digest diverges"
+    if run.monitor_alerts:
+        return f"{run.monitor_alerts} monitor alert(s) after recovery"
+    return ""
+
+
+def run_crash_matrix(
+    spec: ChaosSpec,
+    drop_rate: float = 0.0,
+    byzantine: bool = True,
+    modes: Sequence[str] = ("clean", "torn", "corrupt"),
+    snapshot_every: int = 0,
+    stride: int = 1,
+    monitored: bool = True,
+) -> CrashMatrixResult:
+    """Differential crash sweep: every WAL boundary × every crash mode.
+
+    First runs the scenario uninterrupted (durability on) to fix the
+    reference outcomes and the boundary count, then re-runs it once per
+    (boundary, mode) pair with a crash point armed.  ``stride`` > 1
+    subsamples boundaries (the CI smoke job uses this); the full matrix
+    is ``stride=1``.  The guarantee under test: every cell recovers to
+    bit-identical committed outcomes, chain tip, and ledger state, with
+    zero monitor violations.
+    """
+    reference = run_durable_scenario(
+        spec,
+        drop_rate=drop_rate,
+        byzantine=byzantine,
+        monitored=monitored,
+        snapshot_every=snapshot_every,
+    )
+    matrix = CrashMatrixResult(reference=reference)
+    plan = CrashPlan(append_count=reference.append_count, modes=tuple(modes))
+    for point in plan.points():
+        if point.at_append % max(stride, 1) != 0:
+            continue
+        run = run_durable_scenario(
+            spec,
+            drop_rate=drop_rate,
+            byzantine=byzantine,
+            crash_point=point,
+            monitored=monitored,
+            snapshot_every=snapshot_every,
+        )
+        detail = _compare_to_reference(reference, run)
+        if point.fired and run.crashes == 0:
+            detail = detail or "crash point fired but no crash recorded"
+        matrix.points.append(
+            CrashMatrixPoint(
+                at_append=point.at_append,
+                mode=point.mode,
+                fired=point.fired,
+                matches_reference=not detail,
+                detail=detail,
+                crashes=run.crashes,
+                replayed_rounds=run.replayed_rounds,
+                resumed_rounds=run.resumed_rounds,
+                resumed_settlements=run.resumed_settlements,
+                truncated_bytes=run.truncated_bytes,
+            )
+        )
+    return matrix

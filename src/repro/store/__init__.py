@@ -1,0 +1,55 @@
+"""``repro.store`` — crash-safe durability for DeCloud nodes.
+
+An append-only, CRC32-framed write-ahead log (``repro.store.wal``) plus
+a snapshot/compaction layer (``repro.store.snapshot``) behind one
+per-node façade, :class:`~repro.store.node.NodeStore`: chain extension,
+mempool admission, settlement escrow transitions, and exposure-protocol
+round phases are journaled *before* they take effect, and
+:meth:`~repro.store.node.NodeStore.recover` replays snapshot + log back
+into a consistent node — truncating torn tails and reporting any round
+that was in flight so the supervisor (``repro.sim.chaos``) can resume or
+abort-and-replay it.
+
+See docs/DURABILITY.md for the record schema, the recovery state
+machine, and the crash-matrix guarantees.
+"""
+
+from repro.store.node import (
+    NodeStore,
+    RecoveredState,
+    state_digest_of,
+    state_to_dict,
+)
+from repro.store.snapshot import (
+    FileSnapshotStore,
+    MemorySnapshotStore,
+    decode_snapshot,
+    encode_snapshot,
+)
+from repro.store.wal import (
+    FileLogBackend,
+    MemoryLogBackend,
+    ScanResult,
+    WriteAheadLog,
+    encode_frame,
+    scan_frames,
+)
+from repro.store import records
+
+__all__ = [
+    "NodeStore",
+    "RecoveredState",
+    "state_digest_of",
+    "state_to_dict",
+    "WriteAheadLog",
+    "MemoryLogBackend",
+    "FileLogBackend",
+    "ScanResult",
+    "encode_frame",
+    "scan_frames",
+    "MemorySnapshotStore",
+    "FileSnapshotStore",
+    "encode_snapshot",
+    "decode_snapshot",
+    "records",
+]

@@ -1,0 +1,472 @@
+"""Per-node durable store: journal, snapshots, and crash recovery.
+
+A :class:`NodeStore` is the durability boundary of one DeCloud node.
+Mutable subsystems — the chain, the mempool, the token ledger, the
+settlement processor, the exposure-protocol round driver — are
+*attached* to it; each then journals its state transitions through
+:meth:`NodeStore.log` **before** applying them (write-ahead).  After a
+process crash, :meth:`NodeStore.recover` rebuilds the node bit-for-bit:
+load the latest snapshot, truncate any torn log tail, replay the valid
+record suffix in order, and report whether a protocol round was in
+flight so the supervisor can resume or abort-and-replay it (see
+``repro.sim.chaos`` for the supervision loop and the crash-point
+differential matrix that proves recovered outcomes identical to
+uninterrupted runs).
+
+The recovered state is a pure function of (snapshot, valid log prefix):
+recovery never consults surviving in-memory state, so recovering twice
+— or from any snapshot + log-suffix split — yields the same state as
+recovering once (property-tested).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.common.errors import (
+    ContractError,
+    LedgerError,
+    RecoveryError,
+    StoreError,
+)
+from repro.cryptosim import hashing
+from repro.ledger.chain import Blockchain
+from repro.ledger.mempool import Mempool
+from repro.ledger.miner import Miner
+from repro.ledger.pow import DEFAULT_DIFFICULTY_BITS
+from repro.ledger.serialization import chain_from_json, chain_to_json, tx_to_dict
+from repro.obs import ObservabilityLike, resolve as resolve_obs
+from repro.protocol.settlement import (
+    EscrowState,
+    SettlementProcessor,
+    TokenLedger,
+    apply_settlement_intent,
+)
+from repro.store import records
+from repro.store.snapshot import (
+    MemorySnapshotStore,
+    FileSnapshotStore,
+    decode_snapshot,
+    encode_snapshot,
+)
+from repro.store.wal import FileLogBackend, MemoryLogBackend, WriteAheadLog
+
+#: round phases that mean "this round is finished, nothing in flight"
+TERMINAL_PHASES = frozenset({"committed", "aborted"})
+
+
+def state_to_dict(
+    chain: Blockchain,
+    mempool: Mempool,
+    ledger: TokenLedger,
+    settled_blocks: Dict[str, Dict[str, str]],
+    last_round: Optional[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Canonical JSON-ready materialization of one node's durable state."""
+    return {
+        "chain": json.loads(chain_to_json(chain)),
+        "mempool": [tx_to_dict(tx) for tx in mempool.peek(len(mempool))],
+        "ledger": {
+            "balances": dict(ledger.balances),
+            "escrows": [
+                {
+                    "escrow_id": escrow.escrow_id,
+                    "client_id": escrow.client_id,
+                    "provider_id": escrow.provider_id,
+                    "amount": escrow.amount,
+                    "state": escrow.state.value,
+                }
+                for _eid, escrow in sorted(ledger.escrows.items())
+            ],
+            "counter": ledger._escrow_counter,
+        },
+        "settled_blocks": {
+            block_hash: dict(mapping)
+            for block_hash, mapping in settled_blocks.items()
+        },
+        "round": last_round,
+    }
+
+
+def state_digest_of(state: Dict[str, Any]) -> str:
+    """Exact digest of a materialized state (bit-identical ⇔ equal)."""
+    return hashing.sha256_hex(hashing.canonical_json(state))
+
+
+@dataclass
+class RecoveredState:
+    """Everything :meth:`NodeStore.recover` rebuilt, plus how it got there."""
+
+    chain: Blockchain
+    mempool: Mempool
+    ledger: TokenLedger
+    settled_blocks: Dict[str, Dict[str, str]]
+    #: the newest ``round.phase`` marker replayed (None: no round seen)
+    last_round: Optional[Dict[str, Any]] = None
+    replayed_records: int = 0
+    truncated_bytes: int = 0
+    snapshot_used: bool = False
+
+    @property
+    def committed_height(self) -> int:
+        return len(self.chain)
+
+    def round_in_flight(self) -> Optional[Dict[str, Any]]:
+        """The round the node was inside when it died, if any.
+
+        A round whose last durable phase marker is non-terminal was cut
+        off mid-protocol.  If its block nevertheless made it into the
+        recovered chain (the ``chain.append`` record beat the crash),
+        the round is *decided* and only settlement may need resuming;
+        otherwise the supervisor must abort-and-replay it.
+        """
+        if self.last_round is None:
+            return None
+        if self.last_round.get("phase") in TERMINAL_PHASES:
+            return None
+        return self.last_round
+
+    def state_dict(self) -> Dict[str, Any]:
+        return state_to_dict(
+            self.chain,
+            self.mempool,
+            self.ledger,
+            self.settled_blocks,
+            self.last_round,
+        )
+
+    def state_digest(self) -> str:
+        return state_digest_of(self.state_dict())
+
+    def make_miner(
+        self,
+        miner_id: str,
+        allocate: Any,
+        store: Optional["NodeStore"] = None,
+    ) -> Miner:
+        """A miner resuming this state (journaling into ``store`` if given)."""
+        return Miner(
+            miner_id=miner_id,
+            allocate=allocate,
+            difficulty_bits=self.chain.difficulty_bits,
+            chain=self.chain,
+            mempool=self.mempool,
+            store=store,
+        )
+
+    def make_settlement(
+        self,
+        store: Optional["NodeStore"] = None,
+        obs: Optional[ObservabilityLike] = None,
+    ) -> SettlementProcessor:
+        """A settlement processor resuming this ledger and settled-map."""
+        processor = SettlementProcessor(ledger=self.ledger, obs=obs)
+        processor._settled_blocks.update(self.settled_blocks)
+        if store is not None:
+            store.attach(settlement=processor)
+        return processor
+
+
+class NodeStore:
+    """Write-ahead journal + snapshot store for one node."""
+
+    def __init__(
+        self,
+        wal: Optional[WriteAheadLog] = None,
+        snapshots: Optional[Any] = None,
+        obs: Optional[ObservabilityLike] = None,
+    ) -> None:
+        self.wal = wal if wal is not None else WriteAheadLog()
+        self.snapshots = (
+            snapshots if snapshots is not None else MemorySnapshotStore()
+        )
+        self.obs = resolve_obs(obs)
+        self._chain: Optional[Blockchain] = None
+        self._mempool: Optional[Mempool] = None
+        self._ledger: Optional[TokenLedger] = None
+        self._settlement: Optional[SettlementProcessor] = None
+        #: newest round.phase journaled through this handle (snapshotted)
+        self.last_round_phase: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    # Construction sugar
+    # ------------------------------------------------------------------
+    @classmethod
+    def in_memory(
+        cls,
+        obs: Optional[ObservabilityLike] = None,
+        crash_point: Optional[Any] = None,
+        keep_snapshots: int = 2,
+    ) -> "NodeStore":
+        """The deterministic test/chaos backend pair."""
+        return cls(
+            wal=WriteAheadLog(MemoryLogBackend(), crash_point=crash_point),
+            snapshots=MemorySnapshotStore(keep=keep_snapshots),
+            obs=obs,
+        )
+
+    @classmethod
+    def at_path(
+        cls,
+        directory: str,
+        fsync: bool = False,
+        obs: Optional[ObservabilityLike] = None,
+        crash_point: Optional[Any] = None,
+        keep_snapshots: int = 2,
+    ) -> "NodeStore":
+        """File-backed store rooted at ``directory`` (wal.log + snapshots/)."""
+        import os
+
+        return cls(
+            wal=WriteAheadLog(
+                FileLogBackend(
+                    os.path.join(directory, "wal.log"), fsync=fsync
+                ),
+                crash_point=crash_point,
+            ),
+            snapshots=FileSnapshotStore(
+                os.path.join(directory, "snapshots"), keep=keep_snapshots
+            ),
+            obs=obs,
+        )
+
+    # ------------------------------------------------------------------
+    # Attachment: who journals through this store
+    # ------------------------------------------------------------------
+    def attach(
+        self,
+        chain: Optional[Blockchain] = None,
+        mempool: Optional[Mempool] = None,
+        ledger: Optional[TokenLedger] = None,
+        settlement: Optional[SettlementProcessor] = None,
+    ) -> "NodeStore":
+        """Wire subsystems to journal through this store (and be
+        snapshotted by it)."""
+        if chain is not None:
+            self._chain = chain
+            chain.journal = self
+        if mempool is not None:
+            self._mempool = mempool
+            mempool.journal = self
+        if ledger is not None:
+            self._ledger = ledger
+            ledger.journal = self
+        if settlement is not None:
+            self._settlement = settlement
+            self.attach(ledger=settlement.ledger)
+        return self
+
+    # ------------------------------------------------------------------
+    # The journal
+    # ------------------------------------------------------------------
+    def log(self, record_type: str, **data: Any) -> int:
+        """Append one write-ahead record; returns its ``seq``.
+
+        Called by attached subsystems immediately *before* they apply
+        the transition the record describes.
+        """
+        payload = records.encode_data(record_type, data)
+        seq = self.wal.append(record_type, payload)
+        if record_type == records.ROUND_PHASE:
+            self.last_round_phase = payload
+        if self.obs.enabled:
+            self.obs.registry.inc(
+                "store_wal_records_total", type=record_type
+            )
+        return seq
+
+    # ------------------------------------------------------------------
+    # Live-state materialization
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, Any]:
+        """Canonical materialization of the attached subsystems now."""
+        if self._chain is None or self._mempool is None:
+            raise StoreError(
+                "state materialization requires an attached chain and "
+                "mempool"
+            )
+        ledger = self._ledger if self._ledger is not None else TokenLedger()
+        settled = (
+            dict(self._settlement._settled_blocks)
+            if self._settlement is not None
+            else {}
+        )
+        return state_to_dict(
+            self._chain,
+            self._mempool,
+            ledger,
+            settled,
+            self.last_round_phase,
+        )
+
+    def state_digest(self) -> str:
+        """Exact digest of the attached state (see :func:`state_digest_of`)."""
+        return state_digest_of(self.state_dict())
+
+    # ------------------------------------------------------------------
+    # Snapshot + compaction
+    # ------------------------------------------------------------------
+    def snapshot(self, compact: bool = True) -> int:
+        """Persist the attached state as of now; returns the covered seq.
+
+        With ``compact`` (default) the WAL prefix the snapshot covers is
+        dropped afterwards — recovery then starts from this snapshot and
+        replays only the suffix.
+        """
+        last_seq = self.wal.next_seq - 1
+        state = self.state_dict()
+        self.snapshots.save(last_seq, encode_snapshot(state, last_seq))
+        if compact:
+            self.wal.compact(last_seq)
+        self.log(records.SNAPSHOT_MARK, last_seq=last_seq)
+        if self.obs.enabled:
+            self.obs.registry.inc("store_snapshots_total")
+            if compact:
+                self.obs.registry.inc("store_compactions_total")
+        return last_seq
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def recover(
+        self,
+        difficulty_bits: int = DEFAULT_DIFFICULTY_BITS,
+    ) -> RecoveredState:
+        """Rebuild node state from snapshot + log; truncate torn tails.
+
+        ``difficulty_bits`` seeds an *empty* recovered chain only — a
+        snapshot or any replayed block carries its own difficulty.
+        Raises :class:`RecoveryError` when the valid record sequence is
+        internally inconsistent (damage beyond what tail truncation can
+        explain).
+        """
+        obs = self.obs
+        with obs.tracer.span("recover"):
+            truncated = self.wal.truncate_tail()
+            state = self._recover_state(difficulty_bits)
+            state.truncated_bytes = truncated
+        if obs.enabled:
+            obs.registry.inc("store_recoveries_total")
+            obs.registry.inc(
+                "store_replayed_records_total", state.replayed_records
+            )
+            if truncated:
+                obs.registry.inc("store_torn_tails_total")
+                obs.registry.inc("store_truncated_bytes_total", truncated)
+        return state
+
+    def _recover_state(self, difficulty_bits: int) -> RecoveredState:
+        chain: Blockchain
+        mempool = Mempool()
+        ledger = TokenLedger()
+        settled_blocks: Dict[str, Dict[str, str]] = {}
+        last_round: Optional[Dict[str, Any]] = None
+        last_seq = -1
+        snapshot_used = False
+
+        raw = self.snapshots.latest()
+        if raw is not None:
+            snapshot_used = True
+            state, last_seq = decode_snapshot(raw)
+            try:
+                chain = chain_from_json(json.dumps(state["chain"]))
+            except LedgerError as exc:
+                raise RecoveryError(
+                    f"snapshot chain failed validation: {exc}"
+                ) from exc
+            for tx_data in state["mempool"]:
+                mempool.submit(records.decode_tx({"tx": tx_data}))
+            ledger.balances.update(state["ledger"]["balances"])
+            for entry in state["ledger"]["escrows"]:
+                ledger._restore_escrow(
+                    escrow_id=entry["escrow_id"],
+                    client_id=entry["client_id"],
+                    provider_id=entry["provider_id"],
+                    amount=entry["amount"],
+                    state=EscrowState(entry["state"]),
+                )
+            ledger._escrow_counter = state["ledger"]["counter"]
+            settled_blocks.update(
+                {h: dict(m) for h, m in state["settled_blocks"].items()}
+            )
+            last_round = state["round"]
+        else:
+            chain = Blockchain(difficulty_bits=difficulty_bits)
+
+        replayed = 0
+        for record in self.wal.records(after_seq=last_seq):
+            replayed += 1
+            last_round = self._replay_record(
+                record, chain, mempool, ledger, settled_blocks, last_round
+            )
+        self.last_round_phase = last_round
+        return RecoveredState(
+            chain=chain,
+            mempool=mempool,
+            ledger=ledger,
+            settled_blocks=settled_blocks,
+            last_round=last_round,
+            replayed_records=replayed,
+            snapshot_used=snapshot_used,
+        )
+
+    @staticmethod
+    def _replay_record(
+        record: Dict[str, Any],
+        chain: Blockchain,
+        mempool: Mempool,
+        ledger: TokenLedger,
+        settled_blocks: Dict[str, Dict[str, str]],
+        last_round: Optional[Dict[str, Any]],
+    ) -> Optional[Dict[str, Any]]:
+        rtype = record["type"]
+        data = record["data"]
+        try:
+            if rtype == records.MEMPOOL_ADMIT:
+                mempool.submit(records.decode_tx(data))
+            elif rtype == records.CHAIN_APPEND:
+                block = records.decode_block(data)
+                chain.append(block)
+                mempool.remove(
+                    [tx.txid() for tx in block.preamble.transactions]
+                )
+            elif rtype == records.SETTLEMENT_BLOCK:
+                mapping = apply_settlement_intent(
+                    ledger, data["entries"], data["auto_fund"]
+                )
+                if data["block_hash"]:
+                    settled_blocks[data["block_hash"]] = mapping
+            elif rtype == records.ESCROW_OPEN:
+                ledger._apply_open(
+                    escrow_id=data["escrow_id"],
+                    client_id=data["client_id"],
+                    provider_id=data["provider_id"],
+                    amount=data["amount"],
+                )
+            elif rtype == records.ESCROW_TRANSITION:
+                ledger._apply_transition(data["escrow_id"], data["to"])
+            elif rtype == records.TOKEN_MINT:
+                ledger._apply_mint(data["account"], data["amount"])
+            elif rtype == records.TOKEN_TRANSFER:
+                ledger._apply_transfer(
+                    data["sender"], data["recipient"], data["amount"]
+                )
+            elif rtype == records.ROUND_PHASE:
+                return dict(data)
+            elif rtype == records.SNAPSHOT_MARK:
+                pass
+            else:
+                raise RecoveryError(
+                    f"unknown record type {rtype!r} at seq {record['seq']}"
+                )
+        except (LedgerError, ContractError) as exc:
+            raise RecoveryError(
+                f"replaying {rtype} record seq {record['seq']} failed: {exc}"
+            ) from exc
+        return last_round
+
+    def close(self) -> None:
+        self.wal.close()
+        self.snapshots.close()

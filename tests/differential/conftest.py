@@ -9,7 +9,10 @@ the last float bit, same reduced-trade sets, same welfare.
 ``canonical_outcome`` reduces an outcome to a plain, order-independent
 structure in which every float is rendered with ``float.hex()`` so that
 equality is exact, diffable, and JSON-serializable (golden fixtures
-store exactly this structure).
+store exactly this structure).  It lives in
+:mod:`repro.core.outcome` — the crash-matrix recovery harness compares
+recovered rounds through the same digest — and is re-exported here for
+the suite.
 """
 
 from __future__ import annotations
@@ -19,46 +22,17 @@ from typing import Dict, List, Sequence, Tuple
 
 from repro.core.auction import DecloudAuction
 from repro.core.config import AuctionConfig
-from repro.core.outcome import AuctionOutcome
+from repro.core.outcome import AuctionOutcome, canonical_outcome
 from repro.market.bids import Offer, Request
 from repro.obs import Observability
 
-
-def canonical_outcome(outcome: AuctionOutcome) -> Dict:
-    """Exact, order-independent, JSON-ready digest of an outcome."""
-    matches = sorted(
-        (
-            {
-                "request_id": m.request.request_id,
-                "offer_id": m.offer.offer_id,
-                "payment": m.payment.hex(),
-                "unit_price": m.unit_price.hex(),
-            }
-            for m in outcome.matches
-        ),
-        key=lambda row: (row["request_id"], row["offer_id"]),
-    )
-    welfare = sum(
-        (
-            m.welfare
-            for m in sorted(
-                outcome.matches,
-                key=lambda m: (m.request.request_id, m.offer.offer_id),
-            )
-        ),
-        0.0,
-    )
-    return {
-        "matches": matches,
-        "prices": [p.hex() for p in sorted(outcome.prices)],
-        "reduced_requests": sorted(r.request_id for r in outcome.reduced_requests),
-        "reduced_offers": sorted(o.offer_id for o in outcome.reduced_offers),
-        "unmatched_requests": sorted(
-            r.request_id for r in outcome.unmatched_requests
-        ),
-        "unmatched_offers": sorted(o.offer_id for o in outcome.unmatched_offers),
-        "welfare": welfare.hex(),
-    }
+__all__ = [
+    "assert_engines_agree",
+    "canonical_outcome",
+    "market_from_payload",
+    "market_payload",
+    "run_both_engines",
+]
 
 
 def run_both_engines(

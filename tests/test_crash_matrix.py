@@ -1,0 +1,117 @@
+"""The crash-matrix differential: recovery is outcome-invisible.
+
+The central durability guarantee of ``repro.store``: kill the durable
+node at ANY write-ahead record boundary — with a clean, torn, or
+corrupted final frame — restart it from (snapshot, valid log prefix),
+and the supervised run's committed outcomes, chain tip, and ledger
+state are bit-identical (``canonical_outcome`` / exact digests) to the
+uninterrupted run, with zero monitor violations.
+"""
+
+import pytest
+
+from repro.sim.chaos import (
+    ChaosSpec,
+    CrashMatrixResult,
+    run_crash_matrix,
+    run_durable_scenario,
+)
+from repro.faults.crash import CrashPoint
+
+#: deliberately degraded (one withholder) but network-deterministic —
+#: the differential contract needs the replayed round to see the exact
+#: message stream the first attempt saw
+MATRIX_SPEC = ChaosSpec(
+    num_clients=2,
+    num_providers=1,
+    num_miners=3,
+    rounds=1,
+    seed=5,
+    withholding_clients=1,
+    max_delay=0.0,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix() -> CrashMatrixResult:
+    return run_crash_matrix(MATRIX_SPEC, snapshot_every=1)
+
+
+class TestCrashMatrix:
+    def test_every_boundary_covered_in_every_mode(self, matrix):
+        assert matrix.reference.append_count > 0
+        assert len(matrix.points) == matrix.reference.append_count * 3
+        assert all(p.fired for p in matrix.points)
+        assert all(p.crashes >= 1 for p in matrix.points)
+
+    def test_reference_run_is_clean(self, matrix):
+        assert matrix.reference.crashes == 0
+        assert matrix.reference.monitor_alerts == 0
+        assert all(o is not None for o in matrix.reference.outcomes)
+
+    def test_all_crash_points_recover_bit_identically(self, matrix):
+        assert matrix.all_match, "\n".join(
+            f"at_append={p.at_append} mode={p.mode}: {p.detail}"
+            for p in matrix.mismatches
+        )
+
+    def test_torn_and_corrupt_tails_were_truncated(self, matrix):
+        damaged = [
+            p for p in matrix.points if p.mode in ("torn", "corrupt")
+        ]
+        assert damaged
+        assert all(p.truncated_bytes > 0 for p in damaged)
+        clean = [p for p in matrix.points if p.mode == "clean"]
+        assert all(p.truncated_bytes == 0 for p in clean)
+
+    def test_both_recovery_paths_exercised(self, matrix):
+        # early boundaries leave the round undecided (abort-and-replay);
+        # boundaries at/after the chain.append record leave it decided
+        # (credit from the chain, resume settlement)
+        assert any(p.replayed_rounds for p in matrix.points)
+        assert any(p.resumed_rounds for p in matrix.points)
+        assert any(p.resumed_settlements for p in matrix.points)
+
+
+class TestSupervisedScenario:
+    def test_mid_round_crash_replays_to_identical_outcome(self):
+        reference = run_durable_scenario(MATRIX_SPEC, snapshot_every=1)
+        crashed = run_durable_scenario(
+            MATRIX_SPEC,
+            snapshot_every=1,
+            crash_point=CrashPoint(at_append=2, mode="torn"),
+        )
+        assert crashed.crashes == 1
+        assert crashed.replayed_rounds == 1
+        assert crashed.outcomes == reference.outcomes
+        assert crashed.state_digest == reference.state_digest
+
+    def test_unfired_crash_point_changes_nothing(self):
+        reference = run_durable_scenario(MATRIX_SPEC)
+        beyond = CrashPoint(at_append=reference.append_count + 10)
+        untouched = run_durable_scenario(MATRIX_SPEC, crash_point=beyond)
+        assert not beyond.fired
+        assert untouched.crashes == 0
+        assert untouched.state_digest == reference.state_digest
+
+    def test_multi_round_schedule_survives_a_crash(self):
+        spec = ChaosSpec(
+            num_clients=2,
+            num_providers=1,
+            num_miners=3,
+            rounds=2,
+            seed=9,
+            max_delay=0.0,
+        )
+        reference = run_durable_scenario(spec)
+        crashed = run_durable_scenario(
+            spec,
+            # fire inside round 1 (second round) — the first round's
+            # durable state must carry through the restart
+            crash_point=CrashPoint(
+                at_append=reference.append_count - 3, mode="clean"
+            ),
+        )
+        assert crashed.crashes == 1
+        assert crashed.outcomes == reference.outcomes
+        assert crashed.tip_hash == reference.tip_hash
