@@ -129,3 +129,13 @@ class MonitorViolationError(ReproError):
 
 class InfeasibleMatchError(AuctionError):
     """An allocation pairing violates feasibility constraints."""
+
+
+class CertificateError(AuctionError):
+    """A candidate-pruning safety certificate failed verification.
+
+    Raised by :func:`repro.core.candidates.check_certificate` when a
+    certificate does not cover every offer, records a wrong pruning
+    threshold, or claims a bound that fails to dominate a pruned pair's
+    exact score — i.e. the pruning could have changed a best-offer set.
+    """

@@ -8,6 +8,17 @@ from repro.core.cluster_allocation import (
     OfferCapacity,
     allocate_cluster,
 )
+from repro.core.candidates import (
+    AllPairsGenerator,
+    CandidateGenerator,
+    CandidateResult,
+    GeoBucketGenerator,
+    NetworkZoneGenerator,
+    ResourceVectorGenerator,
+    SafetyCertificate,
+    check_certificate,
+    tie_rank_key,
+)
 from repro.core.clustering import Cluster, build_clusters, update_clusters
 from repro.core.config import AuctionConfig
 from repro.core.matching import (
@@ -69,6 +80,15 @@ __all__ = [
     "Cluster",
     "build_clusters",
     "update_clusters",
+    "CandidateGenerator",
+    "CandidateResult",
+    "SafetyCertificate",
+    "AllPairsGenerator",
+    "ResourceVectorGenerator",
+    "GeoBucketGenerator",
+    "NetworkZoneGenerator",
+    "check_certificate",
+    "tie_rank_key",
     "ClusterAllocation",
     "OfferCapacity",
     "allocate_cluster",

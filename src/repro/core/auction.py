@@ -307,6 +307,31 @@ class DecloudAuction:
         for name, seconds in round_timer.totals.items():
             reg.observe("auction_phase_seconds", seconds, phase=name)
 
+        if self.config.candidates is not None:
+            stats = getattr(self.config.candidates, "last_stats", {}) or {}
+            reg.inc(
+                "candidate_pairs_total",
+                stats.get("pairs_total", 0),
+                outcome="considered",
+            )
+            reg.inc(
+                "candidate_pairs_total",
+                stats.get("pairs_admitted", 0),
+                outcome="admitted",
+            )
+            for reason in ("score", "window", "resource"):
+                reg.inc(
+                    "candidate_pairs_total",
+                    stats.get(f"pairs_pruned_{reason}", 0),
+                    outcome=f"pruned_{reason}",
+                )
+            reg.inc(
+                "candidate_certificate_checks_total",
+                stats.get("certificate_checks", 0),
+            )
+            reg.set("candidate_last_groups", stats.get("groups", 0))
+            reg.set("candidate_last_rounds", stats.get("rounds", 0))
+
         obs.tracer.event(
             "auction.cleared",
             trades=n_trades,

@@ -84,6 +84,88 @@ def update_clusters(
                 existing.request_ids.add(request_id)
 
 
+class _IndexedClusters:
+    """Inverted-index Alg. 2 builder, exactly equivalent to repeated
+    :func:`update_clusters` calls.
+
+    The reference insertion scans the whole cluster list per request —
+    O(C) per insert and quadratic over a block, which dominates once
+    candidate generation makes the matching itself sub-quadratic.  Every
+    cluster affected by an insertion (subset, superset, or >1-offer
+    intersection of ``best``) shares at least one offer with ``best``,
+    so posting lists by offer id find the exact candidate set; a
+    by-offer-set map replaces the linear ``existing`` lookups.  Append
+    order, request-set contents and object shapes match the reference
+    builder exactly (``tests/test_clustering_indexed.py``).
+    """
+
+    def __init__(self) -> None:
+        self.clusters: List[Cluster] = []
+        self._by_key: Dict[frozenset, int] = {}
+        self._by_offer: Dict[str, List[int]] = {}
+
+    def _append(self, cluster: Cluster) -> None:
+        position = len(self.clusters)
+        self.clusters.append(cluster)
+        self._by_key[cluster.offer_ids] = position
+        for offer_id in cluster.offer_ids:
+            self._by_offer.setdefault(offer_id, []).append(position)
+
+    def insert(self, request_id: str, best: frozenset) -> None:
+        if not best:
+            return
+        if best not in self._by_key:
+            self._append(Cluster(offer_ids=best))
+        best_position = self._by_key[best]
+        clusters = self.clusters
+        touched = sorted(
+            {
+                position
+                for offer_id in best
+                for position in self._by_offer.get(offer_id, ())
+            }
+        )
+        subsets = [p for p in touched if clusters[p].offer_ids <= best]
+        supersets = [p for p in touched if best <= clusters[p].offer_ids]
+
+        # The reference folds every superset's requests into every
+        # subset (skipping the one cluster that is both — ``best``
+        # itself).  Strict supersets are never mutated in that loop, so
+        # the fold is order-insensitive given the pre-insert snapshots.
+        best_snapshot = set(clusters[best_position].request_ids)
+        strict_union: Set[str] = set()
+        for p in supersets:
+            if p != best_position:
+                strict_union |= clusters[p].request_ids
+        for p in subsets:
+            cluster = clusters[p]
+            cluster.request_ids.add(request_id)
+            cluster.request_ids |= strict_union
+            if p != best_position:
+                cluster.request_ids |= best_snapshot
+
+        # Intersection materialization: the reference iterates a
+        # snapshot of the cluster list (clusters appended below are not
+        # revisited) but resolves ``existing`` against the live list.
+        for p in touched:
+            cluster = clusters[p]
+            if cluster.offer_ids == best:
+                continue
+            intersection = cluster.offer_ids & best
+            if len(intersection) > 1 and intersection != cluster.offer_ids:
+                existing = self._by_key.get(intersection)
+                if existing is None:
+                    self._append(
+                        Cluster(
+                            offer_ids=frozenset(intersection),
+                            request_ids={request_id}
+                            | set(cluster.request_ids),
+                        )
+                    )
+                else:
+                    clusters[existing].request_ids.add(request_id)
+
+
 def build_clusters(
     requests: Sequence[Request],
     offers: Sequence[Offer],
@@ -101,8 +183,10 @@ def build_clusters(
     ``config.engine`` picks how the per-request best-offer sets are
     computed: the scalar reference, or the batched NumPy kernel (with an
     optional :class:`~repro.core.matching_vectorized.IncrementalMatcher`
-    reusing rows across blocks).  Both produce bit-identical sets, so
-    the cluster structure is engine-invariant.
+    reusing rows across blocks).  ``config.candidates`` optionally puts
+    a certified candidate-generation stage in front of either engine
+    (see :mod:`repro.core.candidates`).  All paths produce bit-identical
+    sets, so the cluster structure is engine- and candidate-invariant.
 
     ``timer`` (optional) records the ``match`` (best-offer sets) and
     ``cluster`` (Alg. 2 insertion) phases.
@@ -113,7 +197,11 @@ def build_clusters(
         ordered = sorted(
             requests, key=lambda r: (r.submit_time, r.request_id)
         )
-        if config.engine == "vectorized":
+        if config.candidates is not None and offers:
+            best_sets = _candidate_best_sets(
+                ordered, offers, maxima, config, matcher
+            )
+        elif config.engine == "vectorized":
             best_sets = _vectorized_best_sets(
                 ordered, offers, maxima, config, matcher
             )
@@ -125,14 +213,14 @@ def build_clusters(
                 for request in ordered
             ]
     with timer.phase("cluster"):
-        clusters: List[Cluster] = []
+        builder = _IndexedClusters()
         orphans: List[Request] = []
         for request, best in zip(ordered, best_sets):
             if not best:
                 orphans.append(request)
                 continue
-            update_clusters(clusters, request.request_id, best)
-    return clusters, orphans
+            builder.insert(request.request_id, best)
+    return builder.clusters, orphans
 
 
 def _vectorized_best_sets(
@@ -151,6 +239,51 @@ def _vectorized_best_sets(
     return matching_vectorized.best_offer_sets(
         ordered, offers, maxima, config.cluster_breadth
     )
+
+
+def _candidate_best_sets(
+    ordered: Sequence[Request],
+    offers: Sequence[Offer],
+    maxima,
+    config: AuctionConfig,
+    matcher: Optional["IncrementalMatcher"],
+) -> List[frozenset]:
+    """Best-offer sets through the certified candidate stage.
+
+    The vectorized engine takes the generator's own ranking (assembled
+    from the exact scores it collected while admitting candidates); the
+    reference engine re-ranks each request's admitted offers with the
+    scalar kernel — deliberately a different code path, so the
+    differential suite compares two independent ways of consuming the
+    same certificates.
+    """
+    generator = config.candidates
+    scorer = None
+    if (
+        config.engine == "vectorized"
+        and matcher is not None
+        and len(ordered) <= matcher.max_rows
+    ):
+        # The matcher's partial-row cache costs O(registry) per request
+        # row, which only pays off when the whole round fits in the LRU
+        # and rows survive to the next online round.  A block larger
+        # than ``max_rows`` would evict rows before any reuse, so the
+        # one-shot direct scorer (O(chunk x group) allocations) wins.
+        scorer = matcher.scorer(offers, maxima)
+    result = generator.generate(
+        ordered, offers, maxima, config.cluster_breadth, scorer=scorer
+    )
+    if config.engine == "vectorized":
+        return result.best_sets
+    return [
+        best_offer_set(
+            request,
+            [offers[j] for j in result.candidate_indices(i).tolist()],
+            maxima,
+            config.cluster_breadth,
+        )
+        for i, request in enumerate(ordered)
+    ]
 
 
 def clusters_by_offer(clusters: Sequence[Cluster]) -> Dict[str, List[Cluster]]:

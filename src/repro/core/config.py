@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet
+from typing import FrozenSet, Optional
 
 from repro.common.errors import ValidationError
 from repro.market.resources import CRITICAL_RESOURCES
@@ -40,6 +40,15 @@ class AuctionConfig:
             :mod:`repro.core.matching_vectorized`.  The two engines are
             bit-identical by contract — ``tests/differential/`` is the
             enforcement.
+        candidates: optional candidate generator (an object with a
+            ``generate(requests, offers, maxima, breadth, scorer=...)``
+            method, see :mod:`repro.core.candidates`) placed in front of
+            the matcher.  ``None`` (default) runs the exact all-pairs
+            path.  Generators certify their pruning, so any generator
+            yields outcomes bit-identical to ``None`` on either engine —
+            ``tests/differential/test_candidate_equivalence.py`` is the
+            enforcement.  Excluded from config equality/hashing
+            (generators carry transient state such as ``last_stats``).
         miniauction_workers: 0 (default) clears mini-auctions
             sequentially from one evidence-seeded RNG stream, the
             historical behaviour.  >= 1 switches to an independent
@@ -61,6 +70,7 @@ class AuctionConfig:
     price_epsilon: float = 1e-9
     engine: str = "reference"
     miniauction_workers: int = 0
+    candidates: Optional[object] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.cluster_breadth < 1:
@@ -73,6 +83,13 @@ class AuctionConfig:
             )
         if self.miniauction_workers < 0:
             raise ValidationError("miniauction_workers must be >= 0")
+        if self.candidates is not None and not callable(
+            getattr(self.candidates, "generate", None)
+        ):
+            raise ValidationError(
+                "candidates must expose a generate(...) method "
+                f"(got {type(self.candidates).__name__})"
+            )
 
     @classmethod
     def benchmark(cls, **overrides) -> "AuctionConfig":

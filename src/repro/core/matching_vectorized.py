@@ -337,6 +337,11 @@ class IncrementalMatcher:
         #: aligned to a prefix of the registry (their length records how
         #: many columns they have seen).
         self._rows: "OrderedDict[str, list]" = OrderedDict()
+        #: request_id -> [fingerprint, score_row, feasible_row, valid];
+        #: rows whose columns were filled piecemeal by the candidate
+        #: path (:meth:`gather`) — ``valid`` marks which registry
+        #: columns actually hold computed values.
+        self._partial: "OrderedDict[str, list]" = OrderedDict()
 
     def reset(self) -> None:
         self._maxima_key = None
@@ -344,6 +349,7 @@ class IncrementalMatcher:
         self._columns = {}
         self._offer_keys = {}
         self._rows.clear()
+        self._partial.clear()
 
     def _sync_maxima(self, maxima: Dict[str, float]) -> None:
         key = tuple(sorted(maxima.items()))
@@ -351,6 +357,7 @@ class IncrementalMatcher:
             # Every normalized amount changes; feasibility would survive,
             # but a shared invalidation keeps the bookkeeping simple.
             self._rows.clear()
+            self._partial.clear()
             self._maxima_key = key
 
     def _sync_offers(self, offers: Sequence[Offer]) -> None:
@@ -388,6 +395,18 @@ class IncrementalMatcher:
                 entry[1] = None  # row predates some surviving columns
         self._rows = OrderedDict(
             (rid, e) for rid, e in self._rows.items() if e[1] is not None
+        )
+        for entry in self._partial.values():
+            length = len(entry[1])
+            usable = keep_arr[keep_arr < length]
+            if len(usable) == len(keep_arr):
+                entry[1] = entry[1][keep_arr]
+                entry[2] = entry[2][keep_arr]
+                entry[3] = entry[3][keep_arr]
+            else:
+                entry[1] = None
+        self._partial = OrderedDict(
+            (rid, e) for rid, e in self._partial.items() if e[1] is not None
         )
         self._registry = new_registry
         self._columns = {o.offer_id: j for j, o in enumerate(new_registry)}
@@ -454,14 +473,13 @@ class IncrementalMatcher:
                 entry[2] = np.concatenate([entry[2], feasible[i]])
                 self._rows.move_to_end(request.request_id)
 
-        while len(self._rows) > self.max_rows:
-            self._rows.popitem(last=False)
-
         cols = np.array(
             [self._columns[o.offer_id] for o in offers], dtype=int
         )
         n_req, n_off = len(requests), len(offers)
         if n_req == 0 or n_off == 0:
+            while len(self._rows) > self.max_rows:
+                self._rows.popitem(last=False)
             return (
                 np.empty((n_req, n_off)),
                 np.empty((n_req, n_off), dtype=bool),
@@ -472,6 +490,11 @@ class IncrementalMatcher:
         entries = [self._rows[r.request_id] for r in requests]
         out_scores = np.stack([e[1] for e in entries])[:, cols]
         out_feasible = np.stack([e[2] for e in entries])[:, cols]
+        # Evict only after assembling the output: one oversized block
+        # (more rows than ``max_rows``) must not drop rows it is about
+        # to serve.
+        while len(self._rows) > self.max_rows:
+            self._rows.popitem(last=False)
         return out_scores, out_feasible
 
     def best_offer_sets(
@@ -489,3 +512,96 @@ class IncrementalMatcher:
             requests, offers, maxima, breadth,
             scores=scores, feasible=feasible,
         )
+
+    def prepare(
+        self, offers: Sequence[Offer], maxima: Dict[str, float]
+    ) -> None:
+        """Register a block's offers/maxima without computing any rows."""
+        self._sync_maxima(maxima)
+        self._sync_offers(offers)
+
+    def gather(
+        self,
+        requests: Sequence[Request],
+        cols: np.ndarray,
+        maxima: Dict[str, float],
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(scores, feasible) for ``requests`` x registry columns ``cols``.
+
+        The candidate path asks for sparse column subsets, so full
+        registry rows would mostly hold values nobody looks at.  These
+        rows instead carry a per-column validity mask: a request whose
+        requested columns are all valid is a pure cache hit; otherwise
+        the *requested* columns are recomputed in one kernel call
+        (recomputing an already-valid column rewrites the identical
+        float — the kernel is elementwise and deterministic).  Call
+        :meth:`prepare` first so the registry matches the block.
+        """
+        registry_size = len(self._registry)
+        cols = np.asarray(cols, dtype=int)
+        need_compute: List[Request] = []
+        for request in requests:
+            entry = self._partial.get(request.request_id)
+            if entry is None or entry[0] != _request_fingerprint(request):
+                entry = [
+                    _request_fingerprint(request),
+                    np.zeros(registry_size),
+                    np.zeros(registry_size, dtype=bool),
+                    np.zeros(registry_size, dtype=bool),
+                ]
+                self._partial[request.request_id] = entry
+            elif len(entry[1]) < registry_size:
+                grow = registry_size - len(entry[1])
+                entry[1] = np.concatenate([entry[1], np.zeros(grow)])
+                entry[2] = np.concatenate(
+                    [entry[2], np.zeros(grow, dtype=bool)]
+                )
+                entry[3] = np.concatenate(
+                    [entry[3], np.zeros(grow, dtype=bool)]
+                )
+            if entry[3][cols].all():
+                self.hits += 1
+            else:
+                need_compute.append(request)
+            self._partial.move_to_end(request.request_id)
+
+        if need_compute:
+            self.misses += len(need_compute)
+            subset = [self._registry[j] for j in cols.tolist()]
+            scores, feasible = self._compute_rows(
+                need_compute, subset, maxima
+            )
+            for i, request in enumerate(need_compute):
+                entry = self._partial[request.request_id]
+                entry[1][cols] = scores[i]
+                entry[2][cols] = feasible[i]
+                entry[3][cols] = True
+
+        if requests:
+            entries = [self._partial[r.request_id] for r in requests]
+            out_scores = np.stack([e[1] for e in entries])[:, cols]
+            out_feasible = np.stack([e[2] for e in entries])[:, cols]
+        else:
+            out_scores = np.empty((0, len(cols)))
+            out_feasible = np.empty((0, len(cols)), dtype=bool)
+        while len(self._partial) > self.max_rows:
+            self._partial.popitem(last=False)
+        return out_scores, out_feasible
+
+    def scorer(self, offers: Sequence[Offer], maxima: Dict[str, float]):
+        """A candidate-stage scorer backed by this cache.
+
+        Returns ``scorer(requests, offer_indices)`` where
+        ``offer_indices`` index into ``offers`` (the block's offer
+        list); rows persist across blocks like the full-row cache.
+        """
+        self.prepare(offers, maxima)
+        offer_cols = np.array(
+            [self._columns[o.offer_id] for o in offers], dtype=int
+        )
+
+        def scorer(requests, indices):
+            cols = offer_cols[np.asarray(indices, dtype=int)]
+            return self.gather(requests, cols, maxima)
+
+        return scorer

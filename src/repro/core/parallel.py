@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import random
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import replace
 from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.common.rng import block_evidence_rng
@@ -136,6 +137,11 @@ def clear_auctions_scheduled(
     a process pool; if the platform refuses to spawn workers the wave
     falls back to in-process execution, which is bit-identical.
     """
+    if config.candidates is not None:
+        # Candidate generators play no role in clearing and carry
+        # transient state (stats, location maps) that must not cross
+        # the process-pool pickle boundary.
+        config = replace(config, candidates=None)
     results: List[ClearingResult] = [None] * len(auctions)  # type: ignore[list-item]
     pool = None
     try:

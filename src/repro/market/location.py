@@ -73,6 +73,11 @@ class NetworkLocation:
     def __post_init__(self) -> None:
         if not self.zone or self.zone.startswith("/") or self.zone.endswith("/"):
             raise ValidationError(f"malformed zone {self.zone!r}")
+        if "" in self.zone.split("/"):
+            # An empty interior segment ("eu//cell-1") would count as a
+            # real tree level in hop counting, so two zones sharing only
+            # the empty segment looked one hop closer than they are.
+            raise ValidationError(f"empty segment in zone {self.zone!r}")
 
     def _parts(self) -> Sequence[str]:
         return self.zone.split("/")
@@ -113,6 +118,53 @@ def latency_headroom(latency_ms: float, tolerance_ms: float) -> float:
     if not math.isfinite(latency_ms):
         return 0.0
     return max(0.0, tolerance_ms - latency_ms)
+
+
+def grid_columns(cell_deg: float) -> int:
+    """Number of longitude columns of a ``cell_deg`` grid (>= 1)."""
+    if cell_deg <= 0 or cell_deg > 360.0:
+        raise ValidationError(f"cell_deg out of range: {cell_deg}")
+    return max(1, int(math.ceil(360.0 / cell_deg)))
+
+
+def grid_cell(location: GeoLocation, cell_deg: float) -> tuple[int, int]:
+    """(row, col) grid cell of a geo location.
+
+    Longitude wraps: the column index is taken modulo the number of
+    columns, so +180° and -180° land in the *same* cell and cells at
+    +179.9° / -179.9° are neighbours across the antimeridian instead of
+    sitting at opposite ends of the grid.  Latitude clamps at the poles
+    (+90° shares the top row rather than opening a row of its own).
+    """
+    n_cols = grid_columns(cell_deg)
+    n_rows = max(1, int(math.ceil(180.0 / cell_deg)))
+    col = int(math.floor((location.longitude + 180.0) / cell_deg)) % n_cols
+    row = min(
+        n_rows - 1, int(math.floor((location.latitude + 90.0) / cell_deg))
+    )
+    return row, col
+
+
+def grid_ring_distance(
+    a: tuple[int, int], b: tuple[int, int], n_cols: int
+) -> int:
+    """Chebyshev ring distance between grid cells, wrapped east-west.
+
+    The column delta is taken the short way around the globe, so a
+    request and an offer straddling the ±180° seam are ring-1 neighbours.
+    """
+    d_row = abs(a[0] - b[0])
+    d_col = abs(a[1] - b[1])
+    d_col = min(d_col, n_cols - d_col)
+    return max(d_row, d_col)
+
+
+def zone_prefix(zone: str, depth: int) -> str:
+    """The first ``depth`` segments of a zone (the zone itself if
+    shorter — single-segment zones bucket by their whole name)."""
+    if depth < 1:
+        raise ValidationError("depth must be >= 1")
+    return "/".join(zone.split("/")[:depth])
 
 
 def attach_latency_resource(

@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.errors import ValidationError
 from repro.common.rng import make_generator, spawn_child
+from repro.common.timewindow import TimeWindow
 from repro.market.bids import Offer, Request
+from repro.market.location import GeoLocation
 from repro.workloads.ec2_catalog import ProviderCatalog
 from repro.workloads.google_trace import GoogleTraceWorkload, assign_valuations
 
@@ -78,3 +80,135 @@ def generate_market(
         flexibility=flexibility,
     )
     return scenario.generate()
+
+
+def generate_zone_market(
+    n_requests: int,
+    n_zones: int = 8,
+    offers_per_request: float = 1.0,
+    seed: int = 0,
+    kind: str = "geo",
+    locality: str = "strong",
+) -> Tuple[List[Request], List[Offer], Dict[str, GeoLocation]]:
+    """A geographically clustered edge market for the candidate stage.
+
+    Participants are assigned to ``n_zones`` zones spread over the
+    globe.  With ``kind="geo"`` every bid carries a location tag mapped
+    (in the returned dict) to a :class:`GeoLocation` jittered around its
+    zone anchor — feed the dict to
+    :class:`~repro.core.candidates.GeoBucketGenerator`.  With
+    ``kind="network"`` the tag *is* a hierarchical zone path like
+    ``"zone-3/cell-1"`` (parsed directly by
+    :class:`~repro.core.candidates.NetworkZoneGenerator`) and the
+    returned dict is empty.
+
+    ``locality`` shapes how separable the market is:
+
+    * ``"strong"`` — each zone trades its own resource types
+      (``cpu@z3``...), so cross-zone pairs are infeasible and a good
+      generator prunes them without scoring (the regime where edge
+      markets are sub-quadratic in practice);
+    * ``"weak"`` — all zones share ``cpu``/``ram``/``disk`` with
+      zone-biased magnitudes, so pruning can only come from score
+      bounds and windows.
+    """
+    if n_zones < 1:
+        raise ValidationError("n_zones must be >= 1")
+    if kind not in ("geo", "network"):
+        raise ValidationError(f"kind must be 'geo' or 'network', got {kind!r}")
+    if locality not in ("strong", "weak"):
+        raise ValidationError(
+            f"locality must be 'strong' or 'weak', got {locality!r}"
+        )
+    rng = make_generator(seed)
+    zone_rng = spawn_child(rng, "zones")
+    request_rng = spawn_child(rng, "requests")
+    offer_rng = spawn_child(rng, "offers")
+
+    # Zone anchors spread around the globe (including near the
+    # antimeridian, so the seam is exercised by construction).
+    anchors = [
+        GeoLocation(
+            latitude=float(zone_rng.uniform(-60.0, 60.0)),
+            longitude=float(
+                ((zone_rng.uniform(0.0, 360.0) + 180.0) % 360.0) - 180.0
+            ),
+        )
+        for _ in range(n_zones)
+    ]
+
+    def zone_types(zone: int) -> List[str]:
+        if locality == "strong":
+            return [f"cpu@z{zone}", f"ram@z{zone}"]
+        return ["cpu", "ram", "disk"]
+
+    def location_tag(
+        zone: int, index: int, role: str, out: Dict[str, GeoLocation]
+    ) -> str:
+        if kind == "network":
+            return f"zone-{zone}/cell-{index % 4}"
+        tag = f"{role}-{index}@z{zone}"
+        anchor = anchors[zone]
+        out[tag] = GeoLocation(
+            latitude=float(
+                max(-90.0, min(90.0, anchor.latitude + zone_rng.uniform(-2, 2)))
+            ),
+            longitude=float(
+                ((anchor.longitude + zone_rng.uniform(-2, 2) + 180.0) % 360.0)
+                - 180.0
+            ),
+        )
+        return tag
+
+    locations: Dict[str, GeoLocation] = {}
+    scale = 1.0 if locality == "strong" else None
+    requests: List[Request] = []
+    for i in range(n_requests):
+        zone = int(request_rng.integers(0, n_zones))
+        types = zone_types(zone)
+        amounts = {
+            t: float(request_rng.integers(1, 9))
+            * (scale or (1.0 + zone / n_zones))
+            for t in types
+        }
+        start = float(request_rng.integers(0, 12))
+        duration = float(request_rng.integers(1, 7))
+        requests.append(
+            Request(
+                request_id=f"r{i:06d}",
+                client_id=f"c{i:06d}",
+                submit_time=float(i),
+                resources=amounts,
+                significance={types[0]: 1.0, types[1]: 0.5}
+                if locality == "strong"
+                else {"cpu": 1.0, "ram": 0.5, "disk": 0.5},
+                window=TimeWindow(start, start + duration + 2.0),
+                duration=duration,
+                bid=float(request_rng.integers(10, 100)),
+                location=location_tag(zone, i, "req", locations),
+                flexibility=0.5,
+            )
+        )
+
+    n_offers = max(1, int(round(n_requests * offers_per_request)))
+    offers: List[Offer] = []
+    for j in range(n_offers):
+        zone = int(offer_rng.integers(0, n_zones))
+        types = zone_types(zone)
+        amounts = {
+            t: float(offer_rng.integers(4, 33))
+            * (scale or (1.0 + zone / n_zones))
+            for t in types
+        }
+        offers.append(
+            Offer(
+                offer_id=f"o{j:06d}",
+                provider_id=f"p{j:06d}",
+                submit_time=float(j),
+                resources=amounts,
+                window=TimeWindow(0.0, 24.0),
+                bid=float(offer_rng.integers(5, 50)),
+                location=location_tag(zone, j, "off", locations),
+            )
+        )
+    return requests, offers, locations

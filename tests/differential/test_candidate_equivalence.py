@@ -1,0 +1,261 @@
+"""Differential oracle: candidate pruning never changes an outcome.
+
+For every Hypothesis market — clustered-geo, uniform-geo, network-zone,
+and latency-resource-attached — the auction must clear *bit-identically*
+with and without each candidate generator, on both engines.  Four
+flavors x 30 examples give 120+ generated markets per run, every one
+also replayed through the scalar certificate checker (``verify="full"``),
+plus the seeded zone markets and all seven golden fixtures with
+candidates enabled.
+
+The two engines consume certificates differently (the reference engine
+re-ranks admitted offers with the scalar kernel; the vectorized engine
+takes the generator's own lexsort ranking), so agreement here means two
+independent consumers of the pruning reached the same outcome as two
+independent all-pairs engines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.auction import DecloudAuction
+from repro.core.candidates import (
+    AllPairsGenerator,
+    GeoBucketGenerator,
+    NetworkZoneGenerator,
+    ResourceVectorGenerator,
+)
+from repro.core.config import AuctionConfig
+from repro.market.bids import Offer, Request
+from repro.market.location import (
+    GeoLocation,
+    latency_headroom,
+    pairwise_latency_ms,
+)
+from repro.obs import Observability
+from repro.workloads.generators import generate_zone_market
+
+from tests.differential.conftest import canonical_outcome, market_from_payload
+from tests.differential.test_engine_equivalence import markets
+
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "fixtures" / "golden"
+
+ZONE_ANCHORS = (
+    GeoLocation(60.2, 24.9),     # Helsinki
+    GeoLocation(-33.9, 151.2),   # Sydney
+    GeoLocation(-17.5, 179.8),   # Fiji — hugs the antimeridian
+)
+NETWORK_ZONES = (
+    "eu/hel/cell-1",
+    "eu/ber/cell-2",
+    "us/nyc/cell-1",
+    "apac/syd/cell-3",
+    "edge",
+)
+
+
+def _clear_all_ways(requests, offers, generators, config=None):
+    """Clear with no candidates and with each generator, on both engines;
+    assert all canonical outcomes are identical."""
+    base = config or AuctionConfig()
+    digests = {}
+    for engine in ("reference", "vectorized"):
+        out = DecloudAuction(replace(base, engine=engine)).run(
+            requests, offers, obs=Observability(f"cand-{engine}")
+        )
+        digests[f"allpairs/{engine}"] = canonical_outcome(out)
+    for name, generator in generators:
+        for engine in ("reference", "vectorized"):
+            config_g = replace(base, engine=engine, candidates=generator)
+            out = DecloudAuction(config_g).run(
+                requests, offers, obs=Observability(f"cand-{name}-{engine}")
+            )
+            digests[f"{name}/{engine}"] = canonical_outcome(out)
+    baseline = digests["allpairs/reference"]
+    for key, digest in digests.items():
+        assert digest == baseline, f"{key} diverged from all-pairs reference"
+    return baseline
+
+
+def _relocate(requests, offers, tags):
+    """Copy bids onto a cycle of location tags."""
+    new_requests = [
+        replace(r, location=tags[i % len(tags)])
+        for i, r in enumerate(requests)
+    ]
+    new_offers = [
+        replace(o, location=tags[(j + 1) % len(tags)])
+        for j, o in enumerate(offers)
+    ]
+    return new_requests, new_offers
+
+
+@st.composite
+def geo_tagged_markets(draw, clustered: bool):
+    requests, offers = draw(markets(max_requests=8, max_offers=8))
+    locations = {}
+    tags = []
+    n_tags = draw(st.integers(min_value=2, max_value=6))
+    for t in range(n_tags):
+        if clustered:
+            anchor = ZONE_ANCHORS[t % len(ZONE_ANCHORS)]
+            latitude = anchor.latitude + draw(
+                st.floats(min_value=-1.5, max_value=1.5)
+            )
+            longitude = anchor.longitude + draw(
+                st.floats(min_value=-1.5, max_value=1.5)
+            )
+        else:
+            latitude = draw(st.floats(min_value=-89.0, max_value=89.0))
+            longitude = draw(st.floats(min_value=-180.0, max_value=180.0))
+        tag = f"site-{t}"
+        locations[tag] = GeoLocation(
+            max(-90.0, min(90.0, latitude)),
+            ((longitude + 180.0) % 360.0) - 180.0,
+        )
+        tags.append(tag)
+    requests, offers = _relocate(requests, offers, tags)
+    cell_deg = draw(st.sampled_from((10.0, 30.0, 90.0)))
+    return requests, offers, locations, cell_deg
+
+
+@settings(max_examples=30, deadline=None)
+@given(geo_tagged_markets(clustered=True))
+def test_clustered_geo_markets(market):
+    requests, offers, locations, cell_deg = market
+    _clear_all_ways(
+        requests,
+        offers,
+        [
+            ("geo", GeoBucketGenerator(locations, cell_deg, verify="full")),
+            ("res", ResourceVectorGenerator(group_size=3, verify="full")),
+        ],
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(geo_tagged_markets(clustered=False))
+def test_uniform_geo_markets(market):
+    requests, offers, locations, cell_deg = market
+    _clear_all_ways(
+        requests,
+        offers,
+        [("geo", GeoBucketGenerator(locations, cell_deg, verify="full"))],
+    )
+
+
+@settings(max_examples=30, deadline=None)
+@given(markets(max_requests=8, max_offers=8), st.integers(1, 2))
+def test_network_zone_markets(market, depth):
+    requests, offers = _relocate(*market, tags=NETWORK_ZONES)
+    _clear_all_ways(
+        requests,
+        offers,
+        [
+            ("net", NetworkZoneGenerator(depth=depth, verify="full")),
+            ("all", AllPairsGenerator(verify="full")),
+        ],
+    )
+
+
+@st.composite
+def latency_attached_markets(draw):
+    """Markets where proximity is folded into the bidding language:
+    every offer carries a ``latency`` headroom resource toward its
+    zone's anchor, and requests demand it softly (§II-C)."""
+    requests, offers = draw(markets(max_requests=7, max_offers=7))
+    locations = {}
+    tags = []
+    for t, anchor in enumerate(ZONE_ANCHORS):
+        tag = f"zone-{t}"
+        locations[tag] = anchor
+        tags.append(tag)
+    requests, offers = _relocate(requests, offers, tags)
+    tolerance = draw(st.sampled_from((30.0, 80.0)))
+    new_offers = []
+    for offer in offers:
+        latency = pairwise_latency_ms(
+            locations[offer.location], locations[tags[0]]
+        )
+        resources = dict(offer.resources)
+        resources["latency"] = latency_headroom(latency, tolerance)
+        new_offers.append(replace(offer, resources=resources))
+    new_requests = []
+    for request in requests:
+        resources = dict(request.resources)
+        resources["latency"] = tolerance * 0.1
+        significance = dict(request.significance)
+        significance["latency"] = 0.9
+        new_requests.append(
+            replace(request, resources=resources, significance=significance)
+        )
+    return new_requests, new_offers, locations
+
+
+@settings(max_examples=30, deadline=None)
+@given(latency_attached_markets())
+def test_latency_resource_attached_markets(market):
+    requests, offers, locations = market
+    _clear_all_ways(
+        requests,
+        offers,
+        [
+            ("geo", GeoBucketGenerator(locations, 30.0, verify="full")),
+            ("res", ResourceVectorGenerator(group_size=4, verify="full")),
+        ],
+    )
+
+
+@pytest.mark.parametrize("kind", ["geo", "network"])
+@pytest.mark.parametrize("locality", ["strong", "weak"])
+def test_seeded_zone_markets(kind, locality):
+    requests, offers, locations = generate_zone_market(
+        80, n_zones=5, seed=11, kind=kind, locality=locality
+    )
+    generators = [("res", ResourceVectorGenerator(verify="sample"))]
+    if kind == "geo":
+        generators.append(
+            ("geo", GeoBucketGenerator(locations, 15.0, verify="sample"))
+        )
+    else:
+        generators.append(
+            ("net", NetworkZoneGenerator(depth=1, verify="sample"))
+        )
+    _clear_all_ways(requests, offers, generators)
+
+
+GOLDEN_GENERATORS = [
+    ("all", lambda: AllPairsGenerator(verify="full")),
+    ("res", lambda: ResourceVectorGenerator(group_size=3, verify="full")),
+    ("geo", lambda: GeoBucketGenerator({}, cell_deg=30.0, verify="full")),
+    ("net", lambda: NetworkZoneGenerator(verify="full")),
+]
+
+
+@pytest.mark.parametrize(
+    "path", sorted(GOLDEN_DIR.glob("*.json")), ids=lambda p: p.stem
+)
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+@pytest.mark.parametrize(
+    "factory", [g[1] for g in GOLDEN_GENERATORS], ids=[g[0] for g in GOLDEN_GENERATORS]
+)
+def test_golden_fixtures_with_candidates(path, engine, factory):
+    """All 7 golden outcomes replay bit-identically with candidates on."""
+    fixture = json.loads(path.read_text())
+    requests, offers = market_from_payload(fixture["market"])
+    config = AuctionConfig(
+        engine=engine, candidates=factory(), **fixture["config"]
+    )
+    outcome = DecloudAuction(config).run(
+        requests, offers, evidence=bytes.fromhex(fixture["evidence"])
+    )
+    assert canonical_outcome(outcome) == fixture["expected"], (
+        f"{path.stem} diverged with candidates enabled on {engine}"
+    )

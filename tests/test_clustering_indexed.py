@@ -1,0 +1,84 @@
+"""_IndexedClusters == repeated update_clusters, exactly.
+
+``build_clusters`` now grows the Alg. 2 structure through an
+inverted-index builder (O(touched) per insertion instead of O(clusters));
+these tests pin the equivalence down to append order and request-set
+contents against the direct reference transcription, which stays
+exported as the oracle.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import Cluster, _IndexedClusters, update_clusters
+
+OFFER_IDS = tuple(f"o{j}" for j in range(8))
+
+best_sets = st.lists(
+    st.frozensets(st.sampled_from(OFFER_IDS), min_size=0, max_size=5),
+    min_size=1,
+    max_size=25,
+)
+
+
+def _reference(insertions):
+    clusters = []
+    for i, best in enumerate(insertions):
+        update_clusters(clusters, f"r{i}", best)
+    return clusters
+
+
+def _indexed(insertions):
+    builder = _IndexedClusters()
+    for i, best in enumerate(insertions):
+        builder.insert(f"r{i}", best)
+    return builder.clusters
+
+
+def _shape(clusters):
+    return [(c.offer_ids, sorted(c.request_ids)) for c in clusters]
+
+
+@settings(max_examples=300, deadline=None)
+@given(best_sets)
+def test_indexed_builder_matches_reference(insertions):
+    assert _shape(_indexed(insertions)) == _shape(_reference(insertions))
+
+
+def test_subset_superset_folding():
+    # A chain a ⊂ ab ⊂ abc inserted out of order: superset requests must
+    # fold into subsets, intersections must materialize once.
+    insertions = [
+        frozenset({"o0", "o1", "o2"}),
+        frozenset({"o0", "o1"}),
+        frozenset({"o1", "o2", "o3"}),
+        frozenset({"o0", "o1"}),
+        frozenset({"o0"}),
+    ]
+    assert _shape(_indexed(insertions)) == _shape(_reference(insertions))
+
+
+def test_empty_best_set_ignored():
+    builder = _IndexedClusters()
+    builder.insert("r0", frozenset())
+    assert builder.clusters == []
+
+
+def test_intersection_seeded_with_host_requests():
+    insertions = [
+        frozenset({"o0", "o1", "o2"}),
+        frozenset({"o1", "o2", "o3"}),
+    ]
+    indexed = _indexed(insertions)
+    reference = _reference(insertions)
+    assert _shape(indexed) == _shape(reference)
+    by_key = {c.offer_ids: c for c in indexed}
+    assert by_key[frozenset({"o1", "o2"})].request_ids == {"r0", "r1"}
+
+
+def test_duplicate_cluster_objects_never_created():
+    insertions = [frozenset({"o0", "o1"})] * 4 + [frozenset({"o0", "o2"})] * 3
+    indexed = _indexed(insertions)
+    keys = [c.offer_ids for c in indexed]
+    assert len(keys) == len(set(keys))
+    assert _shape(indexed) == _shape(_reference(insertions))

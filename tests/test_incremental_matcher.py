@@ -1,0 +1,241 @@
+"""Direct unit tests for IncrementalMatcher cache management.
+
+The matcher was previously exercised only through the online-simulator
+differential suite; these tests pin down the cache mechanics themselves:
+LRU eviction at ``max_rows``, wholesale invalidation when an offer
+mutates under its id or the block maxima change, registry compaction,
+and the partial-row (:meth:`gather`) path the candidate stage uses
+across online rounds.
+"""
+
+import numpy as np
+
+from repro.core.candidates import ResourceVectorGenerator
+from repro.core.matching import best_offer_set, block_maxima
+from repro.core.matching_vectorized import (
+    IncrementalMatcher,
+    feasibility_matrix,
+    score_matrix,
+)
+
+from tests.conftest import make_offer, make_request
+
+
+def _requests(n, prefix="r"):
+    return [
+        make_request(
+            request_id=f"{prefix}{i:02d}",
+            submit_time=float(i),
+            resources={"cpu": 1.0 + i % 4, "ram": 2.0 + i % 3},
+        )
+        for i in range(n)
+    ]
+
+
+def _offers(n, prefix="o", cpu=8.0):
+    return [
+        make_offer(
+            offer_id=f"{prefix}{j:02d}",
+            submit_time=float(j),
+            resources={"cpu": cpu + j % 5, "ram": 16.0 + j % 7},
+        )
+        for j in range(n)
+    ]
+
+
+class TestRowEviction:
+    def test_lru_eviction_at_max_rows(self):
+        matcher = IncrementalMatcher(max_rows=4)
+        offers = _offers(3)
+        maxima = block_maxima(_requests(6), offers)
+        requests = _requests(6)
+        matcher.matrices(requests[:4], offers, maxima)
+        assert len(matcher._rows) == 4
+        # Two more rows evict the two least-recently-used ones.
+        matcher.matrices(requests[4:], offers, maxima)
+        assert len(matcher._rows) == 4
+        assert "r00" not in matcher._rows
+        assert "r01" not in matcher._rows
+        assert "r05" in matcher._rows
+
+    def test_evicted_row_recomputed_identically(self):
+        matcher = IncrementalMatcher(max_rows=2)
+        offers = _offers(4)
+        requests = _requests(4)
+        maxima = block_maxima(requests, offers)
+        first, _ = matcher.matrices(requests, offers, maxima)
+        misses_before = matcher.misses
+        again, _ = matcher.matrices(requests, offers, maxima)
+        assert matcher.misses > misses_before  # evictions forced recompute
+        np.testing.assert_array_equal(first, again)
+        np.testing.assert_array_equal(
+            again, score_matrix(requests, offers, maxima)
+        )
+
+
+class TestInvalidation:
+    def test_offer_mutation_resets_cache(self):
+        matcher = IncrementalMatcher()
+        requests = _requests(3)
+        offers = _offers(3)
+        maxima = block_maxima(requests, offers)
+        matcher.matrices(requests, offers, maxima)
+        assert len(matcher._rows) == 3
+
+        # Same offer id, different content: every cached row is suspect.
+        mutated = [
+            make_offer(
+                offer_id=offers[0].offer_id,
+                submit_time=offers[0].submit_time,
+                resources={"cpu": 99.0, "ram": 1.0},
+            )
+        ] + offers[1:]
+        maxima2 = block_maxima(requests, mutated)
+        scores, feasible = matcher.matrices(requests, mutated, maxima2)
+        np.testing.assert_array_equal(
+            scores, score_matrix(requests, mutated, maxima2)
+        )
+        np.testing.assert_array_equal(
+            feasible, feasibility_matrix(requests, mutated)
+        )
+
+    def test_maxima_change_clears_rows(self):
+        matcher = IncrementalMatcher()
+        requests = _requests(3)
+        offers = _offers(3)
+        maxima = block_maxima(requests, offers)
+        matcher.matrices(requests, offers, maxima)
+        hits_before = matcher.hits
+        # A new bigger offer shifts the cpu maximum: rows must not be
+        # served from cache.
+        grown = offers + [
+            make_offer(offer_id="big", resources={"cpu": 500.0, "ram": 1.0})
+        ]
+        maxima2 = block_maxima(requests, grown)
+        scores, _ = matcher.matrices(requests, grown, maxima2)
+        assert matcher.hits == hits_before
+        np.testing.assert_array_equal(
+            scores, score_matrix(requests, grown, maxima2)
+        )
+
+
+class TestCompaction:
+    def test_registry_compacts_when_offers_expire(self):
+        matcher = IncrementalMatcher()
+        requests = _requests(2)
+        big = _offers(40)
+        maxima = block_maxima(requests, big)
+        matcher.matrices(requests, big, maxima)
+        assert len(matcher._registry) == 40
+
+        # Only two offers stay live: 40 > 2*2 + 32 triggers compaction.
+        live = big[:2]
+        scores, _ = matcher.matrices(requests, live, maxima)
+        assert len(matcher._registry) == 2
+        np.testing.assert_array_equal(
+            scores, score_matrix(requests, live, maxima)
+        )
+
+    def test_compaction_preserves_partial_rows(self):
+        matcher = IncrementalMatcher()
+        requests = _requests(2)
+        big = _offers(40)
+        maxima = block_maxima(requests, big)
+        scorer = matcher.scorer(big, maxima)
+        scorer(requests, np.arange(40))
+        assert len(matcher._partial) == 2
+
+        live = big[:2]
+        matcher.matrices(requests, live, maxima)  # triggers _compact
+        assert len(matcher._registry) == 2
+        assert len(matcher._partial) == 2
+        scorer2 = matcher.scorer(live, maxima)
+        hits_before = matcher.hits
+        scores, _ = scorer2(requests, np.arange(2))
+        assert matcher.hits == hits_before + 2  # compacted rows survived
+        np.testing.assert_array_equal(
+            scores, score_matrix(requests, live, maxima)
+        )
+
+
+class TestGather:
+    def test_partial_rows_hit_across_rounds(self):
+        matcher = IncrementalMatcher()
+        requests = _requests(4)
+        offers = _offers(6)
+        maxima = block_maxima(requests, offers)
+        scorer = matcher.scorer(offers, maxima)
+        cols = np.array([0, 2, 4])
+        scores, feasible = scorer(requests, cols)
+        np.testing.assert_array_equal(
+            scores, score_matrix(requests, offers, maxima)[:, cols]
+        )
+        misses_before = matcher.misses
+        again, _ = scorer(requests, cols)
+        assert matcher.misses == misses_before
+        np.testing.assert_array_equal(scores, again)
+
+    def test_gather_extends_to_new_columns(self):
+        matcher = IncrementalMatcher()
+        requests = _requests(3)
+        offers = _offers(4)
+        maxima = block_maxima(requests, offers)
+        scorer = matcher.scorer(offers, maxima)
+        scorer(requests, np.array([0, 1]))
+        # New columns for cached rows: recomputed, old ones still valid.
+        scores, feasible = scorer(requests, np.array([1, 2, 3]))
+        np.testing.assert_array_equal(
+            scores,
+            score_matrix(requests, offers, maxima)[:, np.array([1, 2, 3])],
+        )
+        np.testing.assert_array_equal(
+            feasible,
+            feasibility_matrix(requests, offers)[:, np.array([1, 2, 3])],
+        )
+
+    def test_request_fingerprint_mismatch_recomputes(self):
+        matcher = IncrementalMatcher()
+        requests = _requests(1)
+        offers = _offers(3)
+        maxima = block_maxima(requests, offers)
+        scorer = matcher.scorer(offers, maxima)
+        scorer(requests, np.arange(3))
+        changed = [
+            make_request(
+                request_id=requests[0].request_id,
+                submit_time=requests[0].submit_time,
+                resources={"cpu": 7.0},
+            )
+        ]
+        scores, _ = scorer(changed, np.arange(3))
+        np.testing.assert_array_equal(
+            scores, score_matrix(changed, offers, maxima)
+        )
+
+
+class TestCandidateMaskInteraction:
+    def test_candidate_masks_across_online_rounds(self):
+        """The generator only ever sees matcher-gathered submatrices;
+        across overlapping rounds the cached partial rows must keep the
+        best sets identical to stateless scalar computation."""
+        matcher = IncrementalMatcher()
+        generator = ResourceVectorGenerator(group_size=3, verify="full")
+        base_offers = _offers(9)
+        round_requests = [
+            _requests(6),
+            _requests(6),  # identical round: pure cache hits
+            _requests(8),  # two new requests join
+        ]
+        for rnd, requests in enumerate(round_requests):
+            offers = base_offers + (_offers(2, prefix="late") if rnd == 2 else [])
+            maxima = block_maxima(requests, offers)
+            scorer = matcher.scorer(offers, maxima)
+            result = generator.generate(
+                requests, offers, maxima, 3, scorer=scorer
+            )
+            expected = [
+                best_offer_set(request, offers, maxima, 3)
+                for request in requests
+            ]
+            assert result.best_sets == expected, f"round {rnd}"
+        assert matcher.hits > 0

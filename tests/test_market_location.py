@@ -11,8 +11,12 @@ from repro.market.location import (
     GeoLocation,
     NetworkLocation,
     attach_latency_resource,
+    grid_cell,
+    grid_columns,
+    grid_ring_distance,
     latency_headroom,
     pairwise_latency_ms,
+    zone_prefix,
 )
 from tests.conftest import make_offer, make_request
 
@@ -74,6 +78,76 @@ class TestNetworkLocation:
             NetworkLocation("/leading")
         with pytest.raises(ValidationError):
             NetworkLocation("")
+
+    def test_empty_interior_segment_rejected(self):
+        # Regression: "eu//cell-1" used to parse, and its empty segment
+        # counted as a shared tree level — "eu//a".hops_to("eu//b")
+        # came out one hop closer than "eu/x/a".hops_to("eu/y/b").
+        with pytest.raises(ValidationError):
+            NetworkLocation("eu//cell-1")
+        with pytest.raises(ValidationError):
+            NetworkLocation("eu///cell-1")
+
+    def test_single_segment_zones(self):
+        # Regression: single-segment zones are leaves directly under the
+        # (implicit) root — two distinct ones are exactly two hops apart,
+        # and a single-segment zone is one hop from its children.
+        assert NetworkLocation("edge").hops_to(NetworkLocation("edge")) == 0
+        assert NetworkLocation("edge").hops_to(NetworkLocation("core")) == 2
+        assert (
+            NetworkLocation("edge").hops_to(NetworkLocation("edge/cell-1"))
+            == 1
+        )
+
+
+class TestGridBucketing:
+    def test_cells_partition_coordinates(self):
+        n_cols = grid_columns(15.0)
+        assert n_cols == 24
+        assert grid_cell(GeoLocation(0.0, 0.0), 15.0) == (6, 12)
+
+    def test_poles_clamp_to_top_row(self):
+        assert (
+            grid_cell(GeoLocation(90.0, 0.0), 15.0)[0]
+            == grid_cell(GeoLocation(89.0, 0.0), 15.0)[0]
+        )
+
+    def test_antimeridian_wraps_to_same_or_neighbouring_cell(self):
+        # Regression: +180 and -180 are the same meridian; +179.9 and
+        # -179.9 straddle it and must land in *neighbouring* buckets,
+        # not at opposite ends of the grid.
+        n_cols = grid_columns(15.0)
+        east = grid_cell(GeoLocation(0.0, 179.9), 15.0)
+        west = grid_cell(GeoLocation(0.0, -179.9), 15.0)
+        assert grid_ring_distance(east, west, n_cols) == 1
+        assert grid_cell(GeoLocation(0.0, 180.0), 15.0) == grid_cell(
+            GeoLocation(0.0, -180.0), 15.0
+        )
+
+    def test_ring_distance_wraps_east_west(self):
+        n_cols = grid_columns(15.0)
+        assert grid_ring_distance((3, 0), (3, n_cols - 1), n_cols) == 1
+        assert grid_ring_distance((3, 0), (3, n_cols // 2), n_cols) == (
+            n_cols // 2
+        )
+        assert grid_ring_distance((0, 5), (4, 5), n_cols) == 4
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValidationError):
+            grid_columns(0.0)
+        with pytest.raises(ValidationError):
+            grid_columns(400.0)
+
+
+class TestZonePrefix:
+    def test_prefix_depths(self):
+        assert zone_prefix("eu/hel/cell-1", 1) == "eu"
+        assert zone_prefix("eu/hel/cell-1", 2) == "eu/hel"
+        assert zone_prefix("edge", 3) == "edge"
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValidationError):
+            zone_prefix("eu/hel", 0)
 
 
 class TestPairwiseLatency:
