@@ -20,7 +20,14 @@ from repro.core.candidates import (
     tie_rank_key,
 )
 from repro.core.clustering import Cluster, build_clusters, update_clusters
-from repro.core.config import AuctionConfig
+from repro.core.config import AuctionConfig, ShardPlan
+from repro.core.sharding import (
+    Shard,
+    derive_shard_evidence,
+    partition_block,
+    run_sharded,
+    shard_key,
+)
 from repro.core.matching import (
     best_offer_set,
     block_maxima,
@@ -72,6 +79,12 @@ __all__ = [
     "explain_request",
     "DecloudAuction",
     "AuctionConfig",
+    "ShardPlan",
+    "Shard",
+    "shard_key",
+    "partition_block",
+    "derive_shard_evidence",
+    "run_sharded",
     "AuctionOutcome",
     "Match",
     "canonical_outcome",

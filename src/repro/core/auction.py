@@ -37,6 +37,10 @@ class DecloudAuction:
 
     def __init__(self, config: Optional[AuctionConfig] = None) -> None:
         self.config = config or AuctionConfig()
+        #: Statistics of the most recent sharded run (shards built,
+        #: spillover volume, per-shard seconds) — populated by
+        #: :mod:`repro.core.sharding` when ``config.sharding`` is set.
+        self.last_shard_stats: dict = {}
         self._matcher = None
         if self.config.engine == "vectorized":
             from repro.core.matching_vectorized import IncrementalMatcher
@@ -73,8 +77,28 @@ class DecloudAuction:
         ``clear`` children.  Instrumentation is read-only: outcomes are
         bit-identical with observability on or off (enforced by the
         differential suite, which runs with it on).
+
+        With ``config.sharding`` set, the block instead clears through
+        the sharded fabric of :mod:`repro.core.sharding`: zone-local
+        shards run the full pipeline (concurrently for
+        ``shard_workers > 1``) and unmatched bids meet again in one
+        cross-zone spillover round — bit-identical across worker
+        counts, and identical to the global auction whenever the
+        partition yields a single shard.
         """
         obs = resolve_obs(obs)
+        if self.config.sharding is not None:
+            from repro.core.sharding import run_sharded
+
+            with obs.tracer.span(
+                "sharded_auction",
+                requests=len(requests),
+                offers=len(offers),
+                engine=self.config.engine,
+            ):
+                return run_sharded(
+                    self, requests, offers, evidence, timer, obs
+                )
         with obs.tracer.span(
             "auction",
             requests=len(requests),

@@ -3,10 +3,73 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Optional
+from typing import FrozenSet, Mapping, Optional
 
 from repro.common.errors import ValidationError
+from repro.market.location import grid_columns
 from repro.market.resources import CRITICAL_RESOURCES
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """How a block is partitioned into concurrent zone-local auctions.
+
+    Attaching a plan to :class:`AuctionConfig` (``sharding=...``) makes
+    :class:`~repro.core.auction.DecloudAuction` bucket the block's bids
+    into zone shards, run the *entire* pipeline (match -> cluster ->
+    normalize -> assemble -> clear) per shard — concurrently when
+    ``shard_workers > 1`` — and then pool every shard's unmatched bids
+    into one cross-zone *spillover* auction (see
+    :mod:`repro.core.sharding`).
+
+    Attributes:
+        kind: ``"network"`` buckets by hierarchical zone prefix
+            (:func:`~repro.market.location.zone_prefix`, the
+            :class:`~repro.core.candidates.NetworkZoneGenerator` rule);
+            ``"geo"`` buckets by grid cell
+            (:func:`~repro.market.location.grid_cell`).  Bids whose
+            location does not resolve land in a single *fallback* shard.
+        depth: zone-prefix depth for ``kind="network"``.
+        cell_deg: grid cell size in degrees for ``kind="geo"``.
+        shard_workers: 0/1 clears shards sequentially in-process; > 1
+            fans the shard pipelines out over a process pool of that
+            many workers.  Outcomes are bit-identical for every value —
+            per-shard RNG streams are derived from the block evidence
+            and the shard's zone key alone (the
+            ``tests/differential/test_sharding_equivalence.py``
+            contract).
+        spillover: run the cross-zone spillover round over the pooled
+            unmatched bids (default).  Off = unmatched shard bids stay
+            unmatched, the pure-partition ablation the sharding sweep
+            quantifies.
+        locations: optional mapping from bid location *tags* to
+            :class:`~repro.market.location.GeoLocation` /
+            :class:`~repro.market.location.NetworkLocation` objects
+            (required for ``kind="geo"`` tags to resolve; with
+            ``kind="network"`` and no map, the tag itself is parsed as
+            the zone path).  Excluded from equality/hashing and never
+            shipped across the process-pool boundary.
+    """
+
+    kind: str = "network"
+    depth: int = 1
+    cell_deg: float = 15.0
+    shard_workers: int = 0
+    spillover: bool = True
+    locations: Optional[Mapping[str, object]] = field(
+        default=None, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("network", "geo"):
+            raise ValidationError(
+                f"kind must be 'network' or 'geo', got {self.kind!r}"
+            )
+        if self.depth < 1:
+            raise ValidationError("depth must be >= 1")
+        grid_columns(self.cell_deg)  # validates the cell size
+        if self.shard_workers < 0:
+            raise ValidationError("shard_workers must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -57,6 +120,14 @@ class AuctionConfig:
             order-independent; > 1 additionally clears independent
             auctions in a process pool of that many workers.  Results
             for any N >= 1 are bit-identical to N = 1.
+        sharding: optional :class:`ShardPlan`.  ``None`` (default)
+            clears the block as one global auction.  With a plan, the
+            block is partitioned into zone-local shards, each shard runs
+            the full pipeline (concurrently for
+            ``ShardPlan.shard_workers > 1``), and unmatched bids meet
+            again in a single cross-zone spillover round — see
+            :mod:`repro.core.sharding`.  A plan whose partition yields a
+            single shard degenerates to the global auction exactly.
     """
 
     cluster_breadth: int = 3
@@ -71,6 +142,7 @@ class AuctionConfig:
     engine: str = "reference"
     miniauction_workers: int = 0
     candidates: Optional[object] = field(default=None, compare=False)
+    sharding: Optional[ShardPlan] = None
 
     def __post_init__(self) -> None:
         if self.cluster_breadth < 1:
@@ -89,6 +161,13 @@ class AuctionConfig:
             raise ValidationError(
                 "candidates must expose a generate(...) method "
                 f"(got {type(self.candidates).__name__})"
+            )
+        if self.sharding is not None and not isinstance(
+            self.sharding, ShardPlan
+        ):
+            raise ValidationError(
+                f"sharding must be a ShardPlan (got "
+                f"{type(self.sharding).__name__})"
             )
 
     @classmethod

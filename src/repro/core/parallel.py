@@ -16,14 +16,32 @@ deterministic and miner-reproducible, and *identical whether the wave
 runs in-process or across a process pool*.  ``AuctionConfig`` gates the
 behaviour: ``miniauction_workers == 0`` keeps the historical shared
 stream; ``>= 1`` uses per-auction streams; ``> 1`` adds the pool.
+
+The non-nesting invariant
+-------------------------
+
+One clearing tree uses at most **one** process pool.  All pooled
+execution — the shard fan-out of :mod:`repro.core.sharding` and the
+mini-auction waves here — goes through :func:`shared_pool`, which hands
+nested requests the outermost lease instead of spawning a second
+executor, so total workers stay capped at the outermost width (the shard
+fan-out caps at ``ShardPlan.shard_workers``).  Code that already runs
+*inside* a pool worker must never request a pool of its own: the shard
+runner clamps the per-shard ``miniauction_workers`` to <= 1 before a
+shard config crosses the pickle boundary, and :class:`PoolLease` refuses
+to resurrect a lease inherited from a forked parent (the pid guard).
+Pools are also created lazily — a schedule whose waves are all
+single-auction never pays the worker-spawn cost.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
 from dataclasses import replace
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.common.rng import block_evidence_rng
 from repro.core.config import AuctionConfig
@@ -40,6 +58,81 @@ from repro.market.bids import Offer, Request
 def derive_auction_rng(evidence: bytes, index: int) -> random.Random:
     """Independent verifiable stream for the ``index``-th mini-auction."""
     return block_evidence_rng(evidence + b"/mini-auction/" + str(index).encode())
+
+
+class PoolLease:
+    """A lazily-spawned, reusable :class:`ProcessPoolExecutor` handle.
+
+    ``get()`` spawns the executor on first call and returns ``None``
+    when the platform refuses to spawn workers (sandboxes) — callers
+    then fall back to in-process execution, which is bit-identical by
+    the per-auction/per-shard RNG-stream construction.  ``fail()``
+    abandons a pool whose ``map`` raised so later waves stop retrying
+    it.  The lease carries the pid that created it: a forked worker
+    inheriting the module global must not touch the parent's executor.
+    """
+
+    __slots__ = ("max_workers", "_pool", "_pid", "_failed")
+
+    def __init__(self, max_workers: int) -> None:
+        self.max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pid = os.getpid()
+        self._failed = False
+
+    def get(self) -> Optional[ProcessPoolExecutor]:
+        """The executor, spawned on first use; ``None`` if unavailable."""
+        if self._failed or self._pid != os.getpid():
+            return None
+        if self._pool is None:
+            try:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.max_workers
+                )
+            except (OSError, PermissionError):  # pragma: no cover - sandboxed
+                self._failed = True
+                return None
+        return self._pool
+
+    def fail(self) -> None:
+        """Abandon a broken pool; subsequent ``get()`` returns ``None``."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False)
+            self._pool = None
+        self._failed = True
+
+    def close(self) -> None:
+        if self._pool is not None and self._pid == os.getpid():
+            self._pool.shutdown()
+        self._pool = None
+
+
+_CURRENT_LEASE: Optional[PoolLease] = None
+
+
+@contextmanager
+def shared_pool(max_workers: int) -> Iterator[PoolLease]:
+    """Lease the clearing tree's single process pool.
+
+    The outermost caller creates (and finally closes) the lease; nested
+    callers are handed the *same* lease, so one pool serves both the
+    shard fan-out and any inner mini-auction waves run by the parent
+    process — the non-nesting invariant documented above.  Nested
+    requests keep the outermost width: total workers never exceed what
+    the outermost caller asked for.
+    """
+    global _CURRENT_LEASE
+    current = _CURRENT_LEASE
+    if current is not None and current._pid == os.getpid():
+        yield current
+        return
+    lease = PoolLease(max_workers)
+    _CURRENT_LEASE = lease
+    try:
+        yield lease
+    finally:
+        _CURRENT_LEASE = None
+        lease.close()
 
 
 def auction_participants(auction: MiniAuction) -> Set[str]:
@@ -134,8 +227,11 @@ def clear_auctions_scheduled(
     Mutates ``consumed_requests``/``consumed_offers`` exactly as the
     sequential loop would; the returned results are in auction order.
     With ``miniauction_workers > 1`` waves of two or more auctions run in
-    a process pool; if the platform refuses to spawn workers the wave
-    falls back to in-process execution, which is bit-identical.
+    a process pool — spawned lazily at the *first* such wave (an
+    all-single-auction schedule never pays worker startup) and shared
+    with any enclosing :func:`shared_pool` lease (e.g. the shard
+    fan-out).  If the platform refuses to spawn workers the wave falls
+    back to in-process execution, which is bit-identical.
     """
     if config.candidates is not None:
         # Candidate generators play no role in clearing and carry
@@ -143,15 +239,8 @@ def clear_auctions_scheduled(
         # the process-pool pickle boundary.
         config = replace(config, candidates=None)
     results: List[ClearingResult] = [None] * len(auctions)  # type: ignore[list-item]
-    pool = None
-    try:
-        if config.miniauction_workers > 1 and len(auctions) > 1:
-            try:
-                pool = ProcessPoolExecutor(
-                    max_workers=config.miniauction_workers
-                )
-            except (OSError, PermissionError):  # pragma: no cover - sandboxed
-                pool = None
+    may_pool = config.miniauction_workers > 1 and len(auctions) > 1
+    with shared_pool(config.miniauction_workers) as lease:
         for wave in schedule_waves(auctions):
             tasks = []
             for index in wave:
@@ -176,12 +265,12 @@ def clear_auctions_scheduled(
                     evidence,
                     index,
                 ))
-            if pool is not None and len(wave) > 1:
+            pool = lease.get() if may_pool and len(wave) > 1 else None
+            if pool is not None:
                 try:
                     wave_results = list(pool.map(_clear_task, tasks))
                 except (OSError, PermissionError):  # pragma: no cover
-                    pool.shutdown(wait=False)
-                    pool = None
+                    lease.fail()
                     wave_results = [_clear_task(task) for task in tasks]
             elif (
                 config.engine == "vectorized"
@@ -195,7 +284,4 @@ def clear_auctions_scheduled(
                 results[index] = result
                 consumed_requests |= result.participant_requests
                 consumed_offers |= result.participant_offers
-    finally:
-        if pool is not None:
-            pool.shutdown()
     return results

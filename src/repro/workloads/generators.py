@@ -89,6 +89,7 @@ def generate_zone_market(
     seed: int = 0,
     kind: str = "geo",
     locality: str = "strong",
+    cross_zone_fraction: float = 0.0,
 ) -> Tuple[List[Request], List[Offer], Dict[str, GeoLocation]]:
     """A geographically clustered edge market for the candidate stage.
 
@@ -111,6 +112,15 @@ def generate_zone_market(
     * ``"weak"`` — all zones share ``cpu``/``ram``/``disk`` with
       zone-biased magnitudes, so pruning can only come from score
       bounds and windows.
+
+    ``cross_zone_fraction`` detaches that fraction of the *requests*
+    from their home zone: the request keeps its location (and therefore
+    its shard under a zone partition) but demands the resource types of
+    a different zone, so it can only trade cross-zone.  Under strong
+    locality this guarantees work for the spillover round of
+    :mod:`repro.core.sharding`; at 0.0 (default) the sampled market is
+    byte-identical to what earlier revisions produced (the extra RNG
+    stream is spawned after the existing three, leaving them unchanged).
     """
     if n_zones < 1:
         raise ValidationError("n_zones must be >= 1")
@@ -120,10 +130,17 @@ def generate_zone_market(
         raise ValidationError(
             f"locality must be 'strong' or 'weak', got {locality!r}"
         )
+    if not 0.0 <= cross_zone_fraction <= 1.0:
+        raise ValidationError(
+            f"cross_zone_fraction must be in [0, 1], got {cross_zone_fraction}"
+        )
     rng = make_generator(seed)
     zone_rng = spawn_child(rng, "zones")
     request_rng = spawn_child(rng, "requests")
     offer_rng = spawn_child(rng, "offers")
+    cross_rng = (
+        spawn_child(rng, "crosszone") if cross_zone_fraction > 0 else None
+    )
 
     # Zone anchors spread around the globe (including near the
     # antimeridian, so the seam is exercised by construction).
@@ -165,7 +182,17 @@ def generate_zone_market(
     requests: List[Request] = []
     for i in range(n_requests):
         zone = int(request_rng.integers(0, n_zones))
-        types = zone_types(zone)
+        # A cross-zone request keeps its home location but demands a
+        # *different* zone's resource types — only reachable across the
+        # partition boundary.
+        demand_zone = zone
+        if cross_rng is not None and n_zones > 1 and (
+            float(cross_rng.uniform()) < cross_zone_fraction
+        ):
+            demand_zone = (
+                zone + 1 + int(cross_rng.integers(0, n_zones - 1))
+            ) % n_zones
+        types = zone_types(demand_zone)
         amounts = {
             t: float(request_rng.integers(1, 9))
             * (scale or (1.0 + zone / n_zones))

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import replace
 
 from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.auction import DecloudAuction
 from repro.core.config import AuctionConfig
@@ -138,6 +139,65 @@ def test_monitored_trace_is_byte_identical_across_runs(market):
         return obs.trace_jsonl(strip_wall=True)
 
     assert run() == run()
+
+
+def _zone_market(seed: int):
+    from repro.workloads.generators import generate_zone_market
+
+    requests, offers, _ = generate_zone_market(
+        24, n_zones=3, seed=seed, kind="network", locality="strong",
+        cross_zone_fraction=0.25,
+    )
+    return requests, offers
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_sharded_obs_on_equals_obs_off_both_engines(seed):
+    """The shard fabric's instrumentation is just as inert: a sharded
+    run with a live Observability (shard_* series, per-shard spans)
+    yields the identical canonical outcome on both engines."""
+    from repro.core.config import ShardPlan
+
+    requests, offers = _zone_market(seed)
+    for engine in ("reference", "vectorized"):
+        config = AuctionConfig(
+            engine=engine, sharding=ShardPlan(kind="network")
+        )
+        plain = DecloudAuction(config).run(
+            requests, offers, evidence=EVIDENCE
+        )
+        observed = DecloudAuction(config).run(
+            requests,
+            offers,
+            evidence=EVIDENCE,
+            obs=Observability(f"shard-prop-{engine}"),
+        )
+        assert canonical_outcome(observed) == canonical_outcome(plain), (
+            f"observability perturbed the sharded {engine} outcome"
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_sharded_trace_is_byte_identical_across_runs(seed):
+    from repro.core.config import ShardPlan
+
+    requests, offers = _zone_market(seed)
+    config = AuctionConfig(
+        engine="vectorized", sharding=ShardPlan(kind="network")
+    )
+
+    def run() -> str:
+        obs = Observability("shard-trace")
+        DecloudAuction(config).run(
+            requests, offers, evidence=EVIDENCE, obs=obs
+        )
+        return obs.trace_jsonl(strip_wall=True)
+
+    first, second = run(), run()
+    assert first == second
+    assert '"sharded_auction"' in first
 
 
 def _degraded_protocol_trace() -> tuple:

@@ -68,6 +68,25 @@ def test_degraded_round_demo_renders_flight_bundle(tmp_path):
     assert result.stdout.rstrip().endswith("OK")
 
 
+def test_sharding_sweep_reports_welfare_tradeoff(tmp_path):
+    csv_path = str(tmp_path / "shard-sweep.csv")
+    result = _run(
+        "sharding_sweep.py",
+        timeout=600,
+        env={
+            "DECLOUD_SWEEP_SIZES": "1000",
+            "DECLOUD_SWEEP_WORKERS": "2",
+            "DECLOUD_SWEEP_CSV": csv_path,
+        },
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "w-ratio" in result.stdout
+    assert result.stdout.rstrip().endswith("OK")
+    with open(csv_path) as handle:
+        header = handle.readline()
+    assert "welfare_ratio" in header and "spillover_trades" in header
+
+
 def test_chaos_sweep_reports_monitor_alert_column():
     result = _run("chaos_sweep.py", timeout=600, env={"CHAOS_ROUNDS": "1"})
     assert result.returncode == 0, result.stderr[-2000:]
