@@ -12,6 +12,13 @@ Deliveries are queued in virtual time and drained by :meth:`flush`;
 boundaries, so messages delayed past a phase deadline are genuinely
 *late* — the protocol's retry path has to earn its keep.
 
+Reorder jitter perturbs delivery *ordering* only: a jittered copy sorts
+later in the queue (and can miss a flush horizon), but the virtual clock
+advances by the copy's un-jittered arrival time.  Crash and partition
+windows are therefore evaluated against real arrival times, independent
+of how the driver batches its flushes — a requirement for drivers that
+do not flush at round barriers (the async runtime).
+
 Node-scoped subscriptions (:meth:`subscribe_node`) opt a handler into
 crash and partition semantics; plain :meth:`subscribe` handlers behave
 like BroadcastNetwork subscribers that merely suffer message faults.
@@ -48,6 +55,8 @@ GLOBAL_NODE = "*"
 
 @dataclass(order=True)
 class _Delivery:
+    #: ordering key: base arrival plus any reorder jitter.  Drives heap
+    #: order and the ``flush(until)`` horizon, but NOT the virtual clock.
     time: float
     sequence: int
     node_id: str = field(compare=False)
@@ -57,6 +66,11 @@ class _Delivery:
     #: broadcast index (position in the traffic log) — identifies which
     #: send this copy belongs to, so duplicates share a message id
     message_id: int = field(compare=False, default=-1)
+    #: clock time: when the copy would have arrived without reorder
+    #: jitter.  ``flush`` advances ``now`` to this, so a jittered copy
+    #: shifts *ordering* without warping the clock that crash and
+    #: partition windows are evaluated against.
+    arrival: float = field(compare=False, default=0.0)
 
 
 @dataclass
@@ -182,24 +196,27 @@ class UnreliableNetwork:
                         obs.registry.inc("net_dropped_total", topic=topic)
                     continue
                 delay = self._rng.uniform(plan.min_delay, plan.max_delay)
+                jitter = 0.0
                 if plan.reorder_rate and self._rng.random() < plan.reorder_rate:
-                    delay += self._rng.uniform(0.0, plan.reorder_jitter)
+                    jitter = self._rng.uniform(0.0, plan.reorder_jitter)
                     if trace is not None:
                         obs.tracer.event_at(
                             trace, "net.reorder",
                             topic=topic, node=node_id, sender=sender,
                         )
                         obs.registry.inc("net_reorders_total", topic=topic)
+                arrival = self.now + delay
                 heapq.heappush(
                     self._queue,
                     _Delivery(
-                        time=self.now + delay,
+                        time=arrival + jitter,
                         sequence=next(self._sequence),
                         node_id=node_id,
                         topic=topic,
                         payload=payload,
                         sender=sender,
                         message_id=message_id,
+                        arrival=arrival,
                     ),
                 )
 
@@ -216,7 +233,13 @@ class UnreliableNetwork:
         obs = self._obs
         while self._queue and self._queue[0].time <= horizon:
             delivery = heapq.heappop(self._queue)
-            self.now = max(self.now, delivery.time)
+            # Advance the clock by the *un-jittered* arrival: reorder
+            # jitter changed where this copy sorts, not what time it is.
+            # Advancing by the jittered key would let one reordered copy
+            # warp the clock for every later send — delivery fates would
+            # then depend on where the driver's flush barriers happen to
+            # fall (a lockstep-only assumption).
+            self.now = max(self.now, delivery.arrival)
             trace = (
                 getattr(delivery.payload, "trace", None)
                 if obs.enabled

@@ -166,6 +166,17 @@ class Participant:
         ]
 
 
+def leader_rotation(miners: Sequence[Miner], round_index: int) -> List[Miner]:
+    """Round-robin proposer order for ``round_index``.
+
+    Shared by the lockstep driver and the async runtime so the two
+    engines can never disagree on who leads (or who falls back next)
+    for a given round.
+    """
+    pivot = round_index % len(miners)
+    return list(miners[pivot:]) + list(miners[:pivot])
+
+
 @dataclass
 class RoundResult:
     """Everything one protocol round produced."""
@@ -246,6 +257,10 @@ class ExposureProtocol:
         #: ``start_round`` resumes the leader rotation after a restart.
         self.store = store
         self._round = start_round
+        #: global submission order, stamped onto every BidSubmission so
+        #: order-sensitive consumers (the async runtime's miners) can
+        #: reconstruct arrival order from permuted gossip
+        self._submit_sequence = 0
         # A fault-injecting bus that can trace deliveries causally gets
         # the same bundle, so message fates land in the round's tree.
         attach_obs = getattr(self.network, "attach_obs", None)
@@ -336,6 +351,8 @@ class ExposureProtocol:
                     tx.sender_id, tx.sender_public
                 )
             txid = tx.txid()
+            sequence = self._submit_sequence
+            self._submit_sequence += 1
             attempts = 0
             for _attempt in range(self.submit_retries + 1):
                 attempts += 1
@@ -346,6 +363,7 @@ class ExposureProtocol:
                         trace=self.obs.tracer.child_context(
                             actor=participant.participant_id
                         ),
+                        sequence=sequence,
                     ),
                     sender=participant.participant_id,
                 )
@@ -475,10 +493,7 @@ class ExposureProtocol:
         reg = obs.registry
         if obs.enabled:
             reg.inc("protocol_rounds_total")
-        rotation = (
-            self.miners[self._round % len(self.miners):]
-            + self.miners[: self._round % len(self.miners)]
-        )
+        rotation = leader_rotation(self.miners, self._round)
         self._round += 1
         live = self._live_miners()
         if len(live) < self.quorum:

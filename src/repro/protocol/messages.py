@@ -12,7 +12,7 @@ unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.ledger.block import Block, BlockPreamble, KeyReveal
 from repro.ledger.transaction import SealedBidTransaction
@@ -22,14 +22,24 @@ TOPIC_BIDS = "bids"
 TOPIC_PREAMBLE = "preamble"
 TOPIC_REVEALS = "reveals"
 TOPIC_BLOCK = "block"
+TOPIC_REVEAL_REQUEST = "reveal-request"
 
 
 @dataclass(frozen=True)
 class BidSubmission:
-    """A participant posts a sealed bid to the miner network."""
+    """A participant posts a sealed bid to the miner network.
+
+    ``sequence`` is the submission's position in the driver's global
+    submit order.  Gossip can deliver submissions in any order, so the
+    async runtime's miners keep it next to the admitted transaction and
+    compose preambles in sequence order — the arrival order a lockstep
+    driver gets for free from its synchronous bus.  ``None`` (legacy
+    senders) means "no ordering claim"; such transactions sort last.
+    """
 
     transaction: SealedBidTransaction
     trace: Optional[TraceContext] = None
+    sequence: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -47,6 +57,23 @@ class RevealMessage:
 
     reveal: KeyReveal
     preamble_hash: str
+    trace: Optional[TraceContext] = None
+
+
+@dataclass(frozen=True)
+class RevealRequest:
+    """The leader re-requests reveals that never (validly) arrived.
+
+    Carries the preamble itself so a participant whose preamble gossip
+    was dropped can still answer — :meth:`Participant.reveals_for` needs
+    the transaction list to know which keys are safe to disclose.
+    ``txids`` narrows the request to what the leader reports missing.
+    """
+
+    preamble: BlockPreamble
+    txids: Tuple[str, ...]
+    miner_id: str
+    attempt: int = 1
     trace: Optional[TraceContext] = None
 
 

@@ -1,0 +1,39 @@
+"""``repro.runtime`` — the asynchronous, pipelined protocol runtime.
+
+Message-driven actors (miners, bidders) exchange the existing
+``repro.protocol.messages`` over pluggable transports:
+
+* :class:`~repro.runtime.transport.DeterministicTransport` — in-process,
+  driven by a seeded :class:`~repro.runtime.scheduler.DeterministicScheduler`
+  (reproducible schedules, seeded schedule *exploration*, FaultPlan
+  replay, bounded inboxes with backpressure);
+* :mod:`repro.runtime.sockets` — a real asyncio TCP hub for demos.
+
+:class:`~repro.runtime.reactor.Runtime` drives pipelined protocol
+rounds on top: round *N+1* seals while round *N* mines, reveals,
+verifies, and commits.  Committed outcomes are proven bit-identical to
+the lockstep :class:`~repro.protocol.exposure.ExposureProtocol` by the
+differential suite (``tests/differential/test_runtime_equivalence.py``).
+
+See ``docs/RUNTIME.md`` for the architecture and determinism contract.
+"""
+
+from repro.runtime.reactor import (
+    RoundInput,
+    Runtime,
+    RuntimeCosts,
+    RuntimeReport,
+    RuntimeRound,
+)
+from repro.runtime.scheduler import DeterministicScheduler
+from repro.runtime.transport import DeterministicTransport
+
+__all__ = [
+    "DeterministicScheduler",
+    "DeterministicTransport",
+    "RoundInput",
+    "Runtime",
+    "RuntimeCosts",
+    "RuntimeReport",
+    "RuntimeRound",
+]

@@ -1,0 +1,142 @@
+"""Real-socket transport for runtime demos (asyncio TCP, localhost).
+
+The deterministic transport is the contract; this module shows the same
+actor surface (``subscribe_node`` / ``broadcast``) riding a genuinely
+asynchronous medium: a hub server fans every frame out to all connected
+clients over TCP, and each client dispatches frames to its node-scoped
+handlers.  Frames are length-prefixed pickles of ``(topic, payload,
+sender)`` — fine for trusted in-process demos carrying the repo's own
+protocol dataclasses, and explicitly **not** a wire format for
+untrusted peers (pickle executes arbitrary code; a real deployment
+would swap in a schema'd codec behind the same two methods).
+
+No protocol logic lives here; determinism claims never apply to this
+transport (the OS scheduler orders deliveries).  See
+``docs/RUNTIME.md`` for where it fits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import pickle
+import struct
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+Handler = Callable[[str, Any], None]
+
+_HEADER = struct.Struct("!I")
+_MAX_FRAME = 64 * 1024 * 1024
+
+
+def _encode(topic: str, payload: Any, sender: str) -> bytes:
+    body = pickle.dumps((topic, payload, sender))
+    return _HEADER.pack(len(body)) + body
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> Tuple[str, Any, str]:
+    header = await reader.readexactly(_HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        raise ValueError(f"frame of {length} bytes exceeds the demo cap")
+    return pickle.loads(await reader.readexactly(length))
+
+
+class AsyncioBroadcastHub:
+    """Central fan-out server: every frame goes to every connected client."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._writers: List[asyncio.StreamWriter] = []
+        self.frames = 0
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _serve(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.append(writer)
+        try:
+            while True:
+                header = await reader.readexactly(_HEADER.size)
+                (length,) = _HEADER.unpack(header)
+                if length > _MAX_FRAME:
+                    break
+                body = await reader.readexactly(length)
+                self.frames += 1
+                frame = _HEADER.pack(length) + body
+                for peer in list(self._writers):
+                    peer.write(frame)
+                await asyncio.gather(
+                    *(peer.drain() for peer in list(self._writers)),
+                    return_exceptions=True,
+                )
+        except (asyncio.IncompleteReadError, ConnectionError):
+            pass
+        finally:
+            if writer in self._writers:
+                self._writers.remove(writer)
+            writer.close()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for writer in list(self._writers):
+            writer.close()
+        self._writers.clear()
+
+
+class AsyncioSocketTransport:
+    """Client-side transport: the actor surface over one hub connection.
+
+    Every client receives every frame (the hub is a broadcast medium,
+    like the gossip overlay it stands in for); node-scoped subscription
+    filters locally, mirroring ``DeterministicTransport``.
+    """
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._subscribers: Dict[Tuple[str, str], List[Handler]] = {}
+        self._nodes: List[str] = []
+        self.delivered = 0
+
+    async def connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port
+        )
+
+    def subscribe_node(self, node_id: str, topic: str, handler: Handler) -> None:
+        if node_id not in self._nodes:
+            self._nodes.append(node_id)
+        self._subscribers.setdefault((node_id, topic), []).append(handler)
+
+    async def broadcast(self, topic: str, payload: Any, sender: str = "") -> None:
+        assert self._writer is not None, "connect() first"
+        self._writer.write(_encode(topic, payload, sender))
+        await self._writer.drain()
+
+    async def pump(self, frames: int) -> int:
+        """Receive and dispatch ``frames`` frames (demo-sized drain loop)."""
+        assert self._reader is not None, "connect() first"
+        handled = 0
+        for _ in range(frames):
+            topic, payload, sender = await _read_frame(self._reader)
+            for node_id in self._nodes:
+                for handler in self._subscribers.get((node_id, topic), ()):
+                    handler(sender, payload)
+            self.delivered += 1
+            handled += 1
+        return handled
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()

@@ -15,6 +15,11 @@ from repro.sim.metrics import (
     pooled_metrics,
 )
 from repro.sim.online import OnlineResult, OnlineSimulator, RoundRecord
+from repro.sim.sustained import (
+    SustainedResult,
+    SustainedSpec,
+    run_sustained,
+)
 from repro.sim.strategies import (
     StrategyOutcome,
     anchor_to_history,
@@ -40,6 +45,9 @@ __all__ = [
     "OnlineSimulator",
     "OnlineResult",
     "RoundRecord",
+    "SustainedResult",
+    "SustainedSpec",
+    "run_sustained",
     "StrategyOutcome",
     "run_strategy_game",
     "truthful",

@@ -41,8 +41,9 @@ from repro.obs import Observability, ObservabilityLike
 from repro.obs.monitors import MonitorSuite, violation_total
 from repro.obs.timeseries import TimeSeriesStore
 from repro.protocol.allocator import DecloudAllocator, decode_round
-from repro.protocol.exposure import ExposureProtocol, Participant
+from repro.protocol.exposure import ExposureProtocol, Participant, RoundResult
 from repro.protocol.settlement import SettlementProcessor, TokenLedger
+from repro.runtime import RoundInput, Runtime
 from repro.sim.engine import replay_fault_free
 from repro.store import NodeStore
 
@@ -172,12 +173,7 @@ def _build_participants(
     return clients, providers
 
 
-def _build_protocol(
-    spec: ChaosSpec,
-    plan: FaultPlan,
-    byzantine: bool,
-    obs: Optional[ObservabilityLike] = None,
-) -> Tuple[ExposureProtocol, UnreliableNetwork]:
+def _chaos_miners(spec: ChaosSpec, byzantine: bool) -> List[Miner]:
     miners: List[Miner] = []
     for m in range(spec.num_miners):
         cls = (
@@ -192,9 +188,121 @@ def _build_protocol(
                 difficulty_bits=spec.difficulty_bits,
             )
         )
+    return miners
+
+
+def _build_protocol(
+    spec: ChaosSpec,
+    plan: FaultPlan,
+    byzantine: bool,
+    obs: Optional[ObservabilityLike] = None,
+) -> Tuple[ExposureProtocol, UnreliableNetwork]:
     network = UnreliableNetwork(plan=plan)
-    protocol = ExposureProtocol(miners=miners, network=network, obs=obs)
+    protocol = ExposureProtocol(
+        miners=_chaos_miners(spec, byzantine), network=network, obs=obs
+    )
     return protocol, network
+
+
+def _mechanism_integrity_ok(result: RoundResult, config) -> bool:
+    """The chaos integrity rule: the committed block must equal a
+    fault-free replay on exactly the bids that survived the faults."""
+    body = result.block.require_complete()
+    plaintexts = Miner._open_transactions(result.block.preamble, body.reveals)
+    live_requests, live_offers = decode_round(plaintexts)
+    expected = replay_fault_free(
+        live_requests,
+        live_offers,
+        result.block.preamble.evidence(),
+        config,
+    )
+    return expected == body.allocation
+
+
+def _runtime_round_inputs(
+    spec: ChaosSpec,
+    clients: Dict[str, Participant],
+    providers: Dict[str, Participant],
+    round_index: int,
+) -> RoundInput:
+    """One round's seeded market as a runtime input (submission order
+    identical to the lockstep driver's submit sequence)."""
+    requests, offers = _market_for_round(spec, round_index)
+    submissions = [(clients[r.client_id], r) for r in requests]
+    submissions += [(providers[o.provider_id], o) for o in offers]
+    return RoundInput(submissions=tuple(submissions))
+
+
+def _run_chaos_point_runtime(
+    spec: ChaosSpec,
+    drop_rate: float,
+    plan: FaultPlan,
+    byzantine: bool,
+    obs: Optional[ObservabilityLike],
+    history: Optional[TimeSeriesStore],
+) -> ChaosPoint:
+    """The chaos point driven through the async pipelined runtime.
+
+    Same seeded market, same Byzantine actors, same fault plan — but
+    messages ride the :class:`~repro.runtime.DeterministicTransport`
+    and all rounds flow through one pipelined :class:`Runtime` run.
+    """
+    miners = _chaos_miners(spec, byzantine)
+    clients, providers = _build_participants(spec, byzantine)
+    point = ChaosPoint(
+        drop_rate=drop_rate,
+        rounds_attempted=spec.rounds,
+        rounds_completed=0,
+        welfare=0.0,
+        baseline_welfare=0.0,
+        excluded_bids=0,
+        fallback_rounds=0,
+        messages_dropped=0,
+        messages_delivered=0,
+        integrity_failures=0,
+    )
+
+    def on_commit(round_index: int, _result: RoundResult) -> None:
+        if history is not None and obs is not None and obs.enabled:
+            history.append(
+                obs.registry.snapshot(),
+                round=round_index,
+                drop_rate=drop_rate,
+                seed=spec.seed,
+            )
+
+    runtime = Runtime(
+        miners,
+        plan=plan,
+        schedule_seed=f"chaos-sched-{spec.seed}-{drop_rate}",
+        obs=obs,
+        on_commit=on_commit,
+    )
+    report = runtime.run(
+        [
+            _runtime_round_inputs(spec, clients, providers, round_index)
+            for round_index in range(spec.rounds)
+        ]
+    )
+    for rt_round in report.rounds:
+        if rt_round.result is None:
+            point.errors.append(
+                f"round {rt_round.index}: {rt_round.error}"
+            )
+            continue
+        result = rt_round.result
+        point.rounds_completed += 1
+        point.welfare += result.outcome.welfare
+        point.excluded_bids += len(result.excluded_txids)
+        if result.failed_proposers:
+            point.fallback_rounds += 1
+        if not _mechanism_integrity_ok(result, spec.config):
+            point.integrity_failures += 1
+    point.messages_dropped = report.messages_dropped
+    point.messages_delivered = report.messages_delivered
+    if obs is not None and obs.enabled:
+        point.monitor_alerts = int(violation_total(obs.registry))
+    return point
 
 
 def run_chaos_point(
@@ -204,6 +312,7 @@ def run_chaos_point(
     obs: Optional[ObservabilityLike] = None,
     monitored: bool = False,
     history: Optional[TimeSeriesStore] = None,
+    engine: str = "lockstep",
 ) -> ChaosPoint:
     """Run ``spec.rounds`` protocol rounds at one message-drop level.
 
@@ -213,6 +322,12 @@ def run_chaos_point(
     :attr:`ChaosPoint.monitor_alerts`.  ``history`` appends the
     registry snapshot after each completed round — the time-series the
     drift detectors consume.
+
+    ``engine`` selects the protocol driver: ``"lockstep"`` (the
+    synchronous :class:`ExposureProtocol` over an
+    :class:`UnreliableNetwork`) or ``"runtime"`` (the async pipelined
+    :class:`~repro.runtime.Runtime` over a deterministic transport,
+    same fault plan and market).
     """
     plan = FaultPlan(
         seed=f"chaos-net-{spec.seed}-{drop_rate}",
@@ -227,6 +342,12 @@ def run_chaos_point(
             run_id=f"chaos-{spec.seed}-{drop_rate}",
             monitors=MonitorSuite(),
         )
+    if engine == "runtime":
+        return _run_chaos_point_runtime(
+            spec, drop_rate, plan, byzantine, obs, history
+        )
+    if engine != "lockstep":
+        raise ReproError(f"unknown chaos engine {engine!r}")
     protocol, network = _build_protocol(spec, plan, byzantine, obs=obs)
     clients, providers = _build_participants(spec, byzantine)
     participants = list(clients.values()) + list(providers.values())
@@ -259,20 +380,7 @@ def run_chaos_point(
         point.excluded_bids += len(result.excluded_txids)
         if result.failed_proposers:
             point.fallback_rounds += 1
-        # Mechanism integrity: the block must equal a fault-free replay
-        # on exactly the bids that survived the faults.
-        body = result.block.require_complete()
-        plaintexts = Miner._open_transactions(
-            result.block.preamble, body.reveals
-        )
-        live_requests, live_offers = decode_round(plaintexts)
-        expected = replay_fault_free(
-            live_requests,
-            live_offers,
-            result.block.preamble.evidence(),
-            spec.config,
-        )
-        if expected != body.allocation:
+        if not _mechanism_integrity_ok(result, spec.config):
             point.integrity_failures += 1
         if history is not None and obs is not None and obs.enabled:
             history.append(
@@ -294,6 +402,7 @@ def run_chaos_sweep(
     byzantine: bool = True,
     monitored: bool = False,
     history: Optional[TimeSeriesStore] = None,
+    engine: str = "lockstep",
 ) -> List[ChaosPoint]:
     """Sweep message-drop levels; each point also gets a fault-free baseline.
 
@@ -314,7 +423,9 @@ def run_chaos_sweep(
         duplicate_rate=0.0,
         reorder_rate=0.0,
     )
-    baseline = run_chaos_point(baseline_spec, 0.0, byzantine=False)
+    baseline = run_chaos_point(
+        baseline_spec, 0.0, byzantine=False, engine=engine
+    )
     points: List[ChaosPoint] = []
     for drop_rate in drop_rates:
         point = run_chaos_point(
@@ -323,6 +434,7 @@ def run_chaos_sweep(
             byzantine=byzantine,
             monitored=monitored,
             history=history,
+            engine=engine,
         )
         point.baseline_welfare = baseline.welfare
         points.append(point)
@@ -537,6 +649,194 @@ def _drive_durable_round(
     return protocol.run_round(participants)
 
 
+def _credit_recovered_rounds(
+    spec: ChaosSpec,
+    store: NodeStore,
+    chain,
+    outcomes: Dict[int, Optional[Dict]],
+    next_round: int,
+    result: DurableRunResult,
+) -> int:
+    """Credit every round the crash left durably decided; return the
+    first round the continuation must re-drive.
+
+    The pipelined runtime can die with several rounds in flight, so the
+    walk consults each round's own newest phase marker
+    (:attr:`NodeStore.round_phases`).  Commits are serialized in round
+    order (mining needs the parent hash), so the k-th unrecorded chain
+    block belongs to the first non-aborted uncredited round — which
+    also credits a round whose ``chain.append`` beat the crash but
+    whose terminal marker did not.
+    """
+    recorded = sum(1 for value in outcomes.values() if value is not None)
+    round_index = next_round
+    while round_index < spec.rounds:
+        if outcomes.get(round_index) is not None:
+            # committed and settled in-window before the crash (the
+            # supervisor's on_commit already recorded it); its chain
+            # block is counted by ``recorded``
+            round_index += 1
+            continue
+        marker = store.round_phases.get(round_index)
+        phase = marker.get("phase") if marker else None
+        if phase == "aborted":
+            outcomes[round_index] = None
+            round_index += 1
+            continue
+        if len(chain) > recorded:
+            block = chain[recorded]
+            outcomes[round_index] = canonical_outcome(
+                _derive_block_outcome(block, spec.config)
+            )
+            if phase != "committed":
+                # close the round durably — its terminal marker died
+                # with the process
+                store.log(
+                    "round.phase",
+                    round=round_index,
+                    phase="committed",
+                    hash=block.hash(),
+                )
+            recorded += 1
+            result.resumed_rounds += 1
+            round_index += 1
+            continue
+        # Nothing durable decided this round: abort-and-replay from here
+        # (any deeper in-flight rounds replay with it).
+        result.replayed_rounds += 1
+        break
+    return round_index
+
+
+def _run_durable_scenario_runtime(
+    spec: ChaosSpec,
+    drop_rate: float,
+    byzantine: bool,
+    crash_point: Optional[CrashPoint],
+    monitored: bool,
+    snapshot_every: int,
+    keep_state: bool,
+    obs: Optional[ObservabilityLike],
+) -> DurableRunResult:
+    """The durable scenario driven through the pipelined async runtime.
+
+    One :class:`~repro.runtime.Runtime` drives every remaining round in
+    a single pipelined window; a crash can therefore land with round *N*
+    mid-reveal while round *N+1* is already sealing.  The supervision
+    loop restarts the fleet from the stores, credits every round whose
+    block proved durable (there can be several), and re-drives the rest
+    with a continuation runtime (``start_round`` keeps leader rotation,
+    phase markers, and content-addressed fault keys aligned with the
+    reference run).  Fresh per-round participants use the same per-round
+    seal seeds as the lockstep path, so a replayed round re-seals
+    byte-identical transactions.
+    """
+    stores = [
+        NodeStore.in_memory(crash_point=crash_point if m == 0 else None)
+        for m in range(spec.num_miners)
+    ]
+    if obs is None and monitored:
+        obs = Observability(
+            run_id=f"durable-rt-{spec.seed}-{drop_rate}",
+            monitors=MonitorSuite(),
+        )
+    ledger = TokenLedger()
+    settlement = SettlementProcessor(ledger=ledger, obs=obs)
+    stores[0].attach(ledger=ledger, settlement=settlement)
+    miners = _build_durable_miners(spec, byzantine, stores)
+
+    result = DurableRunResult()
+    outcomes: Dict[int, Optional[Dict]] = {}
+    next_round = 0
+    while next_round < spec.rounds:
+        inputs = []
+        for round_index in range(next_round, spec.rounds):
+            clients, providers = _build_participants(
+                spec,
+                byzantine,
+                seal_seed=_durable_seal_seed(spec, round_index),
+            )
+            inputs.append(
+                _runtime_round_inputs(spec, clients, providers, round_index)
+            )
+
+        def on_commit(
+            local_index: int,
+            round_result: RoundResult,
+            _base: int = next_round,
+            _settlement: SettlementProcessor = settlement,
+        ) -> None:
+            _settlement.settle_block(
+                round_result.outcome.matches,
+                auto_fund=True,
+                block_hash=round_result.block.hash(),
+            )
+            outcomes[_base + local_index] = canonical_outcome(
+                round_result.outcome
+            )
+            if snapshot_every and (
+                (_base + local_index + 1) % snapshot_every == 0
+            ):
+                # dying inside snapshot/compaction loses no state — the
+                # committed round is already durable, so recovery just
+                # credits it and resumes the schedule
+                for store in stores:
+                    store.snapshot()
+
+        runtime = Runtime(
+            miners,
+            plan=FaultPlan(
+                seed=f"durable-rt-net-{spec.seed}-{drop_rate}",
+                drop_rate=drop_rate,
+                duplicate_rate=spec.duplicate_rate,
+                min_delay=spec.min_delay,
+                max_delay=spec.max_delay,
+                reorder_rate=spec.reorder_rate,
+            ),
+            schedule_seed=f"durable-rt-sched-{spec.seed}-{drop_rate}",
+            obs=obs,
+            store=stores[0],
+            start_round=next_round,
+            on_commit=on_commit,
+        )
+        try:
+            report = runtime.run(inputs)
+        except SimulatedCrashError as exc:
+            result.crashes += 1
+            result.errors.append(f"window from round {next_round}: {exc}")
+            miners, settlement = _restart_fleet(
+                spec, byzantine, stores, obs, result
+            )
+            next_round = _credit_recovered_rounds(
+                spec, stores[0], miners[0].chain, outcomes,
+                next_round, result,
+            )
+            continue
+        for rt_round in report.rounds:
+            if rt_round.result is None:
+                global_index = next_round + rt_round.index
+                result.errors.append(
+                    f"round {global_index}: {rt_round.error}"
+                )
+                outcomes[global_index] = None
+        break  # every remaining round reached a terminal state
+
+    result.outcomes = [outcomes.get(r) for r in range(spec.rounds)]
+    result.rounds_completed = sum(
+        1 for value in result.outcomes if value is not None
+    )
+    result.tip_hash = miners[0].chain.tip_hash
+    result.state_digest = stores[0].state_digest()
+    result.append_count = stores[0].wal.append_count
+    if keep_state:
+        result.final_state = stores[0].state_dict()
+    if obs is not None and obs.enabled:
+        result.monitor_alerts = int(violation_total(obs.registry))
+    for store in stores:
+        store.close()
+    return result
+
+
 def run_durable_scenario(
     spec: ChaosSpec,
     drop_rate: float = 0.0,
@@ -546,6 +846,7 @@ def run_durable_scenario(
     snapshot_every: int = 0,
     keep_state: bool = False,
     obs: Optional[ObservabilityLike] = None,
+    engine: str = "lockstep",
 ) -> DurableRunResult:
     """Run ``spec.rounds`` durable protocol rounds under supervision.
 
@@ -562,7 +863,19 @@ def run_durable_scenario(
     The differential contract (see :func:`run_crash_matrix`): for any
     crash point, the result's ``outcomes``, ``tip_hash`` and
     ``state_digest`` equal the uninterrupted run's.
+
+    ``engine="runtime"`` drives the same scenario through the async
+    pipelined runtime instead — one runtime run per supervision window,
+    rounds overlapping, with the crash potentially landing while several
+    rounds are in flight (see :func:`_run_durable_scenario_runtime`).
     """
+    if engine == "runtime":
+        return _run_durable_scenario_runtime(
+            spec, drop_rate, byzantine, crash_point, monitored,
+            snapshot_every, keep_state, obs,
+        )
+    if engine != "lockstep":
+        raise ReproError(f"unknown durable engine {engine!r}")
     stores = [
         NodeStore.in_memory(crash_point=crash_point if m == 0 else None)
         for m in range(spec.num_miners)
@@ -712,6 +1025,7 @@ def run_crash_matrix(
     snapshot_every: int = 0,
     stride: int = 1,
     monitored: bool = True,
+    engine: str = "lockstep",
 ) -> CrashMatrixResult:
     """Differential crash sweep: every WAL boundary × every crash mode.
 
@@ -722,6 +1036,10 @@ def run_crash_matrix(
     is ``stride=1``.  The guarantee under test: every cell recovers to
     bit-identical committed outcomes, chain tip, and ledger state, with
     zero monitor violations.
+
+    With ``engine="runtime"`` the same guarantee is proven for the
+    async pipelined runtime — crash boundaries then include instants
+    where two rounds are in flight at once.
     """
     reference = run_durable_scenario(
         spec,
@@ -729,6 +1047,7 @@ def run_crash_matrix(
         byzantine=byzantine,
         monitored=monitored,
         snapshot_every=snapshot_every,
+        engine=engine,
     )
     matrix = CrashMatrixResult(reference=reference)
     plan = CrashPlan(append_count=reference.append_count, modes=tuple(modes))
@@ -742,6 +1061,7 @@ def run_crash_matrix(
             crash_point=point,
             monitored=monitored,
             snapshot_every=snapshot_every,
+            engine=engine,
         )
         detail = _compare_to_reference(reference, run)
         if point.fired and run.crashes == 0:

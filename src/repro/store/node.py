@@ -105,6 +105,10 @@ class RecoveredState:
     settled_blocks: Dict[str, Dict[str, str]]
     #: the newest ``round.phase`` marker replayed (None: no round seen)
     last_round: Optional[Dict[str, Any]] = None
+    #: newest marker per round index — the pipelined runtime keeps
+    #: several rounds in flight at once, so recovery must see each one's
+    #: own latest phase, not just the globally newest marker
+    round_phases: Dict[int, Dict[str, Any]] = field(default_factory=dict)
     replayed_records: int = 0
     truncated_bytes: int = 0
     snapshot_used: bool = False
@@ -127,6 +131,20 @@ class RecoveredState:
         if self.last_round.get("phase") in TERMINAL_PHASES:
             return None
         return self.last_round
+
+    def open_rounds(self) -> List[int]:
+        """Every round whose newest durable marker is non-terminal.
+
+        Under the lockstep driver this is at most one round (and equals
+        :meth:`round_in_flight`); under the pipelined runtime a crash can
+        leave round *N* mid-reveal while round *N+1* was already sealing,
+        so the supervisor needs the full set to credit-or-replay each.
+        """
+        return sorted(
+            index
+            for index, marker in self.round_phases.items()
+            if marker.get("phase") not in TERMINAL_PHASES
+        )
 
     def state_dict(self) -> Dict[str, Any]:
         return state_to_dict(
@@ -189,6 +207,8 @@ class NodeStore:
         self._settlement: Optional[SettlementProcessor] = None
         #: newest round.phase journaled through this handle (snapshotted)
         self.last_round_phase: Optional[Dict[str, Any]] = None
+        #: newest marker per round index (see RecoveredState.round_phases)
+        self.round_phases: Dict[int, Dict[str, Any]] = {}
 
     # ------------------------------------------------------------------
     # Construction sugar
@@ -271,6 +291,8 @@ class NodeStore:
         seq = self.wal.append(record_type, payload)
         if record_type == records.ROUND_PHASE:
             self.last_round_phase = payload
+            if "round" in payload:
+                self.round_phases[payload["round"]] = payload
         if self.obs.enabled:
             self.obs.registry.inc(
                 "store_wal_records_total", type=record_type
@@ -363,6 +385,7 @@ class NodeStore:
         ledger = TokenLedger()
         settled_blocks: Dict[str, Dict[str, str]] = {}
         last_round: Optional[Dict[str, Any]] = None
+        round_phases: Dict[int, Dict[str, Any]] = {}
         last_seq = -1
         snapshot_used = False
 
@@ -392,6 +415,10 @@ class NodeStore:
                 {h: dict(m) for h, m in state["settled_blocks"].items()}
             )
             last_round = state["round"]
+            if last_round is not None and "round" in last_round:
+                # markers older than the snapshot were compacted away;
+                # the newest one survives via the snapshot itself
+                round_phases[last_round["round"]] = dict(last_round)
         else:
             chain = Blockchain(difficulty_bits=difficulty_bits)
 
@@ -399,15 +426,23 @@ class NodeStore:
         for record in self.wal.records(after_seq=last_seq):
             replayed += 1
             last_round = self._replay_record(
-                record, chain, mempool, ledger, settled_blocks, last_round
+                record,
+                chain,
+                mempool,
+                ledger,
+                settled_blocks,
+                last_round,
+                round_phases,
             )
         self.last_round_phase = last_round
+        self.round_phases = dict(round_phases)
         return RecoveredState(
             chain=chain,
             mempool=mempool,
             ledger=ledger,
             settled_blocks=settled_blocks,
             last_round=last_round,
+            round_phases=round_phases,
             replayed_records=replayed,
             snapshot_used=snapshot_used,
         )
@@ -420,6 +455,7 @@ class NodeStore:
         ledger: TokenLedger,
         settled_blocks: Dict[str, Dict[str, str]],
         last_round: Optional[Dict[str, Any]],
+        round_phases: Optional[Dict[int, Dict[str, Any]]] = None,
     ) -> Optional[Dict[str, Any]]:
         rtype = record["type"]
         data = record["data"]
@@ -454,6 +490,8 @@ class NodeStore:
                     data["sender"], data["recipient"], data["amount"]
                 )
             elif rtype == records.ROUND_PHASE:
+                if round_phases is not None and "round" in data:
+                    round_phases[data["round"]] = dict(data)
                 return dict(data)
             elif rtype == records.SNAPSHOT_MARK:
                 pass

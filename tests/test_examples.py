@@ -22,6 +22,7 @@ FAST_EXAMPLES = [
     "edge_federation.py",
     "observability_demo.py",
     "degraded_round_demo.py",
+    "pipelined_runtime_demo.py",
 ]
 
 SLOW_EXAMPLES = [

@@ -216,6 +216,40 @@ class TestUnreliableNetwork:
         net.flush()
         assert inbox_b == ["joined"]
 
+    def test_reorder_jitter_does_not_warp_clock(self):
+        """Regression: reorder jitter must perturb ordering, not the clock.
+
+        Previously ``flush`` advanced ``now`` to the *jittered* delivery
+        time, so one reordered copy warped the virtual clock for all
+        later traffic — subsequent sends landed inside absolute-time
+        crash windows they should never have reached, and delivery fates
+        depended on where the driver's flush barriers fell (a lockstep
+        round-barrier assumption).
+        """
+        plan = FaultPlan(
+            seed=11,
+            min_delay=0.1,
+            max_delay=0.1,
+            reorder_rate=0.99,
+            reorder_jitter=50.0,
+            crashes=(CrashSpec(node_id="n0", at=5.0, until=1000.0),),
+        )
+        net, received = self._counting_net(plan)
+        net.broadcast("t", "jittered")
+        # The reordered copy is late in *ordering*: it misses an early
+        # flush horizon...
+        assert net.flush(until=1.0) == 0
+        assert net.pending == 1
+        # ...but the clock did not jump toward the crash window, so a
+        # message sent now (arriving ~1.2, well before the node dies at
+        # t=5) must not be censored, and neither must the jittered copy
+        # (it *arrived* at 0.2 — only its ordering slot moved).
+        net.broadcast("t", "prompt")
+        net.flush()
+        assert sorted(received) == ["jittered", "prompt"]
+        assert net.censored == 0
+        assert net.now < 5.0
+
     def test_messages_log_matches_broadcastnetwork_contract(self):
         net = UnreliableNetwork(plan=FaultPlan(drop_rate=0.9, seed=0))
         net.broadcast("topic-x", "payload", sender="s")
