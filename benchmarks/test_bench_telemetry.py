@@ -1,0 +1,104 @@
+"""Telemetry-plane overhead benches: worker capture must stay cheap.
+
+PR 10 routes every pooled task through :class:`~repro.obs.telemetry`
+capture when the parent bundle opts in (``telemetry=True``): each shard
+clears under its own worker-local bundle, freezes a
+:class:`~repro.obs.telemetry.TelemetryPayload`, and the parent merges it
+deterministically.  That is extra pickling and registry traffic on the
+hot sharded path, so it gets the same paired gate the monitor suite got:
+
+* ``test_bench_telemetry_off`` — the gated bench: a sharded clear with a
+  live bundle but telemetry *not* opted in (the pre-PR-10 enabled path).
+* ``test_bench_telemetry_on`` — the same clear shipping worker payloads
+  (informative: what the telemetry plane costs when on).
+* ``test_telemetry_overhead_within_bound`` — interleaved best-of paired
+  runs; the on/off ratio must stay within ``DECLOUD_TELEMETRY_CEILING``
+  (default 1.10, the <=10% requirement from the issue).
+
+Size reducible via ``DECLOUD_TELEMETRY_N`` for the CI smoke job.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.core.auction import DecloudAuction
+from repro.core.config import AuctionConfig, ShardPlan
+from repro.obs import Observability
+from repro.workloads.generators import generate_zone_market
+
+TELEMETRY_N = int(os.environ.get("DECLOUD_TELEMETRY_N", "400"))
+#: Allowed telemetry-on overhead ratio over the telemetry-off clear.
+TELEMETRY_CEILING = float(os.environ.get("DECLOUD_TELEMETRY_CEILING", "1.10"))
+EVIDENCE = b"telemetry-bench"
+
+
+def _market():
+    requests, offers, _ = generate_zone_market(
+        TELEMETRY_N, n_zones=4, seed=0, kind="network", locality="strong",
+        cross_zone_fraction=0.25,
+    )
+    return requests, offers
+
+
+def _run_sharded(requests, offers, telemetry: bool):
+    config = AuctionConfig(
+        engine="vectorized", sharding=ShardPlan(kind="network")
+    )
+    obs = Observability("bench-telemetry", telemetry=telemetry)
+    return DecloudAuction(config).run(
+        requests, offers, evidence=EVIDENCE, obs=obs
+    )
+
+
+def test_bench_telemetry_off(benchmark):
+    requests, offers = _market()
+    outcome = benchmark.pedantic(
+        _run_sharded, args=(requests, offers, False), rounds=3, iterations=1
+    )
+    assert outcome.matches
+
+
+def test_bench_telemetry_on(benchmark):
+    requests, offers = _market()
+    outcome = benchmark.pedantic(
+        _run_sharded, args=(requests, offers, True), rounds=3, iterations=1
+    )
+    assert outcome.matches
+
+
+def test_telemetry_overhead_within_bound():
+    """Paired interleaved best-of: telemetry on vs off, same sharded clear.
+
+    The capture path adds a worker-local bundle per shard, a frozen
+    payload (sorted tuples of every series), and a parent-side merge —
+    all O(series + matches) per shard, tiny next to clearing.  The
+    paired ratio pins that at <= TELEMETRY_CEILING.
+    """
+    requests, offers = _market()
+    # warm both paths before timing
+    _run_sharded(requests, offers, False)
+    _run_sharded(requests, offers, True)
+
+    best_off = float("inf")
+    best_on = float("inf")
+    for _ in range(5):
+        start = time.perf_counter()
+        _run_sharded(requests, offers, False)
+        best_off = min(best_off, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        _run_sharded(requests, offers, True)
+        best_on = min(best_on, time.perf_counter() - start)
+
+    ratio = best_on / max(best_off, 1e-9)
+    print(
+        f"\ntelemetry overhead at n={TELEMETRY_N}: off {best_off:.4f}s, "
+        f"on {best_on:.4f}s, ratio {ratio:.3f} (ceiling {TELEMETRY_CEILING})"
+    )
+    assert ratio <= TELEMETRY_CEILING, (
+        f"worker telemetry capture costs {ratio:.3f}x a telemetry-off "
+        f"sharded clear at n={TELEMETRY_N}; the plane must stay within "
+        f"{TELEMETRY_CEILING}x"
+    )

@@ -189,6 +189,7 @@ class DecloudAuction:
                     consumed_offers,
                     self.config,
                     evidence,
+                    obs=obs,
                 )
             else:
                 rng = block_evidence_rng(evidence)

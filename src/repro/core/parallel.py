@@ -53,6 +53,9 @@ from repro.core.trade_reduction import (
     clear_mini_auction,
 )
 from repro.market.bids import Offer, Request
+# Telemetry plane: capture_task/merge_payload only touch repro.common and
+# repro.obs.registry at import time, so this cannot cycle back into core.
+from repro.obs.telemetry import TelemetryPayload, capture_task, merge_payload
 
 
 def derive_auction_rng(evidence: bytes, index: int) -> random.Random:
@@ -191,6 +194,22 @@ def _clear_task(
     )
 
 
+def _clear_task_captured(
+    args: tuple,
+) -> Tuple[Optional[ClearingResult], TelemetryPayload, Optional[BaseException]]:
+    """Worker body under a local telemetry bundle (never observably dark).
+
+    Runs :func:`_clear_task` inside :class:`~repro.obs.telemetry.capture_task`:
+    the worker's metric deltas and trace records ship home with the
+    result, *including on failure* — the payload arrives tagged
+    ``aborted`` and the parent re-raises after merging it.
+    """
+    index = args[7]
+    with capture_task(f"mini:{index}", "mini_auction") as cap:
+        cap.set_value(_clear_task(args))
+    return cap.value, cap.payload, cap.error
+
+
 def _clear_wave_batched(tasks: Sequence[tuple]) -> List[ClearingResult]:
     """In-process wave clearing with SBBA pricing batched over the wave.
 
@@ -221,6 +240,7 @@ def clear_auctions_scheduled(
     consumed_offers: Set[str],
     config: AuctionConfig,
     evidence: bytes,
+    obs: object = None,
 ) -> List[ClearingResult]:
     """Clear every auction with per-auction RNG streams, wave by wave.
 
@@ -232,7 +252,20 @@ def clear_auctions_scheduled(
     with any enclosing :func:`shared_pool` lease (e.g. the shard
     fan-out).  If the platform refuses to spawn workers the wave falls
     back to in-process execution, which is bit-identical.
+
+    When ``obs`` has opted into the telemetry plane
+    (``Observability(telemetry=True)``), every task — pooled *or*
+    in-process — runs under a worker-local bundle whose deltas merge
+    back into ``obs`` under ``worker="mini"`` in wave order.  The
+    capture decision depends only on the bundle and the schedule, never
+    on the worker count or whether a pool actually spawned, so the
+    merged trace is byte-identical across ``miniauction_workers`` >= 1.
     """
+    capture = (
+        obs is not None
+        and getattr(obs, "enabled", False)
+        and getattr(obs, "telemetry", False)
+    )
     if config.candidates is not None:
         # Candidate generators play no role in clearing and carry
         # transient state (stats, location maps) that must not cross
@@ -266,7 +299,30 @@ def clear_auctions_scheduled(
                     index,
                 ))
             pool = lease.get() if may_pool and len(wave) > 1 else None
-            if pool is not None:
+            if capture:
+                # Per-task capture replaces the batched fast path: the
+                # clearing math is bit-identical either way (enforced by
+                # the equivalence suite), and attribution needs one
+                # bundle per task.
+                if pool is not None:
+                    try:
+                        captured = list(pool.map(_clear_task_captured, tasks))
+                    except (OSError, PermissionError):  # pragma: no cover
+                        lease.fail()
+                        captured = [_clear_task_captured(t) for t in tasks]
+                else:
+                    captured = [_clear_task_captured(t) for t in tasks]
+                first_error: Optional[BaseException] = None
+                wave_results = []
+                for value, payload, error in captured:
+                    # Merge before any re-raise: failed tasks report too.
+                    merge_payload(obs, payload, worker="mini")
+                    if error is not None and first_error is None:
+                        first_error = error
+                    wave_results.append(value)
+                if first_error is not None:
+                    raise first_error
+            elif pool is not None:
                 try:
                     wave_results = list(pool.map(_clear_task, tasks))
                 except (OSError, PermissionError):  # pragma: no cover

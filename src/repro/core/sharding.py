@@ -61,6 +61,7 @@ from repro.common.timing import PhaseTimer, resolve as resolve_timer
 from repro.core.config import AuctionConfig, ShardPlan
 from repro.core.outcome import AuctionOutcome
 from repro.core.parallel import shared_pool
+from repro.obs.telemetry import merge_payload
 from repro.market.bids import Offer, Request
 from repro.market.location import (
     GeoLocation,
@@ -191,23 +192,51 @@ def shard_config(config: AuctionConfig) -> AuctionConfig:
 
 
 def _run_shard(
-    task: Tuple[str, Tuple[Request, ...], Tuple[Offer, ...], AuctionConfig, bytes],
-) -> Tuple[str, AuctionOutcome, Dict[str, float], float]:
+    task: Tuple[
+        str, Tuple[Request, ...], Tuple[Offer, ...], AuctionConfig, bytes, bool
+    ],
+) -> Tuple[
+    str, Optional[AuctionOutcome], Dict[str, float], float,
+    Optional[object], Optional[BaseException],
+]:
     """Worker body: one shard through the full pipeline.
 
-    Returns ``(key, outcome, phase_totals, elapsed_seconds)``; the
-    phase totals and wall time are measured inside the worker so the
-    parent can record per-shard timings without trusting pool overhead.
+    Returns ``(key, outcome, phase_totals, elapsed_seconds, payload,
+    error)``; the phase totals and wall time are measured inside the
+    worker so the parent can record per-shard timings without trusting
+    pool overhead.  With ``capture`` set (the parent bundle opted into
+    the telemetry plane) the shard runs under a worker-local
+    ``Observability`` bundle and ships its full metric/trace delta back
+    as a :class:`~repro.obs.telemetry.TelemetryPayload` — even when the
+    shard's pipeline raised, in which case ``outcome`` is ``None``, the
+    payload is tagged ``aborted``, and ``error`` carries the exception
+    for the parent to re-raise *after* merging.
     """
     from repro.core.auction import DecloudAuction
+    from repro.obs.telemetry import capture_task
 
-    key, requests, offers, config, evidence = task
+    key, requests, offers, config, evidence, capture = task
     timer = PhaseTimer()
     start = time.perf_counter()
+    if capture:
+        with capture_task(f"shard:{key}", "shard") as cap:
+            cap.set_value(
+                DecloudAuction(config).run(
+                    list(requests), list(offers), evidence=evidence,
+                    timer=timer, obs=cap.obs,
+                )
+            )
+        return (
+            key, cap.value, dict(timer.totals),
+            time.perf_counter() - start, cap.payload, cap.error,
+        )
     outcome = DecloudAuction(config).run(
         list(requests), list(offers), evidence=evidence, timer=timer
     )
-    return key, outcome, dict(timer.totals), time.perf_counter() - start
+    return (
+        key, outcome, dict(timer.totals), time.perf_counter() - start,
+        None, None,
+    )
 
 
 def run_sharded(
@@ -272,6 +301,10 @@ def run_sharded(
         with round_timer.phase("shard_clear"), obs.tracer.span(
             "shards", count=len(runnable), total=len(shards)
         ):
+            # The capture decision depends only on the parent bundle —
+            # never on shard_workers or whether a pool spawned — so the
+            # merged telemetry is byte-identical across worker layouts.
+            capture = obs.enabled and getattr(obs, "telemetry", False)
             tasks = [
                 (
                     shard.key,
@@ -279,6 +312,7 @@ def run_sharded(
                     shard.offers,
                     sub_config,
                     derive_shard_evidence(evidence, shard.key),
+                    capture,
                 )
                 for shard in runnable
             ]
@@ -295,7 +329,17 @@ def run_sharded(
                     results = [_run_shard(task) for task in tasks]
             else:
                 results = [_run_shard(task) for task in tasks]
-            for key, outcome, phases, seconds in results:
+            first_error: Optional[BaseException] = None
+            for key, outcome, phases, seconds, payload, error in results:
+                if payload is not None:
+                    # Merge before anything can raise: an aborted shard
+                    # still reports its metrics and trace (tagged so).
+                    merge_payload(obs, payload, shard=key, worker="shard")
+                if error is not None:
+                    if first_error is None:
+                        first_error = error
+                    continue
+                assert outcome is not None
                 shard_outcomes[key] = outcome
                 shard_seconds[key] = seconds
                 shard_phases[key] = phases
@@ -307,6 +351,8 @@ def run_sharded(
                     + len(outcome.unmatched_requests),
                     trades=len(outcome.matches),
                 )
+            if first_error is not None:
+                raise first_error
 
         # Pool the survivors in shard order: unmatched bids of cleared
         # shards plus the raw bids of shards that had no counterparty

@@ -52,6 +52,13 @@ __all__ = [
     "MonitorSuite",
     "Violation",
     "snapshot_diff",
+    # telemetry plane (repro.obs.telemetry, imported at the bottom)
+    "TelemetryPayload",
+    "TelemetryPublisher",
+    "TelemetryAggregator",
+    "capture_task",
+    "capture_payload",
+    "merge_payload",
 ]
 
 
@@ -60,13 +67,17 @@ class Observability:
 
     enabled = True
 
-    __slots__ = ("run_id", "registry", "tracer", "timer", "monitors", "flight")
+    __slots__ = (
+        "run_id", "registry", "tracer", "timer", "monitors", "flight",
+        "telemetry",
+    )
 
     def __init__(
         self,
         run_id: str = "run",
         monitors: Optional[MonitorSuite] = None,
         flight: Optional[Any] = None,
+        telemetry: bool = False,
     ) -> None:
         self.run_id = run_id
         self.registry: MetricsRegistry = MetricsRegistry()
@@ -78,6 +89,12 @@ class Observability:
         #: optional repro.obs.flight.FlightRecorder — bound to this
         #: bundle so protocol drivers can frame rounds and dump on abort
         self.flight = flight
+        #: opt into the distributed telemetry plane: process-pool tasks
+        #: (shard fan-out, mini-auction waves) run under worker-local
+        #: bundles whose deltas are merged back here under worker/shard
+        #: labels (repro.obs.telemetry).  Off by default so existing
+        #: traces stay byte-identical for bundles that never opted in.
+        self.telemetry = telemetry
         if flight is not None:
             flight.bind(self)
 
@@ -91,6 +108,7 @@ class Observability:
         view.timer = self.timer
         view.monitors = self.monitors
         view.flight = self.flight
+        view.telemetry = self.telemetry
         return view
 
     def check_outcome(
@@ -157,6 +175,7 @@ class NullObservability:
     timer: NullTimer = NULL_TIMER
     monitors = None
     flight = None
+    telemetry = False
 
     def scoped(self, **labels: object) -> "NullObservability":
         return self
@@ -184,3 +203,15 @@ ObservabilityLike = Union[Observability, NullObservability]
 def resolve(obs: Optional[ObservabilityLike]) -> ObservabilityLike:
     """Map ``None`` to the shared no-op bundle."""
     return NULL_OBS if obs is None else obs
+
+
+# Imported last: repro.obs.telemetry reaches back into this module at
+# call time (worker bundles), so the import must follow the definitions.
+from repro.obs.telemetry import (  # noqa: E402
+    TelemetryAggregator,
+    TelemetryPayload,
+    TelemetryPublisher,
+    capture_payload,
+    capture_task,
+    merge_payload,
+)

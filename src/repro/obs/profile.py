@@ -1,0 +1,186 @@
+"""Pipeline stall profiler for the runtime reactor (virtual time).
+
+The reactor (:mod:`repro.runtime.reactor`) drives rounds through seal →
+mine → propose → verify-quorum → commit on a deterministic virtual
+clock.  Throughput numbers alone say the pipeline is slow, not *why*:
+was a round waiting for its seal window, re-queued behind a full inbox,
+grinding proof-of-work, or blocked on the verifier quorum?  A
+:class:`PipelineProfiler` answers that by accumulating **virtual-time
+intervals** per ``(round, cause)`` as the reactor reports them.
+
+Causes (the folded-stack vocabulary):
+
+``seal_wait``
+    virtual time between a round's scheduled seal open and mining start
+    (includes submission settling and empty-round sealing).
+``mine``
+    the proof-of-work width for the winning miner.
+``propose``
+    announce → verification start (per proposer attempt).
+``verify_quorum``
+    the verifier quorum width (per attempt, including rejected ones).
+``commit``
+    the commit width for the accepted proposal.
+``wal_append``
+    durability appends, counted per round (virtual width is zero — the
+    WAL rides the commit edge — so the profiler records *counts* here).
+``backpressure_deferral``
+    transport-side: deliveries re-queued because an actor's inbox was
+    full, attributed per node under ``runtime;transport;<node>;...``.
+
+The profiler is **passive**: it never schedules events, draws no
+scheduler RNG, and touches no message — attaching one cannot perturb
+outcomes (the invariance suite runs with and without it).  All input is
+virtual time from the deterministic scheduler, so the exports are
+byte-identical across seeded replays.
+
+Exports:
+
+* :meth:`PipelineProfiler.to_folded` — classic folded-stack flame-graph
+  lines (``frame;frame;frame <integer-weight>``), one per
+  ``(round, cause)`` in sorted order, weights in virtual microseconds
+  (counts for ``wal_append``).  Feed to any flamegraph.pl-compatible
+  renderer, or read directly — it is plain text.
+* :meth:`PipelineProfiler.flush` — fold totals into a registry as
+  ``pipeline_stall_seconds{cause=...}`` counters, per-cause round
+  counts, and a ``pipeline_occupancy`` gauge (busy fraction of the
+  virtual span).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+#: causes whose folded-stack weight is a count, not virtual seconds
+COUNT_CAUSES = frozenset({"wal_append"})
+
+
+class PipelineProfiler:
+    """Per-round stall attribution on virtual time, deterministic export."""
+
+    __slots__ = ("intervals", "node_stalls", "_flushed")
+
+    def __init__(self) -> None:
+        #: ``(round_index, cause) -> accumulated virtual seconds`` (or
+        #: count, for :data:`COUNT_CAUSES`)
+        self.intervals: Dict[Tuple[int, str], float] = {}
+        #: ``(node_id, cause) -> accumulated virtual seconds``
+        self.node_stalls: Dict[Tuple[str, str], float] = {}
+        self._flushed = False
+
+    # ------------------------------------------------------------------
+    # Accumulation (called by the reactor / transport)
+    # ------------------------------------------------------------------
+    def add(self, round_index: int, cause: str, seconds: float) -> None:
+        """Attribute ``seconds`` of virtual time to one round's cause."""
+        if seconds <= 0 and cause not in COUNT_CAUSES:
+            return
+        key = (round_index, cause)
+        self.intervals[key] = self.intervals.get(key, 0.0) + seconds
+
+    def count(self, round_index: int, cause: str, n: int = 1) -> None:
+        """Bump a count-valued cause (e.g. ``wal_append``)."""
+        key = (round_index, cause)
+        self.intervals[key] = self.intervals.get(key, 0.0) + n
+
+    def node_stall(self, node_id: str, cause: str, seconds: float) -> None:
+        """Attribute transport-side stall time to one node."""
+        key = (str(node_id), cause)
+        self.node_stalls[key] = self.node_stalls.get(key, 0.0) + seconds
+
+    # ------------------------------------------------------------------
+    # Reading / export
+    # ------------------------------------------------------------------
+    def round_total(self, round_index: int) -> float:
+        """Total attributed virtual seconds for one round (time causes)."""
+        return sum(
+            seconds
+            for (idx, cause), seconds in self.intervals.items()
+            if idx == round_index and cause not in COUNT_CAUSES
+        )
+
+    def cause_totals(self) -> Dict[str, float]:
+        """Per-cause totals across all rounds (time causes in seconds)."""
+        totals: Dict[str, float] = {}
+        for (_, cause), seconds in self.intervals.items():
+            totals[cause] = totals.get(cause, 0.0) + seconds
+        for (_, cause), seconds in self.node_stalls.items():
+            totals[cause] = totals.get(cause, 0.0) + seconds
+        return totals
+
+    def to_folded(self) -> str:
+        """Folded-stack flame-graph lines, sorted, trailing newline.
+
+        ``runtime;round_0007;mine 1000000`` — weight is integer virtual
+        microseconds (count for :data:`COUNT_CAUSES`).  Transport stalls
+        render as ``runtime;transport;<node>;<cause>``.  Sorted output +
+        virtual-time weights make the export byte-identical across
+        seeded replays.
+        """
+        lines: List[str] = []
+        for (round_index, cause), value in self.intervals.items():
+            weight = (
+                int(value) if cause in COUNT_CAUSES
+                else int(round(value * 1_000_000))
+            )
+            if weight <= 0:
+                continue
+            lines.append(f"runtime;round_{round_index:04d};{cause} {weight}")
+        for (node_id, cause), seconds in self.node_stalls.items():
+            weight = int(round(seconds * 1_000_000))
+            if weight <= 0:
+                continue
+            lines.append(f"runtime;transport;{node_id};{cause} {weight}")
+        lines.sort()
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_folded(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_folded())
+
+    def flush(self, registry: Any, virtual_time: float) -> None:
+        """Fold totals into ``registry`` (idempotent: flushes once).
+
+        Emits ``pipeline_stall_seconds{cause=...}`` counters (count
+        causes go to ``pipeline_stall_events_total{cause=...}``),
+        per-node ``pipeline_node_stall_seconds{node=,cause=}``, and a
+        ``pipeline_occupancy`` gauge: attributed-busy virtual time over
+        the run's virtual span (> 1 means rounds overlapped — the whole
+        point of pipelining).
+        """
+        if self._flushed:
+            return
+        self._flushed = True
+        busy = 0.0
+        cause_seconds: Dict[str, float] = {}
+        cause_counts: Dict[str, float] = {}
+        for (_, cause), value in sorted(self.intervals.items()):
+            if cause in COUNT_CAUSES:
+                cause_counts[cause] = cause_counts.get(cause, 0.0) + value
+            else:
+                cause_seconds[cause] = cause_seconds.get(cause, 0.0) + value
+                busy += value
+        for cause, seconds in sorted(cause_seconds.items()):
+            registry.inc("pipeline_stall_seconds", seconds, cause=cause)
+        for cause, count in sorted(cause_counts.items()):
+            registry.inc("pipeline_stall_events_total", count, cause=cause)
+        for (node_id, cause), seconds in sorted(self.node_stalls.items()):
+            registry.inc(
+                "pipeline_node_stall_seconds", seconds,
+                node=node_id, cause=cause,
+            )
+            busy += seconds
+        if virtual_time > 0:
+            registry.set("pipeline_occupancy", busy / virtual_time)
+
+
+def load_folded(text: str) -> List[Tuple[str, int]]:
+    """Parse folded-stack lines back into ``(stack, weight)`` pairs."""
+    out: List[Tuple[str, int]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, weight = line.rpartition(" ")
+        out.append((stack, int(weight)))
+    return out

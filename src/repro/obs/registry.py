@@ -20,7 +20,7 @@ is observing.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 #: Histogram bucket upper bounds (seconds / prices / sizes all fit); the
 #: final +Inf bucket is implicit.
@@ -43,6 +43,27 @@ def series_name(name: str, labels: LabelItems) -> str:
         return name
     inner = ",".join(f"{k}={v}" for k, v in labels)
     return f"{name}{{{inner}}}"
+
+
+def parse_series(series: str) -> Tuple[str, LabelItems]:
+    """Invert :func:`series_name`: ``name{k=v,...}`` -> ``(name, items)``.
+
+    Label keys and values never contain ``{``, ``}``, ``,`` or ``=`` in
+    this codebase (they are identifiers, ids, and enum-ish strings), so
+    no escaping is needed.  The telemetry aggregator uses this to re-key
+    snapshot-diff frames back into structured series.
+    """
+    if "{" not in series:
+        return series, ()
+    name, _, rest = series.partition("{")
+    inner = rest[:-1] if rest.endswith("}") else rest
+    items = []
+    for part in inner.split(","):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        items.append((key, value))
+    return name, tuple(sorted(items))
 
 
 class _HistogramSeries:
@@ -115,6 +136,42 @@ class MetricsRegistry:
         if series is None:
             series = self.histograms[key] = _HistogramSeries()
         series.observe(value)
+
+    def merge_histogram(
+        self,
+        name: str,
+        labels: Mapping[str, object],
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+        bucket_counts: Sequence[int],
+        bounds: Sequence[float],
+    ) -> None:
+        """Fold another registry's histogram series into this one.
+
+        ``snapshot()``/``snapshot_diff`` drop bucket counts, so worker
+        telemetry ships the structured internals instead and merges them
+        here — the merged histogram is bucket-exact, as if every sample
+        had been observed locally.  Bounds must match (every registry in
+        the repo uses :data:`DEFAULT_BUCKETS`).
+        """
+        if not count:
+            return
+        key = (name, _label_items(labels))
+        series = self.histograms.get(key)
+        if series is None:
+            series = self.histograms[key] = _HistogramSeries(tuple(bounds))
+        if series.bounds != tuple(bounds):
+            raise ValueError(f"histogram bucket bounds mismatch for {name}")
+        series.count += count
+        series.sum += total
+        if minimum < series.min:
+            series.min = minimum
+        if maximum > series.max:
+            series.max = maximum
+        for i, bucket in enumerate(bucket_counts):
+            series.bucket_counts[i] += bucket
 
     def labeled(self, **labels: object) -> "LabeledRegistry":
         """A write view that stamps ``labels`` onto every series."""
@@ -193,6 +250,22 @@ class LabeledRegistry:
     def observe(self, name: str, value: float, **labels: object) -> None:
         self._base.observe(name, value, **self._merge(labels))
 
+    def merge_histogram(
+        self,
+        name: str,
+        labels: Mapping[str, object],
+        count: int,
+        total: float,
+        minimum: float,
+        maximum: float,
+        bucket_counts: Sequence[int],
+        bounds: Sequence[float],
+    ) -> None:
+        self._base.merge_histogram(
+            name, self._merge(labels), count, total, minimum, maximum,
+            bucket_counts, bounds,
+        )
+
     def labeled(self, **labels: object) -> "LabeledRegistry":
         return LabeledRegistry(self._base, _label_items(self._merge(labels)))
 
@@ -219,6 +292,9 @@ class NullRegistry:
         return None
 
     def observe(self, name: str, value: float, **labels: object) -> None:
+        return None
+
+    def merge_histogram(self, *args: object, **kwargs: object) -> None:
         return None
 
     def labeled(self, **labels: object) -> "NullRegistry":

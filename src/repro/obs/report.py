@@ -31,7 +31,52 @@ import json
 import sys
 from typing import Any, Dict, Iterable, List, Optional
 
-from repro.obs.trace import load_jsonl
+from repro.obs.trace import load_jsonl  # noqa: F401  (re-exported for callers)
+
+
+class ReportError(Exception):
+    """A diagnosable input problem (bad path, empty or truncated file)."""
+
+
+def load_trace_records(path: str) -> List[Dict[str, Any]]:
+    """Load trace JSONL with line-precise diagnostics.
+
+    Unlike :func:`~repro.obs.trace.load_jsonl` (which assumes a
+    well-formed export), this loader names the file and line of the
+    first corrupt record — the symptom of a truncated write — and
+    rejects files with no records at all: an empty "trace" is a
+    collection failure, not a trivially-summarizable run.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    except OSError as exc:
+        raise ReportError(f"cannot read {path}: {exc}") from exc
+    records: List[Dict[str, Any]] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ReportError(
+                f"{path}:{lineno}: truncated or corrupt JSONL "
+                f"({exc.msg} at column {exc.colno}); "
+                f"re-export the trace or trim the partial line"
+            ) from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise ReportError(
+                f"{path}:{lineno}: not a trace record "
+                f"(expected an object with a 'type' field)"
+            )
+        records.append(record)
+    if not records:
+        raise ReportError(
+            f"{path}: empty trace — no JSONL records; "
+            f"was the export interrupted before any span was written?"
+        )
+    return records
+
 
 #: events that mark a node as part of the failing path
 _FAILING_EVENTS = {
@@ -260,6 +305,77 @@ def render_flight(
     return "\n".join(lines)
 
 
+def render_flame(path: str) -> str:
+    """Summarize a folded-stack flame export (repro.obs.profile).
+
+    Prints per-cause totals (the last stack frame) and the top stacks by
+    weight — enough to read a pipeline's stall profile without an
+    external flame-graph renderer.
+    """
+    from repro.obs.profile import COUNT_CAUSES, load_folded
+
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            stacks = load_folded(handle.read())
+    except OSError as exc:
+        raise ReportError(f"cannot read {path}: {exc}") from exc
+    except ValueError as exc:
+        raise ReportError(
+            f"{path}: not a folded-stack file "
+            f"(expected 'frame;frame <integer>' lines): {exc}"
+        ) from exc
+    if not stacks:
+        raise ReportError(f"{path}: empty flame export — no stacks")
+    causes: Dict[str, int] = {}
+    for stack, weight in stacks:
+        cause = stack.rsplit(";", 1)[-1]
+        causes[cause] = causes.get(cause, 0) + weight
+    lines = [f"flame summary: {len(stacks)} stacks from {path}"]
+    lines.append("")
+    width = max(len(c) for c in causes)
+    lines.append(f"  {'cause':<{width}}  weight")
+    for cause in sorted(causes, key=lambda c: (-causes[c], c)):
+        unit = "events" if cause in COUNT_CAUSES else "virtual-us"
+        lines.append(f"  {cause:<{width}}  {causes[cause]:>12} {unit}")
+    lines.append("")
+    lines.append("  top stacks:")
+    for stack, weight in sorted(stacks, key=lambda s: (-s[1], s[0]))[:10]:
+        lines.append(f"    {stack} {weight}")
+    return "\n".join(lines)
+
+
+def run_slo(objectives_path: str, history_path: str) -> int:
+    """Evaluate an SLO file against a TimeSeriesStore history.
+
+    Returns 0 when every objective is met, 1 when any is violated —
+    the CI-gate exit-code contract.
+    """
+    from repro.obs.slo import evaluate, load_objectives, render
+    from repro.obs.timeseries import TimeSeriesStore
+
+    try:
+        objectives = load_objectives(objectives_path)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+        raise ReportError(f"bad objectives file {objectives_path}: {exc}")
+    try:
+        rows = TimeSeriesStore.load(history_path)
+    except OSError as exc:
+        raise ReportError(f"cannot read {history_path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReportError(
+            f"{history_path}:{exc.lineno}: truncated or corrupt history "
+            f"({exc.msg})"
+        ) from exc
+    if not rows:
+        raise ReportError(
+            f"{history_path}: empty history — no snapshot rows to "
+            f"evaluate objectives against"
+        )
+    results = evaluate(rows, objectives)
+    print(render(results))
+    return 0 if all(result.ok for result in results) else 1
+
+
 def _print_snapshot_diff(before_path: str, after_path: str) -> None:
     from repro.obs.export import format_snapshot_diff
     from repro.obs.registry import snapshot_diff
@@ -295,34 +411,57 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--snapshot-diff", nargs=2, metavar=("BEFORE", "AFTER"),
         help="pretty-print the diff between two registry snapshot JSONs",
     )
+    parser.add_argument(
+        "--flame", metavar="FOLDED",
+        help="summarize a folded-stack flame export (PipelineProfiler)",
+    )
+    parser.add_argument(
+        "--slo", nargs=2, metavar=("OBJECTIVES", "HISTORY"),
+        help="evaluate an SLO objectives JSON against a TimeSeriesStore "
+        "history; exits 1 when any objective is violated",
+    )
     args = parser.parse_args(argv)
 
-    if args.snapshot_diff:
-        _print_snapshot_diff(*args.snapshot_diff)
-        return 0
-    if args.flight:
-        from repro.obs.flight import load_flight
+    try:
+        if args.slo:
+            return run_slo(*args.slo)
+        if args.flame:
+            print(render_flame(args.flame))
+            return 0
+        if args.snapshot_diff:
+            _print_snapshot_diff(*args.snapshot_diff)
+            return 0
+        if args.flight:
+            from repro.obs.flight import load_flight
 
-        with open(args.flight, "r", encoding="utf-8") as handle:
-            meta, records, headers = load_flight(handle.read())
-        print(render_flight(meta, records, headers))
-        return 0
-    if not args.trace:
-        parser.error("a trace file, --flight, or --snapshot-diff is required")
+            try:
+                with open(args.flight, "r", encoding="utf-8") as handle:
+                    meta, records, headers = load_flight(handle.read())
+            except OSError as exc:
+                raise ReportError(f"cannot read {args.flight}: {exc}")
+            print(render_flight(meta, records, headers))
+            return 0
+        if not args.trace:
+            parser.error(
+                "a trace file, --flight, --flame, --slo, or "
+                "--snapshot-diff is required"
+            )
 
-    with open(args.trace, "r", encoding="utf-8") as handle:
-        records = load_jsonl(handle.read())
-    print(summarize(records))
-    if args.tree:
-        print()
-        print(render_tree(records))
-    if args.metrics:
-        with open(args.metrics, "r", encoding="utf-8") as handle:
+        records = load_trace_records(args.trace)
+        print(summarize(records))
+        if args.tree:
             print()
-            print("metrics:")
-            for line in handle.read().splitlines():
-                print(f"  {line}")
-    return 0
+            print(render_tree(records))
+        if args.metrics:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                print()
+                print("metrics:")
+                for line in handle.read().splitlines():
+                    print(f"  {line}")
+        return 0
+    except ReportError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

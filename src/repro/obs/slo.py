@@ -1,0 +1,242 @@
+"""Declarative SLOs with error budgets over registry histories.
+
+An SLO file declares per-round objectives against the snapshot rows a
+:class:`~repro.obs.timeseries.TimeSeriesStore` already records — no new
+collection path, the history *is* the evidence:
+
+.. code-block:: json
+
+    {"objectives": [
+      {"name": "clear-latency",
+       "kind": "latency",
+       "series": "auction_phase_seconds{phase=clear}",
+       "op": "<=", "target": 0.25, "budget": 0.05},
+      {"name": "welfare-floor",
+       "kind": "gauge",
+       "series": "auction_last_welfare",
+       "op": ">=", "target": 10.0,
+       "drift": {"window": 5, "threshold": 0.2}}
+    ]}
+
+``kind`` selects the per-round extractor (``latency`` — delta-mean of a
+cumulative histogram; ``gauge`` — direct values; ``counter`` —
+consecutive-row deltas).  ``budget`` is the tolerated *fraction* of
+violating rounds (SRE-style error budget, default 0 — any violation
+burns it).  An optional ``drift`` block additionally runs
+:func:`~repro.obs.timeseries.detect_drift` over the same values: an
+objective whose rounds individually pass can still fail because the
+series is sliding toward the target.
+
+``python -m repro.obs.report --slo objectives.json history.jsonl``
+renders every objective and exits nonzero when any failed — the CI
+gate shape.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.timeseries import (
+    DriftReport,
+    counter_series,
+    detect_drift,
+    gauge_series,
+    latency_series,
+)
+
+_EXTRACTORS = {
+    "latency": latency_series,
+    "gauge": gauge_series,
+    "counter": counter_series,
+}
+
+_OPS = {
+    "<=": lambda value, target: value <= target,
+    ">=": lambda value, target: value >= target,
+    "<": lambda value, target: value < target,
+    ">": lambda value, target: value > target,
+}
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative per-round objective."""
+
+    name: str
+    series: str
+    kind: str = "gauge"  # latency | gauge | counter
+    op: str = "<="
+    target: float = 0.0
+    #: tolerated fraction of violating rounds (error budget); 0 = none
+    budget: float = 0.0
+    #: optional drift attachment: {"window", "threshold", "statistic"}
+    drift: Optional[Mapping[str, Any]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _EXTRACTORS:
+            raise ValueError(
+                f"objective {self.name!r}: unknown kind {self.kind!r}"
+            )
+        if self.op not in _OPS:
+            raise ValueError(
+                f"objective {self.name!r}: unknown op {self.op!r}"
+            )
+        if not 0.0 <= self.budget <= 1.0:
+            raise ValueError(
+                f"objective {self.name!r}: budget must be in [0, 1]"
+            )
+
+
+@dataclass(frozen=True)
+class ObjectiveResult:
+    """One objective evaluated against one history."""
+
+    objective: Objective
+    rounds: int
+    violations: int
+    #: violating fraction over the budget; > 1.0 means the budget is blown
+    #: (with budget 0, any violation reports ``inf``)
+    budget_used: float
+    drift_report: Optional[DriftReport] = None
+    #: per-round values the verdict was computed from
+    values: Tuple[float, ...] = field(default=())
+
+    @property
+    def violating_fraction(self) -> float:
+        return self.violations / self.rounds if self.rounds else 0.0
+
+    @property
+    def drifting(self) -> bool:
+        return self.drift_report is not None and self.drift_report.drifting
+
+    @property
+    def ok(self) -> bool:
+        if self.rounds == 0:
+            return False  # no evidence is not compliance
+        if self.drifting:
+            return False
+        if self.objective.budget == 0.0:
+            return self.violations == 0
+        return self.violating_fraction <= self.objective.budget
+
+    def describe(self) -> str:
+        obj = self.objective
+        verdict = "OK" if self.ok else "VIOLATED"
+        line = (
+            f"[{verdict}] {obj.name}: {obj.series} {obj.op} {obj.target:g} "
+            f"— {self.violations}/{self.rounds} rounds violating"
+        )
+        if obj.budget > 0.0:
+            line += (
+                f" (budget {obj.budget:.1%}, "
+                f"used {min(self.budget_used, 99.99):.0%})"
+            )
+        if self.rounds == 0:
+            line += " (no data for series)"
+        if self.drift_report is not None:
+            line += f"; drift: {self.drift_report.describe()}"
+        return line
+
+
+def evaluate_objective(
+    rows: Sequence[Mapping[str, Any]], objective: Objective
+) -> ObjectiveResult:
+    """Evaluate one objective against loaded history rows."""
+    values = _EXTRACTORS[objective.kind](rows, objective.series)
+    op = _OPS[objective.op]
+    violations = sum(1 for value in values if not op(value, objective.target))
+    rounds = len(values)
+    fraction = violations / rounds if rounds else 0.0
+    if objective.budget > 0.0:
+        budget_used = fraction / objective.budget
+    else:
+        budget_used = float("inf") if violations else 0.0
+    drift_report = None
+    if objective.drift is not None:
+        spec = dict(objective.drift)
+        drift_report = detect_drift(
+            values,
+            window=int(spec.get("window", 5)),
+            threshold=float(spec.get("threshold", 0.2)),
+            series=objective.series,
+            statistic=str(spec.get("statistic", "mean")),
+        )
+    return ObjectiveResult(
+        objective=objective,
+        rounds=rounds,
+        violations=violations,
+        budget_used=budget_used,
+        drift_report=drift_report,
+        values=tuple(values),
+    )
+
+
+def evaluate(
+    rows: Sequence[Mapping[str, Any]], objectives: Sequence[Objective]
+) -> List[ObjectiveResult]:
+    """Evaluate every objective; results keep declaration order."""
+    return [evaluate_objective(rows, objective) for objective in objectives]
+
+
+def load_objectives(path: str) -> List[Objective]:
+    """Load an objectives JSON file (``{"objectives": [...]}`` or a list)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, Mapping):
+        specs = data.get("objectives", [])
+    else:
+        specs = data
+    if not isinstance(specs, list) or not specs:
+        raise ValueError(f"{path}: no objectives declared")
+    objectives = []
+    for spec in specs:
+        drift = spec.get("drift")
+        objectives.append(
+            Objective(
+                name=str(spec["name"]),
+                series=str(spec["series"]),
+                kind=str(spec.get("kind", "gauge")),
+                op=str(spec.get("op", "<=")),
+                target=float(spec.get("target", 0.0)),
+                budget=float(spec.get("budget", 0.0)),
+                drift=dict(drift) if drift is not None else None,
+            )
+        )
+    return objectives
+
+
+def render(results: Sequence[ObjectiveResult]) -> str:
+    """Human-readable report, one line per objective plus a verdict."""
+    lines = [result.describe() for result in results]
+    failed = sum(1 for result in results if not result.ok)
+    if failed:
+        lines.append(f"{failed}/{len(results)} objective(s) violated")
+    else:
+        lines.append(f"all {len(results)} objective(s) met")
+    return "\n".join(lines)
+
+
+def summary_dict(results: Sequence[ObjectiveResult]) -> Dict[str, Any]:
+    """JSON-ready summary (for artifacts / machine consumption)."""
+    return {
+        "objectives": [
+            {
+                "name": result.objective.name,
+                "series": result.objective.series,
+                "ok": result.ok,
+                "rounds": result.rounds,
+                "violations": result.violations,
+                "budget": result.objective.budget,
+                "budget_used": (
+                    result.budget_used
+                    if result.budget_used != float("inf")
+                    else None
+                ),
+                "drifting": result.drifting,
+            }
+            for result in results
+        ],
+        "ok": all(result.ok for result in results),
+    }

@@ -206,8 +206,18 @@ def run_sustained(
     engine: str = "runtime",
     pipeline: bool = True,
     schedule_seed: Optional[Union[int, str]] = None,
+    obs: Optional[object] = None,
+    profiler: Optional[object] = None,
+    telemetry_interval: Optional[float] = None,
 ) -> SustainedResult:
-    """Drive ``spec.rounds`` rounds of continuous arrivals to commit."""
+    """Drive ``spec.rounds`` rounds of continuous arrivals to commit.
+
+    ``obs``/``profiler``/``telemetry_interval`` pass straight through to
+    the reactor (``engine="runtime"`` only): attach an ``Observability``
+    bundle and a :class:`~repro.obs.profile.PipelineProfiler` to get
+    per-round stall attribution and the folded-stack flame export for
+    the very run whose throughput is being reported.
+    """
     if engine == "lockstep":
         return _run_lockstep(spec)
     if engine != "runtime":
@@ -220,6 +230,9 @@ def run_sustained(
             else schedule_seed
         ),
         pipeline=pipeline,
+        obs=obs,
+        profiler=profiler,
+        telemetry_interval=telemetry_interval,
     )
     report = runtime.run(build_round_inputs(spec, _participants(spec)))
     return SustainedResult(

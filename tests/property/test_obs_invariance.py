@@ -307,3 +307,87 @@ def test_degraded_round_outcome_unchanged_by_observability():
     assert canonical_outcome(observed.outcome) == canonical_outcome(
         plain.outcome
     )
+
+
+# ----------------------------------------------------------------------
+# PR 10: the telemetry plane is just as inert as the layers before it
+# ----------------------------------------------------------------------
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**16))
+def test_telemetry_on_equals_telemetry_off_both_engines(seed):
+    """Worker capture + parent merge never perturbs the cleared outcome."""
+    from repro.core.config import ShardPlan
+
+    requests, offers = _zone_market(seed)
+    for engine in ("reference", "vectorized"):
+        config = AuctionConfig(
+            engine=engine, sharding=ShardPlan(kind="network")
+        )
+        plain = DecloudAuction(config).run(
+            requests, offers, evidence=EVIDENCE
+        )
+        shipped = DecloudAuction(config).run(
+            requests,
+            offers,
+            evidence=EVIDENCE,
+            obs=Observability(f"tele-prop-{engine}", telemetry=True),
+        )
+        assert canonical_outcome(shipped) == canonical_outcome(plain), (
+            f"telemetry capture perturbed the {engine} engine's outcome"
+        )
+
+
+def _merged_trace(engine: str, workers: int) -> tuple:
+    from repro.core.config import ShardPlan
+
+    requests, offers = _zone_market(404)
+    config = AuctionConfig(
+        engine=engine,
+        sharding=ShardPlan(kind="network", shard_workers=workers),
+    )
+    obs = Observability("tele-merge", telemetry=True)
+    outcome = DecloudAuction(config).run(
+        requests, offers, evidence=EVIDENCE, obs=obs
+    )
+    return canonical_outcome(outcome), obs.trace_jsonl(strip_wall=True)
+
+
+def test_merged_traces_byte_identical_across_worker_counts():
+    """The capture decision follows the bundle, never the pool layout:
+    the merged parent trace (worker spans grafted in submission order)
+    is byte-identical whether shards ran in-process, under one worker,
+    or fanned across three — and outcomes are bit-identical too."""
+    for engine in ("reference", "vectorized"):
+        runs = [_merged_trace(engine, workers) for workers in (0, 1, 3)]
+        baseline_outcome, baseline_trace = runs[0]
+        for canonical, trace in runs[1:]:
+            assert canonical == baseline_outcome, (
+                f"{engine}: outcome varies with workers"
+            )
+            assert trace == baseline_trace, (
+                f"{engine}: merged trace varies with workers"
+            )
+        assert '"name":"worker"' in runs[0][1]
+
+
+def test_runtime_telemetry_and_profiler_are_outcome_invariant():
+    """The runtime engine's leg of the same invariant: attaching the
+    stall profiler and periodic telemetry publisher must not change what
+    gets committed, and the flame export replays byte-for-byte."""
+    from repro.obs.profile import PipelineProfiler
+    from repro.sim.sustained import SustainedSpec, run_sustained
+
+    spec = SustainedSpec(rounds=3, seed=5, difficulty_bits=4)
+    plain = run_sustained(spec, engine="runtime")
+    foldeds = []
+    for _ in range(2):
+        profiler = PipelineProfiler()
+        profiled = run_sustained(
+            spec, engine="runtime",
+            obs=Observability("tele-runtime"), profiler=profiler,
+        )
+        assert profiled.block_hashes == plain.block_hashes
+        assert profiled.virtual_time == plain.virtual_time
+        foldeds.append(profiler.to_folded())
+    assert foldeds[0] == foldeds[1]
+    assert foldeds[0]

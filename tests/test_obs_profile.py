@@ -1,0 +1,143 @@
+"""Pipeline stall profiler: folded export, flush metrics, reactor wiring."""
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.profile import COUNT_CAUSES, PipelineProfiler, load_folded
+from repro.sim.sustained import SustainedSpec, run_sustained
+
+
+class TestProfilerUnit:
+    def _profiler(self):
+        profiler = PipelineProfiler()
+        profiler.add(0, "mine", 1.0)
+        profiler.add(0, "seal_wait", 0.5)
+        profiler.add(1, "mine", 1.0)
+        profiler.count(1, "wal_append", 3)
+        profiler.node_stall("m0", "backpressure_deferral", 0.005)
+        return profiler
+
+    def test_folded_lines_sorted_with_integer_weights(self):
+        text = self._profiler().to_folded()
+        lines = text.splitlines()
+        assert lines == sorted(lines)
+        assert text.endswith("\n")
+        assert "runtime;round_0000;mine 1000000" in lines
+        assert "runtime;round_0000;seal_wait 500000" in lines
+        # count causes export raw event counts, not microseconds
+        assert "wal_append" in COUNT_CAUSES
+        assert "runtime;round_0001;wal_append 3" in lines
+        assert "runtime;transport;m0;backpressure_deferral 5000" in lines
+
+    def test_zero_and_negative_intervals_are_dropped(self):
+        profiler = PipelineProfiler()
+        profiler.add(0, "mine", 0.0)
+        profiler.add(0, "commit", -1.0)
+        assert profiler.to_folded() == ""
+
+    def test_load_folded_round_trips(self):
+        profiler = self._profiler()
+        stacks = load_folded(profiler.to_folded())
+        assert ("runtime;round_0000;mine", 1_000_000) in stacks
+        assert ("runtime;round_0001;wal_append", 3) in stacks
+
+    def test_totals(self):
+        profiler = self._profiler()
+        assert profiler.round_total(0) == pytest.approx(1.5)
+        totals = profiler.cause_totals()
+        assert totals["mine"] == pytest.approx(2.0)
+        assert totals["wal_append"] == 3
+
+    def test_flush_emits_metrics_once(self):
+        profiler = self._profiler()
+        obs = Observability()
+        profiler.flush(obs.registry, virtual_time=5.0)
+        profiler.flush(obs.registry, virtual_time=5.0)  # idempotent
+        reg = obs.registry
+        assert reg.counter_value("pipeline_stall_seconds", cause="mine") == 2.0
+        assert (
+            reg.counter_value("pipeline_stall_events_total", cause="wal_append")
+            == 3
+        )
+        assert (
+            reg.counter_value(
+                "pipeline_node_stall_seconds",
+                node="m0", cause="backpressure_deferral",
+            )
+            == pytest.approx(0.005)
+        )
+        # occupancy = busy time / virtual span (wal_append is a count,
+        # not time, so it does not inflate the numerator)
+        assert reg.gauge_value("pipeline_occupancy") == pytest.approx(
+            2.505 / 5.0
+        )
+
+    def test_write_folded(self, tmp_path):
+        path = tmp_path / "stalls.folded"
+        self._profiler().write_folded(str(path))
+        assert load_folded(path.read_text()) == load_folded(
+            self._profiler().to_folded()
+        )
+
+
+class TestReactorWiring:
+    SPEC = SustainedSpec(rounds=3, seed=11, difficulty_bits=4)
+
+    def _run(self, profiler=None, obs=None):
+        return run_sustained(
+            self.SPEC, engine="runtime", pipeline=True,
+            obs=obs, profiler=profiler,
+        )
+
+    def test_profiler_attributes_every_pipeline_stage(self):
+        profiler = PipelineProfiler()
+        obs = Observability()
+        result = self._run(profiler=profiler, obs=obs)
+        assert result.rounds_committed == 3
+        totals = profiler.cause_totals()
+        for cause in ("seal_wait", "mine", "propose", "verify_quorum", "commit"):
+            assert totals.get(cause, 0.0) > 0.0, cause
+        # every committed round shows up as its own frame
+        for i in range(3):
+            assert profiler.round_total(i) > 0.0
+        assert obs.registry.gauge_value("pipeline_occupancy") > 0.0
+
+    def test_folded_export_byte_identical_across_replays(self):
+        texts = []
+        for _ in range(2):
+            profiler = PipelineProfiler()
+            self._run(profiler=profiler)
+            texts.append(profiler.to_folded())
+        assert texts[0] == texts[1]
+
+    def test_profiler_is_outcome_invariant(self):
+        plain = self._run()
+        profiled = self._run(profiler=PipelineProfiler(), obs=Observability())
+        assert plain.block_hashes == profiled.block_hashes
+        assert plain.virtual_time == profiled.virtual_time
+
+    def test_telemetry_ticks_reach_an_aggregator_on_the_transport(self):
+        from repro.obs import TelemetryAggregator
+        from repro.runtime import Runtime
+        from repro.sim.sustained import _build_miners, _participants, build_round_inputs
+
+        obs = Observability()
+        runtime = Runtime(
+            _build_miners(self.SPEC),
+            schedule_seed="telemetry-tick-test",
+            obs=obs,
+            telemetry_interval=0.5,
+        )
+        aggregator = TelemetryAggregator()
+        aggregator.subscribe(runtime.transport)
+        report = runtime.run(
+            build_round_inputs(self.SPEC, _participants(self.SPEC))
+        )
+        assert len(report.committed) == 3
+        # periodic ticks plus the closing frame all landed and merged
+        assert aggregator.frames >= 2
+        assert aggregator.nodes() == ["runtime"]
+        # the aggregated view agrees with the source registry's totals
+        assert aggregator.counter_total("runtime_rounds_total") == (
+            obs.registry.counter_value("runtime_rounds_total")
+        )

@@ -173,3 +173,59 @@ class TestSnapshotDiffCli:
         path.write_text(json.dumps(obs.registry.snapshot()))
         assert main(["--snapshot-diff", str(path), str(path)]) == 0
         assert "(no changes)" in capsys.readouterr().out
+
+
+class TestDiagnostics:
+    """Broken input must produce a diagnostic and exit 2, never a
+    traceback or a silently empty report (PR 10 regression)."""
+
+    def test_empty_trace_file(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main([str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err and "empty trace" in err
+
+    def test_missing_trace_file(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_truncated_jsonl_names_the_line(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        good = sample_tracer()
+        good.write_jsonl(str(path))
+        with open(path, "a") as fh:
+            fh.write('{"type":"span","name":"chopped')  # mid-write crash
+        assert main([str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "truncated or corrupt JSONL" in err
+        # the diagnostic points at the exact line
+        lines = path.read_text().splitlines()
+        assert f"{path}:{len(lines)}" in err
+
+    def test_non_record_rows_rejected(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"no_type_field": 1}\n')
+        assert main([str(path)]) == 2
+        assert "not a trace record" in capsys.readouterr().err
+
+
+class TestFlameCli:
+    def test_flame_renders_cause_table(self, tmp_path, capsys):
+        from repro.obs.profile import PipelineProfiler
+
+        profiler = PipelineProfiler()
+        profiler.add(0, "mine", 1.0)
+        profiler.add(0, "seal_wait", 0.25)
+        profiler.count(0, "wal_append", 2)
+        folded = tmp_path / "stalls.folded"
+        profiler.write_folded(str(folded))
+        assert main(["--flame", str(folded)]) == 0
+        out = capsys.readouterr().out
+        assert "flame summary" in out
+        assert "mine" in out and "seal_wait" in out
+        assert "events" in out  # wal_append is a count, not a duration
+
+    def test_flame_missing_file_is_diagnosed(self, tmp_path, capsys):
+        assert main(["--flame", str(tmp_path / "absent.folded")]) == 2
+        assert "cannot read" in capsys.readouterr().err

@@ -1,0 +1,185 @@
+"""SLO objectives, error budgets, and the report CLI gates."""
+
+import json
+
+import pytest
+
+from repro.obs import Observability
+from repro.obs.report import main
+from repro.obs.slo import (
+    Objective,
+    evaluate,
+    evaluate_objective,
+    load_objectives,
+    render,
+    summary_dict,
+)
+from repro.obs.timeseries import TimeSeriesStore
+
+
+def _history(tmp_path, welfare):
+    """A TimeSeriesStore history with one welfare gauge row per value."""
+    path = tmp_path / "history.jsonl"
+    store = TimeSeriesStore(str(path))
+    obs = Observability()
+    for i, value in enumerate(welfare):
+        obs.registry.set("auction_last_welfare", value)
+        obs.registry.observe("auction_phase_seconds", 0.01, phase="clear")
+        store.append(obs.registry.snapshot(), round=i)
+    return path
+
+
+class TestObjective:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Objective(name="x", series="s", kind="quantile")
+        with pytest.raises(ValueError):
+            Objective(name="x", series="s", op="~=")
+        with pytest.raises(ValueError):
+            Objective(name="x", series="s", budget=1.5)
+
+    def test_zero_budget_fails_on_single_violation(self, tmp_path):
+        rows = TimeSeriesStore.load(str(_history(tmp_path, [10, 10, 3, 10])))
+        result = evaluate_objective(
+            rows,
+            Objective(
+                name="floor", series="auction_last_welfare",
+                kind="gauge", op=">=", target=5.0,
+            ),
+        )
+        assert result.violations == 1
+        assert not result.ok
+        assert result.budget_used == float("inf")
+
+    def test_budget_tolerates_fraction(self, tmp_path):
+        rows = TimeSeriesStore.load(
+            str(_history(tmp_path, [10] * 9 + [3]))
+        )
+        objective = Objective(
+            name="floor", series="auction_last_welfare",
+            kind="gauge", op=">=", target=5.0, budget=0.2,
+        )
+        result = evaluate_objective(rows, objective)
+        assert result.violations == 1
+        assert result.violating_fraction == pytest.approx(0.1)
+        assert result.budget_used == pytest.approx(0.5)
+        assert result.ok
+
+    def test_latency_objective_uses_delta_means(self, tmp_path):
+        rows = TimeSeriesStore.load(str(_history(tmp_path, [10, 10, 10])))
+        result = evaluate_objective(
+            rows,
+            Objective(
+                name="clear-latency",
+                series="auction_phase_seconds{phase=clear}",
+                kind="latency", op="<=", target=0.05,
+            ),
+        )
+        assert result.rounds == 3
+        assert result.ok
+
+    def test_no_data_is_not_compliance(self, tmp_path):
+        rows = TimeSeriesStore.load(str(_history(tmp_path, [10])))
+        result = evaluate_objective(
+            rows,
+            Objective(name="ghost", series="does_not_exist", kind="gauge"),
+        )
+        assert result.rounds == 0
+        assert not result.ok
+        assert "no data" in result.describe()
+
+    def test_drift_attachment_fails_sliding_series(self, tmp_path):
+        # every round individually passes the floor, but the series is
+        # sliding toward it — the drift attachment catches the trend
+        values = [10.0] * 5 + [9.0, 8.0, 7.0, 6.0, 5.5]
+        rows = TimeSeriesStore.load(str(_history(tmp_path, values)))
+        objective = Objective(
+            name="floor", series="auction_last_welfare",
+            kind="gauge", op=">=", target=5.0,
+            drift={"window": 5, "threshold": 0.2},
+        )
+        result = evaluate_objective(rows, objective)
+        assert result.violations == 0
+        assert result.drifting
+        assert not result.ok
+
+
+class TestLoadRender:
+    def test_load_objectives_round_trip(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({
+            "objectives": [
+                {"name": "floor", "series": "auction_last_welfare",
+                 "kind": "gauge", "op": ">=", "target": 5.0,
+                 "budget": 0.1, "drift": {"window": 3}},
+            ]
+        }))
+        (objective,) = load_objectives(str(path))
+        assert objective.name == "floor"
+        assert objective.budget == 0.1
+        assert objective.drift == {"window": 3}
+
+    def test_load_objectives_rejects_empty(self, tmp_path):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({"objectives": []}))
+        with pytest.raises(ValueError):
+            load_objectives(str(path))
+
+    def test_render_and_summary(self, tmp_path):
+        rows = TimeSeriesStore.load(str(_history(tmp_path, [10, 3])))
+        results = evaluate(rows, [
+            Objective(name="floor", series="auction_last_welfare",
+                      kind="gauge", op=">=", target=5.0),
+            Objective(name="loose", series="auction_last_welfare",
+                      kind="gauge", op=">=", target=1.0),
+        ])
+        text = render(results)
+        assert "[VIOLATED] floor" in text and "[OK] loose" in text
+        assert "1/2 objective(s) violated" in text
+        summary = summary_dict(results)
+        assert summary["ok"] is False
+        assert summary["objectives"][0]["violations"] == 1
+
+
+class TestCLI:
+    def _slo_file(self, tmp_path, target):
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps({
+            "objectives": [
+                {"name": "floor", "series": "auction_last_welfare",
+                 "kind": "gauge", "op": ">=", "target": target},
+            ]
+        }))
+        return path
+
+    def test_slo_cli_exits_nonzero_on_violation(self, tmp_path, capsys):
+        history = _history(tmp_path, [10, 3, 10])
+        assert main(["--slo", str(self._slo_file(tmp_path, 5.0)),
+                     str(history)]) == 1
+        assert "VIOLATED" in capsys.readouterr().out
+
+    def test_slo_cli_exits_zero_when_met(self, tmp_path, capsys):
+        history = _history(tmp_path, [10, 9, 10])
+        assert main(["--slo", str(self._slo_file(tmp_path, 5.0)),
+                     str(history)]) == 0
+        assert "all 1 objective(s) met" in capsys.readouterr().out
+
+    def test_slo_cli_diagnoses_missing_history(self, tmp_path, capsys):
+        rc = main(["--slo", str(self._slo_file(tmp_path, 5.0)),
+                   str(tmp_path / "absent.jsonl")])
+        assert rc == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_slo_cli_diagnoses_empty_history(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        rc = main(["--slo", str(self._slo_file(tmp_path, 5.0)), str(empty)])
+        assert rc == 2
+        assert "empty history" in capsys.readouterr().err
+
+    def test_slo_cli_diagnoses_bad_objectives(self, tmp_path, capsys):
+        bad = tmp_path / "slo.json"
+        bad.write_text("{not json")
+        history = _history(tmp_path, [10])
+        assert main(["--slo", str(bad), str(history)]) == 2
+        assert "bad objectives file" in capsys.readouterr().err
